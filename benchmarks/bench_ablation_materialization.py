@@ -1,0 +1,80 @@
+"""Ablation C — logical vs physical materialization (paper Section 4.3).
+
+"In some cases, only logical materialization (e.g., using PG views ...) is
+sufficient.  In other cases, physical materialization (e.g., using
+temporary PG tables) is necessary for correctness."
+
+The bench runs an Example-3-style function workload — assign a filtered
+table to a variable, then aggregate it repeatedly — under both strategies.
+Views win when the variable is consumed once (no copy); temp tables win
+when it is consumed many times (no recomputation).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import save_results
+
+from repro.config import HyperQConfig, MaterializationMode
+from repro.core.session import HyperQSession
+
+ASSIGN = "dt: select inst, price, notional from positions where price > 50.0"
+CONSUME = "exec max notional from dt"
+
+
+def _run(hq, mode: MaterializationMode, consumers: int) -> float:
+    config = HyperQConfig(materialization=mode)
+    session = HyperQSession(hq.backend, config=config)
+    try:
+        start = time.perf_counter()
+        session.execute(ASSIGN)
+        for __ in range(consumers):
+            session.execute(CONSUME)
+        return time.perf_counter() - start
+    finally:
+        session.close()
+
+
+def test_ablation_materialization(benchmark, workload_env):
+    hq, __ = workload_env
+
+    results = {}
+    for consumers in (1, 10):
+        physical = min(
+            _run(hq, MaterializationMode.PHYSICAL, consumers) for __ in range(3)
+        )
+        logical = min(
+            _run(hq, MaterializationMode.LOGICAL, consumers) for __ in range(3)
+        )
+        results[consumers] = {
+            "physical_ms": physical * 1e3,
+            "logical_ms": logical * 1e3,
+        }
+
+    benchmark.pedantic(
+        lambda: _run(hq, MaterializationMode.PHYSICAL, 1),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = ["", "Ablation C: materialization of Q variable assignments"]
+    for consumers, r in results.items():
+        winner = (
+            "physical" if r["physical_ms"] < r["logical_ms"] else "logical"
+        )
+        lines.append(
+            f"  {consumers:>2} consumer(s): temp table {r['physical_ms']:8.1f} ms"
+            f"  vs  view {r['logical_ms']:8.1f} ms   -> {winner} wins"
+        )
+    lines.append(
+        "shape: views avoid the up-front copy; temp tables amortize it "
+        "across repeated consumers"
+    )
+    print("\n".join(lines))
+
+    save_results("ablation_materialization", results)
+
+    many = results[10]
+    # with many consumers the snapshot must beat re-running the view query
+    assert many["physical_ms"] < many["logical_ms"]

@@ -1,0 +1,67 @@
+"""Ablation E — the two-valued-logic rule is *correctness*, not speed.
+
+Paper (Section 3.3): "a transformation is used to replace strict
+equalities in XTRA expressions with Is Not Distinct From predicate, which
+provides the needed 2-valued logic for null values."
+
+Rather than timing anything, this ablation counts side-by-side mismatches
+against the reference interpreter on null-heavy data with the rule on and
+off.  With the rule on, every query matches kdb+ behaviour; with it off,
+equality predicates silently drop the null rows q would keep.
+"""
+
+from __future__ import annotations
+
+from conftest import save_results
+
+from repro.config import HyperQConfig, XformerConfig
+from repro.testing.sidebyside import SideBySideHarness
+
+#: nulls in both the symbol and numeric columns
+SOURCE = """
+orders: ([] Sym:`A``B``A`B;
+            Qty:10 0N 30 0N 50 60;
+            Px:1.0 2.0 0n 4.0 5.0 0n)
+"""
+
+#: queries whose results depend on null-equality semantics
+QUERIES = [
+    "select from orders where Sym=`",
+    "select from orders where Sym=`A",
+    "select from orders where Qty=0N",
+    "select from orders where Px=0n",
+    "select from orders where Sym<>`A",
+    "count select from orders where Qty=0N",
+]
+
+
+def _mismatches(rule_on: bool) -> int:
+    config = HyperQConfig(
+        xformer=XformerConfig(two_valued_logic=rule_on)
+    )
+    harness = SideBySideHarness(SOURCE, ["orders"], config=config)
+    report = harness.run_suite(QUERIES)
+    return report.failed
+
+
+def test_ablation_two_valued_logic(benchmark, workload_env):
+    benchmark.pedantic(lambda: _mismatches(True), rounds=1, iterations=1)
+
+    with_rule = _mismatches(True)
+    without_rule = _mismatches(False)
+
+    print(
+        f"\nAblation E: two-valued-logic rule (correctness)"
+        f"\n  rule ON : {with_rule}/{len(QUERIES)} side-by-side mismatches"
+        f"\n  rule OFF: {without_rule}/{len(QUERIES)} side-by-side mismatches"
+        f"\n  the rule is load-bearing: without it, strict '=' drops the "
+        f"null rows q keeps"
+    )
+    save_results(
+        "ablation_two_valued_logic",
+        {"queries": QUERIES, "mismatches_on": with_rule,
+         "mismatches_off": without_rule},
+    )
+
+    assert with_rule == 0, "with the rule, Hyper-Q must match kdb+ exactly"
+    assert without_rule >= 3, "without it, null-equality queries must break"

@@ -1,0 +1,84 @@
+"""Figure 6 — Efficiency of query translation.
+
+Paper (Section 6): "Figure 6 shows the total time consumed by query
+translation for the Analytical Workload.  On average, the time consumed is
+around 0.5% of the total query execution time.  The maximum query
+translation time is 4% of the query execution time.  Queries # 10, 18, 19,
+and 20 involve more tables to join compared to other queries.  Hence, it
+takes longer time to algebrize these queries, lookup the required
+metadata, and serialize them into final SQL queries."
+
+This bench reproduces the figure: for each of the 25 workload queries it
+reports translation time as a percentage of total time, then asserts the
+paper's shape (sub-5% overhead on average, join-heavy queries translating
+slowest).  The pytest-benchmark entry times the translation pipeline over
+the whole workload.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import save_results
+
+JOIN_HEAVY = {10, 18, 19, 20}
+
+
+def test_fig6_translation_overhead(benchmark, workload_env, figure_measurements):
+    hq, workload = workload_env
+
+    def translate_workload():
+        for query in workload.queries:
+            session = hq.create_session()
+            try:
+                session.translate(query.text)
+            finally:
+                session.close()
+
+    benchmark.pedantic(translate_workload, rounds=3, iterations=1)
+
+    overheads = [m["overhead_pct"] for m in figure_measurements]
+    average = statistics.mean(overheads)
+    maximum = max(overheads)
+
+    lines = [
+        "",
+        "Figure 6: Efficiency of query translation "
+        "(translation time as % of total)",
+        f"{'query':>6} {'tables':>6} {'translate':>12} {'execute':>12} "
+        f"{'overhead':>9}",
+    ]
+    for m in figure_measurements:
+        lines.append(
+            f"Q{m['query']:>5} {m['tables']:>6} "
+            f"{m['translate_ms']:>10.2f}ms {m['execute_ms']:>10.1f}ms "
+            f"{m['overhead_pct']:>8.2f}%"
+        )
+    lines.append(f"average overhead: {average:.2f}%   (paper: ~0.5%)")
+    lines.append(f"maximum overhead: {maximum:.2f}%   (paper: <=4%)")
+    slowest = sorted(
+        figure_measurements, key=lambda m: -m["translate_ms"]
+    )[:4]
+    slowest_ids = sorted(m["query"] for m in slowest)
+    lines.append(
+        f"slowest translations: queries {slowest_ids} "
+        f"(paper: 10, 18, 19, 20 — the multi-join queries)"
+    )
+    print("\n".join(lines))
+
+    save_results(
+        "fig6_translation_overhead",
+        {
+            "per_query": figure_measurements,
+            "average_pct": average,
+            "max_pct": maximum,
+            "slowest_translations": slowest_ids,
+        },
+    )
+
+    # --- shape assertions (not absolute numbers) ---
+    assert average < 5.0, "translation should be a small fraction on average"
+    assert maximum < 10.0, "translation overhead should stay single-digit"
+    assert set(slowest_ids) == JOIN_HEAVY, (
+        "the three-table queries must be the most expensive to translate"
+    )

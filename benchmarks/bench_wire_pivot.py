@@ -1,0 +1,129 @@
+"""Micro-benchmark — wire formats and the row->column pivot (Figure 5).
+
+Paper (Section 4.2): QIPC sends a result set as a single column-oriented
+message, while PG v3 streams one row-oriented DataRow message per row;
+"Hyper-Q buffers the query result messages received from the PG database
+until an end-of-content message is received.  The results are then
+extracted from the messages, and a corresponding QIPC message is formed."
+
+The bench measures each leg — PG-side row encoding, the buffered pivot,
+and QIPC column encoding — across result-set sizes, and verifies the
+structural claims: message count scales with rows on the PG side and is
+constant (one) on the QIPC side.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import save_results
+
+from repro.core.crosscompiler import pivot_result
+from repro.pgwire import messages as m
+from repro.pgwire.codec import encode_backend
+from repro.qipc.encode import encode_value
+from repro.qipc.messages import MessageType, QipcMessage, frame
+from repro.sqlengine.catalog import Column
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import SqlType, render_value
+
+SIZES = (100, 1000, 10_000)
+
+
+def _make_result(rows: int) -> ResultSet:
+    columns = [
+        Column("sym", SqlType.VARCHAR),
+        Column("price", SqlType.DOUBLE),
+        Column("size", SqlType.BIGINT),
+    ]
+    data = [
+        (f"S{i % 50:03d}", 100.0 + (i % 997) / 100.0, (i % 89) * 100)
+        for i in range(rows)
+    ]
+    return ResultSet(columns, data)
+
+
+def _pg_stream(result: ResultSet) -> tuple[bytes, int]:
+    """Encode the PG-side traffic; returns (bytes, message count)."""
+    out = [
+        encode_backend(
+            m.RowDescription(
+                [m.FieldDescription(c.name, 25) for c in result.columns]
+            )
+        )
+    ]
+    for row in result.rows:
+        cells = [
+            render_value(v, c.sql_type).encode() if v is not None else None
+            for v, c in zip(row, result.columns)
+        ]
+        out.append(encode_backend(m.DataRow(cells)))
+    out.append(encode_backend(m.CommandComplete(f"SELECT {len(result.rows)}")))
+    return b"".join(out), len(out)
+
+
+def _qipc_message(result: ResultSet) -> tuple[bytes, int]:
+    value = pivot_result(result, "table", [])
+    payload = encode_value(value)
+    return frame(QipcMessage(MessageType.RESPONSE, payload)), 1
+
+
+def test_wire_pivot(benchmark, workload_env):
+    rows_report = []
+    for size in SIZES:
+        result = _make_result(size)
+
+        start = time.perf_counter()
+        pg_bytes, pg_messages = _pg_stream(result)
+        pg_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        pivoted = pivot_result(result, "table", [])
+        pivot_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        qipc_bytes, qipc_messages = _qipc_message(result)
+        qipc_seconds = time.perf_counter() - start
+
+        rows_report.append(
+            {
+                "rows": size,
+                "pg_messages": pg_messages,
+                "pg_bytes": len(pg_bytes),
+                "pg_encode_ms": pg_seconds * 1e3,
+                "pivot_ms": pivot_seconds * 1e3,
+                "qipc_messages": qipc_messages,
+                "qipc_bytes": len(qipc_bytes),
+                "qipc_encode_ms": qipc_seconds * 1e3,
+            }
+        )
+
+    benchmark.pedantic(
+        lambda: _qipc_message(_make_result(1000)), rounds=3, iterations=1
+    )
+
+    lines = ["", "Wire pivot micro-benchmark (Figure 5 structure)"]
+    lines.append(
+        f"{'rows':>7} {'PG msgs':>8} {'PG bytes':>9} {'pivot':>9} "
+        f"{'QIPC msgs':>10} {'QIPC bytes':>11}"
+    )
+    for r in rows_report:
+        lines.append(
+            f"{r['rows']:>7} {r['pg_messages']:>8} {r['pg_bytes']:>9} "
+            f"{r['pivot_ms']:>7.1f}ms {r['qipc_messages']:>10} "
+            f"{r['qipc_bytes']:>11}"
+        )
+    lines.append(
+        "shape: PG traffic is one message per row; the QIPC response is a "
+        "single buffered column-oriented message"
+    )
+    print("\n".join(lines))
+
+    save_results("wire_pivot", rows_report)
+
+    for r in rows_report:
+        assert r["pg_messages"] == r["rows"] + 2
+        assert r["qipc_messages"] == 1
+    # the column-oriented single message is more compact than the row stream
+    big = rows_report[-1]
+    assert big["qipc_bytes"] < big["pg_bytes"]

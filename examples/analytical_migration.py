@@ -1,0 +1,55 @@
+"""The case study (paper Section 5): validating a customer migration.
+
+A Wall Street customer wants to move analytical workloads from kdb+ to a
+PG-compatible MPP database while keeping the Q application layer intact.
+The paper's engagement loop: collect the representative workload, run it
+through Hyper-Q, and use the side-by-side testing framework to "ensure the
+exact same behavior to the application as before".
+
+This example replays that loop on the 25-query Analytical Workload at a
+reduced scale, reporting the coverage a migration engineer would see.
+
+Run:  python examples/analytical_migration.py
+"""
+
+from repro.testing.sidebyside import SideBySideHarness
+from repro.workload.analytical import AnalyticalConfig, build_queries, generate
+
+
+def main() -> None:
+    config = AnalyticalConfig.small()
+    workload = generate(config)
+
+    # stage the same data on both sides: the reference interpreter plays
+    # the incumbent kdb+, Hyper-Q fronts the PG-compatible target
+    harness = SideBySideHarness(source="", tables=[])
+    for name, table in workload.tables.items():
+        harness.interp.set_global(name, table)
+        from repro.workload.loader import load_table
+
+        load_table(harness.hyperq.engine, name, table, mdi=harness.hyperq.mdi)
+
+    print(
+        f"analytical workload: {len(workload.queries)} queries over "
+        f"{len(workload.tables)} wide tables "
+        f"({', '.join(workload.tables)})"
+    )
+
+    report = harness.run_suite([q.text for q in workload.queries])
+    print()
+    for query, result in zip(workload.queries, report.results):
+        status = "ok " if result.passed else "FAIL"
+        print(f"  [{status}] Q{query.number:>2} {query.description}")
+        if not result.passed:
+            print(f"         {result.comparison.reason}")
+
+    print(f"\ncoverage: {report.passed}/{len(report.results)} queries match")
+    if report.failed == 0:
+        print(
+            "all queries produce application-identical results — the "
+            "migration candidate is safe to stage"
+        )
+
+
+if __name__ == "__main__":
+    main()

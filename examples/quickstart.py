@@ -1,0 +1,58 @@
+"""Quickstart: run Q queries against a PostgreSQL-compatible backend.
+
+This is the paper's pitch in thirty lines: take Q — the kdb+ query
+language — and run it, unchanged, on a PG-compatible analytical database.
+Hyper-Q parses the Q text, binds it to XTRA relational algebra, applies
+the Xformer rules, serializes SQL, executes it on the backend, and pivots
+the row-oriented result back into the column-oriented Q value the
+application expects.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.platform import HyperQ
+from repro.qlang.interp import Interpreter
+from repro.qlang.printer import format_value
+from repro.workload.loader import load_q_source
+
+MARKET = """
+trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT;
+            Time:09:30:30 09:31:00 09:32:00 09:30:45;
+            Price:100.0 50.0 101.0 30.0;
+            Size:10 20 30 40)
+"""
+
+QUERIES = [
+    "select from trades",
+    "select Price, Size from trades where Symbol=`GOOG",
+    "select sum Size by Symbol from trades",
+    "select vwap: Size wavg Price from trades",
+    "update Notional: Price*Size from trades",
+]
+
+
+def main() -> None:
+    # the backend: an in-memory PostgreSQL-compatible engine (the paper
+    # deploys against Greenplum; any PG dialect works)
+    platform = HyperQ()
+
+    # load the Q table into the backend (ordcol carries Q's implicit order)
+    load_q_source(
+        platform.engine, Interpreter(), MARKET, ["trades"], mdi=platform.mdi
+    )
+
+    for query in QUERIES:
+        print(f"\nq) {query}")
+        translation = platform.translate(query)
+        for sql in translation.sql_statements:
+            print(f"   SQL: {sql[:120]}{'...' if len(sql) > 120 else ''}")
+        result = platform.q(query)
+        print(format_value(result))
+
+    # scalar Q expressions translate too
+    print("\nq) 2*3+4   (right-to-left: 2*(3+4))")
+    print(format_value(platform.q("2*3+4")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The full Figure-1 deployment over real sockets.
+
+Three processes-worth of components in one script:
+
+1. a **PG-wire server** wrapping the analytical engine (the Greenplum
+   stand-in),
+2. a **Hyper-Q server** that impersonates kdb+ on its QIPC port and talks
+   PG v3 to the backend through the network gateway,
+3. a **Q application** (the QIPC client) that connects first to a real
+   kdb+-style server and then to Hyper-Q — with the same code — and gets
+   the same answers.
+
+Run:  python examples/virtualized_server.py
+"""
+
+from repro.qlang.interp import Interpreter
+from repro.qlang.printer import format_value
+from repro.server.client import QConnection
+from repro.server.gateway import NetworkGateway
+from repro.server.hyperq_server import HyperQServer, KdbServer
+from repro.server.pgserver import PgWireServer
+from repro.sqlengine.engine import Engine
+from repro.testing.comparators import compare_values
+from repro.workload.loader import load_q_source
+
+MARKET = """
+trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT;
+            Price:100.0 50.0 101.0 30.0;
+            Size:10 20 30 40)
+"""
+
+APPLICATION_QUERIES = [
+    "select from trades where Price > 40",
+    "select sum Size by Symbol from trades",
+    "exec max Price from trades",
+]
+
+
+def run_q_application(host: str, port: int, label: str):
+    """An unchanged 'Q application': connect, query, print."""
+    results = []
+    with QConnection(host, port, username="trader") as q:
+        for query in APPLICATION_QUERIES:
+            result = q.query(query)
+            results.append(result)
+            print(f"[{label}] q) {query}")
+            print(format_value(result, max_rows=4))
+    return results
+
+
+def main() -> None:
+    # --- the original deployment: a kdb+-style server -----------------------
+    kdb = KdbServer()
+    kdb.interpreter.eval_text(MARKET)
+
+    # --- the virtualized deployment: PG backend + Hyper-Q in front ----------
+    engine = Engine()
+    load_q_source(engine, Interpreter(), MARKET, ["trades"])
+
+    with kdb, PgWireServer(engine) as pg_server:
+        print(f"kdb+-style server listening on {kdb.address}")
+        print(f"PG-wire backend listening on   {pg_server.address}")
+        gateway = NetworkGateway(*pg_server.address).connect()
+        try:
+            with HyperQServer(backend=gateway) as hyperq:
+                print(f"Hyper-Q listening on           {hyperq.address}\n")
+                before = run_q_application(*kdb.address, label="kdb+ ")
+                print()
+                after = run_q_application(*hyperq.address, label="HyperQ")
+
+                print("\nside-by-side verification:")
+                for query, left, right in zip(
+                    APPLICATION_QUERIES, before, after
+                ):
+                    comparison = compare_values(left, right)
+                    status = "MATCH" if comparison else comparison.reason
+                    print(f"  {query!r}: {status}")
+        finally:
+            gateway.close()
+
+
+if __name__ == "__main__":
+    main()

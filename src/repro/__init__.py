@@ -1,0 +1,47 @@
+"""Reproduction of "Datometry Hyper-Q: Bridging the Gap Between Real-Time
+and Historical Analytics" (Antova et al., SIGMOD 2016).
+
+Public API surface:
+
+* :class:`repro.core.platform.HyperQ` — the in-process platform facade
+* :class:`repro.core.session.HyperQSession` — per-client query life cycle
+* :class:`repro.server.hyperq_server.HyperQServer` — the QIPC deployment
+* :class:`repro.qlang.interp.Interpreter` — the reference Q interpreter
+* :class:`repro.sqlengine.engine.Engine` — the PG-compatible backend
+* :class:`repro.testing.sidebyside.SideBySideHarness` — the QA framework
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from repro.config import (
+    CacheInvalidation,
+    HyperQConfig,
+    MaterializationMode,
+    MetadataCacheConfig,
+    XformerConfig,
+)
+from repro.errors import (
+    QError,
+    QNotSupportedError,
+    QSyntaxError,
+    ReproError,
+    SqlError,
+    TranslationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheInvalidation",
+    "HyperQConfig",
+    "MaterializationMode",
+    "MetadataCacheConfig",
+    "QError",
+    "QNotSupportedError",
+    "QSyntaxError",
+    "ReproError",
+    "SqlError",
+    "TranslationError",
+    "XformerConfig",
+    "__version__",
+]

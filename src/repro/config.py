@@ -1,0 +1,69 @@
+"""Configuration for the Hyper-Q platform.
+
+Mirrors the knobs the paper describes: configurable metadata caching with
+invalidation policies and expiration time (Section 6), the materialization
+strategy for Q variable assignments (Section 4.3), and toggles for the
+individual Xformer rules used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class MaterializationMode(Enum):
+    """How Q variable assignments are materialized in the backend.
+
+    ``LOGICAL`` keeps scalar definitions in Hyper-Q's variable store and
+    maps table assignments to views; ``PHYSICAL`` creates temporary tables
+    (required for correctness when assignments have side effects — the
+    paper's Example 3 shows the temp-table translation).
+    """
+
+    LOGICAL = "logical"
+    PHYSICAL = "physical"
+
+
+class CacheInvalidation(Enum):
+    """Metadata cache invalidation policy."""
+
+    NONE = "none"  # trust the TTL only
+    VERSION = "version"  # invalidate when the backend catalog version moves
+    ALWAYS = "always"  # effectively disables the cache
+
+
+@dataclass
+class MetadataCacheConfig:
+    enabled: bool = True
+    expiration_seconds: float = 300.0
+    invalidation: CacheInvalidation = CacheInvalidation.VERSION
+
+
+@dataclass
+class XformerConfig:
+    """Per-rule toggles; the ablation benches flip these."""
+
+    two_valued_logic: bool = True
+    column_pruning: bool = True
+    order_elision: bool = True
+    order_injection: bool = True
+    constant_folding: bool = True
+    filter_merge: bool = True
+
+
+@dataclass
+class HyperQConfig:
+    metadata_cache: MetadataCacheConfig = field(default_factory=MetadataCacheConfig)
+    xformer: XformerConfig = field(default_factory=XformerConfig)
+    materialization: MaterializationMode = MaterializationMode.PHYSICAL
+    #: prefix for generated temp tables, as in the paper's example SQL
+    temp_table_prefix: str = "hq_temp_"
+    #: prefix for views backing logical materialization
+    view_prefix: str = "hq_view_"
+    #: verbose error messages (the paper touts these as a UX improvement)
+    verbose_errors: bool = True
+    #: maximum concurrent queries a server executes; 0 = unlimited.  The
+    #: case study lists "configurable concurrency" among the areas where
+    #: Hyper-Q enhances the kdb+ experience (kdb+ is strictly serial)
+    max_concurrency: int = 0

@@ -1,0 +1,282 @@
+"""Cross Compiler (XC): query and result translation driver (Figure 4).
+
+The XC couples two components:
+
+* the **Query Translator (QT)** drives Q text through the translation
+  pipeline — parse, bind (Algebrizer), transform (Xformer), serialize —
+  and measures each stage (the stage split is the paper's Figure 7);
+* the **Protocol Translator (PT)** turns backend row sets back into the
+  column-oriented values a Q application expects (Figure 5's pivot),
+  buffering the full result before forming the QIPC message.
+
+Both are modeled as FSMs per the paper's design.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.fsm import Fsm
+from repro.core.serializer import Serializer
+from repro.core.xformer.framework import Xformer
+from repro.errors import TranslationError
+from repro.qlang.qtypes import QType
+from repro.qlang.values import (
+    QAtom,
+    QDict,
+    QKeyedTable,
+    QList,
+    QTable,
+    QValue,
+    QVector,
+)
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import SqlType
+
+
+@dataclass
+class StageTimings:
+    """Per-stage wall-clock seconds for one translation (Figure 7)."""
+
+    parse: float = 0.0
+    algebrize: float = 0.0
+    optimize: float = 0.0
+    serialize: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.parse + self.algebrize + self.optimize + self.serialize
+
+    def add(self, other: "StageTimings") -> None:
+        self.parse += other.parse
+        self.algebrize += other.algebrize
+        self.optimize += other.optimize
+        self.serialize += other.serialize
+
+
+@dataclass
+class TranslationResult:
+    """Everything QT produces for one Q statement."""
+
+    sql: str
+    shape: str
+    keys: list[str]
+    timings: StageTimings
+    rule_applications: dict[str, int] = field(default_factory=dict)
+
+
+class QueryTranslator:
+    """QT: drives bind -> transform -> serialize as an FSM."""
+
+    def __init__(self, binder_factory, xformer: Xformer, serializer: Serializer):
+        self._binder_factory = binder_factory
+        self.xformer = xformer
+        self.serializer = serializer
+
+    def _build_fsm(self, work: dict) -> Fsm:
+        fsm = Fsm("query-translator", "idle")
+        for state in ("binding", "transforming", "serializing", "done"):
+            fsm.add_state(state)
+
+        def do_bind(machine: Fsm, payload) -> None:
+            start = time.perf_counter()
+            binder = self._binder_factory()
+            work["bound"] = binder.bind(work["ast"])
+            work["timings"].algebrize += time.perf_counter() - start
+            machine.fire("bound")
+
+        def do_transform(machine: Fsm, payload) -> None:
+            from repro.core.algebrizer.binder import BoundScalar
+
+            start = time.perf_counter()
+            bound = work["bound"]
+            if isinstance(bound, BoundScalar):
+                work["xformed"] = bound
+                work["rules"] = {}
+            else:
+                op, ctx = self.xformer.transform(bound.op, bound.shape)
+                bound.op = op
+                work["xformed"] = bound
+                work["rules"] = dict(ctx.applications)
+            work["timings"].optimize += time.perf_counter() - start
+            machine.fire("transformed")
+
+        def do_serialize(machine: Fsm, payload) -> None:
+            from repro.core.algebrizer.binder import BoundScalar
+
+            start = time.perf_counter()
+            bound = work["xformed"]
+            if isinstance(bound, BoundScalar):
+                work["sql"] = self.serializer.serialize_scalar_statement(
+                    bound.scalar
+                )
+                work["shape"] = "atom"
+                work["keys"] = []
+            else:
+                work["sql"] = self.serializer.serialize(bound.op)
+                work["shape"] = bound.shape
+                work["keys"] = list(bound.keys)
+            work["timings"].serialize += time.perf_counter() - start
+            machine.fire("serialized")
+
+        fsm.add_state("binding", on_enter=do_bind)
+        fsm.add_state("transforming", on_enter=do_transform)
+        fsm.add_state("serializing", on_enter=do_serialize)
+        fsm.add_transition("idle", "translate", "binding")
+        fsm.add_transition("binding", "bound", "transforming")
+        fsm.add_transition("transforming", "transformed", "serializing")
+        fsm.add_transition("serializing", "serialized", "done")
+        return fsm
+
+    def translate(self, ast_node, timings: StageTimings) -> TranslationResult:
+        work: dict = {"ast": ast_node, "timings": timings}
+        fsm = self._build_fsm(work)
+        fsm.fire("translate")
+        if fsm.state != "done":
+            raise TranslationError(
+                f"query translator stalled in state {fsm.state!r}"
+            )
+        return TranslationResult(
+            sql=work["sql"],
+            shape=work["shape"],
+            keys=work["keys"],
+            timings=timings,
+            rule_applications=work.get("rules", {}),
+        )
+
+    def bound_for(self, ast_node):
+        """Bind without serializing (used by materialization)."""
+        binder = self._binder_factory()
+        return binder.bind(ast_node)
+
+
+# ---------------------------------------------------------------------------
+# Result pivoting (PT's response path, Figure 5)
+# ---------------------------------------------------------------------------
+
+_SQL_TO_QTYPE = {
+    SqlType.BOOLEAN: QType.BOOLEAN,
+    SqlType.SMALLINT: QType.SHORT,
+    SqlType.INTEGER: QType.INT,
+    SqlType.BIGINT: QType.LONG,
+    SqlType.REAL: QType.REAL,
+    SqlType.DOUBLE: QType.FLOAT,
+    SqlType.NUMERIC: QType.FLOAT,
+    SqlType.VARCHAR: QType.SYMBOL,
+    SqlType.TEXT: QType.SYMBOL,
+    SqlType.CHAR: QType.CHAR,
+    SqlType.DATE: QType.DATE,
+    SqlType.TIME: QType.TIME,
+    SqlType.TIMESTAMP: QType.TIMESTAMP,
+    SqlType.INTERVAL: QType.TIMESPAN,
+    SqlType.NULL: QType.LONG,
+    SqlType.UUID: QType.GUID,
+}
+
+
+def _is_internal(name: str) -> bool:
+    return name == "ordcol" or name.startswith("hq_")
+
+
+def _column_to_vector(values: list, sql_type: SqlType) -> QVector:
+    qtype = _SQL_TO_QTYPE.get(sql_type, QType.FLOAT)
+    null = qtype.null_value()
+    raws = []
+    for value in values:
+        if value is None:
+            raws.append(null)
+        elif qtype == QType.BOOLEAN:
+            raws.append(bool(value))
+        elif qtype in (QType.FLOAT, QType.REAL):
+            raws.append(float(value))
+        elif qtype in (QType.SYMBOL, QType.CHAR):
+            raws.append(str(value))
+        else:
+            raws.append(int(value))
+    return QVector(qtype, raws)
+
+
+def pivot_result(result: ResultSet, shape: str, keys: list[str]) -> QValue:
+    """Pivot a row-oriented SQL result into the column-oriented Q value.
+
+    This is the QIPC-side of Figure 5: PG streams rows; Hyper-Q buffers
+    them (the ResultSet *is* the buffered set) and flips to columns.
+    """
+    visible = [
+        (i, col)
+        for i, col in enumerate(result.columns)
+        if not _is_internal(col.name)
+    ]
+    column_values = {
+        col.name: [row[i] for row in result.rows] for i, col in visible
+    }
+    vectors = {
+        col.name: _column_to_vector(column_values[col.name], col.sql_type)
+        for __, col in visible
+    }
+    names = [col.name for __, col in visible]
+
+    if shape == "atom":
+        if len(names) != 1 or len(result.rows) != 1:
+            raise TranslationError(
+                f"atom-shaped result has {len(names)} columns x "
+                f"{len(result.rows)} rows"
+            )
+        return vectors[names[0]].atom_at(0)
+    if shape == "vector":
+        if len(names) != 1:
+            raise TranslationError("vector-shaped result needs one column")
+        return vectors[names[0]]
+    if shape == "dict":
+        return QDict(
+            QVector(QType.SYMBOL, names),
+            QList([vectors[n] for n in names]),
+        )
+    if shape == "dict_keyed":
+        key_names = [n for n in names if n in keys]
+        value_names = [n for n in names if n not in keys]
+        if len(key_names) == 1 and len(value_names) == 1:
+            return QDict(vectors[key_names[0]], vectors[value_names[0]])
+        key_table = QTable(key_names, [vectors[n] for n in key_names])
+        value_table = QTable(value_names, [vectors[n] for n in value_names])
+        return QKeyedTable(key_table, value_table)
+    if shape == "keyed" and keys:
+        key_names = [n for n in names if n in keys]
+        value_names = [n for n in names if n not in keys]
+        key_table = QTable(key_names, [vectors[n] for n in key_names])
+        value_table = QTable(value_names, [vectors[n] for n in value_names])
+        return QKeyedTable(key_table, value_table)
+    return QTable(names, [vectors[n] for n in names])
+
+
+class ProtocolTranslator:
+    """PT: an FSM walking one request through execute-and-pivot."""
+
+    def __init__(self, run_sql):
+        self._run_sql = run_sql
+
+    def respond(self, translation: TranslationResult) -> QValue:
+        work: dict = {}
+        fsm = Fsm("protocol-translator", "idle")
+        fsm.add_state("executing")
+        fsm.add_state("pivoting")
+        fsm.add_state("responding")
+
+        def do_execute(machine: Fsm, payload) -> None:
+            work["result"] = self._run_sql(translation.sql)
+            machine.fire("results_ready")
+
+        def do_pivot(machine: Fsm, payload) -> None:
+            work["value"] = pivot_result(
+                work["result"], translation.shape, translation.keys
+            )
+            machine.fire("pivoted")
+
+        fsm.add_state("executing", on_enter=do_execute)
+        fsm.add_state("pivoting", on_enter=do_pivot)
+        fsm.add_transition("idle", "query_ready", "executing")
+        fsm.add_transition("executing", "results_ready", "pivoting")
+        fsm.add_transition("pivoting", "pivoted", "responding")
+        fsm.fire("query_ready")
+        return work["value"]

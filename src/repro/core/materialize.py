@@ -1,0 +1,105 @@
+"""Eager materialization of Q variable assignments (paper Section 4.3).
+
+A Q assignment may need to be *physically executed* before later
+statements can be algebrized: ``dt: select ...`` inside a function must
+exist (at least logically) before ``select max Price from dt`` binds.
+
+Two strategies, as in the paper:
+
+* **logical** — scalars stay in Hyper-Q's variable store; table
+  expressions become backend views;
+* **physical** — table expressions become temporary tables
+  (``CREATE TEMPORARY TABLE hq_temp_1 AS ... ORDER BY ordcol``), which is
+  required for correctness when definitions must be snapshotted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.config import HyperQConfig, MaterializationMode
+from repro.core.algebrizer.binder import BoundTable
+from repro.core.metadata import ColumnMeta, MetadataInterface, TableMeta
+from repro.core.scopes import Scope, VarKind, VariableDef
+from repro.core.serializer import Serializer, quote_ident
+
+
+@dataclass
+class MaterializationStep:
+    """One DDL statement the materializer wants executed."""
+
+    sql: str
+    relation: str
+    kind: str  # 'temp_table' | 'view'
+
+
+class Materializer:
+    """Turns bound assignments into backend objects + scope entries."""
+
+    def __init__(
+        self,
+        mdi: MetadataInterface,
+        config: HyperQConfig,
+        serializer: Serializer | None = None,
+    ):
+        self.mdi = mdi
+        self.config = config
+        self.serializer = serializer or Serializer()
+        self._temp_counter = itertools.count(1)
+        self._view_counter = itertools.count(1)
+
+    def materialize_table(
+        self,
+        name: str,
+        bound: BoundTable,
+        scope: Scope,
+        mode: MaterializationMode | None = None,
+    ) -> MaterializationStep:
+        """Produce the DDL for ``name: <table expr>`` and record the
+        variable definition in ``scope``.  The caller executes the DDL
+        (or not, in translate-only mode)."""
+        mode = mode or self.config.materialization
+        inner_sql = self.serializer.serialize(bound.op)
+        if mode == MaterializationMode.PHYSICAL:
+            relation = f"{self.config.temp_table_prefix}{next(self._temp_counter)}"
+            sql = (
+                f"CREATE TEMPORARY TABLE {quote_ident(relation)} AS {inner_sql}"
+            )
+            kind = "temp_table"
+            var_kind = VarKind.TABLE
+        else:
+            relation = f"{self.config.view_prefix}{next(self._view_counter)}"
+            sql = f"CREATE OR REPLACE VIEW {quote_ident(relation)} AS {inner_sql}"
+            kind = "view"
+            var_kind = VarKind.VIEW
+        meta = self._meta_from_bound(relation, bound)
+        scope.upsert(
+            VariableDef(
+                name, var_kind, relation=relation, meta=meta,
+            )
+        )
+        return MaterializationStep(sql, relation, kind)
+
+    def store_scalar(self, name: str, value, scope: Scope) -> None:
+        """Logical materialization of a scalar: the variable store."""
+        scope.upsert(VariableDef(name, VarKind.SCALAR, value=value))
+
+    def store_function(self, name: str, source: str, scope: Scope) -> None:
+        """Functions are stored as plain text and re-algebrized on each
+        invocation (paper Section 4.3)."""
+        scope.upsert(VariableDef(name, VarKind.FUNCTION, source=source))
+
+    @staticmethod
+    def _meta_from_bound(relation: str, bound: BoundTable) -> TableMeta:
+        columns = [
+            ColumnMeta(c.name, c.sql_type, c.sql_type.value)
+            for c in bound.op.columns
+        ]
+        ordcol = bound.op.order_column
+        if ordcol is not None and not any(c.name == ordcol for c in columns):
+            ordcol = None
+        return TableMeta(
+            relation, columns, keys=list(bound.keys), ordcol=ordcol,
+            schema="pg_temp",
+        )

@@ -1,0 +1,187 @@
+"""Metadata interface (MDI) with configurable caching.
+
+The binder resolves Q variable references "by looking up associated
+metadata in the metadata store ... executing a query against PG catalog"
+(paper Section 3.2.3).  The paper's evaluation runs with metadata caching
+enabled and notes the cache has "configurable invalidation policies and
+cache expiration time" (Section 6) — both are implemented here and
+exercised by the metadata-cache ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.config import CacheInvalidation, MetadataCacheConfig
+from repro.errors import MetadataError
+from repro.sqlengine.types import SqlType, type_from_name
+
+
+@dataclass
+class ColumnMeta:
+    name: str
+    sql_type: SqlType
+    type_text: str = ""
+
+
+@dataclass
+class TableMeta:
+    """Catalog description of a backend relation as seen by the binder."""
+
+    name: str
+    columns: list[ColumnMeta]
+    #: key columns, when the relation backs a Q keyed table
+    keys: list[str] = field(default_factory=list)
+    #: name of the implicit order column, if the relation carries one
+    ordcol: str | None = None
+    schema: str = "public"
+
+    def column(self, name: str) -> ColumnMeta:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise MetadataError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    @property
+    def data_columns(self) -> list[ColumnMeta]:
+        return [c for c in self.columns if c.name != self.ordcol]
+
+
+class BackendPort:
+    """Minimal interface the MDI needs from the backend connection.
+
+    Implemented by the in-process gateway (direct engine calls) and the
+    PG-wire gateway (network round trips).
+    """
+
+    def run_sql(self, sql: str):
+        """Execute SQL, returning an object with .columns/.rows."""
+        raise NotImplementedError
+
+    def catalog_version(self) -> int:
+        """Monotonic DDL version for cache invalidation; -1 if unknown."""
+        return -1
+
+
+@dataclass
+class CacheStats:
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MetadataInterface:
+    """Resolves table metadata through the backend catalog, with caching."""
+
+    def __init__(
+        self,
+        port: BackendPort,
+        config: MetadataCacheConfig | None = None,
+        key_annotations: dict[str, list[str]] | None = None,
+    ):
+        self.port = port
+        self.config = config or MetadataCacheConfig()
+        self.stats = CacheStats()
+        self._cache: dict[str, tuple[float, int, TableMeta | None]] = {}
+        #: key-column annotations Hyper-Q maintains itself (PG has no notion
+        #: of Q keyed tables); populated by the session on xkey/load
+        self._key_annotations: dict[str, list[str]] = dict(key_annotations or {})
+
+    @property
+    def key_annotations(self) -> dict[str, list[str]]:
+        """Copy of the keyed-table annotations (for sharing across MDIs)."""
+        return dict(self._key_annotations)
+
+    # -- public API -----------------------------------------------------------
+
+    def lookup_table(self, name: str) -> TableMeta | None:
+        """Metadata for a backend relation, or None if it does not exist."""
+        self.stats.lookups += 1
+        if self.config.enabled:
+            cached = self._cache_get(name)
+            if cached is not _MISS:
+                self.stats.hits += 1
+                return cached  # type: ignore[return-value]
+        self.stats.misses += 1
+        meta = self._fetch(name)
+        if self.config.enabled:
+            self._cache[name] = (time.monotonic(), self.port.catalog_version(), meta)
+        return meta
+
+    def require_table(self, name: str) -> TableMeta:
+        meta = self.lookup_table(name)
+        if meta is None:
+            raise MetadataError(
+                f"relation {name!r} does not exist in the backend catalog"
+            )
+        return meta
+
+    def annotate_keys(self, table: str, keys: list[str]) -> None:
+        """Record Q key columns for a backend table (kept Hyper-Q-side)."""
+        self._key_annotations[table] = list(keys)
+        self.invalidate(table)
+
+    def invalidate(self, name: str | None = None) -> None:
+        if name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(name, None)
+        self.stats.invalidations += 1
+
+    # -- cache ------------------------------------------------------------------
+
+    def _cache_get(self, name: str):
+        entry = self._cache.get(name)
+        if entry is None:
+            return _MISS
+        stamp, version, meta = entry
+        if self.config.invalidation == CacheInvalidation.ALWAYS:
+            return _MISS
+        if time.monotonic() - stamp > self.config.expiration_seconds:
+            del self._cache[name]
+            return _MISS
+        if self.config.invalidation == CacheInvalidation.VERSION:
+            current = self.port.catalog_version()
+            if current != -1 and current != version:
+                del self._cache[name]
+                return _MISS
+        return meta
+
+    # -- backend lookup ------------------------------------------------------------
+
+    def _fetch(self, name: str) -> TableMeta | None:
+        result = self.port.run_sql(
+            "SELECT table_schema, column_name, data_type "
+            "FROM information_schema.columns "
+            f"WHERE table_name = '{name}' ORDER BY ordinal_position"
+        )
+        if not result.rows:
+            return None
+        schema = result.rows[0][0]
+        columns = []
+        ordcol = None
+        for __, column_name, type_text in result.rows:
+            columns.append(
+                ColumnMeta(column_name, type_from_name(type_text), type_text)
+            )
+            if column_name == "ordcol":
+                ordcol = column_name
+        return TableMeta(
+            name,
+            columns,
+            keys=list(self._key_annotations.get(name, [])),
+            ordcol=ordcol,
+            schema=schema,
+        )
+
+
+_MISS = object()

@@ -1,0 +1,72 @@
+"""HyperQ platform facade.
+
+Wires together the pieces of Figure 1 for the common in-process case: a
+PG-compatible engine as the backend, a direct gateway, a server-level
+variable scope, and per-client sessions.  The socket-level deployment
+(QIPC endpoint + PG-wire gateway) lives in :mod:`repro.server`.
+"""
+
+from __future__ import annotations
+
+from repro.config import HyperQConfig
+from repro.core.metadata import BackendPort, MetadataInterface
+from repro.core.scopes import ServerScope
+from repro.core.session import ExecutionOutcome, HyperQSession
+from repro.qlang.values import QValue
+from repro.sqlengine.engine import Engine
+from repro.sqlengine.executor import ResultSet
+
+
+class DirectGateway(BackendPort):
+    """Backend port talking to an in-process engine (no network)."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+
+    def run_sql(self, sql: str) -> ResultSet:
+        return self.engine.execute(sql)
+
+    def catalog_version(self) -> int:
+        return self.engine.catalog.version
+
+
+class HyperQ:
+    """The data virtualization platform: Q in, PG-compatible SQL out."""
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        config: HyperQConfig | None = None,
+        backend: BackendPort | None = None,
+    ):
+        self.config = config or HyperQConfig()
+        self.engine = engine or Engine()
+        self.backend = backend or DirectGateway(self.engine)
+        self.server_scope = ServerScope()
+        self.mdi = MetadataInterface(self.backend, self.config.metadata_cache)
+
+    def create_session(self) -> HyperQSession:
+        return HyperQSession(
+            self.backend,
+            server_scope=self.server_scope,
+            config=self.config,
+            mdi=self.mdi,
+        )
+
+    # -- conveniences ------------------------------------------------------------
+
+    def q(self, text: str) -> QValue | None:
+        """One-shot execution of a Q message in a fresh session."""
+        session = self.create_session()
+        try:
+            return session.execute(text)
+        finally:
+            session.close()
+
+    def translate(self, text: str) -> ExecutionOutcome:
+        """One-shot translation (no data access) of a Q message."""
+        session = self.create_session()
+        try:
+            return session.translate(text)
+        finally:
+            session.close()

@@ -1,0 +1,69 @@
+"""Plugin registry for system-specific endpoints and gateways.
+
+Hyper-Q "virtualizes access to different databases by adopting a
+plugin-based architecture and using version-aware system components"
+(paper Section 3).  The registry maps a (system, version) pair to the
+endpoint (application-side protocol handler) and gateway (backend-side
+protocol handler) implementations; components ask for the most specific
+version available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+class PluginError(ReproError):
+    pass
+
+
+@dataclass(frozen=True)
+class PluginKey:
+    system: str  # e.g. 'kdb', 'postgres', 'greenplum'
+    version: str  # e.g. '3.0'; '*' matches any
+
+
+@dataclass
+class Plugin:
+    key: PluginKey
+    role: str  # 'endpoint' | 'gateway'
+    factory: Callable
+
+
+class PluginRegistry:
+    def __init__(self):
+        self._plugins: dict[tuple[str, str, str], Plugin] = {}
+
+    def register(
+        self, system: str, version: str, role: str, factory: Callable
+    ) -> None:
+        key = (system, version, role)
+        if key in self._plugins:
+            raise PluginError(
+                f"{role} plugin for {system} {version} already registered"
+            )
+        self._plugins[key] = Plugin(PluginKey(system, version), role, factory)
+
+    def resolve(self, system: str, version: str, role: str) -> Plugin:
+        """Most specific match: exact version, then the '*' wildcard."""
+        plugin = self._plugins.get((system, version, role))
+        if plugin is None:
+            plugin = self._plugins.get((system, "*", role))
+        if plugin is None:
+            raise PluginError(
+                f"no {role} plugin registered for {system} {version}"
+            )
+        return plugin
+
+    def create(self, system: str, version: str, role: str, *args, **kwargs):
+        return self.resolve(system, version, role).factory(*args, **kwargs)
+
+    def systems(self) -> list[tuple[str, str, str]]:
+        return sorted(self._plugins)
+
+
+#: process-wide default registry; servers register their plugins here
+default_registry = PluginRegistry()

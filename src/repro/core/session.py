@@ -1,0 +1,524 @@
+"""HyperQSession: the query life cycle of Figure 1.
+
+A session owns a session-level variable scope, a metadata interface, the
+Query Translator and Protocol Translator, and the eager-materialization
+machinery.  ``execute`` runs Q text end-to-end against the backend;
+``translate`` stops after serialization and returns the SQL (plus stage
+timings), which is what the evaluation section measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.config import HyperQConfig, MaterializationMode
+from repro.core.algebrizer.binder import Binder, BoundScalar, BoundTable
+from repro.core.crosscompiler import (
+    ProtocolTranslator,
+    QueryTranslator,
+    StageTimings,
+    TranslationResult,
+    pivot_result,
+)
+from repro.core.materialize import Materializer
+from repro.core.metadata import BackendPort, MetadataInterface
+from repro.core.scopes import (
+    LocalScope,
+    Scope,
+    ServerScope,
+    SessionScope,
+    VarKind,
+)
+from repro.core.serializer import Serializer
+from repro.core.xformer.framework import Xformer
+from repro.errors import (
+    QError,
+    QNameError,
+    QNotSupportedError,
+    QRankError,
+    QTypeError,
+    TranslationError,
+)
+from repro.qlang import ast
+from repro.qlang.parser import parse
+from repro.qlang.values import QValue
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of running one Q message through Hyper-Q."""
+
+    value: QValue | None
+    sql_statements: list[str] = field(default_factory=list)
+    timings: StageTimings = field(default_factory=StageTimings)
+    rule_applications: dict[str, int] = field(default_factory=dict)
+
+
+class HyperQSession:
+    def __init__(
+        self,
+        backend: BackendPort,
+        server_scope: ServerScope | None = None,
+        config: HyperQConfig | None = None,
+        mdi: MetadataInterface | None = None,
+    ):
+        self.config = config or HyperQConfig()
+        self.backend = backend
+        self.mdi = mdi or MetadataInterface(backend, self.config.metadata_cache)
+        self.server_scope = server_scope or ServerScope()
+        self.session_scope = SessionScope(self.server_scope)
+        self.serializer = Serializer()
+        self.xformer = Xformer(self.config.xformer)
+        self.materializer = Materializer(self.mdi, self.config, self.serializer)
+        self.pt = ProtocolTranslator(self.backend.run_sql)
+        self._materialized: list[tuple[str, str]] = []  # (relation, kind)
+        self._closed = False
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, q_text: str) -> QValue | None:
+        """Run a Q query message end-to-end; return the final Q value."""
+        return self.run(q_text).value
+
+    def run(self, q_text: str) -> ExecutionOutcome:
+        return self._run(q_text, execute=True)
+
+    def translate(self, q_text: str) -> ExecutionOutcome:
+        """Translate without touching backend data (DDL is *not* executed;
+        materialization is recorded logically so later statements bind)."""
+        return self._run(q_text, execute=False)
+
+    def close(self) -> list[str]:
+        """Destroy the session scope: session variables are promoted to
+        the server scope (paper Figure 3) and temp tables dropped.
+
+        A promoted variable backed by a session temp table is persisted
+        into a permanent relation first — in PG the pg_temp relation would
+        vanish with the session.
+        """
+        if self._closed:
+            return []
+        from repro.core.serializer import quote_ident
+
+        promoted_defs = {
+            name: definition
+            for name, definition in self.session_scope.local_entries().items()
+        }
+        keep: set[str] = set()
+        for name, definition in promoted_defs.items():
+            if definition.kind == VarKind.TABLE and definition.relation:
+                relation = definition.relation
+                if any(r == relation and k == "temp_table"
+                       for r, k in self._materialized):
+                    permanent = f"hq_global_{name}"
+                    try:
+                        self.backend.run_sql(
+                            f"DROP TABLE IF EXISTS {quote_ident(permanent)}"
+                        )
+                        self.backend.run_sql(
+                            f"CREATE TABLE {quote_ident(permanent)} AS "
+                            f"SELECT * FROM {quote_ident(relation)}"
+                        )
+                        definition.relation = permanent
+                        if definition.meta is not None:
+                            definition.meta.name = permanent
+                            definition.meta.schema = "public"
+                        self.mdi.invalidate(permanent)
+                    except Exception:
+                        keep.add(relation)
+        promoted = self.session_scope.destroy()
+        for relation, kind in self._materialized:
+            if relation in keep:
+                continue
+            try:
+                if kind == "view":
+                    self.backend.run_sql(
+                        f"DROP VIEW IF EXISTS {quote_ident(relation)}"
+                    )
+                else:
+                    self.backend.run_sql(
+                        f"DROP TABLE IF EXISTS {quote_ident(relation)}"
+                    )
+                self.mdi.invalidate(relation)
+            except Exception:
+                pass
+        self._materialized.clear()
+        self._closed = True
+        return promoted
+
+    # -- the query life cycle ------------------------------------------------------
+
+    def _run(self, q_text: str, execute: bool, scope: Scope | None = None,
+             outcome: ExecutionOutcome | None = None) -> ExecutionOutcome:
+        outcome = outcome or ExecutionOutcome(value=None)
+        scope = scope or self.session_scope
+
+        start = time.perf_counter()
+        program = parse(q_text)
+        outcome.timings.parse += time.perf_counter() - start
+
+        for statement in program.statements:
+            outcome.value = self._run_statement(statement, scope, execute, outcome)
+        return outcome
+
+    def _qt(self, scope: Scope) -> QueryTranslator:
+        return QueryTranslator(
+            lambda: Binder(self.mdi, scope, self.config),
+            self.xformer,
+            self.serializer,
+        )
+
+    def _run_statement(
+        self,
+        statement: ast.Node,
+        scope: Scope,
+        execute: bool,
+        outcome: ExecutionOutcome,
+    ) -> QValue | None:
+        if isinstance(statement, ast.Assign):
+            self._run_assign(statement, scope, execute, outcome)
+            return None
+        if isinstance(statement, ast.Return):
+            return self._run_statement(statement.value, scope, execute, outcome)
+        call = self._as_function_call(statement, scope)
+        if call is not None:
+            return self._invoke_function(call, scope, execute, outcome)
+        admin = self._try_admin(statement, scope, execute)
+        if admin is not None:
+            return admin
+        if (
+            isinstance(statement, ast.BinOp)
+            and statement.op in ("insert", "upsert")
+        ):
+            return self._run_insert(statement, scope, execute, outcome)
+        translation = self._qt(scope).translate(statement, outcome.timings)
+        outcome.sql_statements.append(translation.sql)
+        for rule, count in translation.rule_applications.items():
+            outcome.rule_applications[rule] = (
+                outcome.rule_applications.get(rule, 0) + count
+            )
+        if not execute:
+            return None
+        return self.pt.respond(translation)
+
+    # -- management utilities --------------------------------------------------------
+
+    def _try_admin(self, statement: ast.Node, scope: Scope, execute: bool):
+        """kdb+-style management utilities, answered from Hyper-Q's own
+        metadata layer (the enterprise-tooling angle of Sections 2.1/5):
+
+        * ``tables[]`` — list backend tables as a symbol vector;
+        * ``cols t``   — column names of a table;
+        * ``meta t``   — per-column name and q type character.
+        """
+        from repro.qlang.qtypes import QType
+        from repro.qlang.values import QTable, QVector
+
+        if not execute:
+            return None
+        if (
+            isinstance(statement, ast.Apply)
+            and isinstance(statement.func, ast.Name)
+            and statement.func.name == "tables"
+            and not [a for a in statement.args if a is not None]
+        ):
+            result = self.backend.run_sql(
+                "SELECT tablename FROM pg_tables ORDER BY tablename"
+            )
+            names = [
+                row[0]
+                for row in result.rows
+                if not row[0].startswith(("hq_temp_", "hq_view_", "hq_global_"))
+            ]
+            return QVector(QType.SYMBOL, names)
+
+        target = self._admin_target(statement, ("cols", "meta"))
+        if target is None:
+            return None
+        verb, table_name = target
+        definition = scope.lookup(table_name)
+        if definition is not None and definition.meta is not None:
+            meta = definition.meta
+        else:
+            meta = self.mdi.lookup_table(table_name)
+        if meta is None:
+            raise QNameError(
+                f"{verb}: table {table_name!r} does not exist (searched "
+                f"local, session and server scopes, then the backend catalog)"
+            )
+        data_columns = meta.data_columns
+        if verb == "cols":
+            return QVector(QType.SYMBOL, [c.name for c in data_columns])
+        chars = [
+            _QTYPE_CHARS.get(c.sql_type, " ") for c in data_columns
+        ]
+        return QTable(
+            ["c", "t"],
+            [
+                QVector(QType.SYMBOL, [c.name for c in data_columns]),
+                QVector(QType.CHAR, chars),
+            ],
+        )
+
+    @staticmethod
+    def _admin_target(statement: ast.Node, verbs: tuple[str, ...]):
+        if (
+            isinstance(statement, ast.Apply)
+            and isinstance(statement.func, ast.Name)
+            and statement.func.name in verbs
+        ):
+            args = [a for a in statement.args if a is not None]
+            if len(args) == 1 and isinstance(args[0], ast.Name):
+                return statement.func.name, args[0].name
+        if isinstance(statement, ast.UnOp) and statement.op in verbs:
+            if isinstance(statement.operand, ast.Name):
+                return statement.op, statement.operand.name
+        return None
+
+    # -- the write path: `t insert rows --------------------------------------------
+
+    def _run_insert(
+        self,
+        statement: ast.Assign | ast.BinOp,
+        scope: Scope,
+        execute: bool,
+        outcome: ExecutionOutcome,
+    ) -> QValue | None:
+        """``\\`t insert rows`` / ``upsert`` — append through the backend.
+
+        The appended rows continue the target's implicit order column:
+        ``ordcol = 1 + max(existing) + row_number() over the new rows``.
+        """
+        from repro.core.algebrizer.binder import _const_value
+        from repro.core.serializer import quote_ident
+        from repro.qlang.qtypes import QType
+        from repro.qlang.values import QAtom, QVector
+
+        target_value = _const_value(statement.left)
+        if not (
+            isinstance(target_value, QAtom)
+            and target_value.qtype == QType.SYMBOL
+        ):
+            raise QNotSupportedError(
+                "insert expects a literal table name symbol on the left"
+            )
+        table_name = target_value.value
+        definition = scope.lookup(table_name)
+        relation = (
+            definition.relation
+            if definition is not None and definition.relation
+            else table_name
+        )
+        meta = self.mdi.require_table(relation)
+
+        qt = self._qt(scope)
+        start = time.perf_counter()
+        bound = qt.bound_for(statement.right)
+        outcome.timings.algebrize += time.perf_counter() - start
+        if not isinstance(bound, BoundTable):
+            raise QTypeError("insert expects a table of new rows")
+        transformed, __ = self.xformer.transform(bound.op, bound.shape)
+        bound.op = transformed
+
+        target_columns = [c.name for c in meta.data_columns]
+        source_columns = [
+            c.name for c in bound.op.visible_columns
+        ]
+        if set(source_columns) != set(target_columns):
+            raise QTypeError(
+                f"insert columns {source_columns} do not match table "
+                f"{table_name!r} columns {target_columns}"
+            )
+
+        inner_sql = self.serializer.serialize(bound.op)
+        quoted_target = quote_ident(relation)
+        select_list = ", ".join(quote_ident(c) for c in target_columns)
+        insert_sql = (
+            f"INSERT INTO {quoted_target} ({select_list}, "
+            f'{quote_ident("ordcol")}) '
+            f"SELECT {select_list}, "
+            f"(SELECT coalesce(max({quote_ident('ordcol')}), -1) "
+            f"FROM {quoted_target}) + row_number() OVER () "
+            f"FROM ({inner_sql}) AS hq_ins"
+        )
+        outcome.sql_statements.append(insert_sql)
+        if not execute:
+            return None
+        before = self.backend.run_sql(
+            f"SELECT count(*) FROM {quoted_target}"
+        ).scalar()
+        self.backend.run_sql(insert_sql)
+        after = self.backend.run_sql(
+            f"SELECT count(*) FROM {quoted_target}"
+        ).scalar()
+        return QVector(QType.LONG, list(range(before, after)))
+
+    # -- assignments & materialization ---------------------------------------------
+
+    def _run_assign(
+        self,
+        statement: ast.Assign,
+        scope: Scope,
+        execute: bool,
+        outcome: ExecutionOutcome,
+    ) -> None:
+        if statement.indices:
+            raise QNotSupportedError(
+                "indexed amend through Hyper-Q is not in the supported surface"
+            )
+        if statement.op is not None:
+            raise QNotSupportedError(
+                "compound assignment through Hyper-Q is not in the supported "
+                "surface"
+            )
+        target_scope: Scope = scope
+        if statement.global_scope:
+            target_scope = self.session_scope
+
+        # function definition: store source text, re-algebrized on call
+        if isinstance(statement.value, ast.Lambda):
+            self.materializer.store_function(
+                statement.target, statement.value.source, target_scope
+            )
+            return
+
+        qt = self._qt(scope)
+        start = time.perf_counter()
+        bound = qt.bound_for(statement.value)
+        outcome.timings.algebrize += time.perf_counter() - start
+
+        if isinstance(bound, BoundScalar):
+            value = self._scalar_value(bound, execute)
+            self.materializer.store_scalar(statement.target, value, target_scope)
+            return
+
+        assert isinstance(bound, BoundTable)
+        start = time.perf_counter()
+        transformed, ctx = self.xformer.transform(bound.op, bound.shape)
+        bound.op = transformed
+        outcome.timings.optimize += time.perf_counter() - start
+
+        # function-local assignments must be physically snapshotted; the
+        # paper's Example 3 materializes dt as a temporary table
+        mode = self.config.materialization
+        if isinstance(scope, LocalScope):
+            mode = MaterializationMode.PHYSICAL
+        start = time.perf_counter()
+        step = self.materializer.materialize_table(
+            statement.target, bound, target_scope, mode
+        )
+        outcome.timings.serialize += time.perf_counter() - start
+        outcome.sql_statements.append(step.sql)
+        if execute:
+            self.backend.run_sql(step.sql)
+            self.mdi.invalidate(step.relation)
+            self._materialized.append((step.relation, step.kind))
+
+    def _scalar_value(self, bound: BoundScalar, execute: bool) -> QValue:
+        from repro.core.xtra.scalars import SConst
+
+        scalar = bound.scalar
+        if isinstance(scalar, SConst):
+            return _const_to_qvalue(scalar)
+        sql = self.serializer.serialize_scalar_statement(scalar)
+        if not execute:
+            raise QNotSupportedError(
+                "translate-only mode cannot evaluate non-literal scalar "
+                "assignments"
+            )
+        result = self.backend.run_sql(sql)
+        return pivot_result(result, "atom", [])
+
+    # -- function unrolling ------------------------------------------------------------
+
+    def _as_function_call(self, statement: ast.Node, scope: Scope):
+        """Detect ``f[args...]`` where f is a stored FUNCTION variable."""
+        if not isinstance(statement, ast.Apply):
+            return None
+        if not isinstance(statement.func, ast.Name):
+            return None
+        definition = scope.lookup(statement.func.name)
+        if definition is None or definition.kind != VarKind.FUNCTION:
+            return None
+        return (definition, statement)
+
+    def _invoke_function(
+        self, call, scope: Scope, execute: bool, outcome: ExecutionOutcome
+    ) -> QValue | None:
+        definition, statement = call
+        start = time.perf_counter()
+        program = parse(definition.source or "")
+        outcome.timings.parse += time.perf_counter() - start
+        if len(program.statements) != 1 or not isinstance(
+            program.statements[0], ast.Lambda
+        ):
+            raise TranslationError(
+                f"stored function {definition.name!r} failed to re-parse"
+            )
+        lam: ast.Lambda = program.statements[0]
+        args = [a for a in statement.args if a is not None]
+        if len(args) != len(lam.params) and args:
+            raise QRankError(
+                f"function {definition.name!r} of rank {len(lam.params)} "
+                f"applied to {len(args)} arguments"
+            )
+
+        local = LocalScope(scope)
+        qt = self._qt(scope)
+        for param, arg in zip(lam.params, args):
+            bound = qt.bound_for(arg)
+            if isinstance(bound, BoundScalar):
+                value = self._scalar_value(bound, execute)
+                self.materializer.store_scalar(param, value, local)
+            else:
+                mode = MaterializationMode.PHYSICAL
+                step = self.materializer.materialize_table(
+                    param, bound, local, mode
+                )
+                outcome.sql_statements.append(step.sql)
+                if execute:
+                    self.backend.run_sql(step.sql)
+                    self._materialized.append((step.relation, step.kind))
+
+        result: QValue | None = None
+        for body_statement in lam.body:
+            result = self._run_statement(body_statement, local, execute, outcome)
+            if isinstance(body_statement, ast.Return):
+                break
+        return result
+
+
+#: SQL type -> q type character (as `meta` shows it)
+from repro.sqlengine.types import SqlType as _SqlType  # noqa: E402
+
+_QTYPE_CHARS = {
+    _SqlType.BOOLEAN: "b",
+    _SqlType.SMALLINT: "h",
+    _SqlType.INTEGER: "i",
+    _SqlType.BIGINT: "j",
+    _SqlType.REAL: "e",
+    _SqlType.DOUBLE: "f",
+    _SqlType.NUMERIC: "f",
+    _SqlType.VARCHAR: "s",
+    _SqlType.TEXT: "s",
+    _SqlType.CHAR: "c",
+    _SqlType.DATE: "d",
+    _SqlType.TIME: "t",
+    _SqlType.TIMESTAMP: "p",
+    _SqlType.INTERVAL: "n",
+    _SqlType.UUID: "g",
+}
+
+
+def _const_to_qvalue(scalar) -> QValue:
+    """Convert a bound literal back to its Q value for the variable store."""
+    from repro.core.crosscompiler import _SQL_TO_QTYPE
+    from repro.qlang.values import QAtom
+
+    qtype = _SQL_TO_QTYPE.get(scalar.type_)
+    if qtype is None:
+        raise QTypeError(f"cannot store literal of type {scalar.type_}")
+    if scalar.value is None:
+        return QAtom(qtype, qtype.null_value())
+    return QAtom(qtype, scalar.value)

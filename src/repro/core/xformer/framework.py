@@ -1,0 +1,60 @@
+"""Xformer: the transformation framework (paper Section 3.3).
+
+Transformations serve three purposes — correctness, performance, and
+transparency.  Each rule is a self-contained tree rewrite; the Xformer
+applies the configured rules in a fixed order and records how often each
+fired (consumed by the ablation benchmarks and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import XformerConfig
+from repro.core.xtra.ops import XtraOp
+
+
+@dataclass
+class XformContext:
+    """Mutable state shared by rules during one transformation pass."""
+
+    config: XformerConfig
+    #: rule name -> number of nodes it rewrote
+    applications: dict[str, int] = field(default_factory=dict)
+
+    def record(self, rule_name: str, count: int = 1) -> None:
+        self.applications[rule_name] = self.applications.get(rule_name, 0) + count
+
+
+class Rule:
+    """A single transformation; subclasses override :meth:`apply`."""
+
+    #: stable identifier, also the toggle name in :class:`XformerConfig`
+    name = "rule"
+    #: which of the paper's three purposes this rule serves
+    purpose = "correctness"
+
+    def enabled(self, config: XformerConfig) -> bool:
+        return getattr(config, self.name, True)
+
+    def apply(self, op: XtraOp, ctx: XformContext) -> XtraOp:
+        raise NotImplementedError
+
+
+class Xformer:
+    """Applies the rule pipeline to a bound XTRA tree."""
+
+    def __init__(self, config: XformerConfig | None = None,
+                 rules: list[Rule] | None = None):
+        from repro.core.xformer.rules import default_rules
+
+        self.config = config or XformerConfig()
+        self.rules = rules if rules is not None else default_rules()
+
+    def transform(self, op: XtraOp, shape: str = "table") -> tuple[XtraOp, XformContext]:
+        """Run all enabled rules; returns the rewritten tree and stats."""
+        ctx = XformContext(self.config)
+        for rule in self.rules:
+            if rule.enabled(self.config):
+                op = rule.apply(op, ctx)
+        return op, ctx

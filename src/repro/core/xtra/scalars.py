@@ -1,0 +1,306 @@
+"""XTRA scalar expressions.
+
+Scalar nodes carry the derived properties the paper calls out for scalar
+operators (Section 3.2.2): the output type and nullability.  Nullability
+drives the Xformer's two-valued-logic rule — a strict equality whose
+operands may be NULL must become ``IS NOT DISTINCT FROM`` to preserve Q
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.types import SqlType
+
+
+class Scalar:
+    """Base class for XTRA scalar expressions."""
+
+    __slots__ = ()
+
+    @property
+    def sql_type(self) -> SqlType:
+        raise NotImplementedError
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    def children(self) -> list["Scalar"]:
+        return []
+
+
+@dataclass
+class SConst(Scalar):
+    """A literal constant with an explicit SQL type."""
+
+    value: object
+    type_: SqlType
+
+    @property
+    def sql_type(self) -> SqlType:
+        return self.type_
+
+    @property
+    def nullable(self) -> bool:
+        return self.value is None
+
+
+@dataclass
+class SColRef(Scalar):
+    """Reference to a column of the child relation."""
+
+    name: str
+    type_: SqlType = SqlType.NULL
+    is_nullable: bool = True
+
+    @property
+    def sql_type(self) -> SqlType:
+        return self.type_
+
+    @property
+    def nullable(self) -> bool:
+        return self.is_nullable
+
+
+@dataclass
+class SArith(Scalar):
+    """Arithmetic: + - * / %% (Q's %% is float division)."""
+
+    op: str
+    left: Scalar
+    right: Scalar
+    type_: SqlType = SqlType.DOUBLE
+
+    @property
+    def sql_type(self) -> SqlType:
+        return self.type_
+
+    @property
+    def nullable(self) -> bool:
+        return self.left.nullable or self.right.nullable
+
+    def children(self):
+        return [self.left, self.right]
+
+
+@dataclass
+class SCmp(Scalar):
+    """Comparison.  ``null_safe`` selects IS [NOT] DISTINCT FROM rendering;
+    the binder always emits strict comparisons and the Xformer's
+    correctness rule upgrades them (paper Section 3.3)."""
+
+    op: str  # '=', '<>', '<', '<=', '>', '>='
+    left: Scalar
+    right: Scalar
+    null_safe: bool = False
+
+    @property
+    def sql_type(self) -> SqlType:
+        return SqlType.BOOLEAN
+
+    @property
+    def nullable(self) -> bool:
+        if self.null_safe:
+            return False
+        return self.left.nullable or self.right.nullable
+
+    def children(self):
+        return [self.left, self.right]
+
+
+@dataclass
+class SBool(Scalar):
+    """AND / OR / NOT combinations."""
+
+    op: str
+    args: list[Scalar]
+
+    @property
+    def sql_type(self) -> SqlType:
+        return SqlType.BOOLEAN
+
+    @property
+    def nullable(self) -> bool:
+        return any(a.nullable for a in self.args)
+
+    def children(self):
+        return list(self.args)
+
+
+@dataclass
+class SFunc(Scalar):
+    """Scalar function call."""
+
+    name: str
+    args: list[Scalar]
+    type_: SqlType = SqlType.DOUBLE
+
+    @property
+    def sql_type(self) -> SqlType:
+        return self.type_
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    def children(self):
+        return list(self.args)
+
+
+@dataclass
+class SAgg(Scalar):
+    """Aggregate function over the rows of a group."""
+
+    name: str
+    arg: Scalar | None  # None = count(*)
+    type_: SqlType = SqlType.DOUBLE
+    distinct: bool = False
+
+    @property
+    def sql_type(self) -> SqlType:
+        return self.type_
+
+    def children(self):
+        return [self.arg] if self.arg is not None else []
+
+
+@dataclass
+class SWindow(Scalar):
+    """Window function with partition/order specification.
+
+    Used for the as-of-join lowering (``lead`` over the right input), for
+    implicit order columns (``row_number``), and for Q's uniform verbs
+    (``sums`` -> running ``sum``).
+    """
+
+    name: str
+    args: list[Scalar]
+    partition_by: list[Scalar] = field(default_factory=list)
+    order_by: list[tuple[Scalar, bool]] = field(default_factory=list)  # (expr, desc)
+    frame: str | None = None
+    type_: SqlType = SqlType.DOUBLE
+
+    @property
+    def sql_type(self) -> SqlType:
+        return self.type_
+
+    def children(self):
+        out = list(self.args) + list(self.partition_by)
+        out.extend(e for e, __ in self.order_by)
+        return out
+
+
+@dataclass
+class SCast(Scalar):
+    arg: Scalar
+    type_: SqlType
+
+    @property
+    def sql_type(self) -> SqlType:
+        return self.type_
+
+    @property
+    def nullable(self) -> bool:
+        return self.arg.nullable
+
+    def children(self):
+        return [self.arg]
+
+
+@dataclass
+class SCase(Scalar):
+    branches: list[tuple[Scalar, Scalar]]
+    default: Scalar | None
+    type_: SqlType = SqlType.NULL
+
+    @property
+    def sql_type(self) -> SqlType:
+        if self.type_ != SqlType.NULL:
+            return self.type_
+        for __, result in self.branches:
+            if result.sql_type != SqlType.NULL:
+                return result.sql_type
+        return self.default.sql_type if self.default else SqlType.NULL
+
+    def children(self):
+        out = []
+        for c, r in self.branches:
+            out.append(c)
+            out.append(r)
+        if self.default is not None:
+            out.append(self.default)
+        return out
+
+
+@dataclass
+class SIsNull(Scalar):
+    arg: Scalar
+    negated: bool = False
+
+    @property
+    def sql_type(self) -> SqlType:
+        return SqlType.BOOLEAN
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def children(self):
+        return [self.arg]
+
+
+@dataclass
+class SIn(Scalar):
+    arg: Scalar
+    items: list[Scalar]
+    negated: bool = False
+
+    @property
+    def sql_type(self) -> SqlType:
+        return SqlType.BOOLEAN
+
+    def children(self):
+        return [self.arg] + list(self.items)
+
+
+@dataclass
+class SBetween(Scalar):
+    arg: Scalar
+    low: Scalar
+    high: Scalar
+
+    @property
+    def sql_type(self) -> SqlType:
+        return SqlType.BOOLEAN
+
+    def children(self):
+        return [self.arg, self.low, self.high]
+
+
+@dataclass
+class SLike(Scalar):
+    arg: Scalar
+    pattern: str
+
+    @property
+    def sql_type(self) -> SqlType:
+        return SqlType.BOOLEAN
+
+    def children(self):
+        return [self.arg]
+
+
+def scalar_columns(scalar: Scalar) -> set[str]:
+    """All column names a scalar expression references (for pruning)."""
+    out: set[str] = set()
+
+    def walk(node: Scalar) -> None:
+        if isinstance(node, SColRef):
+            out.add(node.name)
+        for child in node.children():
+            walk(child)
+
+    walk(scalar)
+    return out

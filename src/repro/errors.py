@@ -1,0 +1,125 @@
+"""Exception hierarchy for the Hyper-Q reproduction.
+
+kdb+ reports errors as terse single-quote signals (``'type``, ``'length``,
+``'rank`` ...).  The paper notes (Section 5) that Hyper-Q deliberately
+improves on this with verbose, informative messages.  We keep both: every
+exception carries the terse kdb+ ``signal`` for side-by-side compatibility
+plus a human-readable message.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class QError(ReproError):
+    """An error with kdb+-style signal semantics.
+
+    Parameters
+    ----------
+    message:
+        Verbose human-readable description (the Hyper-Q improvement).
+    signal:
+        The terse kdb+ signal name, e.g. ``type`` or ``length``.  Rendered
+        as ``'type`` the way a kdb+ console would print it.
+    """
+
+    default_signal = "error"
+
+    def __init__(self, message: str, signal: str | None = None):
+        super().__init__(message)
+        self.signal = signal or self.default_signal
+
+    @property
+    def terse(self) -> str:
+        """The kdb+ console rendering of this error, e.g. ``'type``."""
+        return f"'{self.signal}"
+
+
+class QSyntaxError(QError):
+    """The Q query text could not be tokenized or parsed."""
+
+    default_signal = "parse"
+
+
+class QTypeError(QError):
+    """Operands of an operation have incompatible Q types."""
+
+    default_signal = "type"
+
+
+class QLengthError(QError):
+    """Pairwise operation on lists of differing lengths."""
+
+    default_signal = "length"
+
+
+class QRankError(QError):
+    """A function was applied to the wrong number of arguments."""
+
+    default_signal = "rank"
+
+
+class QDomainError(QError):
+    """An argument is outside the domain of the operation."""
+
+    default_signal = "domain"
+
+
+class QNameError(QError):
+    """A variable reference could not be resolved in any scope."""
+
+    default_signal = "value"
+
+
+class QNotSupportedError(QError):
+    """The Q construct is valid but outside the supported surface.
+
+    The paper (Section 5) distinguishes (1) missing features with a SQL
+    representation and (2) features PG cannot express without extensions;
+    ``category`` records which bucket a limitation falls in.
+    """
+
+    default_signal = "nyi"
+
+    def __init__(self, message: str, category: str = "missing-feature"):
+        super().__init__(message)
+        self.category = category
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the SQL engine substrate."""
+
+
+class SqlSyntaxError(SqlError):
+    """SQL text could not be parsed."""
+
+
+class SqlCatalogError(SqlError):
+    """Unknown table/column/function, or a conflicting definition."""
+
+
+class SqlTypeError(SqlError):
+    """SQL expression typing failure."""
+
+
+class SqlExecutionError(SqlError):
+    """Runtime failure while executing a plan."""
+
+
+class ProtocolError(ReproError):
+    """Malformed wire-protocol traffic (QIPC or PG v3)."""
+
+
+class AuthenticationError(ProtocolError):
+    """Connection-time authentication failure."""
+
+
+class TranslationError(ReproError):
+    """Hyper-Q could not translate a bound XTRA tree to SQL."""
+
+
+class MetadataError(ReproError):
+    """Metadata interface lookup failure."""

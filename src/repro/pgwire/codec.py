@@ -1,0 +1,225 @@
+"""Byte-level encoding/decoding of PG v3 messages."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProtocolError
+from repro.pgwire import messages as m
+
+
+def _cstr(text: str) -> bytes:
+    return text.encode("utf-8") + b"\x00"
+
+
+def _with_frame(type_byte: bytes, body: bytes) -> bytes:
+    return type_byte + struct.pack(">I", len(body) + 4) + body
+
+
+# -- frontend encoding ----------------------------------------------------------
+
+
+def encode_startup(message: m.StartupMessage) -> bytes:
+    body = struct.pack(">I", m.PROTOCOL_VERSION)
+    body += _cstr("user") + _cstr(message.user)
+    body += _cstr("database") + _cstr(message.database)
+    for key, value in message.options.items():
+        body += _cstr(key) + _cstr(value)
+    body += b"\x00"
+    return struct.pack(">I", len(body) + 4) + body
+
+
+def encode_frontend(message: m.FrontendMessage) -> bytes:
+    if isinstance(message, m.StartupMessage):
+        return encode_startup(message)
+    if isinstance(message, m.PasswordMessage):
+        return _with_frame(b"p", _cstr(message.password))
+    if isinstance(message, m.Query):
+        return _with_frame(b"Q", _cstr(message.sql))
+    if isinstance(message, m.Terminate):
+        return _with_frame(b"X", b"")
+    raise ProtocolError(f"cannot encode frontend {type(message).__name__}")
+
+
+# -- backend encoding ----------------------------------------------------------
+
+
+def encode_backend(message: m.BackendMessage) -> bytes:
+    if isinstance(message, m.AuthenticationRequest):
+        body = struct.pack(">I", message.code)
+        if message.code == 5:
+            body += message.salt[:4].ljust(4, b"\x00")
+        return _with_frame(b"R", body)
+    if isinstance(message, m.ParameterStatus):
+        return _with_frame(b"S", _cstr(message.name) + _cstr(message.value))
+    if isinstance(message, m.BackendKeyData):
+        return _with_frame(b"K", struct.pack(">II", message.pid, message.secret))
+    if isinstance(message, m.ReadyForQuery):
+        return _with_frame(b"Z", message.status.encode("ascii")[:1])
+    if isinstance(message, m.RowDescription):
+        body = struct.pack(">H", len(message.fields))
+        for field in message.fields:
+            body += _cstr(field.name)
+            body += struct.pack(
+                ">IHIhih",
+                field.table_oid,
+                field.column_attr,
+                field.type_oid,
+                field.type_size,
+                field.type_modifier,
+                field.format_code,
+            )
+        return _with_frame(b"T", body)
+    if isinstance(message, m.DataRow):
+        body = struct.pack(">H", len(message.values))
+        for value in message.values:
+            if value is None:
+                body += struct.pack(">i", -1)
+            else:
+                body += struct.pack(">i", len(value)) + value
+        return _with_frame(b"D", body)
+    if isinstance(message, m.CommandComplete):
+        return _with_frame(b"C", _cstr(message.tag))
+    if isinstance(message, m.EmptyQueryResponse):
+        return _with_frame(b"I", b"")
+    if isinstance(message, m.ErrorResponse):
+        body = (
+            b"S" + _cstr(message.severity)
+            + b"C" + _cstr(message.code)
+            + b"M" + _cstr(message.message)
+            + b"\x00"
+        )
+        return _with_frame(b"E", body)
+    raise ProtocolError(f"cannot encode backend {type(message).__name__}")
+
+
+# -- decoding -----------------------------------------------------------------
+
+
+class _Body:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ProtocolError("PG message body truncated")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def cstr(self) -> str:
+        end = self.data.find(b"\x00", self.pos)
+        if end == -1:
+            raise ProtocolError("unterminated string in PG message")
+        text = self.data[self.pos : end].decode("utf-8")
+        self.pos = end + 1
+        return text
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+
+def decode_startup(data: bytes) -> m.StartupMessage:
+    body = _Body(data)
+    version = struct.unpack(">I", body.take(4))[0]
+    if version != m.PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    params: dict[str, str] = {}
+    while body.remaining() > 1:
+        key = body.cstr()
+        if not key:
+            break
+        params[key] = body.cstr()
+    return m.StartupMessage(
+        user=params.pop("user", ""),
+        database=params.pop("database", "postgres"),
+        options=params,
+    )
+
+
+def decode_frontend(type_byte: bytes, data: bytes) -> m.FrontendMessage:
+    body = _Body(data)
+    if type_byte == b"p":
+        return m.PasswordMessage(body.cstr())
+    if type_byte == b"Q":
+        return m.Query(body.cstr())
+    if type_byte == b"X":
+        return m.Terminate()
+    raise ProtocolError(f"unsupported frontend message {type_byte!r}")
+
+
+def decode_backend(type_byte: bytes, data: bytes) -> m.BackendMessage:
+    body = _Body(data)
+    if type_byte == b"R":
+        code = struct.unpack(">I", body.take(4))[0]
+        salt = body.take(4) if code == 5 else b""
+        return m.AuthenticationRequest(code, salt)
+    if type_byte == b"S":
+        return m.ParameterStatus(body.cstr(), body.cstr())
+    if type_byte == b"K":
+        pid, secret = struct.unpack(">II", body.take(8))
+        return m.BackendKeyData(pid, secret)
+    if type_byte == b"Z":
+        return m.ReadyForQuery(body.take(1).decode("ascii"))
+    if type_byte == b"T":
+        (count,) = struct.unpack(">H", body.take(2))
+        fields = []
+        for __ in range(count):
+            name = body.cstr()
+            table_oid, column_attr, type_oid, type_size, type_mod, fmt = (
+                struct.unpack(">IHIhih", body.take(18))
+            )
+            fields.append(
+                m.FieldDescription(
+                    name, type_oid, type_size, table_oid, column_attr,
+                    type_mod, fmt,
+                )
+            )
+        return m.RowDescription(fields)
+    if type_byte == b"D":
+        (count,) = struct.unpack(">H", body.take(2))
+        values: list[bytes | None] = []
+        for __ in range(count):
+            (length,) = struct.unpack(">i", body.take(4))
+            values.append(None if length == -1 else body.take(length))
+        return m.DataRow(values)
+    if type_byte == b"C":
+        return m.CommandComplete(body.cstr())
+    if type_byte == b"I":
+        return m.EmptyQueryResponse()
+    if type_byte == b"E":
+        fields: dict[str, str] = {}
+        while body.remaining() > 1:
+            code = body.take(1)
+            if code == b"\x00":
+                break
+            fields[code.decode("ascii")] = body.cstr()
+        return m.ErrorResponse(
+            severity=fields.get("S", "ERROR"),
+            code=fields.get("C", "XX000"),
+            message=fields.get("M", ""),
+        )
+    raise ProtocolError(f"unsupported backend message {type_byte!r}")
+
+
+# -- stream reading ---------------------------------------------------------------
+
+
+def read_message(recv_exact, decoder):
+    """Read one typed message: ``decoder(type_byte, body) -> message``."""
+    type_byte = recv_exact(1)
+    (length,) = struct.unpack(">I", recv_exact(4))
+    if length < 4:
+        raise ProtocolError(f"PG message declares bad length {length}")
+    body = recv_exact(length - 4)
+    return decoder(type_byte, body)
+
+
+def read_startup(recv_exact) -> m.StartupMessage:
+    (length,) = struct.unpack(">I", recv_exact(4))
+    if length < 8:
+        raise ProtocolError("startup message too short")
+    return decode_startup(recv_exact(length - 4))

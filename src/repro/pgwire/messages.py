@@ -1,0 +1,140 @@
+"""PostgreSQL v3 protocol messages.
+
+"A PG v3 message starts with a single byte denoting message type,
+followed by four bytes for message length" (paper Section 4.2); the
+StartupMessage alone has no type byte.  This module defines typed
+dataclasses for the subset Hyper-Q's gateway and the mini PG server
+exchange: startup, authentication (cleartext / MD5 / Kerberos-style GSS),
+simple query, row streaming, completion, and errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PROTOCOL_VERSION = 196608  # 3.0
+
+#: PostgreSQL type OIDs for the types the engine produces
+TYPE_OIDS = {
+    "boolean": 16,
+    "bigint": 20,
+    "smallint": 21,
+    "integer": 23,
+    "text": 25,
+    "real": 700,
+    "double precision": 701,
+    "char": 1042,
+    "varchar": 1043,
+    "date": 1082,
+    "time": 1083,
+    "timestamp": 1114,
+    "interval": 1186,
+    "numeric": 1700,
+    "uuid": 2950,
+    "null": 25,
+}
+
+
+# -- frontend (client -> server) ---------------------------------------------
+
+
+@dataclass
+class StartupMessage:
+    user: str
+    database: str = "postgres"
+    options: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class PasswordMessage:
+    password: str  # cleartext, or md5-hex digest, or GSS token
+
+
+@dataclass
+class Query:
+    sql: str
+
+
+@dataclass
+class Terminate:
+    pass
+
+
+# -- backend (server -> client) ------------------------------------------------
+
+
+@dataclass
+class AuthenticationRequest:
+    """code 0=ok, 3=cleartext password, 5=md5 (with salt), 7=GSS."""
+
+    code: int
+    salt: bytes = b""
+
+
+@dataclass
+class ParameterStatus:
+    name: str
+    value: str
+
+
+@dataclass
+class BackendKeyData:
+    pid: int
+    secret: int
+
+
+@dataclass
+class ReadyForQuery:
+    status: str = "I"  # Idle / Transaction / Error
+
+
+@dataclass
+class FieldDescription:
+    name: str
+    type_oid: int
+    type_size: int = -1
+    table_oid: int = 0
+    column_attr: int = 0
+    type_modifier: int = -1
+    format_code: int = 0  # text
+
+
+@dataclass
+class RowDescription:
+    fields: list[FieldDescription]
+
+
+@dataclass
+class DataRow:
+    values: list[bytes | None]  # text-format cells, None = NULL
+
+
+@dataclass
+class CommandComplete:
+    tag: str
+
+
+@dataclass
+class EmptyQueryResponse:
+    pass
+
+
+@dataclass
+class ErrorResponse:
+    severity: str = "ERROR"
+    code: str = "XX000"
+    message: str = ""
+
+
+FrontendMessage = StartupMessage | PasswordMessage | Query | Terminate
+BackendMessage = (
+    AuthenticationRequest
+    | ParameterStatus
+    | BackendKeyData
+    | ReadyForQuery
+    | RowDescription
+    | DataRow
+    | CommandComplete
+    | EmptyQueryResponse
+    | ErrorResponse
+)

@@ -1,0 +1,158 @@
+"""QValue -> QIPC byte serialization (column-oriented).
+
+Follows the kx IPC object layout: a signed type byte, then the payload.
+Vectors carry an attribute byte and a uint32 length; tables are type 98
+wrapping a columns!values dictionary; dictionaries are type 99.  Figure 5
+of the paper shows exactly this layout for a two-column result set.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.errors import ProtocolError
+from repro.qlang.qtypes import NULL_INT, NULL_LONG, NULL_SHORT, QType
+from repro.qlang.values import (
+    QAtom,
+    QDict,
+    QKeyedTable,
+    QLambda,
+    QList,
+    QTable,
+    QValue,
+    QVector,
+)
+
+#: struct format per fixed-width Q type
+_FORMATS = {
+    QType.BOOLEAN: "<b",
+    QType.BYTE: "<B",
+    QType.SHORT: "<h",
+    QType.INT: "<i",
+    QType.LONG: "<q",
+    QType.REAL: "<f",
+    QType.FLOAT: "<d",
+    QType.TIMESTAMP: "<q",
+    QType.MONTH: "<i",
+    QType.DATE: "<i",
+    QType.DATETIME: "<d",
+    QType.TIMESPAN: "<q",
+    QType.MINUTE: "<i",
+    QType.SECOND: "<i",
+    QType.TIME: "<i",
+}
+
+_INT_NULLS = {
+    QType.SHORT: NULL_SHORT,
+    QType.INT: NULL_INT,
+    QType.LONG: NULL_LONG,
+    QType.TIMESTAMP: NULL_LONG,
+    QType.TIMESPAN: NULL_LONG,
+    QType.MONTH: NULL_INT,
+    QType.DATE: NULL_INT,
+    QType.MINUTE: NULL_INT,
+    QType.SECOND: NULL_INT,
+    QType.TIME: NULL_INT,
+}
+
+
+def _pack_raw(qtype: QType, raw) -> bytes:
+    fmt = _FORMATS[qtype]
+    if qtype in (QType.REAL, QType.FLOAT, QType.DATETIME):
+        return struct.pack(fmt, float(raw))
+    if qtype == QType.BOOLEAN:
+        return struct.pack(fmt, 1 if raw else 0)
+    return struct.pack(fmt, int(raw))
+
+
+def encode_value(value: QValue) -> bytes:
+    """Serialize a Q value into QIPC object bytes."""
+    if isinstance(value, QAtom):
+        return _encode_atom(value)
+    if isinstance(value, QVector):
+        return _encode_vector(value)
+    if isinstance(value, QList):
+        out = [struct.pack("<bBI", 0, 0, len(value.items))]
+        for item in value.items:
+            out.append(encode_value(item))
+        return b"".join(out)
+    if isinstance(value, QTable):
+        header = struct.pack("<bB", 98, 0)
+        columns = QVector(QType.SYMBOL, value.columns)
+        body = struct.pack("<b", 99) + encode_value(columns) + encode_value(
+            QList(list(value.data))
+        )
+        return header + body
+    if isinstance(value, QKeyedTable):
+        return (
+            struct.pack("<b", 99)
+            + encode_value(value.key)
+            + encode_value(value.value)
+        )
+    if isinstance(value, QDict):
+        return (
+            struct.pack("<b", 99)
+            + encode_value(value.keys)
+            + encode_value(value.values)
+        )
+    if isinstance(value, QLambda):
+        # lambdas travel as their source text (kdb+ sends a 100 wrapper)
+        source = value.source.encode("utf-8")
+        return struct.pack("<bB", 100, 0) + b"\x00" + struct.pack(
+            "<bBI", 10, 0, len(source)
+        ) + source
+    raise ProtocolError(f"cannot encode {type(value).__name__} over QIPC")
+
+
+def encode_error(message: str) -> bytes:
+    """kdb+ error response: type -128 + null-terminated text."""
+    return struct.pack("<b", -128) + message.encode("utf-8") + b"\x00"
+
+
+def _encode_atom(atom: QAtom) -> bytes:
+    qtype = atom.qtype
+    type_byte = struct.pack("<b", -qtype.code)
+    if qtype == QType.SYMBOL:
+        return type_byte + str(atom.value).encode("utf-8") + b"\x00"
+    if qtype == QType.CHAR:
+        ch = str(atom.value)[:1] or " "
+        return type_byte + ch.encode("utf-8")[:1]
+    if qtype == QType.GUID:
+        return type_byte + _guid_bytes(atom.value)
+    raw = atom.value
+    if atom.is_null and qtype in _INT_NULLS:
+        raw = _INT_NULLS[qtype]
+    if isinstance(raw, float) and math.isnan(raw) and qtype in _INT_NULLS:
+        raw = _INT_NULLS[qtype]
+    return type_byte + _pack_raw(qtype, raw)
+
+
+def _encode_vector(vector: QVector) -> bytes:
+    qtype = vector.qtype
+    header = struct.pack("<bBI", qtype.code, 0, len(vector.items))
+    if qtype == QType.SYMBOL:
+        body = b"".join(
+            str(s).encode("utf-8") + b"\x00" for s in vector.items
+        )
+        return header + body
+    if qtype == QType.CHAR:
+        text = "".join(str(c)[:1] or " " for c in vector.items)
+        encoded = text.encode("utf-8")
+        # re-declare the length in bytes (utf-8 may expand)
+        header = struct.pack("<bBI", qtype.code, 0, len(encoded))
+        return header + encoded
+    if qtype == QType.GUID:
+        return header + b"".join(_guid_bytes(g) for g in vector.items)
+    out = [header]
+    null = _INT_NULLS.get(qtype)
+    for raw in vector.items:
+        if null is not None and isinstance(raw, float) and math.isnan(raw):
+            raw = null
+        out.append(_pack_raw(qtype, raw))
+    return b"".join(out)
+
+
+def _guid_bytes(value) -> bytes:
+    text = str(value).replace("-", "")
+    return bytes.fromhex(text.ljust(32, "0")[:32])

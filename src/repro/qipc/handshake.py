@@ -1,0 +1,75 @@
+"""QIPC connection handshake (paper Section 4.2).
+
+    "a client sends Hyper-Q a null-terminated ASCII string
+    'username:password<N>' where N is a single byte denoting client
+    version.  If Hyper-Q accepts the credentials, it sends back a single
+    byte response.  Otherwise, it closes the connection immediately."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AuthenticationError, ProtocolError
+
+#: highest IPC capability byte we speak (3 = kdb+ 3.x: compression, etc.)
+MAX_CAPABILITY = 3
+
+
+@dataclass
+class Credentials:
+    username: str
+    password: str
+    capability: int = MAX_CAPABILITY
+
+
+def client_hello(credentials: Credentials) -> bytes:
+    """The opening bytes a Q client sends."""
+    text = f"{credentials.username}:{credentials.password}"
+    return text.encode("ascii") + bytes([credentials.capability]) + b"\x00"
+
+
+def parse_hello(data: bytes) -> Credentials:
+    """Parse the client's opening bytes on the server side."""
+    if not data.endswith(b"\x00"):
+        raise ProtocolError("QIPC hello must be null-terminated")
+    body = data[:-1]
+    if not body:
+        raise ProtocolError("empty QIPC hello")
+    capability = body[-1]
+    if capability > 0x7F:
+        raise ProtocolError("QIPC hello capability byte out of range")
+    try:
+        text = body[:-1].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"QIPC hello is not ASCII: {exc}") from None
+    username, __, password = text.partition(":")
+    return Credentials(username, password, capability)
+
+
+def server_ack(client_capability: int) -> bytes:
+    """Single-byte acceptance: the common capability level."""
+    return bytes([min(client_capability, MAX_CAPABILITY)])
+
+
+class Authenticator:
+    """Pluggable credential check for the endpoint."""
+
+    def authenticate(self, credentials: Credentials) -> None:
+        """Raise AuthenticationError to reject the connection."""
+
+
+class AllowAll(Authenticator):
+    """kdb+'s historical default: no access control (paper Section 2.2)."""
+
+
+class UserPassword(Authenticator):
+    def __init__(self, users: dict[str, str]):
+        self.users = dict(users)
+
+    def authenticate(self, credentials: Credentials) -> None:
+        expected = self.users.get(credentials.username)
+        if expected is None or expected != credentials.password:
+            raise AuthenticationError(
+                f"access denied for user {credentials.username!r}"
+            )

@@ -1,0 +1,100 @@
+"""QIPC message envelope.
+
+A QIPC message starts with an 8-byte header:
+
+==========  =====================================================
+byte 0      endianness (1 = little-endian; we always emit little)
+byte 1      message type: 0 async, 1 sync, 2 response
+byte 2      compressed flag (0 / 1)
+byte 3      reserved
+bytes 4-8   total message length, including this header (uint32)
+==========  =====================================================
+
+followed by one serialized Q object (or its compressed form).  Unlike the
+row-streaming PG v3 protocol, a QIPC response carries the *entire* result
+as a single column-oriented object — the asymmetry at the heart of the
+paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import ProtocolError
+
+HEADER_SIZE = 8
+LITTLE_ENDIAN = 1
+
+#: messages larger than this are compressed when both sides allow it
+#: (kdb+ compresses messages over 2000 bytes sent to remote hosts)
+COMPRESSION_THRESHOLD = 2000
+
+
+class MessageType(IntEnum):
+    ASYNC = 0
+    SYNC = 1
+    RESPONSE = 2
+
+
+@dataclass
+class QipcMessage:
+    msg_type: MessageType
+    payload: bytes  # serialized Q object (uncompressed)
+    compressed: bool = False
+
+
+def frame(message: QipcMessage, allow_compression: bool = True) -> bytes:
+    """Wrap a serialized payload in the QIPC envelope, compressing large
+    payloads the way kdb+ does."""
+    from repro.qipc.compress import compress
+
+    payload = message.payload
+    compressed_flag = 0
+    if allow_compression and len(payload) > COMPRESSION_THRESHOLD:
+        packed = compress(payload)
+        # kdb+ only keeps the compressed form when it actually saves space
+        if len(packed) < len(payload):
+            payload = packed
+            compressed_flag = 1
+    total = HEADER_SIZE + len(payload)
+    header = struct.pack(
+        "<BBBBI", LITTLE_ENDIAN, int(message.msg_type), compressed_flag, 0, total
+    )
+    return header + payload
+
+
+def unframe(data: bytes) -> QipcMessage:
+    """Parse one complete framed message back into payload + type."""
+    from repro.qipc.compress import decompress
+
+    if len(data) < HEADER_SIZE:
+        raise ProtocolError(f"QIPC message truncated at {len(data)} bytes")
+    endian, msg_type, compressed_flag, __, total = struct.unpack(
+        "<BBBBI", data[:HEADER_SIZE]
+    )
+    if endian != LITTLE_ENDIAN:
+        raise ProtocolError("big-endian QIPC messages are not supported")
+    if total != len(data):
+        raise ProtocolError(
+            f"QIPC length field says {total} bytes, got {len(data)}"
+        )
+    payload = data[HEADER_SIZE:]
+    if compressed_flag:
+        payload = decompress(payload)
+    try:
+        parsed_type = MessageType(msg_type)
+    except ValueError:
+        raise ProtocolError(f"unknown QIPC message type {msg_type}") from None
+    return QipcMessage(parsed_type, payload, compressed=bool(compressed_flag))
+
+
+def read_message(recv_exact) -> QipcMessage:
+    """Read one framed message using ``recv_exact(n) -> bytes``."""
+    header = recv_exact(HEADER_SIZE)
+    __, __, __, __, total = struct.unpack("<BBBBI", header)
+    if total < HEADER_SIZE:
+        raise ProtocolError(f"QIPC header declares bad length {total}")
+    rest = recv_exact(total - HEADER_SIZE)
+    return unframe(header + rest)

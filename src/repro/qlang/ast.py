@@ -1,0 +1,211 @@
+"""Abstract syntax tree for Q queries.
+
+The parser is *lightweight* (paper Section 3.2.1): nodes carry no type
+information.  Variable references stay unresolved; the binder (or the
+reference interpreter) resolves them against the scope hierarchy.
+
+Node inventory mirrors the paper's list: literals, variables, monadic and
+dyadic operators, join operators, variable assignments — plus the
+select/exec/update/delete templates, lambdas and conditionals needed for
+realistic workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qlang.values import QValue
+
+
+@dataclass
+class Node:
+    """Base AST node; ``pos`` is the source offset for error messages."""
+
+    pos: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Literal(Node):
+    """A constant: number, symbol, string, or merged literal vector."""
+
+    value: QValue
+
+
+@dataclass
+class Name(Node):
+    """An unresolved variable reference, e.g. ``trades``."""
+
+    name: str
+
+
+@dataclass
+class UnOp(Node):
+    """Monadic application of a primitive verb, e.g. ``-x`` or ``#:x``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass
+class BinOp(Node):
+    """Dyadic verb application ``left op right``.
+
+    Q evaluates strictly right-to-left with no precedence, which the parser
+    encodes by always right-associating: ``2*3+4`` parses as
+    ``BinOp('*', 2, BinOp('+', 3, 4))``.
+    """
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class Apply(Node):
+    """Function application / indexing: ``f[x;y]`` or juxtaposed ``f x``.
+
+    Q does not distinguish indexing from application, so ``t[2]`` and
+    ``f[2]`` are both Apply nodes; the binder decides from the callee type.
+    Elided arguments (projections like ``f[;2]``) appear as ``None``.
+    """
+
+    func: Node
+    args: list[Node | None]
+
+
+@dataclass
+class AdverbApply(Node):
+    """A verb modified by an adverb: ``+/``, ``f'``, ``f\\:`` ...
+
+    ``verb`` may be an operator name (str) or any callable-valued node.
+    """
+
+    verb: Node | str
+    adverb: str
+
+
+@dataclass
+class Assign(Node):
+    """Assignment ``x: expr`` (op is None) or compound ``x+: expr``.
+
+    ``indices`` is non-empty for indexed amend ``x[i]: v``.
+    ``global_scope`` marks ``x:: expr`` which always writes the session/
+    server scope even from inside a function body.
+    """
+
+    target: str
+    value: Node
+    op: str | None = None
+    indices: list[Node] = field(default_factory=list)
+    global_scope: bool = False
+
+
+@dataclass
+class Lambda(Node):
+    """Function literal ``{[a;b] stmt1; stmt2}``.
+
+    When the parameter list is omitted, q provides implicit parameters
+    ``x``, ``y``, ``z``; the parser performs that inference.
+    """
+
+    params: list[str]
+    body: list[Node]
+    source: str = ""
+
+
+@dataclass
+class Cond(Node):
+    """``$[c; t; f]`` conditional evaluation (also n-ary cond chains)."""
+
+    branches: list[Node]
+
+
+@dataclass
+class ListExpr(Node):
+    """Parenthesized list construction ``(a; b; c)``."""
+
+    items: list[Node]
+
+
+@dataclass
+class TableExpr(Node):
+    """Table literal ``([] c1:expr1; c2:expr2)`` with optional key columns."""
+
+    key_columns: list[tuple[str, Node]]
+    columns: list[tuple[str, Node]]
+
+
+@dataclass
+class ColumnSpec:
+    """One entry of a template's select/by list: optional name + expression.
+
+    When ``name`` is None the binder infers it (q uses the last identifier
+    of the expression, falling back to ``x``).
+    """
+
+    name: str | None
+    expr: Node
+
+
+@dataclass
+class Template(Node):
+    """A select/exec/update/delete template.
+
+    ``kind`` is one of ``select``/``exec``/``update``/``delete``;
+    ``where`` holds the comma-separated constraint conjuncts in order
+    (q applies them left to right, each filtering the previous result).
+    """
+
+    kind: str
+    columns: list[ColumnSpec]
+    by: list[ColumnSpec]
+    source: Node
+    where: list[Node]
+    limit: Node | None = None  # select[n] — first n rows
+
+
+@dataclass
+class Return(Node):
+    """Early return ``:expr`` inside a function body."""
+
+    value: Node
+
+
+@dataclass
+class Signal(Node):
+    """``'err`` — raise a signal."""
+
+    value: Node
+
+
+@dataclass
+class Statements(Node):
+    """A whole query message: ``;``-separated top-level statements."""
+
+    statements: list[Node]
+
+
+def node_name(node: Node) -> str:
+    """Short display name for diagnostics."""
+    return type(node).__name__
+
+
+def infer_column_name(expr: Node, fallback: str = "x") -> str:
+    """q's rule for unnamed template columns: the last identifier wins.
+
+    ``select max Price from t`` yields a column called ``Price``.
+    """
+    if isinstance(expr, Name):
+        return expr.name.rsplit(".", 1)[-1]
+    if isinstance(expr, UnOp):
+        return infer_column_name(expr.operand, fallback)
+    if isinstance(expr, BinOp):
+        return infer_column_name(expr.right, fallback)
+    if isinstance(expr, Apply):
+        for arg in reversed(expr.args):
+            if arg is not None:
+                return infer_column_name(arg, fallback)
+        return infer_column_name(expr.func, fallback)
+    if isinstance(expr, AdverbApply) and isinstance(expr.verb, Node):
+        return infer_column_name(expr.verb, fallback)
+    return fallback

@@ -1,0 +1,1432 @@
+"""Reference Q interpreter (the "mini-kdb+" substrate).
+
+The paper's side-by-side testing framework (Section 5) validates Hyper-Q by
+comparing application-visible behaviour against a real kdb+ server.  This
+module plays the kdb+ role in the reproduction: a direct, in-memory
+evaluator for the supported Q surface, with q's evaluation rules:
+
+* right-to-left evaluation (encoded by the parser's right-associated AST);
+* dynamic typing — a variable's type is whatever it was last assigned;
+* local scopes that shadow globals, with q's flat (non-closing) lambdas;
+* select/exec/update/delete templates with sequential where-conjuncts;
+* ``aj``/``lj``/``ij``/``uj``/``ej``/``wj`` joins and the adverbs.
+
+Like kdb+ itself, the interpreter executes one request at a time; callers
+requiring concurrency must serialize (the server loop in
+:mod:`repro.server` does exactly that, mirroring kdb+'s main loop).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.errors import (
+    QError,
+    QLengthError,
+    QNameError,
+    QNotSupportedError,
+    QRankError,
+    QTypeError,
+)
+from repro.qlang import ast, builtins as bi, joins
+from repro.qlang.parser import parse
+from repro.qlang.qtypes import QType
+from repro.qlang.values import (
+    QAtom,
+    QDict,
+    QKeyedTable,
+    QLambda,
+    QList,
+    QTable,
+    QValue,
+    QVector,
+    enlist,
+    length_of,
+    long_vector,
+    q_match,
+    take_value,
+    vector_of_atoms,
+)
+
+
+class QBuiltin(QValue):
+    """A primitive function value (so ``f: count; f x`` works)."""
+
+    __slots__ = ("name", "fn", "rank")
+
+    def __init__(self, name: str, fn: Callable, rank: int):
+        self.name = name
+        self.fn = fn
+        self.rank = rank
+
+    @property
+    def qcode(self) -> int:
+        return 102
+
+    def __repr__(self):
+        return f"QBuiltin({self.name})"
+
+    def __eq__(self, other):
+        if not isinstance(other, QValue):
+            return NotImplemented
+        return isinstance(other, QBuiltin) and other.name == self.name
+
+    __hash__ = None
+
+
+class QProjection(QValue):
+    """A partially applied function (``f[;2]``)."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: QValue, args: list[QValue | None]):
+        self.func = func
+        self.args = args
+
+    @property
+    def qcode(self) -> int:
+        return 104
+
+    def __repr__(self):
+        return f"QProjection({self.func!r})"
+
+    def __eq__(self, other):
+        if not isinstance(other, QValue):
+            return NotImplemented
+        return self is other
+
+    __hash__ = None
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: QValue):
+        self.value = value
+
+
+class Env:
+    """One level of the q scope model: locals over globals.
+
+    q lambdas do *not* close over enclosing function locals — a function
+    body sees its own locals, and the global scope.  This mirrors the
+    paper's Figure 3 hierarchy (local -> session/server).
+    """
+
+    __slots__ = ("globals", "locals")
+
+    def __init__(self, globals_: dict, locals_: dict | None = None):
+        self.globals = globals_
+        self.locals = locals_
+
+    def lookup(self, name: str) -> QValue | None:
+        if self.locals is not None and name in self.locals:
+            return self.locals[name]
+        return self.globals.get(name)
+
+    def assign(self, name: str, value: QValue, force_global: bool = False) -> None:
+        if force_global or self.locals is None:
+            self.globals[name] = value
+        else:
+            self.locals[name] = value
+
+
+class Interpreter:
+    """Evaluate Q source text against a global (server) variable scope."""
+
+    def __init__(self, seed: int = 20160626):
+        self.globals: dict[str, QValue] = {}
+        self.rng = random.Random(seed)
+        self._dyads = _build_dyads()
+        self._monads = _build_monads()
+        self._keywords = _build_keywords(self)
+
+    # -- public API -----------------------------------------------------------
+
+    def eval_text(self, source: str) -> QValue | None:
+        """Evaluate a Q query message; return the last statement's value."""
+        program = parse(source)
+        env = Env(self.globals)
+        result: QValue | None = None
+        for statement in program.statements:
+            result = self.eval(statement, env)
+            if isinstance(statement, ast.Assign):
+                result = None  # assignments return nothing at the console
+        return result
+
+    def set_global(self, name: str, value: QValue) -> None:
+        self.globals[name] = value
+
+    def get_global(self, name: str) -> QValue | None:
+        return self.globals.get(name)
+
+    # -- evaluator ------------------------------------------------------------
+
+    def eval(self, node: ast.Node, env: Env) -> QValue:
+        method = getattr(self, f"_eval_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise QNotSupportedError(f"cannot evaluate {ast.node_name(node)}")
+        return method(node, env)
+
+    def _eval_literal(self, node: ast.Literal, env: Env) -> QValue:
+        return node.value
+
+    def _eval_name(self, node: ast.Name, env: Env) -> QValue:
+        value = env.lookup(node.name)
+        if value is not None:
+            return value
+        keyword = self._keywords.get(node.name)
+        if keyword is not None:
+            return keyword
+        raise QNameError(
+            f"undefined variable or function {node.name!r} "
+            f"(searched local, session and server scopes)"
+        )
+
+    def _eval_statements(self, node: ast.Statements, env: Env) -> QValue:
+        result: QValue = QList([])
+        for statement in node.statements:
+            result = self.eval(statement, env)
+        return result
+
+    def _eval_assign(self, node: ast.Assign, env: Env) -> QValue:
+        value = self.eval(node.value, env)
+        if node.indices:
+            current = env.lookup(node.target)
+            if current is None:
+                raise QNameError(f"cannot amend undefined variable {node.target!r}")
+            indices = [self.eval(ix, env) for ix in node.indices]
+            value = _amend(current, indices, value, node.op, self)
+            env.assign(node.target, value, force_global=node.global_scope)
+            return value
+        if node.op is not None:
+            current = env.lookup(node.target)
+            if current is None:
+                raise QNameError(
+                    f"cannot apply {node.op}: to undefined variable {node.target!r}"
+                )
+            value = self._apply_dyad(node.op, current, value)
+        env.assign(node.target, value, force_global=node.global_scope)
+        return value
+
+    def _eval_unop(self, node: ast.UnOp, env: Env) -> QValue:
+        operand = self.eval(node.operand, env)
+        fn = self._monads.get(node.op)
+        if fn is None:
+            raise QNotSupportedError(f"monadic {node.op!r} is not supported")
+        return fn(operand)
+
+    def _eval_binop(self, node: ast.BinOp, env: Env) -> QValue:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        return self._apply_dyad(node.op, left, right)
+
+    def _apply_dyad(self, op: str, left: QValue, right: QValue) -> QValue:
+        adverb = {"each": "'", "over": "/", "scan": "\\", "prior": "':"}.get(op)
+        if adverb is not None:
+            return self.run_adverb(left, adverb, [right])
+        fn = self._dyads.get(op)
+        if fn is not None:
+            return fn(left, right)
+        keyword = self._keywords.get(op)
+        if keyword is not None:
+            return self.apply(keyword, [left, right])
+        user = self.globals.get(op)
+        if user is not None:
+            return self.apply(user, [left, right])
+        raise QNotSupportedError(f"dyadic {op!r} is not supported")
+
+    def _eval_apply(self, node: ast.Apply, env: Env) -> QValue:
+        # Join verbs take symbol column arguments and need special casing
+        # before generic evaluation (aj[`Symbol`Time; t; q]).
+        if isinstance(node.func, ast.Name) and node.func.name in (
+            "aj",
+            "aj0",
+            "ej",
+            "wj",
+        ):
+            return self._eval_join_call(node, env)
+        # vector conditional ?[c;a;b]
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.name == "?"
+            and len(node.args) == 3
+            and all(a is not None for a in node.args)
+        ):
+            condition = self.eval(node.args[0], env)
+            then_value = self.eval(node.args[1], env)
+            else_value = self.eval(node.args[2], env)
+            return _vector_conditional(condition, then_value, else_value)
+        # functional application of an operator glyph: +[1;2]
+        if isinstance(node.func, ast.Name) and node.func.name in self._dyads:
+            args = [self.eval(a, env) for a in node.args if a is not None]
+            if len(args) == 2:
+                return self._apply_dyad(node.func.name, args[0], args[1])
+        func = self.eval(node.func, env)
+        if any(arg is None for arg in node.args):
+            fixed = [
+                self.eval(arg, env) if arg is not None else None
+                for arg in node.args
+            ]
+            return QProjection(func, fixed)
+        args = [self.eval(arg, env) for arg in node.args]
+        return self.apply(func, args)
+
+    def _eval_join_call(self, node: ast.Apply, env: Env) -> QValue:
+        assert isinstance(node.func, ast.Name)
+        name = node.func.name
+        args = [self.eval(arg, env) for arg in node.args if arg is not None]
+        if name in ("aj", "aj0"):
+            if len(args) != 3:
+                raise QRankError(f"{name} expects 3 arguments")
+            columns = _symbol_list(args[0], name)
+            left, right = _as_table(args[1]), _as_table(args[2])
+            return joins.asof_join(columns, left, right, use_right_time=name == "aj0")
+        if name == "ej":
+            if len(args) != 3:
+                raise QRankError("ej expects 3 arguments")
+            columns = _symbol_list(args[0], "ej")
+            return joins.equi_join(columns, _as_table(args[1]), _as_table(args[2]))
+        # wj[(b;e); cols; t; (q; (f;c); ...)]
+        if len(args) != 4:
+            raise QRankError("wj expects 4 arguments")
+        bounds, cols_value, left_value, spec = args
+        if not isinstance(bounds, QList) or len(bounds) != 2:
+            raise QTypeError("wj windows must be a 2-item list of bounds")
+        lows = _raw_items(bounds.items[0])
+        highs = _raw_items(bounds.items[1])
+        columns = _symbol_list(cols_value, "wj")
+        if not isinstance(spec, QList) or len(spec) < 2:
+            raise QTypeError("wj expects (table; (fn;col) ...) on the right")
+        right = _as_table(spec.items[0])
+        aggregations = []
+        for pair in spec.items[1:]:
+            if not isinstance(pair, QList) or len(pair) != 2:
+                raise QTypeError("wj aggregation must be (fn;col)")
+            fn_value, col_value = pair.items
+            if not isinstance(col_value, QAtom) or col_value.qtype != QType.SYMBOL:
+                raise QTypeError("wj aggregation column must be a symbol")
+            col_name = col_value.value
+            agg = self._make_agg_callable(fn_value)
+            aggregations.append((col_name, col_name, agg))
+        return joins.window_join(
+            (lows, highs), columns, _as_table(left_value), right, aggregations
+        )
+
+    def _make_agg_callable(self, fn_value: QValue):
+        def agg(window: QValue) -> QValue:
+            return self.apply(fn_value, [window])
+
+        return agg
+
+    def _eval_adverbapply(self, node: ast.AdverbApply, env: Env) -> QValue:
+        # An adverbed verb evaluated as a value; application happens via
+        # Apply/BinOp around it.  Represent as a builtin closure.
+        verb = self._resolve_verb(node.verb, env)
+        return _AdverbedFunction(self, verb, node.adverb)
+
+    def _resolve_verb(self, verb: ast.Node | str, env: Env) -> QValue:
+        if isinstance(verb, str):
+            fn = self._dyads.get(verb)
+            if fn is not None:
+                return QBuiltin(verb, fn, 2)
+            keyword = self._keywords.get(verb)
+            if keyword is not None:
+                return keyword
+            raise QNotSupportedError(f"verb {verb!r} is not supported")
+        return self.eval(verb, env)
+
+    def _eval_lambda(self, node: ast.Lambda, env: Env) -> QValue:
+        return QLambda(node.params, node.body, source=node.source)
+
+    def _eval_cond(self, node: ast.Cond, env: Env) -> QValue:
+        branches = node.branches
+        i = 0
+        while i + 1 < len(branches):
+            condition = self.eval(branches[i], env)
+            if not isinstance(condition, QAtom):
+                raise QTypeError(
+                    "$[;;] condition must be an atom; use ?[c;a;b] for the "
+                    "vectorized conditional"
+                )
+            if _truthy(condition):
+                return self.eval(branches[i + 1], env)
+            i += 2
+        if i < len(branches):
+            return self.eval(branches[i], env)
+        return QList([])
+
+    def _eval_listexpr(self, node: ast.ListExpr, env: Env) -> QValue:
+        items = [self.eval(item, env) for item in node.items]
+        if all(isinstance(i, QAtom) for i in items):
+            return vector_of_atoms(items)  # type: ignore[arg-type]
+        return QList(items)
+
+    def _eval_tableexpr(self, node: ast.TableExpr, env: Env) -> QValue:
+        def build(specs: list[tuple[str, ast.Node]]) -> QTable:
+            names = [name for name, __ in specs]
+            values = [self.eval(expr, env) for __, expr in specs]
+            max_len = max(
+                (length_of(v) for v in values if not isinstance(v, QAtom)),
+                default=1,
+            )
+            data = [_stretch(v, max_len) for v in values]
+            return QTable(names, data)
+
+        value_table = build(node.columns)
+        if node.key_columns:
+            return QKeyedTable(build(node.key_columns), value_table)
+        return value_table
+
+    def _eval_return(self, node: ast.Return, env: Env) -> QValue:
+        raise _ReturnSignal(self.eval(node.value, env))
+
+    def _eval_signal(self, node: ast.Signal, env: Env) -> QValue:
+        # `'name` signals the bare name itself, unevaluated (q semantics)
+        if isinstance(node.value, ast.Name):
+            text = node.value.name
+        else:
+            value = self.eval(node.value, env)
+            if isinstance(value, QAtom):
+                text = str(value.value)
+            elif isinstance(value, QVector) and value.qtype == QType.CHAR:
+                text = "".join(value.items)
+            else:
+                text = "signal"
+        raise QError(f"signalled: {text}", signal=text)
+
+    # -- templates ------------------------------------------------------------
+
+    def _eval_template(self, node: ast.Template, env: Env) -> QValue:
+        source = self.eval(node.source, env)
+        keyed_columns: list[str] = []
+        if isinstance(source, QKeyedTable):
+            keyed_columns = source.key_columns
+            table = source.unkey()
+        else:
+            table = _as_table(source)
+
+        if node.kind == "delete":
+            return self._run_delete(node, table, env)
+
+        table = self._apply_where(table, node.where, env)
+        if node.kind == "update":
+            result = self._run_update(node, table, env)
+            if keyed_columns:
+                return _xkey(keyed_columns, result)
+            return result
+        if node.kind == "exec":
+            return self._run_exec(node, table, env)
+        result = self._run_select(node, table, env)
+        if (
+            keyed_columns
+            and not node.by
+            and not node.columns
+            and isinstance(result, QTable)
+        ):
+            # q keeps the key columns of a keyed source: select from kt
+            result = _xkey(keyed_columns, result)
+        if node.limit is not None:
+            limit = self.eval(node.limit, env)
+            result_table = result.unkey() if isinstance(result, QKeyedTable) else result
+            size = len(result_table)
+            if isinstance(limit, QVector) and len(limit) == 2:
+                # select[offset count]
+                offset, count = int(limit.items[0]), int(limit.items[1])
+                rows = list(range(min(offset, size), min(offset + count, size)))
+            elif isinstance(limit, QAtom):
+                n = int(limit.value)
+                if n >= 0:
+                    rows = list(range(min(n, size)))
+                else:  # select[-n]: the last n rows
+                    rows = list(range(max(0, size + n), size))
+            else:
+                raise QTypeError("select[n] limit must be an atom or a pair")
+            result = result_table.take(rows)
+        return result
+
+    def _apply_where(
+        self, table: QTable, conjuncts: Sequence[ast.Node], env: Env
+    ) -> QTable:
+        for conjunct in conjuncts:
+            mask = self.eval(conjunct, _column_env(table, env))
+            indices = _mask_to_indices(mask, len(table))
+            table = table.take(indices)
+        return table
+
+    def _run_select(self, node: ast.Template, table: QTable, env: Env) -> QValue:
+        if not node.by:
+            if not node.columns:
+                return table
+            names, data = self._eval_columns(node.columns, table, env)
+            return QTable(names, data)
+        group_names, group_keys, group_rows = self._group(node.by, table, env)
+        if not node.columns:
+            # `select by a from t` keeps the last row per group
+            last_rows = [rows[-1] for rows in group_rows]
+            value_cols = [c for c in table.columns if c not in group_names]
+            value_table = QTable(
+                value_cols, [take_value(table.column(c), last_rows) for c in value_cols]
+            )
+            key_table = QTable(group_names, group_keys)
+            return QKeyedTable(key_table, value_table)
+        agg_names: list[str] = []
+        agg_columns: list[list[QValue]] = []
+        for spec in node.columns:
+            agg_names.append(spec.name or ast.infer_column_name(spec.expr))
+            agg_columns.append([])
+        for rows in group_rows:
+            subtable = table.take(rows)
+            sub_env = _column_env(subtable, env)
+            for i, spec in enumerate(node.columns):
+                value = self.eval(spec.expr, sub_env)
+                if not isinstance(value, QAtom) and length_of(value) == 1:
+                    value = value.atom_at(0) if isinstance(value, (QVector, QList)) else value
+                agg_columns[i].append(value)
+        key_table = QTable(group_names, group_keys)
+        value_data = [_collapse_cells(cells) for cells in agg_columns]
+        value_table = QTable(agg_names, value_data)
+        return QKeyedTable(key_table, value_table)
+
+    def _run_exec(self, node: ast.Template, table: QTable, env: Env) -> QValue:
+        if node.by:
+            group_names, group_keys, group_rows = self._group(node.by, table, env)
+            if len(node.columns) != 1:
+                raise QNotSupportedError("exec ... by supports a single column")
+            cells = []
+            for rows in group_rows:
+                subtable = table.take(rows)
+                cells.append(
+                    self.eval(node.columns[0].expr, _column_env(subtable, env))
+                )
+            keys = group_keys[0] if len(group_keys) == 1 else QList(group_keys)
+            return QDict(keys, _collapse_cells(cells))
+        if not node.columns:
+            raise QTypeError("exec requires explicit columns")
+        if len(node.columns) == 1:
+            return self.eval(node.columns[0].expr, _column_env(table, env))
+        names, data = self._eval_columns(node.columns, table, env)
+        return QDict(QVector(QType.SYMBOL, names), QList(data))
+
+    def _run_update(self, node: ast.Template, table: QTable, env: Env) -> QValue:
+        if node.by:
+            group_names, __, group_rows = self._group(node.by, table, env)
+            result = table
+            for spec in node.columns:
+                name = spec.name or ast.infer_column_name(spec.expr)
+                new_cells: dict[int, QValue] = {}
+                for rows in group_rows:
+                    subtable = result.take(rows)
+                    value = self.eval(spec.expr, _column_env(subtable, env))
+                    stretched = _stretch(value, len(rows))
+                    for offset, row in enumerate(rows):
+                        new_cells[row] = (
+                            stretched.atom_at(offset)
+                            if isinstance(stretched, (QVector, QList, QTable))
+                            else stretched
+                        )
+                atoms = [new_cells[i] for i in range(len(result))]
+                result = result.with_column(name, _collapse_cells(atoms))
+            return result
+        result = table
+        col_env = _column_env(result, env)
+        for spec in node.columns:
+            name = spec.name or ast.infer_column_name(spec.expr)
+            value = self.eval(spec.expr, col_env)
+            result = result.with_column(name, _stretch(value, len(result)))
+            col_env = _column_env(result, env)
+        return result
+
+    def _run_delete(self, node: ast.Template, table: QTable, env: Env) -> QValue:
+        if node.columns:
+            names = {
+                spec.name or ast.infer_column_name(spec.expr)
+                for spec in node.columns
+            }
+            kept = [c for c in table.columns if c not in names]
+            return QTable(kept, [table.column(c) for c in kept])
+        if node.where:
+            # delete removes the rows the constraints *match*
+            doomed: set[int] = set(range(len(table)))
+            matched = self._apply_where_indices(table, node.where, env)
+            kept_rows = [i for i in range(len(table)) if i not in matched]
+            del doomed
+            return table.take(kept_rows)
+        return QTable(table.columns, [_empty_like(c) for c in table.data])
+
+    def _apply_where_indices(
+        self, table: QTable, conjuncts: Sequence[ast.Node], env: Env
+    ) -> set[int]:
+        """Original-row indices surviving all constraints (for delete)."""
+        survivors = list(range(len(table)))
+        current = table
+        for conjunct in conjuncts:
+            mask = self.eval(conjunct, _column_env(current, env))
+            kept = _mask_to_indices(mask, len(current))
+            survivors = [survivors[i] for i in kept]
+            current = current.take(kept)
+        return set(survivors)
+
+    def _group(
+        self, specs: Sequence[ast.ColumnSpec], table: QTable, env: Env
+    ) -> tuple[list[str], list[QValue], list[list[int]]]:
+        names = [spec.name or ast.infer_column_name(spec.expr) for spec in specs]
+        col_env = _column_env(table, env)
+        key_vectors = [
+            _stretch(self.eval(spec.expr, col_env), len(table)) for spec in specs
+        ]
+        order: list[tuple] = []
+        buckets: dict[tuple, list[int]] = {}
+        for i in range(len(table)):
+            key = tuple(
+                _hashable_cell(vec, i) for vec in key_vectors
+            )
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(i)
+        # q returns by-groups in ascending key order (the keyed result
+        # carries the sorted attribute), not first-appearance order
+        order.sort(key=_group_sort_key)
+        group_rows = [buckets[key] for key in order]
+        first_rows = [rows[0] for rows in group_rows]
+        group_keys = [take_value(vec, first_rows) for vec in key_vectors]
+        return names, group_keys, group_rows
+
+    def _eval_columns(
+        self, specs: Sequence[ast.ColumnSpec], table: QTable, env: Env
+    ) -> tuple[list[str], list[QValue]]:
+        col_env = _column_env(table, env)
+        names: list[str] = []
+        values: list[QValue] = []
+        for spec in specs:
+            names.append(spec.name or ast.infer_column_name(spec.expr))
+            values.append(self.eval(spec.expr, col_env))
+        lengths = [length_of(v) for v in values if not isinstance(v, QAtom)]
+        target = max(lengths) if lengths else 1
+        return names, [_stretch(v, target) for v in values]
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, func: QValue, args: list[QValue]) -> QValue:
+        if isinstance(func, QLambda):
+            return self._apply_lambda(func, args)
+        if isinstance(func, QBuiltin):
+            if not args and func.rank == 1:
+                args = [QList([])]  # f[] supplies the generic null
+            if func.rank != len(args):
+                # single-arg call of a dyad is a projection
+                if len(args) < func.rank:
+                    return QProjection(func, list(args) + [None] * (func.rank - len(args)))
+                raise QRankError(
+                    f"{func.name} expects {func.rank} arguments, got {len(args)}"
+                )
+            return func.fn(*args)
+        if isinstance(func, _AdverbedFunction):
+            return func.apply(args)
+        if isinstance(func, QProjection):
+            merged: list[QValue] = []
+            supplied = iter(args)
+            for slot in func.args:
+                if slot is None:
+                    merged.append(next(supplied, None))  # type: ignore[arg-type]
+                else:
+                    merged.append(slot)
+            for extra in supplied:
+                merged.append(extra)
+            if any(item is None for item in merged):
+                return QProjection(func.func, merged)
+            return self.apply(func.func, merged)
+        # Data application == indexing
+        if isinstance(func, (QVector, QList, QTable, QDict, QKeyedTable)):
+            if len(args) == 1:
+                return bi.index_at(func, args[0])
+            result: QValue = func
+            for arg in args:
+                result = bi.index_at(result, arg)
+            return result
+        raise QTypeError(f"cannot apply {type(func).__name__}")
+
+    def _apply_lambda(self, func: QLambda, args: list[QValue]) -> QValue:
+        if len(args) > len(func.params):
+            raise QRankError(
+                f"function of rank {len(func.params)} applied to {len(args)} arguments"
+            )
+        if not args:
+            # f[] supplies the generic null (::) to every parameter, as q does
+            args = [QList([]) for __ in func.params]
+        if len(args) < len(func.params):
+            fixed = list(args) + [None] * (len(func.params) - len(args))
+            return QProjection(func, fixed)
+        locals_ = dict(zip(func.params, args))
+        env = Env(self.globals, locals_)
+        result: QValue = QList([])
+        try:
+            for statement in func.body:
+                result = self.eval(statement, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        return result
+
+    # -- adverb machinery (shared with _AdverbedFunction) ----------------------
+
+    def run_adverb(
+        self, verb: QValue, adverb: str, args: list[QValue]
+    ) -> QValue:
+        if adverb == "'":
+            return self._adverb_each(verb, args)
+        if adverb == "/":
+            return self._adverb_over(verb, args, scan=False)
+        if adverb == "\\":
+            return self._adverb_over(verb, args, scan=True)
+        if adverb == "':":
+            return self._adverb_each_prior(verb, args)
+        if adverb == "/:":
+            return self._adverb_each_right(verb, args)
+        if adverb == "\\:":
+            return self._adverb_each_left(verb, args)
+        raise QNotSupportedError(f"adverb {adverb!r}")
+
+    def _adverb_each(self, verb: QValue, args: list[QValue]) -> QValue:
+        if len(args) == 1:
+            value = args[0]
+            if isinstance(value, QAtom):
+                return self.apply(verb, [value])
+            items = _item_list(value)
+            return _collapse_cells([self.apply(verb, [item]) for item in items])
+        if len(args) == 2:
+            left_items = _item_list(args[0]) if not isinstance(args[0], QAtom) else None
+            right_items = _item_list(args[1]) if not isinstance(args[1], QAtom) else None
+            if left_items is None and right_items is None:
+                return self.apply(verb, args)
+            if left_items is None:
+                assert right_items is not None
+                return _collapse_cells(
+                    [self.apply(verb, [args[0], r]) for r in right_items]
+                )
+            if right_items is None:
+                return _collapse_cells(
+                    [self.apply(verb, [l, args[1]]) for l in left_items]
+                )
+            if len(left_items) != len(right_items):
+                raise QTypeError("each: argument lengths differ")
+            return _collapse_cells(
+                [
+                    self.apply(verb, [l, r])
+                    for l, r in zip(left_items, right_items)
+                ]
+            )
+        raise QRankError("each supports rank 1 and 2")
+
+    def _adverb_over(self, verb: QValue, args: list[QValue], scan: bool) -> QValue:
+        if len(args) == 1:
+            items = _item_list(args[0])
+            if not items:
+                return args[0]
+            acc = items[0]
+            trail = [acc]
+            for item in items[1:]:
+                acc = self.apply(verb, [acc, item])
+                trail.append(acc)
+            return _collapse_cells(trail) if scan else acc
+        if len(args) == 2:
+            acc = args[0]
+            items = _item_list(args[1]) if not isinstance(args[1], QAtom) else [args[1]]
+            trail = []
+            for item in items:
+                acc = self.apply(verb, [acc, item])
+                trail.append(acc)
+            return _collapse_cells(trail) if scan else acc
+        raise QRankError("over supports rank 1 and 2")
+
+    def _adverb_each_prior(self, verb: QValue, args: list[QValue]) -> QValue:
+        value = args[-1]
+        items = _item_list(value)
+        out: list[QValue] = []
+        for i, item in enumerate(items):
+            if i == 0:
+                if len(args) == 2:
+                    out.append(self.apply(verb, [item, args[0]]))
+                else:
+                    out.append(item)
+            else:
+                out.append(self.apply(verb, [item, items[i - 1]]))
+        return _collapse_cells(out)
+
+    def _adverb_each_right(self, verb: QValue, args: list[QValue]) -> QValue:
+        if len(args) != 2:
+            raise QRankError("each-right is dyadic")
+        items = _item_list(args[1]) if not isinstance(args[1], QAtom) else [args[1]]
+        return _collapse_cells([self.apply(verb, [args[0], r]) for r in items])
+
+    def _adverb_each_left(self, verb: QValue, args: list[QValue]) -> QValue:
+        if len(args) != 2:
+            raise QRankError("each-left is dyadic")
+        items = _item_list(args[0]) if not isinstance(args[0], QAtom) else [args[0]]
+        return _collapse_cells([self.apply(verb, [l, args[1]]) for l in items])
+
+
+class _AdverbedFunction(QValue):
+    """A verb bound to an adverb, e.g. the value of ``+/``."""
+
+    __slots__ = ("interp", "verb", "adverb")
+
+    def __init__(self, interp: Interpreter, verb: QValue, adverb: str):
+        self.interp = interp
+        self.verb = verb
+        self.adverb = adverb
+
+    @property
+    def qcode(self) -> int:
+        return 106
+
+    def apply(self, args: list[QValue]) -> QValue:
+        return self.interp.run_adverb(self.verb, self.adverb, args)
+
+    def __repr__(self):
+        return f"_AdverbedFunction({self.verb!r}, {self.adverb!r})"
+
+    def __eq__(self, other):
+        if not isinstance(other, QValue):
+            return NotImplemented
+        return self is other
+
+    __hash__ = None
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _vector_conditional(
+    condition: QValue, then_value: QValue, else_value: QValue
+) -> QValue:
+    """``?[c;a;b]`` — elementwise selection by a boolean list."""
+    if isinstance(condition, QAtom):
+        return then_value if _truthy(condition) else else_value
+    if not isinstance(condition, QVector) or condition.qtype != QType.BOOLEAN:
+        raise QTypeError("?[c;a;b] expects a boolean list condition")
+    n = len(condition)
+
+    def cell(value: QValue, i: int) -> QValue:
+        if isinstance(value, QAtom):
+            return value
+        if length_of(value) != n:
+            raise QLengthError("?[c;a;b] branch length mismatch")
+        return value.atom_at(i)  # type: ignore[union-attr]
+
+    picked = [
+        cell(then_value if flag else else_value, i)
+        for i, flag in enumerate(condition.items)
+    ]
+    return _collapse_cells(picked)
+
+
+def _truthy(value: QValue) -> bool:
+    if isinstance(value, QAtom):
+        return not value.is_null and bool(value.value)
+    if isinstance(value, (QVector, QList)):
+        return length_of(value) > 0 and _truthy(value.atom_at(0))
+    raise QTypeError("condition must be an atom")
+
+
+def _as_table(value: QValue) -> QTable:
+    if isinstance(value, QTable):
+        return value
+    if isinstance(value, QKeyedTable):
+        return value.unkey()
+    raise QTypeError(f"expected a table, got {type(value).__name__}")
+
+
+def _symbol_list(value: QValue, verb: str) -> list[str]:
+    if isinstance(value, QAtom) and value.qtype == QType.SYMBOL:
+        return [value.value]
+    if isinstance(value, QVector) and value.qtype == QType.SYMBOL:
+        return list(value.items)
+    raise QTypeError(f"{verb} expects symbol column names")
+
+
+def _raw_items(value: QValue) -> list:
+    if isinstance(value, QVector):
+        return list(value.items)
+    if isinstance(value, QAtom):
+        return [value.value]
+    raise QTypeError("expected a vector")
+
+
+def _item_list(value: QValue) -> list[QValue]:
+    if isinstance(value, QVector):
+        return [QAtom(value.qtype, raw) for raw in value.items]
+    if isinstance(value, QList):
+        return list(value.items)
+    if isinstance(value, QTable):
+        return [value.row(i) for i in range(len(value))]
+    if isinstance(value, QDict):
+        return _item_list(value.values)
+    raise QTypeError(f"cannot iterate {type(value).__name__}")
+
+
+def _collapse_cells(cells: list[QValue]) -> QValue:
+    if cells and all(isinstance(c, QAtom) for c in cells):
+        return vector_of_atoms(cells)  # type: ignore[arg-type]
+    return QList(cells)
+
+
+def _stretch(value: QValue, target: int) -> QValue:
+    """Broadcast an atom to a column of the requested length."""
+    if isinstance(value, QAtom):
+        return QVector(value.qtype, [value.value] * target)
+    if length_of(value) == target:
+        return value
+    if length_of(value) == 1 and target != 1:
+        if isinstance(value, QVector):
+            return QVector(value.qtype, value.items * target)
+        if isinstance(value, QList):
+            return QList(value.items * target)
+    raise QTypeError(
+        f"column length {length_of(value)} does not match table length {target}"
+    )
+
+
+def _mask_to_indices(mask: QValue, table_len: int) -> list[int]:
+    if isinstance(mask, QAtom):
+        return list(range(table_len)) if _truthy(mask) else []
+    if isinstance(mask, QVector) and mask.qtype == QType.BOOLEAN:
+        if len(mask) != table_len:
+            raise QTypeError("where clause mask length mismatch")
+        return [i for i, flag in enumerate(mask.items) if flag]
+    raise QTypeError("where clause must evaluate to booleans")
+
+
+def _group_sort_key(key: tuple):
+    """Sort by-group keys ascending with q's nulls-first convention.
+
+    Each element of ``key`` is a ``(type_name, value)`` pair produced by
+    :func:`_hashable_cell`; values within one grouping column share a type,
+    so plain tuple comparison is safe apart from the null sentinels.
+    """
+    from repro.qlang.builtins import _sort_key as raw_sort_key
+    from repro.qlang.qtypes import QType
+
+    out = []
+    for type_name, value in key:
+        if type_name == "complex":
+            out.append((1, value))
+            continue
+        if value == "0n" and type_name in ("FLOAT", "REAL", "DATETIME"):
+            out.append((0, 0))  # the NaN placeholder from _hashable_cell
+            continue
+        qtype = QType[type_name] if type_name in QType.__members__ else None
+        if qtype is not None:
+            out.append(raw_sort_key(qtype, value))
+        else:
+            out.append((1, value))
+    return tuple(out)
+
+
+def _hashable_cell(vec: QValue, index: int):
+    cell = vec.atom_at(index) if isinstance(vec, (QVector, QList, QTable)) else vec
+    if isinstance(cell, QAtom):
+        value = cell.value
+        if isinstance(value, float) and value != value:
+            value = "0n"
+        return (cell.qtype.name, value)
+    from repro.qlang.printer import format_value
+
+    return ("complex", format_value(cell))
+
+
+def _empty_like(col: QValue) -> QValue:
+    if isinstance(col, QVector):
+        return QVector(col.qtype, [])
+    return QList([])
+
+
+def _column_env(table: QTable, env: Env) -> Env:
+    locals_ = dict(env.locals) if env.locals else {}
+    for name, col in zip(table.columns, table.data):
+        locals_[name] = col
+    # expose the row index (q's `i` inside templates)
+    locals_["i"] = long_vector(range(len(table)))
+    return Env(env.globals, locals_)
+
+
+def _amend(
+    current: QValue,
+    indices: list[QValue],
+    value: QValue,
+    op: str | None,
+    interp: Interpreter,
+) -> QValue:
+    if len(indices) != 1:
+        raise QNotSupportedError("deep amend with multiple indices")
+    index = indices[0]
+    if isinstance(current, QVector) and isinstance(index, QAtom):
+        items = list(current.items)
+        i = int(index.value)
+        new_value = value
+        if op is not None:
+            new_value = interp._apply_dyad(op, current.atom_at(i), value)
+        if not isinstance(new_value, QAtom):
+            raise QTypeError("amend value must be an atom")
+        items[i] = new_value.value
+        return QVector(current.qtype, items)
+    if isinstance(current, QVector) and isinstance(index, QVector):
+        items = list(current.items)
+        stretched = _stretch(value, len(index)) if isinstance(value, QAtom) else value
+        for offset, i in enumerate(index.items):
+            cell = (
+                stretched.atom_at(offset)
+                if isinstance(stretched, (QVector, QList))
+                else stretched
+            )
+            if op is not None:
+                cell = interp._apply_dyad(op, current.atom_at(int(i)), cell)
+            assert isinstance(cell, QAtom)
+            items[int(i)] = cell.value
+        return QVector(current.qtype, items)
+    if isinstance(current, QDict):
+        keys = list(_item_list(current.keys))
+        values = list(_item_list(current.values))
+        for j, key in enumerate(keys):
+            if q_match(key, index):
+                values[j] = value if op is None else interp._apply_dyad(
+                    op, values[j], value
+                )
+                break
+        else:
+            keys.append(index)
+            values.append(value)
+        return QDict(_collapse_cells(keys), _collapse_cells(values))
+    raise QNotSupportedError(
+        f"amend of {type(current).__name__} by {type(index).__name__}"
+    )
+
+
+def _xkey(columns: list[str], table: QValue) -> QValue:
+    t = _as_table(table)
+    for name in columns:
+        if not t.has_column(name):
+            raise QTypeError(f"xkey column {name!r} not in table")
+    value_cols = [c for c in t.columns if c not in columns]
+    key_table = QTable(columns, [t.column(c) for c in columns])
+    value_table = QTable(value_cols, [t.column(c) for c in value_cols])
+    return QKeyedTable(key_table, value_table)
+
+
+# ---------------------------------------------------------------------------
+# Verb registries
+# ---------------------------------------------------------------------------
+
+
+def _build_dyads() -> dict[str, Callable[[QValue, QValue], QValue]]:
+    def wrap(atom_fn):
+        return lambda a, b: bi.broadcast_dyad(atom_fn, a, b)
+
+    def q_bang(a: QValue, b: QValue) -> QValue:
+        # keys!values dict, or n!table keying
+        if isinstance(a, QAtom) and a.qtype.is_integral and isinstance(
+            b, (QTable, QKeyedTable)
+        ):
+            n = int(a.value)
+            table = _as_table(b)
+            if n == 0:
+                return table
+            return _xkey(table.columns[:n], table)
+        if a.is_list_like or isinstance(a, QAtom):
+            keys = a if a.is_list_like else enlist(a)
+            values = b if b.is_list_like else enlist(b)
+            return QDict(keys, values)
+        raise QTypeError("! expects keys!values or n!table")
+
+    def q_query(a: QValue, b: QValue) -> QValue:
+        # list?item -> find;  n?m / n?list -> roll/deal (via interpreter RNG
+        # wired in Interpreter.__init__ through a closure would be cleaner,
+        # but find is the only deterministic part needed by workloads)
+        if isinstance(a, (QVector, QList)):
+            return bi.find(a, b)
+        raise QNotSupportedError("?: roll/deal — use deterministic workloads")
+
+    def q_dollar(a: QValue, b: QValue) -> QValue:
+        return bi.cast(a, b)
+
+    def q_at(a: QValue, b: QValue) -> QValue:
+        return bi.index_at(a, b)
+
+    def q_match_verb(a: QValue, b: QValue) -> QValue:
+        return QAtom(QType.BOOLEAN, q_match(a, b))
+
+    def q_take(a: QValue, b: QValue) -> QValue:
+        return bi.take(a, b)
+
+    def q_drop(a: QValue, b: QValue) -> QValue:
+        return bi.drop(a, b)
+
+    def q_concat(a: QValue, b: QValue) -> QValue:
+        return bi.concat(a, b)
+
+    return {
+        "+": wrap(bi.add),
+        "-": wrap(bi.subtract),
+        "*": wrap(bi.multiply),
+        "%": wrap(bi.divide),
+        "&": wrap(bi.q_and),
+        "|": wrap(bi.q_or),
+        "^": wrap(bi.fill),
+        "=": wrap(bi.q_equals),
+        "<>": wrap(bi.q_not_equals),
+        "<": wrap(bi.less),
+        "<=": wrap(bi.less_eq),
+        ">": wrap(bi.greater),
+        ">=": wrap(bi.greater_eq),
+        ",": q_concat,
+        "#": q_take,
+        "_": q_drop,
+        "!": q_bang,
+        "?": q_query,
+        "$": q_dollar,
+        "@": q_at,
+        "~": q_match_verb,
+        "xbar": wrap(bi.xbar),
+    }
+
+
+def _build_monads() -> dict[str, Callable[[QValue], QValue]]:
+    def neg_monad(v: QValue) -> QValue:
+        return bi.broadcast_monad(bi.neg, v)
+
+    return {
+        "-": neg_monad,
+        "+": bi.flip,
+        "*": bi.first,
+        "#": bi.count,
+        "_": lambda v: bi.broadcast_monad(bi.floor_, v),
+        "?": bi.distinct,
+        "|": bi.reverse,
+        "&": bi.where,
+        "=": bi.group,
+        "<": bi.iasc,
+        ">": bi.idesc,
+        "~": lambda v: bi.broadcast_monad(bi.q_not, v),
+        "^": bi.q_null,
+        "!": bi.q_key,
+        ".": bi.q_value,
+        "$": bi.q_string,
+        ",": enlist,
+    }
+
+
+def _build_keywords(interp: Interpreter) -> dict[str, QValue]:
+    def monadic(name: str, fn) -> QBuiltin:
+        return QBuiltin(name, fn, 1)
+
+    def dyadic(name: str, fn) -> QBuiltin:
+        return QBuiltin(name, fn, 2)
+
+    def wrap_monad(atom_fn):
+        return lambda v: bi.broadcast_monad(atom_fn, v)
+
+    def wrap_dyad(atom_fn):
+        return lambda a, b: bi.broadcast_dyad(atom_fn, a, b)
+
+    def xasc(columns: QValue, table: QValue) -> QValue:
+        return _sort_table(columns, table, descending=False)
+
+    def xdesc(columns: QValue, table: QValue) -> QValue:
+        return _sort_table(columns, table, descending=True)
+
+    def _sort_table(columns: QValue, table: QValue, descending: bool) -> QValue:
+        t = _as_table(table)
+        names = _symbol_list(columns, "xasc")
+        keys = []
+        for i in range(len(t)):
+            row_key = []
+            for name in names:
+                col = t.column(name)
+                if isinstance(col, QVector):
+                    row_key.append(bi._sort_key(col.qtype, col.items[i]))
+                else:
+                    row_key.append(("z", i))
+            keys.append((tuple(row_key), i))
+        keys.sort(key=lambda pair: pair[0], reverse=descending)
+        return t.take([i for __, i in keys])
+
+    def xcol(names: QValue, table: QValue) -> QValue:
+        t = _as_table(table)
+        if isinstance(names, QDict):
+            mapping = {
+                k.value: v.value
+                for k, v in zip(_item_list(names.keys), _item_list(names.values))
+                if isinstance(k, QAtom) and isinstance(v, QAtom)
+            }
+            new_names = [mapping.get(c, c) for c in t.columns]
+            return QTable(new_names, t.data)
+        new = _symbol_list(names, "xcol")
+        renamed = new + t.columns[len(new):]
+        return QTable(renamed, t.data)
+
+    def xkey(columns: QValue, table: QValue) -> QValue:
+        return _xkey(_symbol_list(columns, "xkey"), table)
+
+    def lj(left: QValue, right: QValue) -> QValue:
+        if not isinstance(right, QKeyedTable):
+            raise QTypeError("lj expects a keyed table on the right")
+        return joins.left_join(_as_table(left), right)
+
+    def ij(left: QValue, right: QValue) -> QValue:
+        if not isinstance(right, QKeyedTable):
+            raise QTypeError("ij expects a keyed table on the right")
+        return joins.inner_join(_as_table(left), right)
+
+    def uj(left: QValue, right: QValue) -> QValue:
+        return joins.union_join(_as_table(left), _as_table(right))
+
+    def insert(target: QValue, rows: QValue) -> QValue:
+        if not (isinstance(target, QAtom) and target.qtype == QType.SYMBOL):
+            raise QTypeError("insert expects a global table name")
+        table = interp.globals.get(target.value)
+        if not isinstance(table, QTable):
+            raise QNameError(f"no global table {target.value!r}")
+        new_rows = _rows_value_to_table(rows, table)
+        combined = joins.union_join(table, new_rows)
+        interp.globals[target.value] = combined
+        return long_vector(range(len(table), len(combined)))
+
+    def upsert(target: QValue, rows: QValue) -> QValue:
+        return insert(target, rows)
+
+    def _separator_text(sep: QValue) -> str | None:
+        if isinstance(sep, QAtom) and sep.qtype == QType.CHAR:
+            return sep.value
+        if isinstance(sep, QVector) and sep.qtype == QType.CHAR:
+            return "".join(sep.items)
+        return None
+
+    def vs(sep: QValue, text: QValue) -> QValue:
+        sep_text = _separator_text(sep)
+        if sep_text is not None and isinstance(text, QVector):
+            pieces = "".join(text.items).split(sep_text)
+            return QList([QVector(QType.CHAR, list(p)) for p in pieces])
+        raise QNotSupportedError("vs variant")
+
+    def sv(sep: QValue, parts: QValue) -> QValue:
+        sep_text = _separator_text(sep)
+        if sep_text is not None and isinstance(parts, QList):
+            texts = []
+            for item in parts.items:
+                if isinstance(item, QVector) and item.qtype == QType.CHAR:
+                    texts.append("".join(item.items))
+                else:
+                    raise QTypeError("sv expects strings")
+            return QVector(QType.CHAR, list(sep_text.join(texts)))
+        raise QNotSupportedError("sv variant")
+
+    def lower(value: QValue) -> QValue:
+        return _case(value, str.lower)
+
+    def upper(value: QValue) -> QValue:
+        return _case(value, str.upper)
+
+    def _case(value: QValue, fn) -> QValue:
+        if isinstance(value, QAtom) and value.qtype == QType.SYMBOL:
+            return QAtom(QType.SYMBOL, fn(value.value))
+        if isinstance(value, QVector) and value.qtype == QType.CHAR:
+            return QVector(QType.CHAR, [fn(c) for c in value.items])
+        if isinstance(value, QVector) and value.qtype == QType.SYMBOL:
+            return QVector(QType.SYMBOL, [fn(s) for s in value.items])
+        raise QTypeError("lower/upper expects symbols or strings")
+
+    def q_all(value: QValue) -> QValue:
+        items = _item_list(value) if not isinstance(value, QAtom) else [value]
+        return QAtom(
+            QType.BOOLEAN,
+            all(isinstance(i, QAtom) and bool(i.value) for i in items),
+        )
+
+    def q_any(value: QValue) -> QValue:
+        items = _item_list(value) if not isinstance(value, QAtom) else [value]
+        return QAtom(
+            QType.BOOLEAN,
+            any(isinstance(i, QAtom) and bool(i.value) for i in items),
+        )
+
+    def keys_fn(value: QValue) -> QValue:
+        if isinstance(value, QKeyedTable):
+            return QVector(QType.SYMBOL, value.key.columns)
+        raise QTypeError("keys expects a keyed table")
+
+    def fby(spec: QValue, groups: QValue) -> QValue:
+        """``(agg; data) fby group`` — per-group aggregate, broadcast back
+        to every row of the group (q's filter-by idiom)."""
+        if not isinstance(spec, QList) or len(spec.items) != 2:
+            raise QTypeError("fby expects (aggregate; data) on the left")
+        fn_value, data = spec.items
+        if not isinstance(groups, (QVector, QList)):
+            raise QTypeError("fby group must be a list")
+        if not isinstance(data, (QVector, QList)):
+            raise QTypeError("fby data must be a list")
+        if length_of(data) != length_of(groups):
+            raise QLengthError("fby data and group lengths differ")
+        buckets: dict = {}
+        order: list = []
+        group_items = _item_list(groups)
+        for i, key_atom in enumerate(group_items):
+            key = (
+                (key_atom.qtype.name, key_atom.value)
+                if isinstance(key_atom, QAtom)
+                else ("complex", repr(key_atom))
+            )
+            if isinstance(key[1], float) and key[1] != key[1]:
+                key = (key[0], "0n")
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(i)
+        results: dict[int, QValue] = {}
+        for key in order:
+            rows = buckets[key]
+            window = take_value(data, rows)
+            value = interp.apply(fn_value, [window])
+            for row in rows:
+                results[row] = value
+        return _collapse_cells([results[i] for i in range(len(group_items))])
+
+    def differ_fn(value: QValue) -> QValue:
+        """``differ`` — true where an item differs from its predecessor;
+        the first item is always true."""
+        if not isinstance(value, (QVector, QList)):
+            raise QTypeError("differ expects a list")
+        items = _item_list(value)
+        out = []
+        for i, item in enumerate(items):
+            out.append(i == 0 or not q_match(item, items[i - 1]))
+        from repro.qlang.values import bool_vector
+
+        return bool_vector(out)
+
+    def tables_fn(__: QValue) -> QValue:
+        """``tables[]`` — names of global tables, sorted (as q does)."""
+        names = sorted(
+            name
+            for name, value in interp.globals.items()
+            if isinstance(value, (QTable, QKeyedTable))
+        )
+        return QVector(QType.SYMBOL, names)
+
+    keywords: dict[str, QValue] = {
+        "til": monadic("til", bi.til),
+        "count": monadic("count", bi.count),
+        "first": monadic("first", bi.first),
+        "last": monadic("last", bi.last),
+        "reverse": monadic("reverse", bi.reverse),
+        "distinct": monadic("distinct", bi.distinct),
+        "where": monadic("where", bi.where),
+        "group": monadic("group", bi.group),
+        "iasc": monadic("iasc", bi.iasc),
+        "idesc": monadic("idesc", bi.idesc),
+        "asc": monadic("asc", bi.asc),
+        "desc": monadic("desc", bi.desc),
+        "sums": monadic("sums", bi.sums),
+        "prds": monadic("prds", bi.prds),
+        "maxs": monadic("maxs", bi.maxs),
+        "mins": monadic("mins", bi.mins),
+        "deltas": monadic("deltas", bi.deltas),
+        "ratios": monadic("ratios", bi.ratios),
+        "fills": monadic("fills", bi.fills),
+        "next": monadic("next", bi.next_),
+        "prev": monadic("prev", bi.prev_),
+        "neg": monadic("neg", wrap_monad(bi.neg)),
+        "abs": monadic("abs", wrap_monad(bi.q_abs)),
+        "sqrt": monadic("sqrt", wrap_monad(bi.sqrt)),
+        "exp": monadic("exp", wrap_monad(bi.exp)),
+        "log": monadic("log", wrap_monad(bi.log)),
+        "floor": monadic("floor", wrap_monad(bi.floor_)),
+        "ceiling": monadic("ceiling", wrap_monad(bi.ceiling)),
+        "signum": monadic("signum", wrap_monad(bi.signum)),
+        "not": monadic("not", wrap_monad(bi.q_not)),
+        "null": monadic("null", bi.q_null),
+        "raze": monadic("raze", bi.raze),
+        "flip": monadic("flip", bi.flip),
+        "key": monadic("key", bi.q_key),
+        "keys": monadic("keys", keys_fn),
+        "tables": monadic("tables", tables_fn),
+        "fby": dyadic("fby", fby),
+        "differ": monadic("differ", differ_fn),
+        "value": monadic("value", bi.q_value),
+        "cols": monadic("cols", bi.cols),
+        "meta": monadic("meta", bi.meta),
+        "type": monadic("type", bi.q_type),
+        "string": monadic("string", bi.q_string),
+        "enlist": monadic("enlist", enlist),
+        "sum": monadic("sum", bi.q_sum),
+        "avg": monadic("avg", bi.q_avg),
+        "min": monadic("min", bi.q_min),
+        "max": monadic("max", bi.q_max),
+        "med": monadic("med", bi.q_med),
+        "dev": monadic("dev", bi.q_dev),
+        "var": monadic("var", bi.q_var),
+        "prd": monadic("prd", bi.q_prd),
+        "all": monadic("all", q_all),
+        "any": monadic("any", q_any),
+        "lower": monadic("lower", lower),
+        "upper": monadic("upper", upper),
+        "in": dyadic("in", bi.q_in),
+        "within": dyadic("within", bi.within),
+        "like": dyadic("like", bi.like),
+        "except": dyadic("except", bi.except_),
+        "inter": dyadic("inter", bi.inter),
+        "union": dyadic("union", bi.union),
+        "cross": dyadic("cross", bi.cross),
+        "bin": dyadic("bin", bi.bin_),
+        "binr": dyadic("binr", bi.bin_),
+        "mod": dyadic("mod", wrap_dyad(bi.modulo)),
+        "div": dyadic("div", wrap_dyad(bi.int_divide)),
+        "and": dyadic("and", wrap_dyad(bi.q_and)),
+        "or": dyadic("or", wrap_dyad(bi.q_or)),
+        "xbar": dyadic("xbar", wrap_dyad(bi.xbar)),
+        "xprev": dyadic("xprev", lambda n, v: bi.xprev(_as_atom(n), v)),
+        "wavg": dyadic("wavg", bi.wavg),
+        "wsum": dyadic("wsum", bi.wsum),
+        "mavg": dyadic("mavg", lambda n, v: bi.mavg(_as_atom(n), v)),
+        "msum": dyadic("msum", lambda n, v: bi.msum(_as_atom(n), v)),
+        "mcount": dyadic("mcount", lambda n, v: bi.mcount(_as_atom(n), v)),
+        "mmax": dyadic("mmax", lambda n, v: bi.mmax(_as_atom(n), v)),
+        "mmin": dyadic("mmin", lambda n, v: bi.mmin(_as_atom(n), v)),
+        "mdev": dyadic("mdev", lambda n, v: bi.mdev(_as_atom(n), v)),
+        "sublist": dyadic("sublist", bi.sublist),
+        "take": dyadic("take", bi.take),
+        "cut": dyadic("cut", bi.cut),
+        "xasc": dyadic("xasc", xasc),
+        "xdesc": dyadic("xdesc", xdesc),
+        "xcol": dyadic("xcol", xcol),
+        "xkey": dyadic("xkey", xkey),
+        "lj": dyadic("lj", lj),
+        "ij": dyadic("ij", ij),
+        "uj": dyadic("uj", uj),
+        "insert": dyadic("insert", insert),
+        "upsert": dyadic("upsert", upsert),
+        "vs": dyadic("vs", vs),
+        "sv": dyadic("sv", sv),
+    }
+    return keywords
+
+
+def _as_atom(value: QValue) -> QAtom:
+    if isinstance(value, QAtom):
+        return value
+    raise QTypeError("expected an atom argument")
+
+
+def _rows_value_to_table(rows: QValue, template: QTable) -> QTable:
+    if isinstance(rows, QTable):
+        return rows
+    if isinstance(rows, QDict):
+        keys = _item_list(rows.keys)
+        values = _item_list(rows.values)
+        names = [k.value for k in keys if isinstance(k, QAtom)]
+        data = [enlist(v) if isinstance(v, QAtom) else v for v in values]
+        return QTable(names, data)
+    if isinstance(rows, QList) and len(rows.items) == len(template.columns):
+        data = [enlist(v) if isinstance(v, QAtom) else v for v in rows.items]
+        return QTable(list(template.columns), data)
+    raise QTypeError("insert expects a table, dict or row list")

@@ -1,0 +1,587 @@
+"""Lightweight recursive-descent parser for Q.
+
+Design follows the paper (Section 3.2.1): the parser's *only* role is to
+build an abstract representation of the query.  It performs no name
+resolution and no type inference — a variable reference stays a
+:class:`~repro.qlang.ast.Name` until the binder or interpreter resolves it.
+
+The grammar peculiarities handled here:
+
+* strict right-to-left evaluation with **no operator precedence**:
+  ``2*3+4`` parses as ``2*(3+4)``;
+* juxtaposition is application: ``count trades`` applies ``count``;
+* adjacent numeric literals merge into one vector literal (``1 2 3``);
+* ``,`` is the join verb *except* at the top level of template column and
+  constraint lists, where it separates entries;
+* select/exec/update/delete templates with ``by``/``from``/``where``;
+* lambdas with explicit ``[a;b]`` or implicit ``x y z`` parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QSyntaxError
+from repro.qlang import ast
+from repro.qlang.ast import ColumnSpec, Node
+from repro.qlang.lexer import Token, TokenKind, tokenize
+from repro.qlang.qtypes import QType, promote
+from repro.qlang.values import QAtom, QList, QValue, QVector, q_string
+
+#: Named verbs that may be used infix between two nouns (``x in y``).
+INFIX_NAMES = frozenset(
+    {
+        "in", "within", "like", "and", "or", "except", "inter", "union",
+        "mod", "div", "xbar", "xprev", "xasc", "xdesc", "xcol", "xkey",
+        "cross", "cut", "each", "over", "scan", "prior",
+        "mavg", "msum", "mmax", "mmin", "mcount",
+        "mdev", "sublist", "vs", "sv", "set", "insert", "upsert", "wavg",
+        "wsum", "lj", "ij", "uj", "ej", "pj", "bin", "binr", "ss", "ssr",
+        "take", "rotate", "fill", "fby",
+    }
+)
+
+#: Tokens that always terminate an expression.
+_HARD_STOPS = frozenset({TokenKind.SEMI, TokenKind.RPAREN, TokenKind.RBRACKET,
+                         TokenKind.RBRACE, TokenKind.EOF})
+
+
+@dataclass
+class _Verb(Node):
+    """Internal: an operator appearing as a stand-alone factor (``+/`` ...).
+
+    Exposed through :class:`ast.AdverbApply`/``UnOp`` in the final tree; a
+    bare verb used as a value becomes ``ast.Name`` of the operator text so
+    downstream components have a single representation for callables.
+    """
+
+    op: str
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token stream helpers -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> Token:
+        i = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            raise QSyntaxError(
+                f"expected {text or kind.name} at position {token.pos}, "
+                f"found {token.text!r}"
+            )
+        return self.advance()
+
+    def _error(self, message: str) -> QSyntaxError:
+        return QSyntaxError(f"{message} at position {self.current.pos} "
+                            f"(near {self.current.text!r})")
+
+    # -- entry points ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Statements:
+        statements: list[Node] = []
+        while self.current.kind != TokenKind.EOF:
+            if self.current.kind == TokenKind.SEMI:
+                self.advance()
+                continue
+            statements.append(self.parse_statement(frozenset()))
+        return ast.Statements(statements)
+
+    def parse_statement(self, stop: frozenset[str]) -> Node:
+        token = self.current
+        # Early return `:expr` (only meaningful inside lambdas, but the
+        # parser does not police context — the interpreter does).
+        if token.kind == TokenKind.OPERATOR and token.text == ":":
+            self.advance()
+            return ast.Return(self.parse_expr(stop), pos=token.pos)
+        if token.kind == TokenKind.ADVERB and token.text == "'":
+            self.advance()
+            return ast.Signal(self.parse_expr(stop), pos=token.pos)
+        return self.parse_expr(stop)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _at_stop(self, stop: frozenset[str]) -> bool:
+        token = self.current
+        if token.kind in _HARD_STOPS:
+            return True
+        if token.kind == TokenKind.COMMA and "," in stop:
+            return True
+        if token.kind == TokenKind.KEYWORD and token.text in stop:
+            return True
+        return False
+
+    def parse_expr(self, stop: frozenset[str]) -> Node:
+        if self._at_stop(stop):
+            raise self._error("expected an expression")
+        first = self.parse_factor(stop)
+
+        if isinstance(first, _Verb):
+            # A verb at the head of an expression is a monadic application
+            # (e.g. `-x`), or a naked verb value when nothing follows.
+            if self._at_stop(stop):
+                return ast.Name(first.op, pos=first.pos)
+            operand = self.parse_expr(stop)
+            return ast.UnOp(first.op, operand, pos=first.pos)
+
+        return self._continue_expr(first, stop)
+
+    def _continue_expr(self, first: Node, stop: frozenset[str]) -> Node:
+        """Given a parsed noun, consume the remainder of the expression."""
+        if self._at_stop(stop):
+            return first
+
+        token = self.current
+
+        # Assignment: name [indices] ':' expr   or compound  name op ':' expr
+        assign = self._try_parse_assignment(first, stop)
+        if assign is not None:
+            return assign
+
+        # Dyadic operator (with optional glued adverbs): a + b
+        if token.kind in (TokenKind.OPERATOR, TokenKind.COMMA):
+            op = self.advance().text
+            verb: Node | str = op
+            while (
+                self.current.kind == TokenKind.ADVERB and self.current.glued
+            ):
+                verb = ast.AdverbApply(verb, self.advance().text, pos=token.pos)
+            if self._at_stop(stop):
+                # trailing verb: projection `f[x;]`-ish; treat as partial
+                return ast.Apply(
+                    _verb_node(verb, token.pos), [first, None], pos=token.pos
+                )
+            right = self.parse_expr(stop)
+            if isinstance(verb, str):
+                return ast.BinOp(verb, first, right, pos=token.pos)
+            return ast.Apply(verb, [first, right], pos=token.pos)
+
+        # Infix named verb: x in y, t lj kt ...
+        if token.kind == TokenKind.NAME and token.text in INFIX_NAMES:
+            name = self.advance().text
+            verb2: Node | str = name
+            while self.current.kind == TokenKind.ADVERB and self.current.glued:
+                verb2 = ast.AdverbApply(
+                    ast.Name(name, pos=token.pos) if isinstance(verb2, str) else verb2,
+                    self.advance().text,
+                    pos=token.pos,
+                )
+            right = self.parse_expr(stop)
+            if isinstance(verb2, str):
+                return ast.BinOp(name, first, right, pos=token.pos)
+            return ast.Apply(verb2, [first, right], pos=token.pos)
+
+        # Adverbed application used dyadically after a noun: x +/ y handled
+        # above; a bare adverb here modifies the *noun* (e.g. f' where f is
+        # a variable holding a function).
+        if token.kind == TokenKind.ADVERB:
+            adverbed: Node = ast.AdverbApply(first, self.advance().text, pos=token.pos)
+            adverbed = self._parse_postfix(adverbed, stop)
+            return self._continue_expr(adverbed, stop)
+
+        # Juxtaposition: noun noun == apply first to the rest — unless the
+        # second factor is an adverbed function (`x f' y`), which is used
+        # infix as a dyadic verb.
+        if self._starts_noun(token):
+            second = self.parse_factor(stop)
+            if isinstance(second, ast.AdverbApply) and not self._at_stop(stop):
+                right = self.parse_expr(stop)
+                return ast.Apply(second, [first, right], pos=token.pos)
+            if isinstance(second, _Verb):
+                raise self._error("unexpected verb")
+            rest = self._continue_expr(second, stop)
+            return ast.Apply(first, [rest], pos=token.pos)
+
+        return first
+
+    def _try_parse_assignment(self, first: Node, stop: frozenset[str]) -> Node | None:
+        token = self.current
+        target, indices = _assignment_target(first)
+        if target is None:
+            return None
+        # x:: expr  — global assignment
+        if token.kind == TokenKind.OPERATOR and token.text == "::":
+            self.advance()
+            value = self.parse_expr(stop)
+            return ast.Assign(target, value, global_scope=True,
+                              indices=indices, pos=token.pos)
+        # x: expr
+        if token.kind == TokenKind.OPERATOR and token.text == ":":
+            self.advance()
+            value = self.parse_expr(stop)
+            return ast.Assign(target, value, indices=indices, pos=token.pos)
+        # x+: expr / x,:expr ...
+        if (
+            token.kind in (TokenKind.OPERATOR, TokenKind.COMMA)
+            and token.text != ":"
+            and self.peek().kind == TokenKind.OPERATOR
+            and self.peek().text == ":"
+            and self.peek().glued
+        ):
+            op = self.advance().text
+            self.advance()  # ':'
+            value = self.parse_expr(stop)
+            return ast.Assign(target, value, op=op, indices=indices, pos=token.pos)
+        return None
+
+    @staticmethod
+    def _starts_noun(token: Token) -> bool:
+        if token.kind in (
+            TokenKind.NUMBER,
+            TokenKind.SYMBOL,
+            TokenKind.STRING,
+            TokenKind.NAME,
+            TokenKind.LPAREN,
+            TokenKind.LBRACE,
+        ):
+            return True
+        if token.kind == TokenKind.KEYWORD and token.text in (
+            "select",
+            "exec",
+            "update",
+            "delete",
+            "where",
+        ):
+            return True
+        if token.kind == TokenKind.OPERATOR:
+            return True  # verb used monadically within juxtaposition
+        return False
+
+    # -- factors --------------------------------------------------------------
+
+    def parse_factor(self, stop: frozenset[str]) -> Node:
+        token = self.current
+
+        if token.kind == TokenKind.NUMBER:
+            node: Node = ast.Literal(self._merge_number_run(), pos=token.pos)
+            return self._parse_postfix(node, stop)
+
+        if token.kind == TokenKind.SYMBOL:
+            self.advance()
+            value = token.value
+            assert isinstance(value, QValue)
+            return self._parse_postfix(ast.Literal(value, pos=token.pos), stop)
+
+        if token.kind == TokenKind.STRING:
+            self.advance()
+            return self._parse_postfix(
+                ast.Literal(q_string(str(token.value)), pos=token.pos), stop
+            )
+
+        if token.kind == TokenKind.NAME:
+            self.advance()
+            return self._parse_postfix(ast.Name(token.text, pos=token.pos), stop)
+
+        if token.kind == TokenKind.KEYWORD and token.text in (
+            "select",
+            "exec",
+            "update",
+            "delete",
+        ):
+            return self.parse_template()
+
+        # `where` doubles as an ordinary q keyword function outside the
+        # template clause position (e.g. `where 101b`).
+        if token.kind == TokenKind.KEYWORD and token.text == "where":
+            self.advance()
+            return self._parse_postfix(ast.Name("where", pos=token.pos), stop)
+
+        if token.kind == TokenKind.LPAREN:
+            return self._parse_postfix(self._parse_paren(), stop)
+
+        if token.kind == TokenKind.LBRACE:
+            return self._parse_postfix(self._parse_lambda(), stop)
+
+        if token.kind in (TokenKind.OPERATOR, TokenKind.COMMA):
+            self.advance()
+            verb = _Verb(token.text, pos=token.pos)
+            # $[c;t;f] conditional
+            if token.text == "$" and self.current.kind == TokenKind.LBRACKET:
+                branches = self._parse_bracket_args()
+                return ast.Cond(
+                    [b for b in branches if b is not None], pos=token.pos
+                )
+            # functional forms ?[...] ![...] @[...] .[...] and projections +[1;]
+            if self.current.kind == TokenKind.LBRACKET:
+                args = self._parse_bracket_args()
+                node = ast.Apply(_verb_node(token.text, token.pos), args,
+                                 pos=token.pos)
+                return self._parse_postfix(node, stop)
+            # verb with glued adverb: +/ etc.
+            if self.current.kind == TokenKind.ADVERB and self.current.glued:
+                verb_node: Node | str = token.text
+                while self.current.kind == TokenKind.ADVERB and self.current.glued:
+                    verb_node = ast.AdverbApply(
+                        verb_node, self.advance().text, pos=token.pos
+                    )
+                assert isinstance(verb_node, ast.AdverbApply)
+                return self._parse_postfix(verb_node, stop)
+            return verb
+
+        raise self._error("unexpected token")
+
+    def _merge_number_run(self) -> QValue:
+        """Merge adjacent numeric literal atoms into a vector literal."""
+        atoms: list[QValue] = []
+        while self.current.kind == TokenKind.NUMBER:
+            value = self.current.value
+            assert isinstance(value, QValue)
+            atoms.append(value)
+            self.advance()
+            # A following literal must be separated by whitespace to merge.
+            if self.current.kind != TokenKind.NUMBER or self.current.glued:
+                break
+        if len(atoms) == 1:
+            return atoms[0]
+        return _merge_atoms(atoms)
+
+    def _parse_postfix(self, node: Node, stop: frozenset[str]) -> Node:
+        """Bracket application and glued adverbs bind tighter than verbs."""
+        while True:
+            token = self.current
+            if token.kind == TokenKind.LBRACKET:
+                args = self._parse_bracket_args()
+                node = ast.Apply(node, args, pos=token.pos)
+            elif token.kind == TokenKind.ADVERB and token.glued:
+                node = ast.AdverbApply(node, self.advance().text, pos=token.pos)
+            else:
+                return node
+
+    def _parse_bracket_args(self) -> list[Node | None]:
+        self.expect(TokenKind.LBRACKET)
+        args: list[Node | None] = []
+        while True:
+            if self.current.kind == TokenKind.RBRACKET:
+                if not args:
+                    args = []  # f[] — niladic call
+                self.advance()
+                return args
+            if self.current.kind == TokenKind.SEMI:
+                args.append(None)
+                self.advance()
+                continue
+            args.append(self.parse_statement(frozenset()))
+            if self.current.kind == TokenKind.SEMI:
+                self.advance()
+                if self.current.kind == TokenKind.RBRACKET:
+                    args.append(None)
+            elif self.current.kind != TokenKind.RBRACKET:
+                raise self._error("expected ';' or ']' in argument list")
+
+    def _parse_paren(self) -> Node:
+        lparen = self.expect(TokenKind.LPAREN)
+        # table literal ([] ...) / ([k:...] ...)
+        if self.current.kind == TokenKind.LBRACKET:
+            return self._parse_table_literal(lparen.pos)
+        if self.current.kind == TokenKind.RPAREN:
+            self.advance()
+            return ast.Literal(QList([]), pos=lparen.pos)
+        items = [self.parse_statement(frozenset())]
+        while self.current.kind == TokenKind.SEMI:
+            self.advance()
+            items.append(self.parse_statement(frozenset()))
+        self.expect(TokenKind.RPAREN)
+        if len(items) == 1:
+            return items[0]
+        return ast.ListExpr(items, pos=lparen.pos)
+
+    def _parse_table_literal(self, pos: int) -> Node:
+        self.expect(TokenKind.LBRACKET)
+        key_columns: list[tuple[str, Node]] = []
+        while self.current.kind != TokenKind.RBRACKET:
+            key_columns.append(self._parse_named_column())
+            if self.current.kind == TokenKind.SEMI:
+                self.advance()
+        self.expect(TokenKind.RBRACKET)
+        columns: list[tuple[str, Node]] = []
+        while self.current.kind != TokenKind.RPAREN:
+            columns.append(self._parse_named_column())
+            if self.current.kind == TokenKind.SEMI:
+                self.advance()
+        self.expect(TokenKind.RPAREN)
+        return ast.TableExpr(key_columns, columns, pos=pos)
+
+    def _parse_named_column(self) -> tuple[str, Node]:
+        name_token = self.expect(TokenKind.NAME)
+        self.expect(TokenKind.OPERATOR, ":")
+        expr = self.parse_expr(frozenset())
+        return name_token.text, expr
+
+    def _parse_lambda(self) -> Node:
+        lbrace = self.expect(TokenKind.LBRACE)
+        params: list[str] = []
+        explicit = False
+        if self.current.kind == TokenKind.LBRACKET:
+            explicit = True
+            self.advance()
+            while self.current.kind != TokenKind.RBRACKET:
+                params.append(self.expect(TokenKind.NAME).text)
+                if self.current.kind == TokenKind.SEMI:
+                    self.advance()
+            self.advance()
+        body: list[Node] = []
+        while self.current.kind != TokenKind.RBRACE:
+            if self.current.kind == TokenKind.SEMI:
+                self.advance()
+                continue
+            body.append(self.parse_statement(frozenset()))
+        end = self.expect(TokenKind.RBRACE)
+        if not explicit:
+            params = _implicit_params(body)
+        source = self.source[lbrace.pos : end.pos + 1]
+        return ast.Lambda(params, body, source=source, pos=lbrace.pos)
+
+    # -- templates ------------------------------------------------------------
+
+    def parse_template(self) -> Node:
+        keyword = self.advance()
+        kind = keyword.text
+        limit: Node | None = None
+        if kind == "select" and self.current.kind == TokenKind.LBRACKET:
+            args = self._parse_bracket_args()
+            if len(args) != 1 or args[0] is None:
+                raise self._error("select[n] expects a single row limit")
+            limit = args[0]
+
+        columns: list[ColumnSpec] = []
+        by: list[ColumnSpec] = []
+
+        column_stop = frozenset({",", "by", "from", "where"})
+        if not (
+            self.current.kind == TokenKind.KEYWORD
+            and self.current.text in ("by", "from")
+        ):
+            columns = self._parse_column_specs(column_stop)
+
+        if self.current.kind == TokenKind.KEYWORD and self.current.text == "by":
+            self.advance()
+            by = self._parse_column_specs(column_stop)
+
+        self.expect(TokenKind.KEYWORD, "from")
+        source = self.parse_expr(frozenset({"where", ","}))
+
+        where: list[Node] = []
+        if self.current.kind == TokenKind.KEYWORD and self.current.text == "where":
+            self.advance()
+            where.append(self.parse_expr(frozenset({","})))
+            while self.current.kind == TokenKind.COMMA:
+                self.advance()
+                where.append(self.parse_expr(frozenset({","})))
+
+        return ast.Template(
+            kind, columns, by, source, where, limit=limit, pos=keyword.pos
+        )
+
+    def _parse_column_specs(self, stop: frozenset[str]) -> list[ColumnSpec]:
+        specs = [self._parse_column_spec(stop)]
+        while self.current.kind == TokenKind.COMMA:
+            self.advance()
+            specs.append(self._parse_column_spec(stop))
+        return specs
+
+    def _parse_column_spec(self, stop: frozenset[str]) -> ColumnSpec:
+        token = self.current
+        if (
+            token.kind == TokenKind.NAME
+            and self.peek().kind == TokenKind.OPERATOR
+            and self.peek().text == ":"
+        ):
+            self.advance()
+            self.advance()
+            expr = self.parse_expr(stop)
+            return ColumnSpec(token.text, expr)
+        expr = self.parse_expr(stop)
+        return ColumnSpec(None, expr)
+
+
+def _verb_node(verb: Node | str, pos: int) -> Node:
+    if isinstance(verb, str):
+        return ast.Name(verb, pos=pos)
+    return verb
+
+
+def _assignment_target(node: Node) -> tuple[str | None, list[Node]]:
+    """Recognize `x` or `x[i;...]` as an assignable target."""
+    if isinstance(node, ast.Name):
+        return node.name, []
+    if isinstance(node, ast.Apply) and isinstance(node.func, ast.Name):
+        if all(arg is not None for arg in node.args):
+            return node.func.name, list(node.args)  # type: ignore[arg-type]
+    return None, []
+
+
+def _implicit_params(body: list[Node]) -> list[str]:
+    """Infer implicit x/y/z parameters by scanning the body."""
+    found: set[str] = set()
+
+    def scan(node) -> None:
+        if isinstance(node, ast.Name) and node.name in ("x", "y", "z"):
+            found.add(node.name)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # nested lambda owns its own implicit params
+        if isinstance(node, Node):
+            for field_name in node.__dataclass_fields__:
+                scan(getattr(node, field_name))
+        elif isinstance(node, (list, tuple)):
+            for item in node:
+                scan(item)
+        elif isinstance(node, ColumnSpec):
+            scan(node.expr)
+
+    for statement in body:
+        scan(statement)
+    if "z" in found:
+        return ["x", "y", "z"]
+    if "y" in found:
+        return ["x", "y"]
+    return ["x"]
+
+
+def _merge_atoms(atoms: list[QValue]) -> QValue:
+    """Combine a run of adjacent literals into one vector, promoting
+    numeric types the way q does for mixed runs like ``1 2.5 3``."""
+    if any(isinstance(a, QVector) for a in atoms):
+        # e.g. a run containing a boolean vector literal: keep general list
+        return QList(list(atoms))
+    scalar_atoms = [a for a in atoms if isinstance(a, QAtom)]
+    result_type = scalar_atoms[0].qtype
+    for atom in scalar_atoms[1:]:
+        result_type = promote(result_type, atom.qtype)
+    items = []
+    for atom in scalar_atoms:
+        value = atom.value
+        if result_type in (QType.FLOAT, QType.REAL) and isinstance(value, int):
+            value = float(value)
+        items.append(value)
+    return QVector(result_type, items)
+
+
+def parse(source: str) -> ast.Statements:
+    """Parse a Q query message into a :class:`~repro.qlang.ast.Statements`."""
+    return Parser(source).parse_program()
+
+
+def parse_expression(source: str) -> Node:
+    """Parse a single Q expression (convenience for tests)."""
+    program = parse(source)
+    if len(program.statements) != 1:
+        raise QSyntaxError("expected a single expression")
+    return program.statements[0]

@@ -1,0 +1,252 @@
+"""The Q/kdb+ type system: type codes, typed nulls, infinities, promotion.
+
+kdb+ identifies types by a small integer: a *positive* code denotes a typed
+vector, the *negative* of the same code denotes an atom, ``0`` is a general
+list, and codes >= 98 are compound structures (table, dictionary, lambda).
+This module models the scalar portion of that scheme; compound values live
+in :mod:`repro.qlang.values`.
+
+Temporal encodings follow kdb+ conventions:
+
+=========  =============================================
+type       stored as
+=========  =============================================
+timestamp  nanoseconds since 2000.01.01D00:00:00
+month      months since 2000.01m
+date       days since 2000.01.01
+timespan   nanoseconds
+minute     minutes since midnight
+second     seconds since midnight
+time       milliseconds since midnight
+=========  =============================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import QTypeError
+
+#: kdb+ epoch (2000.01.01) expressed as days since the Unix epoch.
+KDB_EPOCH_UNIX_DAYS = 10957
+
+NULL_SHORT = -(2**15)
+NULL_INT = -(2**31)
+NULL_LONG = -(2**63)
+INF_SHORT = 2**15 - 1
+INF_INT = 2**31 - 1
+INF_LONG = 2**63 - 1
+
+
+class QType(Enum):
+    """Positive kdb+ vector type codes (atoms use the negated code)."""
+
+    BOOLEAN = 1
+    GUID = 2
+    BYTE = 4
+    SHORT = 5
+    INT = 6
+    LONG = 7
+    REAL = 8
+    FLOAT = 9
+    CHAR = 10
+    SYMBOL = 11
+    TIMESTAMP = 12
+    MONTH = 13
+    DATE = 14
+    DATETIME = 15
+    TIMESPAN = 16
+    MINUTE = 17
+    SECOND = 18
+    TIME = 19
+
+    @property
+    def code(self) -> int:
+        return self.value
+
+    @property
+    def char(self) -> str:
+        """Single-character type name as shown by ``meta`` in q."""
+        return _TYPE_CHARS[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in _NUMERIC_TYPES
+
+    @property
+    def is_integral(self) -> bool:
+        return self in _INTEGRAL_TYPES
+
+    @property
+    def is_temporal(self) -> bool:
+        return self in _TEMPORAL_TYPES
+
+    @property
+    def is_floating(self) -> bool:
+        return self in (QType.REAL, QType.FLOAT, QType.DATETIME)
+
+    def null_value(self):
+        """The typed null for this type (``0N``, ``0n``, `` ` `` ...)."""
+        return _NULLS[self]
+
+    def is_null(self, raw) -> bool:
+        """True when ``raw`` is this type's null sentinel."""
+        null = _NULLS[self]
+        if isinstance(null, float) and math.isnan(null):
+            return isinstance(raw, float) and math.isnan(raw)
+        return raw == null
+
+
+_TYPE_CHARS = {
+    QType.BOOLEAN: "b",
+    QType.GUID: "g",
+    QType.BYTE: "x",
+    QType.SHORT: "h",
+    QType.INT: "i",
+    QType.LONG: "j",
+    QType.REAL: "e",
+    QType.FLOAT: "f",
+    QType.CHAR: "c",
+    QType.SYMBOL: "s",
+    QType.TIMESTAMP: "p",
+    QType.MONTH: "m",
+    QType.DATE: "d",
+    QType.DATETIME: "z",
+    QType.TIMESPAN: "n",
+    QType.MINUTE: "u",
+    QType.SECOND: "v",
+    QType.TIME: "t",
+}
+
+_NUMERIC_TYPES = {
+    QType.BOOLEAN,
+    QType.BYTE,
+    QType.SHORT,
+    QType.INT,
+    QType.LONG,
+    QType.REAL,
+    QType.FLOAT,
+}
+
+_INTEGRAL_TYPES = {QType.BOOLEAN, QType.BYTE, QType.SHORT, QType.INT, QType.LONG}
+
+_TEMPORAL_TYPES = {
+    QType.TIMESTAMP,
+    QType.MONTH,
+    QType.DATE,
+    QType.DATETIME,
+    QType.TIMESPAN,
+    QType.MINUTE,
+    QType.SECOND,
+    QType.TIME,
+}
+
+_NULLS = {
+    QType.BOOLEAN: False,  # q has no boolean null; 0b is the conventional fill
+    QType.GUID: "00000000-0000-0000-0000-000000000000",
+    QType.BYTE: 0,
+    QType.SHORT: NULL_SHORT,
+    QType.INT: NULL_INT,
+    QType.LONG: NULL_LONG,
+    QType.REAL: float("nan"),
+    QType.FLOAT: float("nan"),
+    QType.CHAR: " ",
+    QType.SYMBOL: "",
+    QType.TIMESTAMP: NULL_LONG,
+    QType.MONTH: NULL_INT,
+    QType.DATE: NULL_INT,
+    QType.DATETIME: float("nan"),
+    QType.TIMESPAN: NULL_LONG,
+    QType.MINUTE: NULL_INT,
+    QType.SECOND: NULL_INT,
+    QType.TIME: NULL_INT,
+}
+
+#: Numeric promotion order for dyadic arithmetic (wider wins).
+_PROMOTION_ORDER = [
+    QType.BOOLEAN,
+    QType.BYTE,
+    QType.SHORT,
+    QType.INT,
+    QType.LONG,
+    QType.REAL,
+    QType.FLOAT,
+]
+
+
+def promote(left: QType, right: QType) -> QType:
+    """Result type of a dyadic arithmetic op on ``left`` and ``right``.
+
+    Follows q's widening rules for the numeric tower; temporal types
+    combine with integral types by staying temporal (e.g. ``date + int``
+    is a date).  Raises :class:`QTypeError` on un-combinable types.
+    """
+    if left == right:
+        return left
+    if left.is_numeric and right.is_numeric:
+        li = _PROMOTION_ORDER.index(left)
+        ri = _PROMOTION_ORDER.index(right)
+        return _PROMOTION_ORDER[max(li, ri)]
+    if left.is_temporal and right.is_numeric:
+        return left
+    if left.is_numeric and right.is_temporal:
+        return right
+    # timespan combines with other temporals without changing their kind
+    if left.is_temporal and right == QType.TIMESPAN:
+        return left
+    if left == QType.TIMESPAN and right.is_temporal:
+        return right
+    raise QTypeError(
+        f"cannot combine operands of type {left.name.lower()} and {right.name.lower()}"
+    )
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """Static description of a Q type used by binder and wire codecs."""
+
+    qtype: QType
+    wire_size: int  # bytes per element in QIPC
+    sql_name: str  # PostgreSQL type the binder maps this Q type to
+
+
+#: Q -> SQL type mapping used by the binder (Section 3.2.2 of the paper:
+#: ints map to integer types, symbol maps to varchar, strings to text).
+TYPE_INFO = {
+    QType.BOOLEAN: TypeInfo(QType.BOOLEAN, 1, "boolean"),
+    QType.GUID: TypeInfo(QType.GUID, 16, "uuid"),
+    QType.BYTE: TypeInfo(QType.BYTE, 1, "smallint"),
+    QType.SHORT: TypeInfo(QType.SHORT, 2, "smallint"),
+    QType.INT: TypeInfo(QType.INT, 4, "integer"),
+    QType.LONG: TypeInfo(QType.LONG, 8, "bigint"),
+    QType.REAL: TypeInfo(QType.REAL, 4, "real"),
+    QType.FLOAT: TypeInfo(QType.FLOAT, 8, "double precision"),
+    QType.CHAR: TypeInfo(QType.CHAR, 1, "char(1)"),
+    QType.SYMBOL: TypeInfo(QType.SYMBOL, 0, "varchar"),
+    QType.TIMESTAMP: TypeInfo(QType.TIMESTAMP, 8, "timestamp"),
+    QType.MONTH: TypeInfo(QType.MONTH, 4, "date"),
+    QType.DATE: TypeInfo(QType.DATE, 4, "date"),
+    QType.DATETIME: TypeInfo(QType.DATETIME, 8, "timestamp"),
+    QType.TIMESPAN: TypeInfo(QType.TIMESPAN, 8, "interval"),
+    QType.MINUTE: TypeInfo(QType.MINUTE, 4, "time"),
+    QType.SECOND: TypeInfo(QType.SECOND, 4, "time"),
+    QType.TIME: TypeInfo(QType.TIME, 4, "time"),
+}
+
+
+def sql_type_for(qtype: QType) -> str:
+    """PostgreSQL type name the binder emits for a Q type."""
+    return TYPE_INFO[qtype].sql_name
+
+
+_BY_CHAR = {t.char: t for t in QType}
+
+
+def type_from_char(char: str) -> QType:
+    """Look up a QType by its single-character name (``j`` -> LONG)."""
+    try:
+        return _BY_CHAR[char]
+    except KeyError:
+        raise QTypeError(f"unknown type character {char!r}") from None

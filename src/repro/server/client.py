@@ -1,0 +1,84 @@
+"""QIPC client library — what a Q application uses to talk to a server.
+
+Works identically against a real kdb+-style server (the mini-kdb+ demo in
+:mod:`repro.server.hyperq_server`) and against Hyper-Q, which is the whole
+point of the paper: the application cannot tell the difference.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import AuthenticationError, ProtocolError
+from repro.qipc.decode import decode_value
+from repro.qipc.encode import encode_value
+from repro.qipc.handshake import Credentials, client_hello
+from repro.qipc.messages import MessageType, QipcMessage, frame, read_message
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QValue, QVector
+from repro.server.common import recv_exact
+
+
+class QConnection:
+    """A synchronous QIPC client connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        username: str = "user",
+        password: str = "",
+    ):
+        self.host = host
+        self.port = port
+        self.credentials = Credentials(username, password)
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    def connect(self) -> "QConnection":
+        sock = socket.create_connection((self.host, self.port), timeout=10.0)
+        sock.sendall(client_hello(self.credentials))
+        ack = sock.recv(1)
+        if not ack:
+            sock.close()
+            raise AuthenticationError(
+                f"server at {self.host}:{self.port} rejected the credentials"
+            )
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self):
+        return self.connect()
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(self, q_text: str) -> QValue:
+        """Synchronous query: send text, block for the response object."""
+        if self._sock is None:
+            raise ProtocolError("connection is not open")
+        payload = encode_value(QVector(QType.CHAR, list(q_text)))
+        with self._lock:
+            self._sock.sendall(frame(QipcMessage(MessageType.SYNC, payload)))
+            response = read_message(lambda n: recv_exact(self._sock, n))
+        if response.msg_type != MessageType.RESPONSE:
+            raise ProtocolError(
+                f"expected a response message, got {response.msg_type.name}"
+            )
+        return decode_value(response.payload)
+
+    def query_async(self, q_text: str) -> None:
+        """Fire-and-forget message (QIPC async type 0)."""
+        if self._sock is None:
+            raise ProtocolError("connection is not open")
+        payload = encode_value(QVector(QType.CHAR, list(q_text)))
+        with self._lock:
+            self._sock.sendall(frame(QipcMessage(MessageType.ASYNC, payload)))

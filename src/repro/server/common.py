@@ -1,0 +1,120 @@
+"""Shared socket plumbing for the server components."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ProtocolError
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise (connection closed mid-message)."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class TcpServer:
+    """A minimal threaded accept loop; subclasses implement handle()."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self._requested_port = port
+        self._sock: socket.socket | None = None
+        self._thread: threading.Thread | None = None
+        self._running = threading.Event()
+        self._conn_threads: list[threading.Thread] = []
+        self._open_conns: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+
+    @property
+    def port(self) -> int:
+        if self._sock is None:
+            raise RuntimeError("server not started")
+        return self._sock.getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "TcpServer":
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((self.host, self._requested_port))
+        self._sock.listen(16)
+        self._sock.settimeout(0.2)
+        self._running.set()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=type(self).__name__, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running.clear()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        # sever live connections so clients see the death immediately
+        with self._conn_lock:
+            open_conns = list(self._open_conns)
+        for conn in open_conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._conn_threads:
+            thread.join(timeout=1.0)
+        self._conn_threads.clear()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while self._running.is_set():
+            try:
+                conn, __ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._safe_handle, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def _safe_handle(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            self._open_conns.add(conn)
+        try:
+            self.handle(conn)
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            with self._conn_lock:
+                self._open_conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def handle(self, conn: socket.socket) -> None:
+        raise NotImplementedError

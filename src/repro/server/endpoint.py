@@ -1,0 +1,137 @@
+"""The Endpoint: Hyper-Q's kdb+-side plugin (paper Section 3.1).
+
+A QIPC socket server that impersonates kdb+: it performs the
+``user:password<N>\\0`` handshake, reads sync/async query messages, hands
+the raw query text to a per-connection handler, and ships results (or
+kdb+-style error responses) back as QIPC objects.
+
+"Hyper-Q takes over kdb+ server by listening to incoming messages on the
+port used by the original kdb+ server.  Q applications run unchanged."
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable
+
+from repro.errors import AuthenticationError, QError, ReproError
+from repro.qipc.decode import decode_value
+from repro.qipc.encode import encode_error, encode_value
+from repro.qipc.handshake import Authenticator, AllowAll, parse_hello, server_ack
+from repro.qipc.messages import MessageType, QipcMessage, frame, read_message
+from repro.qlang.values import QList, QValue, QVector
+from repro.qlang.qtypes import QType
+from repro.server.common import TcpServer, recv_exact
+
+#: a handler receives query text and returns a QValue (or None)
+QueryHandler = Callable[[str], QValue | None]
+
+#: a handler factory builds one handler per connection (session isolation)
+HandlerFactory = Callable[[], "ConnectionHandler"]
+
+
+class ConnectionHandler:
+    """Per-connection query processing; close() runs at disconnect."""
+
+    def execute(self, query: str) -> QValue | None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        return None
+
+
+class _CallableHandler(ConnectionHandler):
+    def __init__(self, fn: QueryHandler):
+        self.fn = fn
+
+    def execute(self, query: str) -> QValue | None:
+        return self.fn(query)
+
+
+class QipcEndpoint(TcpServer):
+    """Generic QIPC server; Hyper-Q and the mini-kdb+ demo both use it."""
+
+    def __init__(
+        self,
+        handler_factory: HandlerFactory,
+        authenticator: Authenticator | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        super().__init__(host, port)
+        self.handler_factory = handler_factory
+        self.authenticator = authenticator or AllowAll()
+
+    @classmethod
+    def from_function(
+        cls,
+        fn: QueryHandler,
+        authenticator: Authenticator | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> "QipcEndpoint":
+        """Endpoint whose every connection shares one query function."""
+        return cls(lambda: _CallableHandler(fn), authenticator, host, port)
+
+    def handle(self, conn: socket.socket) -> None:
+        hello = _read_hello(conn)
+        credentials = parse_hello(hello)
+        try:
+            self.authenticator.authenticate(credentials)
+        except AuthenticationError:
+            return  # close immediately, as kdb+ does
+        conn.sendall(server_ack(credentials.capability))
+
+        handler = self.handler_factory()
+        try:
+            while True:
+                message = read_message(lambda n: recv_exact(conn, n))
+                try:
+                    query = _extract_query(message.payload)
+                    result = handler.execute(query)
+                except QError as exc:
+                    payload = encode_error(exc.signal)
+                    if message.msg_type == MessageType.SYNC:
+                        conn.sendall(
+                            frame(QipcMessage(MessageType.RESPONSE, payload))
+                        )
+                    continue
+                except ReproError as exc:
+                    if message.msg_type == MessageType.SYNC:
+                        conn.sendall(
+                            frame(
+                                QipcMessage(
+                                    MessageType.RESPONSE,
+                                    encode_error(str(exc)[:200]),
+                                )
+                            )
+                        )
+                    continue
+                if message.msg_type == MessageType.SYNC:
+                    payload = encode_value(
+                        result if result is not None else QList([])
+                    )
+                    conn.sendall(
+                        frame(QipcMessage(MessageType.RESPONSE, payload))
+                    )
+        finally:
+            handler.close()
+
+
+def _read_hello(conn: socket.socket) -> bytes:
+    chunks = bytearray()
+    while True:
+        byte = recv_exact(conn, 1)
+        chunks += byte
+        if byte == b"\x00":
+            return bytes(chunks)
+        if len(chunks) > 1024:
+            raise ConnectionError("oversized QIPC hello")
+
+
+def _extract_query(payload: bytes) -> str:
+    """Queries arrive as char vectors (raw text), per the paper."""
+    value = decode_value(payload)
+    if isinstance(value, QVector) and value.qtype == QType.CHAR:
+        return "".join(value.items)
+    raise QError("query message must be a string", signal="type")

@@ -1,0 +1,180 @@
+"""The Gateway: Hyper-Q's PG-side plugin (paper Section 3.1).
+
+``NetworkGateway`` opens a PG v3 connection, drives start-up and
+authentication, sends SQL, and buffers RowDescription/DataRow traffic back
+into a :class:`~repro.sqlengine.executor.ResultSet` — "Hyper-Q buffers the
+query result messages received from the PG database until an
+end-of-content message is received" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.core.metadata import BackendPort
+from repro.errors import AuthenticationError, ProtocolError, SqlExecutionError
+from repro.pgwire import messages as m
+from repro.pgwire.auth import AuthContext, AuthMechanism, TrustAuth
+from repro.pgwire.codec import (
+    decode_backend,
+    encode_frontend,
+    read_message,
+)
+from repro.server.common import recv_exact
+from repro.sqlengine.catalog import Column
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import SqlType, cast_value
+
+#: reverse OID -> SqlType mapping for result metadata
+_OID_TYPES = {
+    16: SqlType.BOOLEAN,
+    20: SqlType.BIGINT,
+    21: SqlType.SMALLINT,
+    23: SqlType.INTEGER,
+    25: SqlType.TEXT,
+    700: SqlType.REAL,
+    701: SqlType.DOUBLE,
+    1042: SqlType.CHAR,
+    1043: SqlType.VARCHAR,
+    1082: SqlType.DATE,
+    1083: SqlType.TIME,
+    1114: SqlType.TIMESTAMP,
+    1186: SqlType.INTERVAL,
+    1700: SqlType.NUMERIC,
+    2950: SqlType.UUID,
+}
+
+
+class NetworkGateway(BackendPort):
+    """A BackendPort over a live PG v3 connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        user: str = "hyperq",
+        password: str = "",
+        database: str = "analytics",
+        auth: AuthMechanism | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.user = user
+        self.password = password
+        self.database = database
+        self.auth = auth or TrustAuth()
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+        self._catalog_version = 0
+
+    # -- connection ------------------------------------------------------------
+
+    def connect(self) -> "NetworkGateway":
+        sock = socket.create_connection((self.host, self.port), timeout=10.0)
+        self._sock = sock
+        self._send(m.StartupMessage(self.user, self.database))
+        ctx = AuthContext(self.user)
+        while True:
+            message = self._read()
+            if isinstance(message, m.AuthenticationRequest):
+                if message.code == 0:
+                    break
+                ctx.salt = message.salt
+                response = self.auth.client_response(ctx, self.password)
+                self._send(m.PasswordMessage(response))
+                continue
+            if isinstance(message, m.ErrorResponse):
+                raise AuthenticationError(message.message)
+            raise ProtocolError(
+                f"unexpected message during start-up: {type(message).__name__}"
+            )
+        # drain ParameterStatus / BackendKeyData until ReadyForQuery
+        while True:
+            message = self._read()
+            if isinstance(message, m.ReadyForQuery):
+                return self
+            if isinstance(message, m.ErrorResponse):
+                raise ProtocolError(message.message)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._send(m.Terminate())
+            except OSError:
+                pass
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self):
+        return self.connect()
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- BackendPort -------------------------------------------------------------
+
+    def run_sql(self, sql: str) -> ResultSet:
+        if self._sock is None:
+            raise ProtocolError("gateway is not connected")
+        with self._lock:
+            self._send(m.Query(sql))
+            return self._collect_result(sql)
+
+    def catalog_version(self) -> int:
+        # DDL through this gateway bumps a local counter; remote DDL by
+        # other clients is covered by the TTL policy
+        return self._catalog_version
+
+    # -- internals ----------------------------------------------------------------
+
+    def _send(self, message: m.FrontendMessage) -> None:
+        assert self._sock is not None
+        self._sock.sendall(encode_frontend(message))
+
+    def _read(self) -> m.BackendMessage:
+        assert self._sock is not None
+        return read_message(lambda n: recv_exact(self._sock, n), decode_backend)
+
+    def _collect_result(self, sql: str) -> ResultSet:
+        columns: list[Column] = []
+        rows: list[tuple] = []
+        command = ""
+        error: str | None = None
+        while True:
+            message = self._read()
+            if isinstance(message, m.RowDescription):
+                columns = [
+                    Column(f.name, _OID_TYPES.get(f.type_oid, SqlType.TEXT))
+                    for f in message.fields
+                ]
+            elif isinstance(message, m.DataRow):
+                rows.append(self._decode_row(message, columns))
+            elif isinstance(message, m.CommandComplete):
+                command = message.tag
+                if _is_ddl(command):
+                    self._catalog_version += 1
+            elif isinstance(message, m.EmptyQueryResponse):
+                command = "EMPTY"
+            elif isinstance(message, m.ErrorResponse):
+                error = message.message
+            elif isinstance(message, m.ReadyForQuery):
+                break
+        if error is not None:
+            raise SqlExecutionError(error)
+        return ResultSet(columns, rows, command=command or "SELECT")
+
+    @staticmethod
+    def _decode_row(message: m.DataRow, columns: list[Column]) -> tuple:
+        values = []
+        for cell, column in zip(message.values, columns):
+            if cell is None:
+                values.append(None)
+            else:
+                values.append(cast_value(cell.decode("utf-8"), column.sql_type))
+        return tuple(values)
+
+
+def _is_ddl(tag: str) -> bool:
+    head = tag.split(" ", 1)[0].upper()
+    return head in ("CREATE", "DROP", "ALTER", "TRUNCATE")

@@ -1,0 +1,159 @@
+"""Deployable server assemblies (Figure 1 end to end).
+
+* :class:`KdbServer` — the "before" picture: a QIPC server over the
+  reference interpreter, i.e. the kdb+ a Q application originally talked
+  to (serial execution, just like kdb+'s main loop).
+* :class:`HyperQServer` — the "after" picture: the same QIPC surface, but
+  every query runs through Hyper-Q's translation pipeline against a
+  PG-compatible backend (in-process engine or a remote PG-wire server via
+  the network gateway).
+
+Because both speak identical QIPC, a Q application connects to either
+without changes — the paper's central claim.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.config import HyperQConfig
+from repro.core.metadata import BackendPort, MetadataInterface
+from repro.core.platform import DirectGateway
+from repro.core.plugins import default_registry
+from repro.core.scopes import ServerScope
+from repro.core.session import HyperQSession
+from repro.qipc.handshake import Authenticator
+from repro.qlang.interp import Interpreter
+from repro.qlang.values import QValue
+from repro.server.endpoint import ConnectionHandler, QipcEndpoint
+from repro.sqlengine.engine import Engine
+
+
+class KdbServer(QipcEndpoint):
+    """QIPC over the reference interpreter; one global interpreter state
+    and a lock, matching kdb+'s single-threaded main loop."""
+
+    def __init__(
+        self,
+        interpreter: Interpreter | None = None,
+        authenticator: Authenticator | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.interpreter = interpreter or Interpreter()
+        self._lock = threading.Lock()
+
+        def handler_factory() -> ConnectionHandler:
+            return _KdbHandler(self)
+
+        super().__init__(handler_factory, authenticator, host, port)
+
+    def run_query(self, query: str) -> QValue | None:
+        with self._lock:
+            return self.interpreter.eval_text(query)
+
+
+class _KdbHandler(ConnectionHandler):
+    def __init__(self, server: KdbServer):
+        self.server = server
+
+    def execute(self, query: str) -> QValue | None:
+        return self.server.run_query(query)
+
+
+class HyperQServer(QipcEndpoint):
+    """QIPC in front, PG-compatible SQL behind: the Hyper-Q deployment.
+
+    Each connection gets its own :class:`HyperQSession` (local/session
+    scopes per Figure 3) over a shared server scope and backend.
+    """
+
+    def __init__(
+        self,
+        backend: BackendPort | None = None,
+        engine: Engine | None = None,
+        config: HyperQConfig | None = None,
+        authenticator: Authenticator | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.config = config or HyperQConfig()
+        if backend is None:
+            engine = engine or Engine()
+            backend = DirectGateway(engine)
+        self.backend = backend
+        self.engine = engine
+        self.server_scope = ServerScope()
+        self.mdi = MetadataInterface(backend, self.config.metadata_cache)
+        # "configurable concurrency" (paper Section 5): kdb+ is strictly
+        # serial; Hyper-Q lets the operator pick the concurrency level
+        self._concurrency = (
+            threading.BoundedSemaphore(self.config.max_concurrency)
+            if self.config.max_concurrency > 0
+            else None
+        )
+        self.active_queries = 0
+        self.peak_concurrency = 0
+        self._stats_lock = threading.Lock()
+
+        def handler_factory() -> ConnectionHandler:
+            return _HyperQHandler(self)
+
+        super().__init__(handler_factory, authenticator, host, port)
+
+    def run_with_concurrency(self, fn):
+        if self._concurrency is not None:
+            with self._concurrency:
+                return self._tracked(fn)
+        return self._tracked(fn)
+
+    def _tracked(self, fn):
+        with self._stats_lock:
+            self.active_queries += 1
+            self.peak_concurrency = max(self.peak_concurrency, self.active_queries)
+        try:
+            return fn()
+        finally:
+            with self._stats_lock:
+                self.active_queries -= 1
+
+    def create_session(self) -> HyperQSession:
+        return HyperQSession(
+            self.backend,
+            server_scope=self.server_scope,
+            config=self.config,
+            mdi=self.mdi,
+        )
+
+
+class _HyperQHandler(ConnectionHandler):
+    def __init__(self, server: HyperQServer):
+        self.server = server
+        self.session = server.create_session()
+
+    def execute(self, query: str) -> QValue | None:
+        return self.server.run_with_concurrency(
+            lambda: self.session.execute(query)
+        )
+
+    def close(self) -> None:
+        self.session.close()
+
+
+# plugin registrations: the kdb endpoint and the PG gateways
+default_registry.register(
+    "kdb", "*", "endpoint", lambda *a, **kw: QipcEndpoint(*a, **kw)
+)
+default_registry.register(
+    "postgres", "*", "gateway",
+    lambda *a, **kw: _make_network_gateway(*a, **kw),
+)
+default_registry.register(
+    "postgres", "in-process", "gateway", lambda engine: DirectGateway(engine)
+)
+
+
+def _make_network_gateway(*args, **kwargs):
+    from repro.server.gateway import NetworkGateway
+
+    return NetworkGateway(*args, **kwargs)

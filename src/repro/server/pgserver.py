@@ -1,0 +1,129 @@
+"""A PG v3 wire server wrapping the in-memory SQL engine.
+
+This is the Greenplum stand-in: it speaks enough of the protocol for
+Hyper-Q's gateway (and any simple-query PG client) — start-up with
+pluggable authentication, simple query with RowDescription/DataRow
+streaming, CommandComplete, ReadyForQuery, and error reporting.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import AuthenticationError, ReproError
+from repro.pgwire import messages as m
+from repro.pgwire.auth import AuthContext, AuthMechanism, TrustAuth
+from repro.pgwire.codec import (
+    decode_frontend,
+    encode_backend,
+    read_message,
+    read_startup,
+)
+from repro.server.common import TcpServer, recv_exact
+from repro.sqlengine.engine import Engine
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import render_value
+
+
+class PgWireServer(TcpServer):
+    """Serves the engine over PG v3; one session per connection."""
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        auth: AuthMechanism | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        super().__init__(host, port)
+        self.engine = engine or Engine()
+        self.auth = auth or TrustAuth()
+        # like the paper's kdb+, requests are executed serially
+        self._query_lock = threading.Lock()
+        self._next_pid = 1000
+
+    def handle(self, conn: socket.socket) -> None:
+        def rx(n: int) -> bytes:
+            return recv_exact(conn, n)
+
+        def send(message: m.BackendMessage) -> None:
+            conn.sendall(encode_backend(message))
+
+        startup = read_startup(rx)
+        ctx = AuthContext(startup.user)
+        if not self._authenticate(ctx, rx, send):
+            return
+        send(m.AuthenticationRequest(0))
+        send(m.ParameterStatus("server_version", "9.2-repro"))
+        send(m.BackendKeyData(self._next_pid, 0xC0FFEE))
+        self._next_pid += 1
+        send(m.ReadyForQuery("I"))
+
+        while True:
+            message = read_message(rx, decode_frontend)
+            if isinstance(message, m.Terminate):
+                return
+            if not isinstance(message, m.Query):
+                send(m.ErrorResponse(message="unsupported message"))
+                send(m.ReadyForQuery("I"))
+                continue
+            self._run_query(message.sql, send)
+
+    def _authenticate(self, ctx: AuthContext, rx, send) -> bool:
+        if self.auth.request_code == 0:
+            return True
+        salt = self.auth.challenge(ctx)
+        send(m.AuthenticationRequest(self.auth.request_code, salt))
+        response = read_message(rx, decode_frontend)
+        if not isinstance(response, m.PasswordMessage):
+            send(m.ErrorResponse(message="expected a password message"))
+            return False
+        try:
+            self.auth.verify(ctx, response.password)
+        except AuthenticationError as exc:
+            send(m.ErrorResponse(message=str(exc), code="28P01"))
+            return False
+        return True
+
+    def _run_query(self, sql: str, send) -> None:
+        if not sql.strip():
+            send(m.EmptyQueryResponse())
+            send(m.ReadyForQuery("I"))
+            return
+        try:
+            with self._query_lock:
+                results = self.engine.execute_all(sql)
+        except ReproError as exc:
+            send(m.ErrorResponse(message=str(exc)))
+            send(m.ReadyForQuery("I"))
+            return
+        for result in results:
+            self._send_result(result, send)
+        send(m.ReadyForQuery("I"))
+
+    def _send_result(self, result: ResultSet, send) -> None:
+        if result.columns:
+            fields = [
+                m.FieldDescription(
+                    column.name,
+                    m.TYPE_OIDS.get(column.sql_type.value, 25),
+                )
+                for column in result.columns
+            ]
+            send(m.RowDescription(fields))
+            # the PG side of Figure 5: one message per row
+            for row in result.rows:
+                cells: list[bytes | None] = []
+                for value, column in zip(row, result.columns):
+                    if value is None:
+                        cells.append(None)
+                    else:
+                        cells.append(
+                            render_value(value, column.sql_type).encode("utf-8")
+                        )
+                send(m.DataRow(cells))
+            tag = f"SELECT {len(result.rows)}"
+        else:
+            tag = result.command
+        send(m.CommandComplete(tag))

@@ -1,0 +1,837 @@
+"""Volcano-lite executor for the SQL subset.
+
+The executor interprets :mod:`repro.sqlengine.sqlast` trees directly over
+row-major in-memory tables.  A hash-join fast path handles the equality
+part of join conditions (the shape Hyper-Q emits for as-of joins: symbol
+equality plus a time-range residual), everything else falls back to a
+nested loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SqlExecutionError
+from repro.sqlengine import sqlast as sa
+from repro.sqlengine.catalog import Catalog, Column, Table, View
+from repro.sqlengine.expr import EvalContext, Scope, evaluate, infer_type
+from repro.sqlengine.functions import compute_aggregate, is_aggregate
+from repro.sqlengine.types import SqlType, promote
+from repro.sqlengine.window import compute_window_values
+
+
+@dataclass
+class RelColumn:
+    table: str | None
+    name: str
+    sql_type: SqlType
+
+
+@dataclass
+class Relation:
+    """An intermediate result: column metadata plus row tuples."""
+
+    columns: list[RelColumn]
+    rows: list[tuple]
+    _by_qualified: dict = field(default=None, repr=False)  # type: ignore[assignment]
+    _by_name: dict = field(default=None, repr=False)  # type: ignore[assignment]
+    _ambiguous: set = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def _build_lookup(self) -> None:
+        by_qualified: dict[tuple[str, str], int] = {}
+        by_name: dict[str, int] = {}
+        ambiguous: set[str] = set()
+        for i, col in enumerate(self.columns):
+            if col.table is not None:
+                by_qualified.setdefault((col.table, col.name), i)
+            if col.name in by_name:
+                ambiguous.add(col.name)
+            else:
+                by_name[col.name] = i
+        self._by_qualified = by_qualified
+        self._by_name = by_name
+        self._ambiguous = ambiguous
+
+    def scope(self, row: tuple, parent: Scope | None = None) -> Scope:
+        if self._by_qualified is None:
+            self._build_lookup()
+        return Scope(self._by_qualified, self._by_name, self._ambiguous, row, parent)
+
+    def can_resolve(self, ref: sa.ColumnRef) -> bool:
+        if self._by_qualified is None:
+            self._build_lookup()
+        if ref.table is not None:
+            return (ref.table, ref.name) in self._by_qualified
+        return ref.name in self._by_name and ref.name not in self._ambiguous
+
+    def column_type(self, ref: sa.ColumnRef) -> SqlType:
+        if self._by_qualified is None:
+            self._build_lookup()
+        if ref.table is not None:
+            index = self._by_qualified.get((ref.table, ref.name))
+        else:
+            index = self._by_name.get(ref.name)
+        return self.columns[index].sql_type if index is not None else SqlType.NULL
+
+
+@dataclass
+class ResultSet:
+    """What a query returns: column metadata and row tuples."""
+
+    columns: list[Column]
+    rows: list[tuple]
+    command: str = "SELECT"
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def scalar(self):
+        """The single value of a 1x1 result (convenience for tests)."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlExecutionError("result is not a single scalar")
+        return self.rows[0][0]
+
+
+@dataclass
+class _RowState:
+    """A pre-projection row: scope payload plus precomputed node values."""
+
+    row: tuple
+    replacements: dict
+
+
+class Executor:
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- entry ------------------------------------------------------------------
+
+    def execute_select(
+        self,
+        select: sa.Select,
+        outer: Scope | None = None,
+        limit_hint: int | None = None,
+    ) -> ResultSet:
+        result = self._execute_core(select, outer)
+        if select.set_op is not None and select.set_right is not None:
+            right = self.execute_select(select.set_right, outer)
+            result = _apply_set_op(result, select.set_op, right)
+            if select.order_by:
+                result = self._sort_result(result, select.order_by)
+        if select.offset is not None:
+            offset = int(self._const(select.offset))
+            result.rows = result.rows[offset:]
+        if select.limit is not None:
+            limit = int(self._const(select.limit))
+            result.rows = result.rows[:limit]
+        if limit_hint is not None:
+            result.rows = result.rows[:limit_hint]
+        return result
+
+    def _const(self, expr: sa.Expr):
+        return evaluate(expr, EvalContext(None, executor=self))
+
+    # -- core SELECT --------------------------------------------------------------
+
+    def _execute_core(self, select: sa.Select, outer: Scope | None) -> ResultSet:
+        relation = (
+            self._execute_from(select.from_clause, outer)
+            if select.from_clause is not None
+            else Relation([], [()])
+        )
+
+        # WHERE
+        if select.where is not None:
+            kept = []
+            for row in relation.rows:
+                ctx = EvalContext(relation.scope(row, outer), executor=self)
+                if evaluate(select.where, ctx) is True:
+                    kept.append(row)
+            relation = Relation(relation.columns, kept)
+
+        aggregates = _collect_aggregates(select)
+        windows = _collect_windows(select)
+        grouped = bool(select.group_by) or bool(aggregates)
+
+        if grouped:
+            states = self._grouped_states(select, relation, aggregates, outer)
+        else:
+            states = [_RowState(row, {}) for row in relation.rows]
+
+        # HAVING (evaluated with aggregate replacements)
+        if select.having is not None:
+            filtered = []
+            for state in states:
+                ctx = EvalContext(
+                    relation.scope(state.row, outer),
+                    replacements=state.replacements,
+                    executor=self,
+                )
+                if evaluate(select.having, ctx) is True:
+                    filtered.append(state)
+            states = filtered
+
+        # window functions over the (possibly grouped) row states
+        for node in windows:
+            self._compute_window(node, states, relation, outer)
+
+        # projection
+        items = self._expand_stars(select.items, relation)
+        self._validate_column_refs(select, items, relation, outer)
+        out_columns = self._output_columns(items, relation)
+        out_rows: list[tuple] = []
+        order_keys: list[tuple] = []
+        alias_index = {c.name: i for i, c in enumerate(out_columns)}
+
+        for state in states:
+            ctx = EvalContext(
+                relation.scope(state.row, outer),
+                replacements=state.replacements,
+                executor=self,
+            )
+            projected = tuple(evaluate(item.expr, ctx) for item in items)
+            out_rows.append(projected)
+            if select.order_by:
+                order_keys.append(
+                    self._order_key_for_row(
+                        select.order_by, ctx, projected, alias_index
+                    )
+                )
+
+        if select.order_by and select.set_op is None:
+            paired = sorted(zip(order_keys, range(len(out_rows))), key=lambda p: p[0])
+            out_rows = [out_rows[i] for __, i in paired]
+
+        if select.distinct:
+            out_rows = _dedupe(out_rows)
+
+        return ResultSet(out_columns, out_rows)
+
+    def _order_key_for_row(self, order_by, ctx, projected, alias_index):
+        from repro.sqlengine.window import _order_key
+
+        key = []
+        for item in order_by:
+            value = self._order_value(item.expr, ctx, projected, alias_index)
+            key.append(_order_key(value, item.descending, item.nulls_first))
+        return tuple(key)
+
+    def _order_value(self, expr, ctx, projected, alias_index):
+        if isinstance(expr, sa.Literal) and isinstance(expr.value, int):
+            ordinal = expr.value - 1
+            if 0 <= ordinal < len(projected):
+                return projected[ordinal]
+        if isinstance(expr, sa.ColumnRef) and expr.table is None:
+            if ctx.scope is not None and ctx.scope.find(expr) is not None:
+                return evaluate(expr, ctx)
+            if expr.name in alias_index:
+                return projected[alias_index[expr.name]]
+        return evaluate(expr, ctx)
+
+    def _sort_result(self, result: ResultSet, order_by) -> ResultSet:
+        relation = Relation(
+            [RelColumn(None, c.name, c.sql_type) for c in result.columns],
+            result.rows,
+        )
+        keyed = []
+        alias_index = {c.name: i for i, c in enumerate(result.columns)}
+        for row in result.rows:
+            ctx = EvalContext(relation.scope(row), executor=self)
+            keyed.append(self._order_key_for_row(order_by, ctx, row, alias_index))
+        paired = sorted(zip(keyed, range(len(result.rows))), key=lambda p: p[0])
+        result.rows = [result.rows[i] for __, i in paired]
+        return result
+
+    # -- grouping -------------------------------------------------------------------
+
+    def _grouped_states(
+        self,
+        select: sa.Select,
+        relation: Relation,
+        aggregates: list[sa.FuncCall],
+        outer: Scope | None,
+    ) -> list[_RowState]:
+        groups: dict[tuple, list[tuple]] = {}
+        order: list[tuple] = []
+        if select.group_by:
+            for row in relation.rows:
+                ctx = EvalContext(relation.scope(row, outer), executor=self)
+                key = tuple(
+                    _hashable(evaluate(e, ctx)) for e in select.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
+        else:
+            # implicit single group (may be empty)
+            groups[()] = list(relation.rows)
+            order.append(())
+
+        states: list[_RowState] = []
+        for key in order:
+            rows = groups[key]
+            if not rows and select.group_by:
+                continue
+            replacements: dict[int, object] = {}
+            for agg in aggregates:
+                replacements[id(agg)] = self._compute_group_aggregate(
+                    agg, rows, relation, outer
+                )
+            representative = rows[0] if rows else tuple([None] * len(relation.columns))
+            states.append(_RowState(representative, replacements))
+        return states
+
+    def _compute_group_aggregate(
+        self, agg: sa.FuncCall, rows: list[tuple], relation: Relation, outer
+    ):
+        if agg.star:
+            if agg.name != "count":
+                raise SqlExecutionError(f"{agg.name}(*) is not defined")
+            return len(rows)
+        from repro.sqlengine.functions import NULL_KEEPING_AGGREGATES
+
+        keep_nulls = agg.name in NULL_KEEPING_AGGREGATES
+        values = []
+        extra_args: list = []
+        for row in rows:
+            ctx = EvalContext(relation.scope(row, outer), executor=self)
+            value = evaluate(agg.args[0], ctx)
+            if value is not None or keep_nulls:
+                values.append(value)
+            if agg.name == "string_agg" and len(agg.args) > 1 and not extra_args:
+                extra_args.append(evaluate(agg.args[1], ctx))
+        if agg.distinct:
+            values = _dedupe_values(values)
+        return compute_aggregate(agg.name, values, extra_args)
+
+    # -- windows --------------------------------------------------------------------
+
+    def _compute_window(
+        self,
+        node: sa.WindowFunc,
+        states: list[_RowState],
+        relation: Relation,
+        outer: Scope | None,
+    ) -> None:
+        def eval_for_row(i: int, expr: sa.Expr):
+            state = states[i]
+            ctx = EvalContext(
+                relation.scope(state.row, outer),
+                replacements=state.replacements,
+                executor=self,
+            )
+            return evaluate(expr, ctx)
+
+        values = compute_window_values(node, len(states), eval_for_row)
+        for state, value in zip(states, values):
+            state.replacements[id(node)] = value
+
+    # -- FROM -----------------------------------------------------------------------
+
+    def _execute_from(self, table_expr: sa.TableExpr, outer: Scope | None) -> Relation:
+        if isinstance(table_expr, sa.TableRef):
+            return self._scan_table(table_expr)
+        if isinstance(table_expr, sa.SubqueryRef):
+            result = self.execute_select(table_expr.query, outer)
+            columns = [
+                RelColumn(table_expr.alias, c.name, c.sql_type)
+                for c in result.columns
+            ]
+            return Relation(columns, result.rows)
+        if isinstance(table_expr, sa.Join):
+            return self._execute_join(table_expr, outer)
+        raise SqlExecutionError(f"unsupported FROM item {type(table_expr).__name__}")
+
+    def _scan_table(self, ref: sa.TableRef) -> Relation:
+        relation = self.catalog.resolve(ref.name, ref.schema)
+        label = ref.alias or ref.name
+        if isinstance(relation, View):
+            result = self.execute_select(relation.query)
+            columns = [
+                RelColumn(label, c.name, c.sql_type) for c in result.columns
+            ]
+            return Relation(columns, result.rows)
+        assert isinstance(relation, Table)
+        columns = [
+            RelColumn(label, col.name, col.sql_type) for col in relation.columns
+        ]
+        return Relation(columns, [tuple(row) for row in relation.rows])
+
+    def _execute_join(self, join: sa.Join, outer: Scope | None) -> Relation:
+        left = self._execute_from(join.left, outer)
+        right = self._execute_from(join.right, outer)
+        columns = left.columns + right.columns
+        null_right = tuple([None] * len(right.columns))
+        null_left = tuple([None] * len(left.columns))
+
+        if join.kind == "cross" or join.condition is None:
+            rows = [l + r for l in left.rows for r in right.rows]
+            return Relation(columns, rows)
+
+        combined = Relation(columns, [])
+        left_keys, right_keys, residual = _split_equi_condition(
+            join.condition, left, right
+        )
+
+        def matches_for(left_row: tuple, candidates: list[tuple]) -> list[tuple]:
+            found = []
+            for right_row in candidates:
+                if residual is None:
+                    found.append(right_row)
+                    continue
+                ctx = EvalContext(
+                    combined.scope(left_row + right_row, outer), executor=self
+                )
+                if evaluate(residual, ctx) is True:
+                    found.append(right_row)
+            return found
+
+        if left_keys:
+            # hash join on the equality conjuncts
+            index: dict[tuple, list[tuple]] = {}
+            for right_row in right.rows:
+                ctx = EvalContext(right.scope(right_row, outer), executor=self)
+                key = tuple(_hashable(evaluate(e, ctx)) for e in right_keys)
+                if any(k is None for k in key):
+                    continue  # NULL keys never match with '='
+                index.setdefault(key, []).append(right_row)
+            rows = []
+            matched_right: set[int] = set()
+            for left_row in left.rows:
+                ctx = EvalContext(left.scope(left_row, outer), executor=self)
+                key = tuple(_hashable(evaluate(e, ctx)) for e in left_keys)
+                candidates = index.get(key, []) if not any(
+                    k is None for k in key
+                ) else []
+                found = matches_for(left_row, candidates)
+                if found:
+                    for right_row in found:
+                        rows.append(left_row + right_row)
+                        if join.kind == "full":
+                            matched_right.add(id(right_row))
+                elif join.kind in ("left", "full"):
+                    rows.append(left_row + null_right)
+            if join.kind == "right":
+                rows = self._right_join_fallback(
+                    join, left, right, combined, outer
+                )
+            if join.kind == "full":
+                for right_row in right.rows:
+                    if id(right_row) not in matched_right:
+                        rows.append(null_left + right_row)
+            return Relation(columns, rows)
+
+        # nested loop
+        rows = []
+        matched_right_idx: set[int] = set()
+        for left_row in left.rows:
+            any_match = False
+            for ri, right_row in enumerate(right.rows):
+                ctx = EvalContext(
+                    combined.scope(left_row + right_row, outer), executor=self
+                )
+                if evaluate(join.condition, ctx) is True:
+                    rows.append(left_row + right_row)
+                    any_match = True
+                    matched_right_idx.add(ri)
+            if not any_match and join.kind in ("left", "full"):
+                rows.append(left_row + null_right)
+        if join.kind == "right":
+            rows = []
+            for ri, right_row in enumerate(right.rows):
+                any_match = False
+                for left_row in left.rows:
+                    ctx = EvalContext(
+                        combined.scope(left_row + right_row, outer), executor=self
+                    )
+                    if evaluate(join.condition, ctx) is True:
+                        rows.append(left_row + right_row)
+                        any_match = True
+                if not any_match:
+                    rows.append(null_left + right_row)
+        elif join.kind == "full":
+            for ri, right_row in enumerate(right.rows):
+                if ri not in matched_right_idx:
+                    rows.append(null_left + right_row)
+        return Relation(columns, rows)
+
+    def _right_join_fallback(self, join, left, right, combined, outer):
+        rows = []
+        for right_row in right.rows:
+            any_match = False
+            for left_row in left.rows:
+                ctx = EvalContext(
+                    combined.scope(left_row + right_row, outer), executor=self
+                )
+                if evaluate(join.condition, ctx) is True:
+                    rows.append(left_row + right_row)
+                    any_match = True
+            if not any_match:
+                rows.append(tuple([None] * len(left.columns)) + right_row)
+        return rows
+
+    # -- projection helpers ------------------------------------------------------------
+
+    def _expand_stars(
+        self, items: list[sa.SelectItem], relation: Relation
+    ) -> list[sa.SelectItem]:
+        out: list[sa.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, sa.Star):
+                for col in relation.columns:
+                    if item.expr.table is not None and col.table != item.expr.table:
+                        continue
+                    out.append(
+                        sa.SelectItem(
+                            sa.ColumnRef(col.name, table=col.table), alias=col.name
+                        )
+                    )
+            else:
+                out.append(item)
+        return out
+
+    def _validate_column_refs(
+        self,
+        select: sa.Select,
+        items: list[sa.SelectItem],
+        relation: Relation,
+        outer: Scope | None,
+    ) -> None:
+        """Static name resolution, so bad references fail even on empty
+        tables (as they do at plan time in PostgreSQL)."""
+        exprs: list[sa.Expr] = [item.expr for item in items]
+        if select.where is not None:
+            exprs.append(select.where)
+        exprs.extend(select.group_by)
+        if select.having is not None:
+            exprs.append(select.having)
+
+        def walk(node) -> None:
+            if isinstance(node, sa.ColumnRef):
+                if node.table is None and node.name in relation._ambiguous:
+                    raise SqlExecutionError(
+                        f'column reference "{node.name}" is ambiguous'
+                    )
+                if relation.can_resolve(node):
+                    return
+                scope: Scope | None = outer
+                probe = sa.ColumnRef(node.name, node.table)
+                while scope is not None:
+                    try:
+                        if scope._local_index(probe) is not None:
+                            return
+                    except SqlExecutionError:
+                        return  # ambiguous in outer scope: defer to runtime
+                    scope = scope.parent
+                raise SqlExecutionError(
+                    f'column "{node.display}" does not exist'
+                )
+            if isinstance(node, (sa.ScalarSubquery, sa.ExistsSubquery)):
+                return  # the subquery validates itself on execution
+            if isinstance(node, sa.InSubquery):
+                walk(node.operand)
+                return
+            if isinstance(node, sa.WindowFunc):
+                for arg in node.func.args:
+                    walk(arg)
+                for p in node.window.partition_by:
+                    walk(p)
+                for item in node.window.order_by:
+                    walk(item.expr)
+                return
+            for attr in ("left", "right", "operand", "low", "high", "pattern"):
+                child = getattr(node, attr, None)
+                if isinstance(child, sa.Expr):
+                    walk(child)
+            if isinstance(node, sa.FuncCall):
+                for arg in node.args:
+                    walk(arg)
+            if isinstance(node, sa.InList):
+                for item in node.items:
+                    walk(item)
+            if isinstance(node, sa.Case):
+                if node.operand is not None:
+                    walk(node.operand)
+                for c, r in node.branches:
+                    walk(c)
+                    walk(r)
+                if node.default is not None:
+                    walk(node.default)
+            if isinstance(node, sa.Cast):
+                walk(node.operand)
+
+        if relation._by_qualified is None:
+            relation._build_lookup()
+        for expr in exprs:
+            walk(expr)
+
+    def _output_columns(
+        self, items: list[sa.SelectItem], relation: Relation
+    ) -> list[Column]:
+        columns = []
+        for item in items:
+            name = item.alias or _derive_name(item.expr)
+            sql_type = infer_type(item.expr, relation.column_type)
+            columns.append(Column(name, sql_type))
+        return columns
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _hashable(value):
+    if isinstance(value, float) and value != value:
+        return "__nan__"
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def _dedupe(rows: list[tuple]) -> list[tuple]:
+    seen: set = set()
+    out = []
+    for row in rows:
+        key = tuple(_hashable(v) for v in row)
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+def _dedupe_values(values: list) -> list:
+    seen: set = set()
+    out = []
+    for v in values:
+        key = _hashable(v)
+        if key not in seen:
+            seen.add(key)
+            out.append(v)
+    return out
+
+
+def _derive_name(expr: sa.Expr) -> str:
+    if isinstance(expr, sa.ColumnRef):
+        return expr.name
+    if isinstance(expr, sa.FuncCall):
+        return expr.name
+    if isinstance(expr, sa.WindowFunc):
+        return expr.func.name
+    if isinstance(expr, sa.Cast):
+        return _derive_name(expr.operand)
+    return "?column?"
+
+
+def _collect_aggregates(select: sa.Select) -> list[sa.FuncCall]:
+    found: list[sa.FuncCall] = []
+
+    def walk(node, in_window=False):
+        if isinstance(node, sa.WindowFunc):
+            for arg in node.func.args:
+                walk(arg, in_window=True)
+            for e in node.window.partition_by:
+                walk(e, in_window=True)
+            for item in node.window.order_by:
+                walk(item.expr, in_window=True)
+            return
+        if isinstance(node, sa.FuncCall):
+            if not in_window and (is_aggregate(node.name) or node.star):
+                found.append(node)
+                return  # do not descend: nested aggregates unsupported
+            for arg in node.args:
+                walk(arg, in_window)
+            return
+        if isinstance(node, sa.BinaryOp):
+            walk(node.left, in_window)
+            walk(node.right, in_window)
+        elif isinstance(node, sa.UnaryOp):
+            walk(node.operand, in_window)
+        elif isinstance(node, sa.IsNull):
+            walk(node.operand, in_window)
+        elif isinstance(node, sa.InList):
+            walk(node.operand, in_window)
+            for i in node.items:
+                walk(i, in_window)
+        elif isinstance(node, sa.Between):
+            walk(node.operand, in_window)
+            walk(node.low, in_window)
+            walk(node.high, in_window)
+        elif isinstance(node, sa.LikeOp):
+            walk(node.operand, in_window)
+            walk(node.pattern, in_window)
+        elif isinstance(node, sa.Cast):
+            walk(node.operand, in_window)
+        elif isinstance(node, sa.Case):
+            if node.operand:
+                walk(node.operand, in_window)
+            for c, r in node.branches:
+                walk(c, in_window)
+                walk(r, in_window)
+            if node.default:
+                walk(node.default, in_window)
+
+    for item in select.items:
+        if not isinstance(item.expr, sa.Star):
+            walk(item.expr)
+    if select.having is not None:
+        walk(select.having)
+    for item in select.order_by:
+        walk(item.expr)
+    return found
+
+
+def _collect_windows(select: sa.Select) -> list[sa.WindowFunc]:
+    found: list[sa.WindowFunc] = []
+
+    def walk(node):
+        if isinstance(node, sa.WindowFunc):
+            found.append(node)
+            return
+        if isinstance(node, sa.FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, sa.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, sa.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, sa.Cast):
+            walk(node.operand)
+        elif isinstance(node, sa.Case):
+            if node.operand:
+                walk(node.operand)
+            for c, r in node.branches:
+                walk(c)
+                walk(r)
+            if node.default:
+                walk(node.default)
+        elif isinstance(node, sa.IsNull):
+            walk(node.operand)
+
+    for item in select.items:
+        if not isinstance(item.expr, sa.Star):
+            walk(item.expr)
+    for item in select.order_by:
+        walk(item.expr)
+    return found
+
+
+def _split_equi_condition(
+    condition: sa.Expr, left: Relation, right: Relation
+):
+    """Split a join condition into hashable equality keys and a residual.
+
+    Returns (left_exprs, right_exprs, residual_expr_or_None).
+    """
+    conjuncts = _flatten_and(condition)
+    left_keys: list[sa.Expr] = []
+    right_keys: list[sa.Expr] = []
+    residual: list[sa.Expr] = []
+    for conjunct in conjuncts:
+        pair = _equi_pair(conjunct, left, right)
+        if pair is None:
+            residual.append(conjunct)
+        else:
+            left_keys.append(pair[0])
+            right_keys.append(pair[1])
+    residual_expr: sa.Expr | None = None
+    for conjunct in residual:
+        residual_expr = (
+            conjunct
+            if residual_expr is None
+            else sa.BinaryOp("AND", residual_expr, conjunct)
+        )
+    return left_keys, right_keys, residual_expr
+
+
+def _flatten_and(expr: sa.Expr) -> list[sa.Expr]:
+    if isinstance(expr, sa.BinaryOp) and expr.op == "AND":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _equi_pair(expr: sa.Expr, left: Relation, right: Relation):
+    if not isinstance(expr, sa.BinaryOp) or expr.op not in (
+        "=",
+        "IS NOT DISTINCT FROM",
+    ):
+        return None
+    sides = []
+    for operand in (expr.left, expr.right):
+        refs = _column_refs(operand)
+        if not refs:
+            return None
+        in_left = all(left.can_resolve(r) for r in refs)
+        in_right = all(right.can_resolve(r) for r in refs)
+        if in_left and not in_right:
+            sides.append(("L", operand))
+        elif in_right and not in_left:
+            sides.append(("R", operand))
+        else:
+            return None
+    if sides[0][0] == "L" and sides[1][0] == "R":
+        return sides[0][1], sides[1][1]
+    if sides[0][0] == "R" and sides[1][0] == "L":
+        return sides[1][1], sides[0][1]
+    return None
+
+
+def _column_refs(expr: sa.Expr) -> list[sa.ColumnRef]:
+    refs: list[sa.ColumnRef] = []
+
+    def walk(node):
+        if isinstance(node, sa.ColumnRef):
+            refs.append(node)
+        elif isinstance(node, sa.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, sa.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, sa.Cast):
+            walk(node.operand)
+        elif isinstance(node, sa.FuncCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return refs
+
+
+def _apply_set_op(left: ResultSet, op: str, right: ResultSet) -> ResultSet:
+    if len(left.columns) != len(right.columns):
+        raise SqlExecutionError("set operation inputs differ in column count")
+    columns = [
+        Column(lc.name, promote_or_left(lc.sql_type, rc.sql_type))
+        for lc, rc in zip(left.columns, right.columns)
+    ]
+    if op == "union all":
+        return ResultSet(columns, left.rows + right.rows)
+    if op == "union":
+        return ResultSet(columns, _dedupe(left.rows + right.rows))
+    if op == "intersect":
+        right_set = {tuple(_hashable(v) for v in r) for r in right.rows}
+        rows = [
+            r
+            for r in _dedupe(left.rows)
+            if tuple(_hashable(v) for v in r) in right_set
+        ]
+        return ResultSet(columns, rows)
+    if op == "except":
+        right_set = {tuple(_hashable(v) for v in r) for r in right.rows}
+        rows = [
+            r
+            for r in _dedupe(left.rows)
+            if tuple(_hashable(v) for v in r) not in right_set
+        ]
+        return ResultSet(columns, rows)
+    raise SqlExecutionError(f"unsupported set operation {op!r}")
+
+
+def promote_or_left(left: SqlType, right: SqlType) -> SqlType:
+    try:
+        return promote(left, right)
+    except Exception:
+        return left

@@ -1,0 +1,418 @@
+"""Scalar expression evaluation with PostgreSQL three-valued logic.
+
+``None`` is SQL NULL.  Comparisons involving NULL yield NULL; ``AND``/``OR``
+follow Kleene logic; ``IS NOT DISTINCT FROM`` provides the null-safe
+equality that Hyper-Q uses to bridge Q's two-valued semantics (paper
+Section 3.3, "Correctness").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import SqlExecutionError, SqlTypeError
+from repro.sqlengine import sqlast as sa
+from repro.sqlengine.functions import (
+    SCALAR_FUNCTIONS,
+    aggregate_result_type,
+    is_aggregate,
+    scalar_result_type,
+)
+from repro.sqlengine.types import SqlType, cast_value, promote
+
+
+class Scope:
+    """Column resolution for one row, chainable for correlated subqueries."""
+
+    __slots__ = ("by_qualified", "by_name", "ambiguous", "row", "parent")
+
+    def __init__(
+        self,
+        by_qualified: dict[tuple[str, str], int],
+        by_name: dict[str, int],
+        ambiguous: set[str],
+        row: tuple,
+        parent: "Scope | None" = None,
+    ):
+        self.by_qualified = by_qualified
+        self.by_name = by_name
+        self.ambiguous = ambiguous
+        self.row = row
+        self.parent = parent
+
+    def lookup(self, ref: sa.ColumnRef):
+        index = self.find(ref)
+        if index is None:
+            raise SqlExecutionError(f'column "{ref.display}" does not exist')
+        scope: Scope | None = self
+        while scope is not None:
+            idx = scope._local_index(ref)
+            if idx is not None:
+                return scope.row[idx]
+            scope = scope.parent
+        raise SqlExecutionError(f'column "{ref.display}" does not exist')
+
+    def find(self, ref: sa.ColumnRef) -> int | None:
+        scope: Scope | None = self
+        while scope is not None:
+            idx = scope._local_index(ref)
+            if idx is not None:
+                return idx
+            scope = scope.parent
+        return None
+
+    def _local_index(self, ref: sa.ColumnRef) -> int | None:
+        if ref.table is not None:
+            return self.by_qualified.get((ref.table, ref.name))
+        if ref.name in self.ambiguous:
+            raise SqlExecutionError(f'column reference "{ref.name}" is ambiguous')
+        return self.by_name.get(ref.name)
+
+
+class EvalContext:
+    """Everything an expression needs: the row scope, precomputed values
+    for aggregate/window nodes, and an executor hook for subqueries."""
+
+    __slots__ = ("scope", "replacements", "executor")
+
+    def __init__(self, scope: Scope | None, replacements=None, executor=None):
+        self.scope = scope
+        self.replacements = replacements
+        self.executor = executor
+
+
+def evaluate(expr: sa.Expr, ctx: EvalContext):
+    if ctx.replacements is not None:
+        replaced = ctx.replacements.get(id(expr), _MISSING)
+        if replaced is not _MISSING:
+            return replaced
+    handler = _HANDLERS.get(type(expr))
+    if handler is None:
+        raise SqlExecutionError(f"cannot evaluate {type(expr).__name__}")
+    return handler(expr, ctx)
+
+
+_MISSING = object()
+
+
+def _eval_literal(expr: sa.Literal, ctx):
+    return expr.value
+
+
+def _eval_column(expr: sa.ColumnRef, ctx):
+    if ctx.scope is None:
+        raise SqlExecutionError(f'column "{expr.display}" used without a FROM clause')
+    return ctx.scope.lookup(expr)
+
+
+def _eval_unary(expr: sa.UnaryOp, ctx):
+    value = evaluate(expr.operand, ctx)
+    if expr.op == "NOT":
+        return None if value is None else (not value)
+    if value is None:
+        return None
+    return -value if expr.op == "-" else value
+
+
+def _numeric_binop(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise SqlExecutionError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise SqlExecutionError("division by zero")
+        return left - right * int(left / right)
+    raise SqlExecutionError(f"unknown operator {op!r}")
+
+
+def _compare(op: str, left, right):
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        raise SqlTypeError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        ) from None
+    raise SqlExecutionError(f"unknown comparison {op!r}")
+
+
+def _eval_binary(expr: sa.BinaryOp, ctx):
+    op = expr.op
+    if op == "AND":
+        left = evaluate(expr.left, ctx)
+        if left is False:
+            return False
+        right = evaluate(expr.right, ctx)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        left = evaluate(expr.left, ctx)
+        if left is True:
+            return True
+        right = evaluate(expr.right, ctx)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if op == "IS NOT DISTINCT FROM":
+        return _null_safe_equal(left, right)
+    if op == "IS DISTINCT FROM":
+        return not _null_safe_equal(left, right)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    if op == "||":
+        if left is None or right is None:
+            return None
+        return str(left) + str(right)
+    if left is None or right is None:
+        return None
+    return _numeric_binop(op, left, right)
+
+
+def _null_safe_equal(left, right) -> bool:
+    if left is None and right is None:
+        return True
+    if left is None or right is None:
+        return False
+    return bool(left == right)
+
+
+def _eval_isnull(expr: sa.IsNull, ctx):
+    value = evaluate(expr.operand, ctx)
+    return (value is not None) if expr.negated else (value is None)
+
+
+def _eval_inlist(expr: sa.InList, ctx):
+    value = evaluate(expr.operand, ctx)
+    if value is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        candidate = evaluate(item, ctx)
+        if candidate is None:
+            saw_null = True
+        elif candidate == value:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated
+
+
+def _eval_between(expr: sa.Between, ctx):
+    value = evaluate(expr.operand, ctx)
+    low = evaluate(expr.low, ctx)
+    high = evaluate(expr.high, ctx)
+    if value is None or low is None or high is None:
+        return None
+    result = low <= value <= high
+    return (not result) if expr.negated else result
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def _eval_like(expr: sa.LikeOp, ctx):
+    value = evaluate(expr.operand, ctx)
+    pattern = evaluate(expr.pattern, ctx)
+    if value is None or pattern is None:
+        return None
+    result = bool(_like_to_regex(str(pattern)).match(str(value)))
+    return (not result) if expr.negated else result
+
+
+def _eval_cast(expr: sa.Cast, ctx):
+    return cast_value(evaluate(expr.operand, ctx), expr.target)
+
+
+def _eval_case(expr: sa.Case, ctx):
+    if expr.operand is not None:
+        subject = evaluate(expr.operand, ctx)
+        for condition, result in expr.branches:
+            candidate = evaluate(condition, ctx)
+            if candidate is not None and subject is not None and candidate == subject:
+                return evaluate(result, ctx)
+    else:
+        for condition, result in expr.branches:
+            if evaluate(condition, ctx) is True:
+                return evaluate(result, ctx)
+    return evaluate(expr.default, ctx) if expr.default is not None else None
+
+
+def _eval_func(expr: sa.FuncCall, ctx):
+    if is_aggregate(expr.name):
+        raise SqlExecutionError(
+            f"aggregate function {expr.name}() used outside of a grouped query"
+        )
+    fn = SCALAR_FUNCTIONS.get(expr.name)
+    if fn is None:
+        raise SqlExecutionError(f"function {expr.name}() does not exist")
+    args = [evaluate(arg, ctx) for arg in expr.args]
+    return fn(*args)
+
+
+def _eval_window(expr: sa.WindowFunc, ctx):
+    raise SqlExecutionError(
+        "window function evaluated without window context (executor bug)"
+    )
+
+
+def _eval_scalar_subquery(expr: sa.ScalarSubquery, ctx):
+    if ctx.executor is None:
+        raise SqlExecutionError("subquery evaluated without an executor")
+    result = ctx.executor.execute_select(expr.query, outer=ctx.scope)
+    if not result.rows:
+        return None
+    if len(result.rows) > 1:
+        raise SqlExecutionError("more than one row returned by scalar subquery")
+    return result.rows[0][0]
+
+
+def _eval_exists(expr: sa.ExistsSubquery, ctx):
+    if ctx.executor is None:
+        raise SqlExecutionError("subquery evaluated without an executor")
+    result = ctx.executor.execute_select(expr.query, outer=ctx.scope, limit_hint=1)
+    found = bool(result.rows)
+    return (not found) if expr.negated else found
+
+
+def _eval_in_subquery(expr: sa.InSubquery, ctx):
+    if ctx.executor is None:
+        raise SqlExecutionError("subquery evaluated without an executor")
+    value = evaluate(expr.operand, ctx)
+    if value is None:
+        return None
+    result = ctx.executor.execute_select(expr.query, outer=ctx.scope)
+    saw_null = False
+    for row in result.rows:
+        if row[0] is None:
+            saw_null = True
+        elif row[0] == value:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated
+
+
+_HANDLERS = {
+    sa.Literal: _eval_literal,
+    sa.ColumnRef: _eval_column,
+    sa.UnaryOp: _eval_unary,
+    sa.BinaryOp: _eval_binary,
+    sa.IsNull: _eval_isnull,
+    sa.InList: _eval_inlist,
+    sa.Between: _eval_between,
+    sa.LikeOp: _eval_like,
+    sa.Cast: _eval_cast,
+    sa.Case: _eval_case,
+    sa.FuncCall: _eval_func,
+    sa.WindowFunc: _eval_window,
+    sa.ScalarSubquery: _eval_scalar_subquery,
+    sa.ExistsSubquery: _eval_exists,
+    sa.InSubquery: _eval_in_subquery,
+}
+
+
+# ---------------------------------------------------------------------------
+# Static type inference (for result metadata)
+# ---------------------------------------------------------------------------
+
+
+def infer_type(expr: sa.Expr, column_type: Callable[[sa.ColumnRef], SqlType]) -> SqlType:
+    """Best-effort static type of an expression for RowDescription metadata."""
+    if isinstance(expr, sa.Literal):
+        return expr.sql_type
+    if isinstance(expr, sa.ColumnRef):
+        return column_type(expr)
+    if isinstance(expr, sa.Cast):
+        return expr.target
+    if isinstance(expr, sa.UnaryOp):
+        if expr.op == "NOT":
+            return SqlType.BOOLEAN
+        return infer_type(expr.operand, column_type)
+    if isinstance(expr, sa.BinaryOp):
+        if expr.op in ("AND", "OR", "=", "<>", "<", "<=", ">", ">=",
+                       "IS NOT DISTINCT FROM", "IS DISTINCT FROM"):
+            return SqlType.BOOLEAN
+        if expr.op == "||":
+            return SqlType.TEXT
+        left = infer_type(expr.left, column_type)
+        right = infer_type(expr.right, column_type)
+        if expr.op == "/" and not (left.is_integral and right.is_integral):
+            return SqlType.DOUBLE
+        return promote(left, right)
+    if isinstance(expr, (sa.IsNull, sa.InList, sa.Between, sa.LikeOp,
+                         sa.ExistsSubquery, sa.InSubquery)):
+        return SqlType.BOOLEAN
+    if isinstance(expr, sa.Case):
+        for __, result in expr.branches:
+            t = infer_type(result, column_type)
+            if t != SqlType.NULL:
+                return t
+        if expr.default is not None:
+            return infer_type(expr.default, column_type)
+        return SqlType.NULL
+    if isinstance(expr, sa.FuncCall):
+        if is_aggregate(expr.name):
+            arg_type = (
+                infer_type(expr.args[0], column_type) if expr.args else SqlType.BIGINT
+            )
+            return aggregate_result_type(expr.name, arg_type)
+        arg_types = [infer_type(a, column_type) for a in expr.args]
+        return scalar_result_type(expr.name, arg_types)
+    if isinstance(expr, sa.WindowFunc):
+        name = expr.func.name
+        if name in ("row_number", "rank", "dense_rank", "ntile"):
+            return SqlType.BIGINT
+        if name in ("lead", "lag", "first_value", "last_value", "nth_value"):
+            return (
+                infer_type(expr.func.args[0], column_type)
+                if expr.func.args
+                else SqlType.NULL
+            )
+        arg_type = (
+            infer_type(expr.func.args[0], column_type)
+            if expr.func.args
+            else SqlType.BIGINT
+        )
+        return aggregate_result_type(name, arg_type)
+    if isinstance(expr, sa.ScalarSubquery):
+        return SqlType.NULL  # refined by executor when metadata available
+    return SqlType.NULL

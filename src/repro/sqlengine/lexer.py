@@ -1,0 +1,141 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SqlSyntaxError
+
+
+class SqlTokenKind(Enum):
+    KEYWORD = auto()  # upper-cased reserved word
+    IDENT = auto()  # identifier (normalized: lower unless quoted)
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    SEMI = auto()
+    STAR = auto()
+    DOT = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "offset", "as", "and", "or", "not", "null", "true", "false", "is",
+    "distinct", "in", "between", "like", "ilike", "case", "when", "then",
+    "else", "end", "cast", "join", "inner", "left", "right", "full",
+    "outer", "cross", "on", "union", "all", "except", "intersect",
+    "create", "temporary", "temp", "table", "view", "replace", "insert",
+    "into", "values", "delete", "update", "set", "drop", "truncate",
+    "exists", "if", "asc", "desc", "nulls", "first", "last", "over",
+    "partition", "rows", "range", "unbounded", "preceding", "following",
+    "current", "row",
+}
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+_NUMBER_RE = re.compile(r"\d+(?:\.\d*)?(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?")
+_OPERATORS = ["::", "<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "/", "%"]
+
+
+@dataclass
+class SqlToken:
+    kind: SqlTokenKind
+    text: str
+    pos: int
+    value: object = None
+
+    def __repr__(self):
+        return f"SqlToken({self.kind.name}, {self.text!r})"
+
+
+def tokenize_sql(source: str) -> list[SqlToken]:
+    tokens: list[SqlToken] = []
+    pos = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if source.startswith("--", pos):
+            end = source.find("\n", pos)
+            pos = n if end == -1 else end + 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment")
+            pos = end + 2
+            continue
+        if ch == "'":
+            end = pos + 1
+            chars: list[str] = []
+            while end < n:
+                if source[end] == "'":
+                    if end + 1 < n and source[end + 1] == "'":
+                        chars.append("'")
+                        end += 2
+                        continue
+                    break
+                chars.append(source[end])
+                end += 1
+            else:
+                raise SqlSyntaxError("unterminated string literal")
+            tokens.append(
+                SqlToken(SqlTokenKind.STRING, source[pos : end + 1], pos, "".join(chars))
+            )
+            pos = end + 1
+            continue
+        if ch == '"':
+            end = source.find('"', pos + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier")
+            tokens.append(
+                SqlToken(SqlTokenKind.IDENT, source[pos : end + 1], pos,
+                         source[pos + 1 : end])
+            )
+            pos = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < n and source[pos + 1].isdigit()):
+            match = _NUMBER_RE.match(source, pos)
+            assert match
+            text = match.group(0)
+            value: object = float(text) if ("." in text or "e" in text.lower()) else int(text)
+            tokens.append(SqlToken(SqlTokenKind.NUMBER, text, pos, value))
+            pos = match.end()
+            continue
+        if ch.isalpha() or ch == "_":
+            match = _IDENT_RE.match(source, pos)
+            assert match
+            text = match.group(0)
+            lowered = text.lower()
+            kind = SqlTokenKind.KEYWORD if lowered in KEYWORDS else SqlTokenKind.IDENT
+            tokens.append(SqlToken(kind, text, pos, lowered))
+            pos = match.end()
+            continue
+        simple = {
+            "(": SqlTokenKind.LPAREN,
+            ")": SqlTokenKind.RPAREN,
+            ",": SqlTokenKind.COMMA,
+            ";": SqlTokenKind.SEMI,
+            "*": SqlTokenKind.STAR,
+            ".": SqlTokenKind.DOT,
+        }
+        if ch in simple:
+            tokens.append(SqlToken(simple[ch], ch, pos))
+            pos += 1
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(SqlToken(SqlTokenKind.OPERATOR, op, pos))
+                pos += len(op)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r} at position {pos}")
+    tokens.append(SqlToken(SqlTokenKind.EOF, "", pos))
+    return tokens

@@ -1,0 +1,669 @@
+"""Recursive-descent parser for the SQL subset.
+
+Covers everything the Hyper-Q serializer emits (SELECT with joins, window
+functions, ``IS NOT DISTINCT FROM``, ``::`` casts, ``CREATE TEMPORARY
+TABLE ... AS``, views) plus DML/DDL used by tests and the metadata layer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine import sqlast as sa
+from repro.sqlengine.lexer import SqlToken, SqlTokenKind, tokenize_sql
+from repro.sqlengine.types import SqlType, type_from_name
+
+_TYPE_KEYWORD_STARTS = {
+    "boolean", "bool", "smallint", "integer", "int", "bigint", "real",
+    "double", "float", "numeric", "decimal", "varchar", "character",
+    "text", "char", "date", "time", "timestamp", "interval", "uuid",
+}
+
+
+class SqlParser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize_sql(source)
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def current(self) -> SqlToken:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> SqlToken:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> SqlToken:
+        token = self.current
+        if token.kind != SqlTokenKind.EOF:
+            self.index += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.current
+        return token.kind == SqlTokenKind.KEYWORD and token.value in words
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.at_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self._error(f"expected {word.upper()}")
+
+    def expect(self, kind: SqlTokenKind) -> SqlToken:
+        if self.current.kind != kind:
+            raise self._error(f"expected {kind.name}")
+        return self.advance()
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        token = self.current
+        return SqlSyntaxError(
+            f"{message} at position {token.pos} (near {token.text!r})"
+        )
+
+    # -- entry ----------------------------------------------------------------
+
+    def parse_statements(self) -> list[sa.Statement]:
+        statements: list[sa.Statement] = []
+        while self.current.kind != SqlTokenKind.EOF:
+            if self.current.kind == SqlTokenKind.SEMI:
+                self.advance()
+                continue
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> sa.Statement:
+        if self.at_keyword("select"):
+            return self.parse_select()
+        if self.at_keyword("create"):
+            return self._parse_create()
+        if self.at_keyword("insert"):
+            return self._parse_insert()
+        if self.at_keyword("delete"):
+            return self._parse_delete()
+        if self.at_keyword("update"):
+            return self._parse_update()
+        if self.at_keyword("drop"):
+            return self._parse_drop()
+        if self.at_keyword("truncate"):
+            self.advance()
+            self.accept_keyword("table")
+            return sa.Truncate(self._parse_qualified_name()[1])
+        raise self._error("expected a statement")
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def parse_select(self) -> sa.Select:
+        left = self._parse_select_core()
+        while self.at_keyword("union", "except", "intersect"):
+            op = self.advance().value
+            if op == "union" and self.accept_keyword("all"):
+                op = "union all"
+            right = self._parse_select_core()
+            left = self._combine(left, op, right)
+        # trailing ORDER BY / LIMIT apply to the combined query
+        if self.at_keyword("order"):
+            left.order_by = self._parse_order_by()
+        if self.at_keyword("limit"):
+            self.advance()
+            left.limit = self.parse_expr()
+        if self.at_keyword("offset"):
+            self.advance()
+            left.offset = self.parse_expr()
+        return left
+
+    @staticmethod
+    def _combine(left: sa.Select, op: str, right: sa.Select) -> sa.Select:
+        if left.set_op is None:
+            left.set_op = op
+            left.set_right = right
+            return left
+        # chain: wrap
+        combined = sa.Select(items=[sa.SelectItem(sa.Star())])
+        combined.from_clause = sa.SubqueryRef(left, alias="__setop")
+        combined.set_op = op
+        combined.set_right = right
+        return combined
+
+    def _parse_select_core(self) -> sa.Select:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = [self._parse_select_item()]
+        while self.current.kind == SqlTokenKind.COMMA:
+            self.advance()
+            items.append(self._parse_select_item())
+        select = sa.Select(items=items, distinct=distinct)
+        if self.accept_keyword("from"):
+            select.from_clause = self._parse_table_expr()
+        if self.accept_keyword("where"):
+            select.where = self.parse_expr()
+        if self.at_keyword("group"):
+            self.advance()
+            self.expect_keyword("by")
+            select.group_by.append(self.parse_expr())
+            while self.current.kind == SqlTokenKind.COMMA:
+                self.advance()
+                select.group_by.append(self.parse_expr())
+        if self.accept_keyword("having"):
+            select.having = self.parse_expr()
+        if self.at_keyword("order") and not self._order_belongs_to_outer():
+            select.order_by = self._parse_order_by()
+        if self.at_keyword("limit"):
+            self.advance()
+            select.limit = self.parse_expr()
+        if self.at_keyword("offset"):
+            self.advance()
+            select.offset = self.parse_expr()
+        return select
+
+    def _order_belongs_to_outer(self) -> bool:
+        # ORDER BY directly after a core select belongs to it unless we are
+        # inside a set operation — handled conservatively: core takes it.
+        return False
+
+    def _parse_order_by(self) -> list[sa.OrderItem]:
+        self.expect_keyword("order")
+        self.expect_keyword("by")
+        out = [self._parse_order_item()]
+        while self.current.kind == SqlTokenKind.COMMA:
+            self.advance()
+            out.append(self._parse_order_item())
+        return out
+
+    def _parse_order_item(self) -> sa.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("asc"):
+            descending = False
+        elif self.accept_keyword("desc"):
+            descending = True
+        nulls_first: bool | None = None
+        if self.accept_keyword("nulls"):
+            if self.accept_keyword("first"):
+                nulls_first = True
+            else:
+                self.expect_keyword("last")
+                nulls_first = False
+        return sa.OrderItem(expr, descending, nulls_first)
+
+    def _parse_select_item(self) -> sa.SelectItem:
+        if self.current.kind == SqlTokenKind.STAR:
+            self.advance()
+            return sa.SelectItem(sa.Star())
+        if (
+            self.current.kind == SqlTokenKind.IDENT
+            and self.peek().kind == SqlTokenKind.DOT
+            and self.peek(2).kind == SqlTokenKind.STAR
+        ):
+            table = self.advance().value
+            self.advance()
+            self.advance()
+            return sa.SelectItem(sa.Star(table=str(table)))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = str(self._parse_name())
+        elif self.current.kind == SqlTokenKind.IDENT:
+            alias = str(self.advance().value)
+        return sa.SelectItem(expr, alias)
+
+    # -- FROM -----------------------------------------------------------------
+
+    def _parse_table_expr(self) -> sa.TableExpr:
+        left = self._parse_table_primary()
+        while True:
+            if self.accept_keyword("cross"):
+                self.expect_keyword("join")
+                right = self._parse_table_primary()
+                left = sa.Join("cross", left, right)
+                continue
+            kind = None
+            if self.at_keyword("join"):
+                kind = "inner"
+            elif self.at_keyword("inner"):
+                self.advance()
+                kind = "inner"
+            elif self.at_keyword("left"):
+                self.advance()
+                self.accept_keyword("outer")
+                kind = "left"
+            elif self.at_keyword("right"):
+                self.advance()
+                self.accept_keyword("outer")
+                kind = "right"
+            elif self.at_keyword("full"):
+                self.advance()
+                self.accept_keyword("outer")
+                kind = "full"
+            if kind is None:
+                if self.current.kind == SqlTokenKind.COMMA:
+                    self.advance()
+                    right = self._parse_table_primary()
+                    left = sa.Join("cross", left, right)
+                    continue
+                return left
+            self.expect_keyword("join")
+            right = self._parse_table_primary()
+            self.expect_keyword("on")
+            condition = self.parse_expr()
+            left = sa.Join(kind, left, right, condition)
+
+    def _parse_table_primary(self) -> sa.TableExpr:
+        if self.current.kind == SqlTokenKind.LPAREN:
+            self.advance()
+            query = self.parse_select()
+            self.expect(SqlTokenKind.RPAREN)
+            self.accept_keyword("as")
+            alias = str(self._parse_name())
+            return sa.SubqueryRef(query, alias)
+        schema, name = self._parse_qualified_name()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = str(self._parse_name())
+        elif self.current.kind == SqlTokenKind.IDENT:
+            alias = str(self.advance().value)
+        return sa.TableRef(name, alias, schema)
+
+    def _parse_qualified_name(self) -> tuple[str | None, str]:
+        first = str(self._parse_name())
+        if self.current.kind == SqlTokenKind.DOT:
+            self.advance()
+            second = str(self._parse_name())
+            return first, second
+        return None, first
+
+    def _parse_name(self) -> str:
+        token = self.current
+        if token.kind == SqlTokenKind.IDENT:
+            self.advance()
+            return str(token.value)
+        if token.kind == SqlTokenKind.KEYWORD:
+            # permissive: allow non-reserved keywords as names
+            self.advance()
+            return str(token.value)
+        raise self._error("expected an identifier")
+
+    # -- DDL / DML --------------------------------------------------------------
+
+    def _parse_create(self) -> sa.Statement:
+        self.expect_keyword("create")
+        or_replace = False
+        if self.accept_keyword("or"):
+            self.expect_keyword("replace")
+            or_replace = True
+        temporary = self.accept_keyword("temporary") or self.accept_keyword("temp")
+        if self.accept_keyword("view"):
+            __, name = self._parse_qualified_name()
+            self.expect_keyword("as")
+            query = self.parse_select()
+            return sa.CreateView(name, query, or_replace=or_replace)
+        self.expect_keyword("table")
+        if_not_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("not")
+            self.expect_keyword("exists")
+            if_not_exists = True
+        __, name = self._parse_qualified_name()
+        if self.accept_keyword("as"):
+            query = self.parse_select()
+            return sa.CreateTableAs(name, query, temporary=temporary)
+        self.expect(SqlTokenKind.LPAREN)
+        columns = [self._parse_column_def()]
+        while self.current.kind == SqlTokenKind.COMMA:
+            self.advance()
+            columns.append(self._parse_column_def())
+        self.expect(SqlTokenKind.RPAREN)
+        return sa.CreateTable(
+            name, columns, temporary=temporary, if_not_exists=if_not_exists
+        )
+
+    def _parse_column_def(self) -> sa.ColumnDef:
+        name = str(self._parse_name())
+        type_text = self._parse_type_name()
+        return sa.ColumnDef(name, type_from_name(type_text), type_text)
+
+    def _parse_type_name(self) -> str:
+        parts = [str(self._parse_name())]
+        # double precision / character varying
+        if parts[0] in ("double", "character") and self.current.kind in (
+            SqlTokenKind.IDENT,
+            SqlTokenKind.KEYWORD,
+        ):
+            parts.append(str(self.advance().value))
+        text = " ".join(parts)
+        if self.current.kind == SqlTokenKind.LPAREN:
+            self.advance()
+            args = [str(self.expect(SqlTokenKind.NUMBER).text)]
+            while self.current.kind == SqlTokenKind.COMMA:
+                self.advance()
+                args.append(str(self.expect(SqlTokenKind.NUMBER).text))
+            self.expect(SqlTokenKind.RPAREN)
+            text += "(" + ",".join(args) + ")"
+        return text
+
+    def _parse_insert(self) -> sa.Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        __, table = self._parse_qualified_name()
+        columns: list[str] = []
+        if self.current.kind == SqlTokenKind.LPAREN:
+            self.advance()
+            columns.append(str(self._parse_name()))
+            while self.current.kind == SqlTokenKind.COMMA:
+                self.advance()
+                columns.append(str(self._parse_name()))
+            self.expect(SqlTokenKind.RPAREN)
+        if self.accept_keyword("values"):
+            rows = [self._parse_value_row()]
+            while self.current.kind == SqlTokenKind.COMMA:
+                self.advance()
+                rows.append(self._parse_value_row())
+            return sa.Insert(table, columns, rows=rows)
+        query = self.parse_select()
+        return sa.Insert(table, columns, query=query)
+
+    def _parse_value_row(self) -> list[sa.Expr]:
+        self.expect(SqlTokenKind.LPAREN)
+        row = [self.parse_expr()]
+        while self.current.kind == SqlTokenKind.COMMA:
+            self.advance()
+            row.append(self.parse_expr())
+        self.expect(SqlTokenKind.RPAREN)
+        return row
+
+    def _parse_delete(self) -> sa.Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        __, table = self._parse_qualified_name()
+        where = self.parse_expr() if self.accept_keyword("where") else None
+        return sa.Delete(table, where)
+
+    def _parse_update(self) -> sa.Update:
+        self.expect_keyword("update")
+        __, table = self._parse_qualified_name()
+        self.expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self.current.kind == SqlTokenKind.COMMA:
+            self.advance()
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self.accept_keyword("where") else None
+        return sa.Update(table, assignments, where)
+
+    def _parse_assignment(self) -> tuple[str, sa.Expr]:
+        name = str(self._parse_name())
+        token = self.current
+        if token.kind != SqlTokenKind.OPERATOR or token.text != "=":
+            raise self._error("expected '=' in UPDATE assignment")
+        self.advance()
+        return name, self.parse_expr()
+
+    def _parse_drop(self) -> sa.DropTable:
+        self.expect_keyword("drop")
+        is_view = self.accept_keyword("view")
+        if not is_view:
+            self.expect_keyword("table")
+        if_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("exists")
+            if_exists = True
+        __, name = self._parse_qualified_name()
+        return sa.DropTable(name, if_exists=if_exists, is_view=is_view)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> sa.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> sa.Expr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = sa.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> sa.Expr:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            left = sa.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> sa.Expr:
+        if self.accept_keyword("not"):
+            return sa.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> sa.Expr:
+        left = self._parse_additive()
+        while True:
+            token = self.current
+            if token.kind == SqlTokenKind.OPERATOR and token.text in (
+                "=", "<>", "!=", "<", "<=", ">", ">=",
+            ):
+                op = "<>" if token.text == "!=" else token.text
+                self.advance()
+                left = sa.BinaryOp(op, left, self._parse_additive())
+                continue
+            if self.at_keyword("is"):
+                self.advance()
+                negated = self.accept_keyword("not")
+                if self.accept_keyword("null"):
+                    left = sa.IsNull(left, negated=negated)
+                    continue
+                if self.accept_keyword("distinct"):
+                    self.expect_keyword("from")
+                    right = self._parse_additive()
+                    op = "IS NOT DISTINCT FROM" if negated else "IS DISTINCT FROM"
+                    left = sa.BinaryOp(op, left, right)
+                    continue
+                if self.accept_keyword("true"):
+                    target: sa.Expr = sa.Literal(True)
+                elif self.accept_keyword("false"):
+                    target = sa.Literal(False)
+                else:
+                    raise self._error("unsupported IS predicate")
+                compare = sa.BinaryOp("IS NOT DISTINCT FROM", left, target)
+                left = sa.UnaryOp("NOT", compare) if negated else compare
+                continue
+            negated = False
+            if self.at_keyword("not") and self.peek().kind == SqlTokenKind.KEYWORD and \
+                    self.peek().value in ("in", "between", "like", "ilike"):
+                self.advance()
+                negated = True
+            if self.accept_keyword("in"):
+                self.expect(SqlTokenKind.LPAREN)
+                if self.at_keyword("select"):
+                    query = self.parse_select()
+                    self.expect(SqlTokenKind.RPAREN)
+                    left = sa.InSubquery(left, query, negated=negated)
+                    continue
+                items = [self.parse_expr()]
+                while self.current.kind == SqlTokenKind.COMMA:
+                    self.advance()
+                    items.append(self.parse_expr())
+                self.expect(SqlTokenKind.RPAREN)
+                left = sa.InList(left, items, negated=negated)
+                continue
+            if self.accept_keyword("between"):
+                low = self._parse_additive()
+                self.expect_keyword("and")
+                high = self._parse_additive()
+                left = sa.Between(left, low, high, negated=negated)
+                continue
+            if self.accept_keyword("like") or self.accept_keyword("ilike"):
+                pattern = self._parse_additive()
+                left = sa.LikeOp(left, pattern, negated=negated)
+                continue
+            if negated:
+                raise self._error("dangling NOT")
+            return left
+
+    def _parse_additive(self) -> sa.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.current
+            if token.kind == SqlTokenKind.OPERATOR and token.text in ("+", "-", "||"):
+                self.advance()
+                left = sa.BinaryOp(token.text, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> sa.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            if token.kind == SqlTokenKind.STAR:
+                self.advance()
+                left = sa.BinaryOp("*", left, self._parse_unary())
+            elif token.kind == SqlTokenKind.OPERATOR and token.text in ("/", "%"):
+                self.advance()
+                left = sa.BinaryOp(token.text, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> sa.Expr:
+        token = self.current
+        if token.kind == SqlTokenKind.OPERATOR and token.text in ("-", "+"):
+            self.advance()
+            return sa.UnaryOp(token.text, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> sa.Expr:
+        expr = self._parse_primary()
+        while self.current.kind == SqlTokenKind.OPERATOR and self.current.text == "::":
+            self.advance()
+            type_text = self._parse_type_name()
+            expr = sa.Cast(expr, type_from_name(type_text), type_text)
+        return expr
+
+    def _parse_primary(self) -> sa.Expr:
+        token = self.current
+        if token.kind == SqlTokenKind.NUMBER:
+            self.advance()
+            sql_type = (
+                SqlType.BIGINT if isinstance(token.value, int) else SqlType.DOUBLE
+            )
+            return sa.Literal(token.value, sql_type)
+        if token.kind == SqlTokenKind.STRING:
+            self.advance()
+            return sa.Literal(token.value, SqlType.TEXT)
+        if self.accept_keyword("null"):
+            return sa.Literal(None, SqlType.NULL)
+        if self.accept_keyword("true"):
+            return sa.Literal(True, SqlType.BOOLEAN)
+        if self.accept_keyword("false"):
+            return sa.Literal(False, SqlType.BOOLEAN)
+        if self.at_keyword("case"):
+            return self._parse_case()
+        if self.at_keyword("cast"):
+            self.advance()
+            self.expect(SqlTokenKind.LPAREN)
+            operand = self.parse_expr()
+            self.expect_keyword("as")
+            type_text = self._parse_type_name()
+            self.expect(SqlTokenKind.RPAREN)
+            return sa.Cast(operand, type_from_name(type_text), type_text)
+        if self.at_keyword("exists"):
+            self.advance()
+            self.expect(SqlTokenKind.LPAREN)
+            query = self.parse_select()
+            self.expect(SqlTokenKind.RPAREN)
+            return sa.ExistsSubquery(query)
+        if token.kind == SqlTokenKind.LPAREN:
+            self.advance()
+            if self.at_keyword("select"):
+                query = self.parse_select()
+                self.expect(SqlTokenKind.RPAREN)
+                return sa.ScalarSubquery(query)
+            expr = self.parse_expr()
+            self.expect(SqlTokenKind.RPAREN)
+            return expr
+        if token.kind in (SqlTokenKind.IDENT, SqlTokenKind.KEYWORD):
+            return self._parse_name_or_call()
+        raise self._error("expected an expression")
+
+    def _parse_case(self) -> sa.Expr:
+        self.expect_keyword("case")
+        operand = None
+        if not self.at_keyword("when"):
+            operand = self.parse_expr()
+        branches: list[tuple[sa.Expr, sa.Expr]] = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expr()
+            self.expect_keyword("then")
+            result = self.parse_expr()
+            branches.append((condition, result))
+        default = None
+        if self.accept_keyword("else"):
+            default = self.parse_expr()
+        self.expect_keyword("end")
+        return sa.Case(operand, branches, default)
+
+    def _parse_name_or_call(self) -> sa.Expr:
+        name = str(self._parse_name())
+        # qualified column: a.b
+        if self.current.kind == SqlTokenKind.DOT:
+            self.advance()
+            column = str(self._parse_name())
+            return sa.ColumnRef(column, table=name)
+        if self.current.kind != SqlTokenKind.LPAREN:
+            return sa.ColumnRef(name)
+        # function call
+        self.advance()
+        star = False
+        distinct = False
+        args: list[sa.Expr] = []
+        if self.current.kind == SqlTokenKind.STAR:
+            self.advance()
+            star = True
+        elif self.current.kind != SqlTokenKind.RPAREN:
+            distinct = self.accept_keyword("distinct")
+            args.append(self.parse_expr())
+            while self.current.kind == SqlTokenKind.COMMA:
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect(SqlTokenKind.RPAREN)
+        call = sa.FuncCall(name.lower(), args, distinct=distinct, star=star)
+        if self.at_keyword("over"):
+            self.advance()
+            window = self._parse_window_spec()
+            return sa.WindowFunc(call, window)
+        return call
+
+    def _parse_window_spec(self) -> sa.WindowSpec:
+        self.expect(SqlTokenKind.LPAREN)
+        spec = sa.WindowSpec()
+        if self.accept_keyword("partition"):
+            self.expect_keyword("by")
+            spec.partition_by.append(self.parse_expr())
+            while self.current.kind == SqlTokenKind.COMMA:
+                self.advance()
+                spec.partition_by.append(self.parse_expr())
+        if self.at_keyword("order"):
+            spec.order_by = self._parse_order_by()
+        if self.at_keyword("rows", "range"):
+            spec.frame = self._parse_frame_text()
+        self.expect(SqlTokenKind.RPAREN)
+        return spec
+
+    def _parse_frame_text(self) -> str:
+        # capture the raw frame clause; executor understands the common forms
+        parts: list[str] = []
+        while self.current.kind != SqlTokenKind.RPAREN:
+            parts.append(self.current.text)
+            self.advance()
+        return " ".join(parts).lower()
+
+
+def parse_sql(source: str) -> list[sa.Statement]:
+    """Parse one or more ;-separated SQL statements."""
+    return SqlParser(source).parse_statements()
+
+
+def parse_one(source: str) -> sa.Statement:
+    statements = parse_sql(source)
+    if len(statements) != 1:
+        raise SqlSyntaxError(f"expected one statement, found {len(statements)}")
+    return statements[0]

@@ -1,0 +1,283 @@
+"""Abstract syntax tree for the SQL subset the engine executes.
+
+The subset is exactly what Hyper-Q's serializer emits plus the statements
+needed by the metadata interface and the test suite: SELECT with joins,
+window functions, grouping and set operations; CREATE (TEMPORARY) TABLE
+[AS], CREATE VIEW, INSERT, DELETE, DROP, TRUNCATE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.types import SqlType
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Literal(Expr):
+    value: object
+    sql_type: SqlType = SqlType.NULL
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    table: str | None = None
+
+    @property
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list."""
+
+    table: str | None = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # '+', '-', '*', '/', '%', '||', '=', '<>', '<', '<=', '>', '>=',
+    # 'AND', 'OR', 'IS NOT DISTINCT FROM', 'IS DISTINCT FROM'
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # '-', '+', 'NOT'
+    operand: Expr
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: list[Expr]
+    negated: bool = False
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class LikeOp(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    operand: Expr
+    target: SqlType
+    target_text: str = ""
+
+
+@dataclass
+class Case(Expr):
+    """CASE [operand] WHEN ... THEN ... [ELSE ...] END."""
+
+    operand: Expr | None
+    branches: list[tuple[Expr, Expr]]
+    default: Expr | None
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str
+    args: list[Expr]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass
+class WindowSpec:
+    partition_by: list[Expr] = field(default_factory=list)
+    order_by: list["OrderItem"] = field(default_factory=list)
+    frame: str | None = None  # raw frame text; None = default frame
+
+
+@dataclass
+class WindowFunc(Expr):
+    func: FuncCall
+    window: WindowSpec
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    query: "Select"
+
+
+@dataclass
+class ExistsSubquery(Expr):
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(Expr):
+    operand: Expr
+    query: "Select"
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Relational AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+    nulls_first: bool | None = None  # None = dialect default
+
+
+class TableExpr:
+    """Base class for FROM-clause items."""
+
+    __slots__ = ()
+
+
+@dataclass
+class TableRef(TableExpr):
+    name: str
+    alias: str | None = None
+    schema: str | None = None
+
+
+@dataclass
+class SubqueryRef(TableExpr):
+    query: "Select"
+    alias: str
+
+
+@dataclass
+class Join(TableExpr):
+    kind: str  # 'inner', 'left', 'right', 'full', 'cross'
+    left: TableExpr
+    right: TableExpr
+    condition: Expr | None = None
+
+
+@dataclass
+class Select:
+    items: list[SelectItem]
+    from_clause: TableExpr | None = None
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Expr | None = None
+    offset: Expr | None = None
+    distinct: bool = False
+    set_op: str | None = None  # 'union', 'union all', 'except', 'intersect'
+    set_right: "Select | None" = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    sql_type: SqlType
+    type_text: str = ""
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: list[ColumnDef]
+    temporary: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateTableAs:
+    name: str
+    query: Select
+    temporary: bool = False
+
+
+@dataclass
+class CreateView:
+    name: str
+    query: Select
+    or_replace: bool = False
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: list[str]
+    rows: list[list[Expr]] | None = None  # VALUES form
+    query: Select | None = None  # INSERT ... SELECT form
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Expr | None = None
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: list[tuple[str, Expr]]
+    where: Expr | None = None
+
+
+@dataclass
+class DropTable:
+    name: str
+    if_exists: bool = False
+    is_view: bool = False
+
+
+@dataclass
+class Truncate:
+    name: str
+
+
+Statement = (
+    Select
+    | CreateTable
+    | CreateTableAs
+    | CreateView
+    | Insert
+    | Delete
+    | Update
+    | DropTable
+    | Truncate
+)

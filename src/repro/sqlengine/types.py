@@ -1,0 +1,237 @@
+"""SQL type system for the PostgreSQL-compatible engine substrate.
+
+SQL values are plain Python payloads with ``None`` as NULL, matching the
+three-valued-logic evaluator in :mod:`repro.sqlengine.expr`.  Temporal
+values reuse the kdb+ integer encodings from :mod:`repro.qlang.qtypes` so
+the Hyper-Q result pipeline never needs lossy conversions (dates are days
+since 2000.01.01, times are milliseconds since midnight, timestamps are
+nanoseconds since 2000.01.01).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import SqlTypeError
+
+
+class SqlType(Enum):
+    BOOLEAN = "boolean"
+    SMALLINT = "smallint"
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    REAL = "real"
+    DOUBLE = "double precision"
+    NUMERIC = "numeric"
+    VARCHAR = "varchar"
+    TEXT = "text"
+    CHAR = "char"
+    DATE = "date"
+    TIME = "time"
+    TIMESTAMP = "timestamp"
+    INTERVAL = "interval"
+    UUID = "uuid"
+    NULL = "null"  # the type of a bare NULL literal
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in _NUMERIC
+
+    @property
+    def is_integral(self) -> bool:
+        return self in (SqlType.SMALLINT, SqlType.INTEGER, SqlType.BIGINT)
+
+    @property
+    def is_text(self) -> bool:
+        return self in (SqlType.VARCHAR, SqlType.TEXT, SqlType.CHAR)
+
+    @property
+    def is_temporal(self) -> bool:
+        return self in (SqlType.DATE, SqlType.TIME, SqlType.TIMESTAMP, SqlType.INTERVAL)
+
+
+_NUMERIC = {
+    SqlType.SMALLINT,
+    SqlType.INTEGER,
+    SqlType.BIGINT,
+    SqlType.REAL,
+    SqlType.DOUBLE,
+    SqlType.NUMERIC,
+}
+
+#: Parseable type names (normalized to lower case, spaces collapsed).
+_TYPE_NAMES = {
+    "boolean": SqlType.BOOLEAN,
+    "bool": SqlType.BOOLEAN,
+    "smallint": SqlType.SMALLINT,
+    "int2": SqlType.SMALLINT,
+    "integer": SqlType.INTEGER,
+    "int": SqlType.INTEGER,
+    "int4": SqlType.INTEGER,
+    "bigint": SqlType.BIGINT,
+    "int8": SqlType.BIGINT,
+    "real": SqlType.REAL,
+    "float4": SqlType.REAL,
+    "double precision": SqlType.DOUBLE,
+    "float8": SqlType.DOUBLE,
+    "float": SqlType.DOUBLE,
+    "numeric": SqlType.NUMERIC,
+    "decimal": SqlType.NUMERIC,
+    "varchar": SqlType.VARCHAR,
+    "character varying": SqlType.VARCHAR,
+    "text": SqlType.TEXT,
+    "char": SqlType.CHAR,
+    "character": SqlType.CHAR,
+    "date": SqlType.DATE,
+    "time": SqlType.TIME,
+    "timestamp": SqlType.TIMESTAMP,
+    "interval": SqlType.INTERVAL,
+    "uuid": SqlType.UUID,
+}
+
+
+def type_from_name(name: str) -> SqlType:
+    """Resolve a SQL type name, ignoring length arguments like varchar(10)."""
+    base = name.strip().lower()
+    if "(" in base:
+        base = base[: base.index("(")].strip()
+    try:
+        return _TYPE_NAMES[base]
+    except KeyError:
+        raise SqlTypeError(f"unknown SQL type {name!r}") from None
+
+
+def promote(left: SqlType, right: SqlType) -> SqlType:
+    """Result type of an arithmetic operation."""
+    if left == SqlType.NULL:
+        return right
+    if right == SqlType.NULL:
+        return left
+    if left == right:
+        return left
+    if left.is_numeric and right.is_numeric:
+        order = [
+            SqlType.SMALLINT,
+            SqlType.INTEGER,
+            SqlType.BIGINT,
+            SqlType.NUMERIC,
+            SqlType.REAL,
+            SqlType.DOUBLE,
+        ]
+        return order[max(order.index(left), order.index(right))]
+    if left.is_temporal and right.is_numeric:
+        return left
+    if left.is_numeric and right.is_temporal:
+        return right
+    if left.is_temporal and right.is_temporal:
+        return SqlType.INTERVAL
+    if left.is_text and right.is_text:
+        return SqlType.TEXT
+    raise SqlTypeError(
+        f"cannot combine {left.value} and {right.value} arithmetically"
+    )
+
+
+def cast_value(value, target: SqlType):
+    """Cast a runtime value to ``target``; NULL always passes through."""
+    if value is None:
+        return None
+    if target == SqlType.BOOLEAN:
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("t", "true", "1", "yes", "on"):
+                return True
+            if lowered in ("f", "false", "0", "no", "off"):
+                return False
+            raise SqlTypeError(f"invalid boolean literal {value!r}")
+        return bool(value)
+    if target.is_integral:
+        if isinstance(value, str):
+            return int(value.strip())
+        if isinstance(value, bool):
+            return int(value)
+        return int(value)
+    if target in (SqlType.REAL, SqlType.DOUBLE, SqlType.NUMERIC):
+        if isinstance(value, str):
+            return float(value.strip())
+        return float(value)
+    if target.is_text:
+        if isinstance(value, bool):
+            return "t" if value else "f"
+        return str(value)
+    if target.is_temporal:
+        if isinstance(value, str):
+            return _parse_temporal_text(value, target)
+        return int(value)
+    if target == SqlType.UUID:
+        return str(value)
+    raise SqlTypeError(f"cannot cast to {target.value}")
+
+
+def _parse_temporal_text(text: str, target: SqlType) -> int:
+    """Parse ISO-ish temporal literals into kdb+ integer encodings."""
+    from repro.qlang.lexer import days_from_2000
+
+    text = text.strip()
+    if target == SqlType.DATE:
+        y, m, d = (int(p) for p in text.split("-"))
+        return days_from_2000(y, m, d)
+    if target == SqlType.TIME:
+        parts = text.split(":")
+        seconds_part = parts[2] if len(parts) > 2 else "0"
+        if "." in seconds_part:
+            sec, frac = seconds_part.split(".")
+            millis = int(frac.ljust(3, "0")[:3])
+        else:
+            sec, millis = seconds_part, 0
+        return (int(parts[0]) * 3600 + int(parts[1]) * 60 + int(sec)) * 1000 + millis
+    if target == SqlType.TIMESTAMP:
+        if " " in text:
+            date_part, time_part = text.split(" ", 1)
+        elif "T" in text:
+            date_part, time_part = text.split("T", 1)
+        else:
+            date_part, time_part = text, "00:00:00"
+        y, m, d = (int(p) for p in date_part.split("-"))
+        parts = time_part.split(":")
+        seconds_part = parts[2] if len(parts) > 2 else "0"
+        if "." in seconds_part:
+            sec, frac = seconds_part.split(".")
+            nanos = int(frac.ljust(9, "0")[:9])
+        else:
+            sec, nanos = seconds_part, 0
+        day_nanos = (
+            int(parts[0]) * 3600 + int(parts[1]) * 60 + int(sec)
+        ) * 1_000_000_000 + nanos
+        return days_from_2000(y, m, d) * 86_400_000_000_000 + day_nanos
+    if target == SqlType.INTERVAL:
+        return int(text)
+    raise SqlTypeError(f"cannot parse {text!r} as {target.value}")
+
+
+def render_value(value, sql_type: SqlType) -> str:
+    """Text rendering of a value the way PG's text protocol format would."""
+    if value is None:
+        return "NULL"
+    if sql_type == SqlType.BOOLEAN:
+        return "t" if value else "f"
+    if sql_type == SqlType.DATE:
+        from repro.qlang.lexer import date_from_days
+
+        y, m, d = date_from_days(value)
+        return f"{y:04d}-{m:02d}-{d:02d}"
+    if sql_type == SqlType.TIME:
+        ms = value % 1000
+        s = value // 1000
+        return f"{s // 3600:02d}:{s % 3600 // 60:02d}:{s % 60:02d}.{ms:03d}"
+    if sql_type == SqlType.TIMESTAMP:
+        from repro.qlang.lexer import date_from_days
+
+        days, nanos = divmod(value, 86_400_000_000_000)
+        y, m, d = date_from_days(days)
+        s, frac = divmod(nanos, 1_000_000_000)
+        return (
+            f"{y:04d}-{m:02d}-{d:02d} {s // 3600:02d}:{s % 3600 // 60:02d}:"
+            f"{s % 60:02d}.{frac // 1000:06d}"
+        )
+    return str(value)

@@ -1,0 +1,110 @@
+"""Side-by-side testing framework (paper Section 5).
+
+    "As we implemented features from the customer workload, we needed a
+    way to ensure the exact same behavior to the application as before.
+    For this purpose we built a side-by-side testing framework ..."
+
+The harness loads identical data into the reference Q interpreter (playing
+kdb+) and into Hyper-Q's backend, runs each query on both sides, and
+compares the application-visible results under the comparator rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import HyperQConfig
+from repro.core.platform import HyperQ
+from repro.errors import ReproError
+from repro.qlang.interp import Interpreter
+from repro.qlang.values import QValue
+from repro.testing.comparators import Comparison, compare_values, mismatch
+from repro.workload.loader import load_q_source
+
+
+@dataclass
+class CaseResult:
+    query: str
+    comparison: Comparison
+    q_value: QValue | None = None
+    hq_value: QValue | None = None
+    q_error: str | None = None
+    hq_error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.comparison)
+
+
+@dataclass
+class SuiteReport:
+    results: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.results) - self.passed
+
+    def failures(self) -> list[CaseResult]:
+        return [r for r in self.results if not r.passed]
+
+    def summary(self) -> str:
+        lines = [f"{self.passed}/{len(self.results)} queries matched"]
+        for result in self.failures():
+            lines.append(f"  FAIL {result.query!r}: {result.comparison.reason}")
+        return "\n".join(lines)
+
+
+class SideBySideHarness:
+    """Runs Q queries on both the reference interpreter and Hyper-Q."""
+
+    def __init__(
+        self,
+        source: str,
+        tables: list[str],
+        config: HyperQConfig | None = None,
+    ):
+        self.interp = Interpreter()
+        self.hyperq = HyperQ(config=config)
+        load_q_source(
+            self.hyperq.engine, self.interp, source, tables, mdi=self.hyperq.mdi
+        )
+
+    def check(self, query: str) -> CaseResult:
+        """Run ``query`` on both sides and compare."""
+        q_value = hq_value = None
+        q_error = hq_error = None
+        try:
+            q_value = self.interp.eval_text(query)
+        except ReproError as exc:
+            q_error = f"{type(exc).__name__}: {exc}"
+        session = self.hyperq.create_session()
+        try:
+            hq_value = session.execute(query)
+        except ReproError as exc:
+            hq_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            session.close()
+
+        if q_error is not None and hq_error is not None:
+            comparison = Comparison(True, "both sides errored")
+        elif q_error is not None:
+            comparison = mismatch(f"only kdb+ side errored: {q_error}")
+        elif hq_error is not None:
+            comparison = mismatch(f"only Hyper-Q side errored: {hq_error}")
+        elif q_value is None and hq_value is None:
+            comparison = Comparison(True, "both sides returned nothing")
+        elif q_value is None or hq_value is None:
+            comparison = mismatch("one side returned nothing")
+        else:
+            comparison = compare_values(q_value, hq_value)
+        return CaseResult(query, comparison, q_value, hq_value, q_error, hq_error)
+
+    def run_suite(self, queries: list[str]) -> SuiteReport:
+        report = SuiteReport()
+        for query in queries:
+            report.results.append(self.check(query))
+        return report

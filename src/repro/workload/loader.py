@@ -1,0 +1,115 @@
+"""Load Q tables into the backend engine and the reference interpreter.
+
+The paper assumes "all relevant data is loaded into the underlying systems
+independently" (Section 1); this module is that independent loading path.
+Each Q table lands in the SQL engine with an extra ``ordcol`` column
+(0-based row number) carrying the implicit Q ordering, per the paper's
+generated-SQL example.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QTypeError
+from repro.qlang.interp import Interpreter
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QKeyedTable, QTable, QVector
+from repro.sqlengine.catalog import Column
+from repro.sqlengine.engine import Engine
+from repro.sqlengine.types import SqlType
+
+_QTYPE_TO_SQL = {
+    QType.BOOLEAN: SqlType.BOOLEAN,
+    QType.BYTE: SqlType.SMALLINT,
+    QType.SHORT: SqlType.SMALLINT,
+    QType.INT: SqlType.INTEGER,
+    QType.LONG: SqlType.BIGINT,
+    QType.REAL: SqlType.REAL,
+    QType.FLOAT: SqlType.DOUBLE,
+    QType.CHAR: SqlType.CHAR,
+    QType.SYMBOL: SqlType.VARCHAR,
+    QType.TIMESTAMP: SqlType.TIMESTAMP,
+    QType.MONTH: SqlType.DATE,
+    QType.DATE: SqlType.DATE,
+    QType.DATETIME: SqlType.TIMESTAMP,
+    QType.TIMESPAN: SqlType.INTERVAL,
+    QType.MINUTE: SqlType.TIME,
+    QType.SECOND: SqlType.TIME,
+    QType.TIME: SqlType.TIME,
+}
+
+_TIME_SCALE = {QType.MINUTE: 60_000, QType.SECOND: 1_000}
+
+
+def load_table(
+    engine: Engine,
+    name: str,
+    table: QTable | QKeyedTable,
+    mdi=None,
+) -> None:
+    """Create ``name`` in the engine from a Q table, adding ``ordcol``.
+
+    When ``mdi`` is given and the table is keyed, the key columns are
+    annotated in the metadata interface (PG has no keyed-table notion).
+    """
+    keys: list[str] = []
+    if isinstance(table, QKeyedTable):
+        keys = table.key_columns
+        table = table.unkey()
+    if not isinstance(table, QTable):
+        raise QTypeError("load_table expects a Q table")
+
+    columns: list[Column] = []
+    raw_columns: list[list] = []
+    for col_name, col in zip(table.columns, table.data):
+        if not isinstance(col, QVector):
+            raise QTypeError(
+                f"column {col_name!r} is a general list; only typed vectors load"
+            )
+        sql_type = _QTYPE_TO_SQL[col.qtype]
+        columns.append(Column(col_name, sql_type))
+        scale = _TIME_SCALE.get(col.qtype, 1)
+        null = col.qtype.null_value()
+        values = []
+        for raw in col.items:
+            if col.qtype.is_null(raw):
+                values.append(None)
+            elif isinstance(raw, float) and raw != raw:
+                values.append(None)
+            else:
+                values.append(raw * scale if scale != 1 else raw)
+        raw_columns.append(values)
+
+    columns.append(Column("ordcol", SqlType.BIGINT))
+    row_count = len(table)
+    rows = [
+        [raw_columns[c][i] for c in range(len(raw_columns))] + [i]
+        for i in range(row_count)
+    ]
+    if engine.catalog.exists(name):
+        engine.catalog.drop(name)
+    engine.create_table_from_columns(name, columns, rows)
+    if mdi is not None:
+        if keys:
+            mdi.annotate_keys(name, keys)
+        else:
+            mdi.invalidate(name)
+
+
+def load_q_source(
+    engine: Engine,
+    interpreter: Interpreter,
+    source: str,
+    tables: list[str],
+    mdi=None,
+) -> None:
+    """Evaluate Q table definitions on the reference interpreter, then
+    load the named globals into the SQL engine — the standard setup for
+    side-by-side tests."""
+    interpreter.eval_text(source)
+    for name in tables:
+        value = interpreter.get_global(name)
+        if value is None:
+            raise QTypeError(f"Q source did not define table {name!r}")
+        if not isinstance(value, (QTable, QKeyedTable)):
+            raise QTypeError(f"global {name!r} is not a table")
+        load_table(engine, name, value, mdi=mdi)

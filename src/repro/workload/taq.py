@@ -1,0 +1,133 @@
+"""Synthetic NYSE TAQ-style market data (paper Section 2.1).
+
+The paper's motivating data is the NYSE Trades and Quotes dataset; this
+generator produces the same shape deterministically: per-symbol random-
+walk quotes with bid/ask around a mid price, and trades sampled near the
+prevailing quote.  Times are strictly increasing within a symbol so that
+as-of joins are well-defined.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.qlang.lexer import days_from_2000
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QTable, QVector
+
+#: 09:30:00.000 and 16:00:00.000 in milliseconds since midnight
+MARKET_OPEN_MS = (9 * 3600 + 30 * 60) * 1000
+MARKET_CLOSE_MS = 16 * 3600 * 1000
+
+DEFAULT_SYMBOLS = (
+    "AAPL", "GOOG", "IBM", "MSFT", "ORCL", "INTC", "CSCO", "HPQ", "DELL",
+    "AMZN", "EBAY", "YHOO", "JPM", "GS", "MS", "BAC", "C", "WFC", "XOM",
+    "CVX",
+)
+
+EXCHANGES = ("N", "B", "P", "Q", "T")
+
+
+@dataclass
+class TaqConfig:
+    n_symbols: int = 5
+    quotes_per_symbol: int = 200
+    trades_per_symbol: int = 50
+    date: tuple[int, int, int] = (2016, 6, 26)
+    seed: int = 20160626
+    base_price: float = 50.0
+    volatility: float = 0.02
+
+
+@dataclass
+class TaqData:
+    trades: QTable
+    quotes: QTable
+    symbols: list[str] = field(default_factory=list)
+
+
+def generate(config: TaqConfig | None = None) -> TaqData:
+    """Generate a deterministic trades/quotes pair."""
+    config = config or TaqConfig()
+    rng = random.Random(config.seed)
+    symbols = list(DEFAULT_SYMBOLS[: config.n_symbols])
+    date_days = days_from_2000(*config.date)
+
+    quote_rows: list[tuple] = []  # (sym, time_ms, bid, ask, bsize, asize, ex)
+    trade_rows: list[tuple] = []  # (sym, time_ms, price, size, ex)
+
+    for symbol in symbols:
+        mid = config.base_price * (1 + rng.random())
+        span = MARKET_CLOSE_MS - MARKET_OPEN_MS
+        quote_times = sorted(
+            rng.sample(range(MARKET_OPEN_MS, MARKET_CLOSE_MS),
+                       config.quotes_per_symbol)
+        )
+        quotes_for_symbol = []
+        for t in quote_times:
+            mid *= 1 + rng.gauss(0, config.volatility / 10)
+            spread = max(0.01, abs(rng.gauss(0.05, 0.02)))
+            bid = round(mid - spread / 2, 2)
+            ask = round(mid + spread / 2, 2)
+            quotes_for_symbol.append(
+                (symbol, t, bid, ask, rng.randint(1, 50) * 100,
+                 rng.randint(1, 50) * 100, rng.choice(EXCHANGES))
+            )
+        quote_rows.extend(quotes_for_symbol)
+
+        trade_times = sorted(
+            rng.sample(range(MARKET_OPEN_MS + span // 50, MARKET_CLOSE_MS),
+                       config.trades_per_symbol)
+        )
+        for t in trade_times:
+            prevailing = _prevailing(quotes_for_symbol, t)
+            if prevailing is None:
+                price = round(mid, 2)
+            else:
+                __, __, bid, ask, *_ = prevailing
+                price = round(rng.uniform(bid, ask), 2)
+            trade_rows.append(
+                (symbol, t, price, rng.randint(1, 100) * 100,
+                 rng.choice(EXCHANGES))
+            )
+
+    quote_rows.sort(key=lambda r: (r[1], r[0]))
+    trade_rows.sort(key=lambda r: (r[1], r[0]))
+
+    quotes = QTable(
+        ["Symbol", "Date", "Time", "Bid", "Ask", "BidSize", "AskSize", "Ex"],
+        [
+            QVector(QType.SYMBOL, [r[0] for r in quote_rows]),
+            QVector(QType.DATE, [date_days] * len(quote_rows)),
+            QVector(QType.TIME, [r[1] for r in quote_rows]),
+            QVector(QType.FLOAT, [r[2] for r in quote_rows]),
+            QVector(QType.FLOAT, [r[3] for r in quote_rows]),
+            QVector(QType.LONG, [r[4] for r in quote_rows]),
+            QVector(QType.LONG, [r[5] for r in quote_rows]),
+            QVector(QType.SYMBOL, [r[6] for r in quote_rows]),
+        ],
+    )
+    trades = QTable(
+        ["Symbol", "Date", "Time", "Price", "Size", "Ex"],
+        [
+            QVector(QType.SYMBOL, [r[0] for r in trade_rows]),
+            QVector(QType.DATE, [date_days] * len(trade_rows)),
+            QVector(QType.TIME, [r[1] for r in trade_rows]),
+            QVector(QType.FLOAT, [r[2] for r in trade_rows]),
+            QVector(QType.LONG, [r[3] for r in trade_rows]),
+            QVector(QType.SYMBOL, [r[4] for r in trade_rows]),
+        ],
+    )
+    return TaqData(trades, quotes, symbols)
+
+
+def _prevailing(quotes: list[tuple], t: int):
+    """Latest quote at or before time t (None when the book is empty)."""
+    best = None
+    for quote in quotes:
+        if quote[1] <= t:
+            best = quote
+        else:
+            break
+    return best

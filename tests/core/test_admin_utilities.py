@@ -1,0 +1,82 @@
+"""Tests for the kdb+-style management utilities served from the MDI."""
+
+import pytest
+
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QTable, QVector
+
+
+class TestTablesCommand:
+    def test_lists_backend_tables(self, session):
+        result = session.execute("tables[]")
+        assert isinstance(result, QVector)
+        assert set(result.items) >= {"trades", "quotes", "ratings"}
+
+    def test_hides_internal_relations(self, session):
+        session.execute("tmp: select from trades")
+        result = session.execute("tables[]")
+        assert not any(name.startswith("hq_") for name in result.items)
+
+    def test_sorted(self, session):
+        result = session.execute("tables[]")
+        assert list(result.items) == sorted(result.items)
+
+
+class TestColsCommand:
+    def test_cols_of_backend_table(self, session):
+        result = session.execute("cols trades")
+        assert result == QVector(
+            QType.SYMBOL, ["Symbol", "Time", "Price", "Size"]
+        )
+
+    def test_cols_excludes_ordcol(self, session):
+        result = session.execute("cols trades")
+        assert "ordcol" not in result.items
+
+    def test_cols_of_session_variable(self, session):
+        session.execute("dt: select Symbol, Price from trades")
+        result = session.execute("cols dt")
+        assert result.items == ["Symbol", "Price"]
+
+    def test_cols_answered_from_metadata_cache(self, session):
+        session.execute("cols trades")
+        lookups_before = session.mdi.stats.lookups
+        session.execute("cols trades")
+        assert session.mdi.stats.hits >= 1
+        assert session.mdi.stats.lookups == lookups_before + 1
+
+
+class TestMetaCommand:
+    def test_meta_shape(self, session):
+        result = session.execute("meta trades")
+        assert isinstance(result, QTable)
+        assert result.columns == ["c", "t"]
+
+    def test_meta_type_characters(self, session):
+        result = session.execute("meta trades")
+        by_name = dict(zip(result.column("c").items, result.column("t").items))
+        assert by_name["Symbol"] == "s"
+        assert by_name["Price"] == "f"
+        assert by_name["Size"] == "j"
+        assert by_name["Time"] == "t"
+
+    def test_meta_matches_interpreter_modulo_temporal_width(self, session, interp):
+        """The backend has a single `time` type, so second/minute columns
+        come back as `t` — the expected (documented) type degradation."""
+        left = interp.eval_text("meta trades")
+        right = session.execute("meta trades")
+        assert left.column("c") == right.column("c")
+        intraday = set("uvt")
+        for lchar, rchar in zip(
+            left.column("t").items, right.column("t").items
+        ):
+            if lchar in intraday:
+                assert rchar in intraday
+            else:
+                assert lchar == rchar
+
+    def test_unknown_table_still_errors(self, session):
+        from repro.errors import QNameError
+
+        with pytest.raises(QNameError):
+            session.execute("meta ghost_table")

@@ -1,0 +1,236 @@
+"""Unit tests for the Algebrizer's binder (Q AST -> XTRA)."""
+
+import pytest
+
+from repro.core.algebrizer.binder import Binder, BoundScalar, BoundTable
+from repro.core.xtra import scalars as sc
+from repro.core.xtra.ops import (
+    XtraFilter,
+    XtraGet,
+    XtraGroupAgg,
+    XtraJoin,
+    XtraProject,
+    XtraSort,
+    XtraWindow,
+    walk,
+)
+from repro.errors import QNameError, QNotSupportedError, QTypeError
+from repro.qlang.parser import parse_expression
+from repro.sqlengine.types import SqlType
+
+
+@pytest.fixture()
+def binder(hyperq):
+    session = hyperq.create_session()
+    return Binder(session.mdi, session.session_scope, hyperq.config)
+
+
+def bind(binder, text):
+    return binder.bind(parse_expression(text))
+
+
+def ops_of(bound, op_type):
+    return [op for op in walk(bound.op) if isinstance(op, op_type)]
+
+
+class TestTableBinding:
+    def test_table_name_binds_to_get(self, binder):
+        bound = bind(binder, "select from trades")
+        gets = ops_of(bound, XtraGet)
+        assert len(gets) == 1
+        assert gets[0].table == "trades"
+
+    def test_get_includes_ordcol(self, binder):
+        bound = bind(binder, "select from trades")
+        get = ops_of(bound, XtraGet)[0]
+        assert get.ordcol == "ordcol"
+        assert get.has_column("ordcol")
+
+    def test_unknown_table_verbose_error(self, binder):
+        with pytest.raises(QNameError) as excinfo:
+            bind(binder, "select from nosuch")
+        # the paper touts verbose error messages as a Hyper-Q improvement
+        assert "catalog" in str(excinfo.value)
+
+    def test_where_becomes_filter_chain(self, binder):
+        bound = bind(binder, "select from trades where Price>40, Size>15")
+        filters = ops_of(bound, XtraFilter)
+        assert len(filters) == 2
+
+    def test_keyed_table_keys_from_metadata(self, binder):
+        bound = bind(binder, "select from ratings")
+        assert bound.keys == ["Symbol"]
+
+    def test_symbol_literal_maps_to_varchar(self, binder):
+        bound = bind(binder, "select from trades where Symbol=`GOOG")
+        predicate = ops_of(bound, XtraFilter)[0].predicate
+        assert isinstance(predicate, sc.SCmp)
+        assert predicate.right.type_ == SqlType.VARCHAR
+
+    def test_comparison_bound_strict_before_xformer(self, binder):
+        bound = bind(binder, "select from trades where Symbol=`GOOG")
+        predicate = ops_of(bound, XtraFilter)[0].predicate
+        assert predicate.null_safe is False  # Xformer upgrades it later
+
+
+class TestSelectShapes:
+    def test_projection(self, binder):
+        bound = bind(binder, "select Price from trades")
+        project = ops_of(bound, XtraProject)[0]
+        names = [name for name, __ in project.projections]
+        assert "Price" in names
+        assert "ordcol" in names  # implicit order column survives
+
+    def test_scalar_aggregation_gets_const_ordcol(self, binder):
+        bound = bind(binder, "select max Price from trades")
+        project = ops_of(bound, XtraProject)[0]
+        ord_exprs = [s for n, s in project.projections if n == "ordcol"]
+        assert isinstance(ord_exprs[0], sc.SConst)
+
+    def test_group_by_becomes_groupagg_plus_sort(self, binder):
+        bound = bind(binder, "select sum Size by Symbol from trades")
+        assert ops_of(bound, XtraGroupAgg)
+        assert isinstance(bound.op, XtraSort) or ops_of(bound, XtraSort)
+        assert bound.keys == ["Symbol"]
+        assert bound.shape == "keyed"
+
+    def test_mixed_agg_becomes_window(self, binder):
+        bound = bind(binder, "select Price, mx: max Price from trades")
+        project = ops_of(bound, XtraProject)[0]
+        mx = dict(project.projections)["mx"]
+        assert isinstance(mx, sc.SWindow)
+
+    def test_exec_single_column_vector_shape(self, binder):
+        bound = bind(binder, "exec Price from trades")
+        assert bound.shape == "vector"
+
+    def test_exec_multi_column_dict_shape(self, binder):
+        bound = bind(binder, "exec Price, Size from trades")
+        assert bound.shape == "dict"
+
+    def test_exec_by_keyed_dict_shape(self, binder):
+        bound = bind(binder, "exec sum Size by Symbol from trades")
+        assert bound.shape == "dict_keyed"
+
+    def test_update_keeps_all_columns(self, binder):
+        bound = bind(binder, "update N: Price*Size from trades")
+        project = ops_of(bound, XtraProject)[0]
+        names = [name for name, __ in project.projections]
+        assert set(names) >= {"Symbol", "Price", "Size", "ordcol", "N"}
+
+    def test_update_by_injects_partitioned_window(self, binder):
+        bound = bind(binder, "update s: sums Size by Symbol from trades")
+        project = ops_of(bound, XtraProject)[0]
+        window = dict(project.projections)["s"]
+        assert isinstance(window, sc.SWindow)
+        assert window.partition_by  # partitioned by the group key
+
+    def test_delete_columns(self, binder):
+        bound = bind(binder, "delete Size from trades")
+        project = ops_of(bound, XtraProject)[0]
+        names = [name for name, __ in project.projections]
+        assert "Size" not in names
+
+    def test_delete_rows_filter_complement(self, binder):
+        bound = bind(binder, "delete from trades where Symbol=`IBM")
+        assert ops_of(bound, XtraFilter)
+
+
+class TestScalarBinding:
+    def test_literal_arith(self, binder):
+        bound = bind(binder, "1+2")
+        assert isinstance(bound, BoundScalar)
+
+    def test_division_is_float(self, binder):
+        bound = bind(binder, "7%2")
+        assert bound.scalar.sql_type == SqlType.DOUBLE
+
+    def test_within_becomes_between(self, binder):
+        bound = bind(binder, "select from trades where Price within 40 105")
+        predicate = ops_of(bound, XtraFilter)[0].predicate
+        assert isinstance(predicate, sc.SBetween)
+
+    def test_in_becomes_inlist(self, binder):
+        bound = bind(binder, "select from trades where Symbol in `GOOG`IBM")
+        predicate = ops_of(bound, XtraFilter)[0].predicate
+        assert isinstance(predicate, sc.SIn)
+        assert len(predicate.items) == 2
+
+    def test_like_translates_glob(self, binder):
+        bound = bind(binder, 'select from trades where Symbol like "GO*"')
+        predicate = ops_of(bound, XtraFilter)[0].predicate
+        assert isinstance(predicate, sc.SLike)
+        assert predicate.pattern == "GO%"
+
+    def test_fill_becomes_coalesce(self, binder):
+        bound = bind(binder, "select p: 0 ^ Price from trades")
+        project = ops_of(bound, XtraProject)[0]
+        assert isinstance(dict(project.projections)["p"], sc.SFunc)
+
+    def test_cond_becomes_case(self, binder):
+        bound = bind(binder, "select b: $[Price>60; `hi; `lo] from trades")
+        project = ops_of(bound, XtraProject)[0]
+        assert isinstance(dict(project.projections)["b"], sc.SCase)
+
+    def test_uniform_verbs_become_windows(self, binder):
+        bound = bind(binder, "update s: sums Size from trades")
+        project = ops_of(bound, XtraProject)[0]
+        assert isinstance(dict(project.projections)["s"], sc.SWindow)
+
+    def test_mavg_has_bounded_frame(self, binder):
+        bound = bind(binder, "update m: 3 mavg Price from trades")
+        project = ops_of(bound, XtraProject)[0]
+        window = dict(project.projections)["m"]
+        assert "2 preceding" in window.frame
+
+    def test_aggregate_over_table(self, binder):
+        bound = bind(binder, "avg exec Price from trades")
+        assert isinstance(bound, BoundTable)
+        assert bound.shape == "atom"
+
+    def test_unsupported_construct_raises(self, binder):
+        with pytest.raises(QNotSupportedError):
+            bind(binder, "update f: fills Price from trades")
+
+    def test_scalar_on_table_variable_is_type_error(self, binder):
+        with pytest.raises((QTypeError, QNotSupportedError)):
+            bind(binder, "select p: Price + trades from trades")
+
+
+class TestJoinBinding:
+    def test_aj_lowers_to_left_join_with_lead(self, binder):
+        bound = bind(binder, "aj[`Symbol`Time; trades; quotes]")
+        joins = ops_of(bound, XtraJoin)
+        assert joins and joins[0].kind == "left"
+        windows = ops_of(bound, XtraWindow)
+        assert any(
+            w.name == "lead" for op in windows for __, w in op.windows
+        )
+
+    def test_aj_output_order_restored(self, binder):
+        bound = bind(binder, "aj[`Symbol`Time; trades; quotes]")
+        assert isinstance(bound.op, XtraSort)
+
+    def test_aj_property_check_missing_column(self, binder):
+        with pytest.raises(QTypeError) as excinfo:
+            bind(binder, "aj[`Symbol`Nope; trades; quotes]")
+        assert "Nope" in str(excinfo.value)
+
+    def test_lj_requires_keyed_right(self, binder):
+        with pytest.raises(QTypeError):
+            bind(binder, "trades lj quotes")
+
+    def test_lj_on_keyed_table(self, binder):
+        bound = bind(binder, "trades lj ratings")
+        joins = ops_of(bound, XtraJoin)
+        assert joins[0].kind == "left"
+
+    def test_ij_inner(self, binder):
+        bound = bind(binder, "trades ij ratings")
+        assert ops_of(bound, XtraJoin)[0].kind == "inner"
+
+    def test_uj_union_all(self, binder):
+        from repro.core.xtra.ops import XtraUnionAll
+
+        bound = bind(binder, "trades uj quotes")
+        assert ops_of(bound, XtraUnionAll)

@@ -1,0 +1,117 @@
+"""Tests for the metadata interface and its configurable cache."""
+
+import time
+
+import pytest
+
+from repro.config import CacheInvalidation, MetadataCacheConfig
+from repro.core.metadata import MetadataInterface
+from repro.core.platform import DirectGateway
+from repro.errors import MetadataError
+from repro.sqlengine.engine import Engine
+from repro.sqlengine.types import SqlType
+
+
+@pytest.fixture()
+def backend():
+    engine = Engine()
+    engine.execute(
+        "CREATE TABLE trades (sym varchar, price double precision, ordcol bigint)"
+    )
+    return DirectGateway(engine)
+
+
+def mdi_with(backend, **kwargs):
+    return MetadataInterface(backend, MetadataCacheConfig(**kwargs))
+
+
+class TestLookup:
+    def test_columns_and_types(self, backend):
+        mdi = mdi_with(backend)
+        meta = mdi.require_table("trades")
+        assert [c.name for c in meta.columns] == ["sym", "price", "ordcol"]
+        assert meta.columns[1].sql_type == SqlType.DOUBLE
+
+    def test_ordcol_detected(self, backend):
+        meta = mdi_with(backend).require_table("trades")
+        assert meta.ordcol == "ordcol"
+
+    def test_missing_table_is_none(self, backend):
+        assert mdi_with(backend).lookup_table("nope") is None
+
+    def test_require_missing_raises(self, backend):
+        with pytest.raises(MetadataError):
+            mdi_with(backend).require_table("nope")
+
+    def test_key_annotation(self, backend):
+        mdi = mdi_with(backend)
+        mdi.annotate_keys("trades", ["sym"])
+        assert mdi.require_table("trades").keys == ["sym"]
+
+    def test_data_columns_excludes_ordcol(self, backend):
+        meta = mdi_with(backend).require_table("trades")
+        assert [c.name for c in meta.data_columns] == ["sym", "price"]
+
+
+class TestCache:
+    def test_second_lookup_hits(self, backend):
+        mdi = mdi_with(backend)
+        mdi.lookup_table("trades")
+        mdi.lookup_table("trades")
+        assert mdi.stats.hits == 1
+        assert mdi.stats.misses == 1
+
+    def test_disabled_cache_always_misses(self, backend):
+        mdi = mdi_with(backend, enabled=False)
+        mdi.lookup_table("trades")
+        mdi.lookup_table("trades")
+        assert mdi.stats.hits == 0
+        assert mdi.stats.misses == 2
+
+    def test_always_invalidation_behaves_like_disabled(self, backend):
+        mdi = mdi_with(backend, invalidation=CacheInvalidation.ALWAYS)
+        mdi.lookup_table("trades")
+        mdi.lookup_table("trades")
+        assert mdi.stats.hits == 0
+
+    def test_version_invalidation_on_ddl(self, backend):
+        mdi = mdi_with(backend, invalidation=CacheInvalidation.VERSION)
+        mdi.lookup_table("trades")
+        backend.engine.execute("CREATE TABLE other (a bigint)")  # bumps version
+        mdi.lookup_table("trades")
+        assert mdi.stats.misses == 2
+
+    def test_none_invalidation_ignores_ddl(self, backend):
+        mdi = mdi_with(backend, invalidation=CacheInvalidation.NONE)
+        mdi.lookup_table("trades")
+        backend.engine.execute("CREATE TABLE other (a bigint)")
+        mdi.lookup_table("trades")
+        assert mdi.stats.hits == 1
+
+    def test_ttl_expiry(self, backend):
+        mdi = mdi_with(backend, expiration_seconds=0.0,
+                       invalidation=CacheInvalidation.NONE)
+        mdi.lookup_table("trades")
+        time.sleep(0.001)
+        mdi.lookup_table("trades")
+        assert mdi.stats.misses == 2
+
+    def test_explicit_invalidation(self, backend):
+        mdi = mdi_with(backend, invalidation=CacheInvalidation.NONE)
+        mdi.lookup_table("trades")
+        mdi.invalidate("trades")
+        mdi.lookup_table("trades")
+        assert mdi.stats.misses == 2
+
+    def test_negative_results_cached(self, backend):
+        mdi = mdi_with(backend, invalidation=CacheInvalidation.NONE)
+        mdi.lookup_table("ghost")
+        mdi.lookup_table("ghost")
+        assert mdi.stats.hits == 1
+
+    def test_hit_rate(self, backend):
+        mdi = mdi_with(backend, invalidation=CacheInvalidation.NONE)
+        mdi.lookup_table("trades")
+        mdi.lookup_table("trades")
+        mdi.lookup_table("trades")
+        assert mdi.stats.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,144 @@
+"""Tests for the data movement / schema mapping tool (paper future work)."""
+
+import pytest
+
+from repro.core.migrate import DataMover
+from repro.core.platform import DirectGateway, HyperQ
+from repro.errors import QTypeError
+from repro.qlang.interp import Interpreter
+from repro.qlang.qtypes import NULL_LONG, QType
+from repro.qlang.values import QKeyedTable, QList, QAtom, QTable, QVector
+from repro.sqlengine.engine import Engine
+from repro.testing.comparators import compare_values
+
+
+@pytest.fixture()
+def source():
+    interp = Interpreter()
+    interp.eval_text(
+        "trades: ([] Symbol:`GOOG`IBM; Time:09:30 09:31; "
+        "Price:100.0 50.0; Size:10 0N); "
+        "ratings: ([Symbol:`GOOG`IBM] Rating:`buy`hold)"
+    )
+    return interp
+
+
+def q_tables(interp, names):
+    return {name: interp.get_global(name) for name in names}
+
+
+class TestSchemaMapping:
+    def test_column_mappings(self, source):
+        hq = HyperQ()
+        mover = DataMover(hq.backend, mdi=hq.mdi)
+        report = mover.migrate_table(
+            "trades", source.get_global("trades")
+        )
+        by_name = {m.name: m for m in report.columns}
+        assert by_name["Symbol"].sql_type == "varchar"
+        assert by_name["Price"].sql_type == "double precision"
+        assert by_name["Size"].sql_type == "bigint"
+        assert by_name["ordcol"].sql_type == "bigint"
+
+    def test_degradation_notes(self, source):
+        hq = HyperQ()
+        report = DataMover(hq.backend).migrate_table(
+            "trades", source.get_global("trades")
+        )
+        minute = [m for m in report.columns if m.name == "Time"][0]
+        assert minute.note is not None
+        assert "time" in minute.note
+
+    def test_general_list_rejected(self):
+        hq = HyperQ()
+        table = QTable(["g"], [QList([QAtom(QType.LONG, 1)])])
+        with pytest.raises(QTypeError):
+            DataMover(hq.backend).migrate_table("bad", table)
+
+
+class TestDataMovement:
+    def test_counts_and_nulls(self, source):
+        hq = HyperQ()
+        mover = DataMover(hq.backend, mdi=hq.mdi)
+        report = mover.migrate_table("trades", source.get_global("trades"))
+        assert report.rows_moved == 2
+        assert report.verified
+        result = hq.engine.execute('SELECT "Size" FROM "trades" ORDER BY "ordcol"')
+        assert result.rows == [(10,), (None,)]
+
+    def test_batching(self):
+        hq = HyperQ()
+        n = 1234
+        table = QTable(["v"], [QVector(QType.LONG, list(range(n)))])
+        mover = DataMover(hq.backend, batch_rows=100)
+        report = mover.migrate_table("big", table)
+        assert report.rows_moved == n
+        assert hq.engine.execute('SELECT count(*) FROM "big"').scalar() == n
+
+    def test_ordcol_continuous(self):
+        hq = HyperQ()
+        table = QTable(["v"], [QVector(QType.LONG, [7, 8, 9])])
+        DataMover(hq.backend, batch_rows=2).migrate_table("t", table)
+        result = hq.engine.execute('SELECT "ordcol" FROM "t" ORDER BY "ordcol"')
+        assert [r[0] for r in result.rows] == [0, 1, 2]
+
+    def test_keyed_table_annotated(self, source):
+        hq = HyperQ()
+        mover = DataMover(hq.backend, mdi=hq.mdi)
+        report = mover.migrate_table("ratings", source.get_global("ratings"))
+        assert report.keys == ["Symbol"]
+        assert hq.mdi.require_table("ratings").keys == ["Symbol"]
+
+    def test_replace_existing(self, source):
+        hq = HyperQ()
+        mover = DataMover(hq.backend)
+        mover.migrate_table("trades", source.get_global("trades"))
+        mover.migrate_table("trades", source.get_global("trades"))
+        assert hq.engine.execute('SELECT count(*) FROM "trades"').scalar() == 2
+
+    def test_works_through_network_gateway(self, source):
+        """Data movement over the wire, not just in-process."""
+        from repro.server.gateway import NetworkGateway
+        from repro.server.pgserver import PgWireServer
+
+        engine = Engine()
+        with PgWireServer(engine) as server:
+            with NetworkGateway(*server.address) as gateway:
+                report = DataMover(gateway).migrate_table(
+                    "trades", source.get_global("trades")
+                )
+                assert report.verified
+                assert engine.execute(
+                    'SELECT count(*) FROM "trades"'
+                ).scalar() == 2
+
+
+class TestEndToEndMigration:
+    def test_migrate_then_query_side_by_side(self, source):
+        hq = HyperQ()
+        mover = DataMover(hq.backend, mdi=hq.mdi)
+        report = mover.migrate(q_tables(source, ["trades", "ratings"]))
+        assert report.total_rows == 4
+        assert "migrated 2 tables" in report.summary()
+
+        for query in [
+            "select from trades",
+            "select sum Size by Symbol from trades",
+            "trades lj ratings",
+        ]:
+            left = source.eval_text(query)
+            right = hq.q(query)
+            comparison = compare_values(left, right)
+            assert comparison, f"{query}: {comparison.reason}"
+
+    def test_verify_hook(self, source):
+        hq = HyperQ()
+        mover = DataMover(hq.backend, mdi=hq.mdi)
+        seen = []
+
+        def check(name):
+            seen.append(name)
+            return True
+
+        mover.migrate(q_tables(source, ["trades"]), verify_with=check)
+        assert seen == ["trades"]

@@ -1,0 +1,65 @@
+"""The heaviest integration test: the Analytical Workload through the
+entire deployment stack of Figure 1 — QIPC client -> Hyper-Q server ->
+PG v3 network gateway -> PG-wire server -> SQL engine — validated
+side-by-side against the reference interpreter."""
+
+import pytest
+
+from repro.qlang.interp import Interpreter
+from repro.server.client import QConnection
+from repro.server.gateway import NetworkGateway
+from repro.server.hyperq_server import HyperQServer
+from repro.server.pgserver import PgWireServer
+from repro.sqlengine.engine import Engine
+from repro.testing.comparators import compare_values
+from repro.workload.analytical import AnalyticalConfig, generate
+from repro.workload.loader import load_table
+
+#: a representative slice of the 25-query workload (fast ones; the full
+#: sweep is the benchmark suite's job)
+QUERY_NUMBERS = [1, 2, 3, 5, 7, 9, 11, 12, 14, 17, 21, 22, 23]
+
+
+@pytest.fixture(scope="module")
+def stack():
+    workload = generate(AnalyticalConfig.small())
+    interp = Interpreter()
+    engine = Engine()
+    for name, table in workload.tables.items():
+        interp.set_global(name, table)
+    pg_server = PgWireServer(engine).start()
+    gateway = NetworkGateway(*pg_server.address).connect()
+    from repro.core.metadata import MetadataInterface
+
+    mdi = MetadataInterface(gateway)
+    for name, table in workload.tables.items():
+        load_table(engine, name, table, mdi=mdi)
+    hyperq = HyperQServer(backend=gateway)
+    hyperq.mdi = mdi  # share key annotations with the loader
+    hyperq.start()
+    yield interp, hyperq, workload
+    hyperq.stop()
+    gateway.close()
+    pg_server.stop()
+
+
+@pytest.mark.parametrize("number", QUERY_NUMBERS)
+def test_workload_query_through_full_stack(stack, number):
+    interp, hyperq, workload = stack
+    query = workload.queries[number - 1]
+    expected = interp.eval_text(query.text)
+    with QConnection(*hyperq.address) as q:
+        actual = q.query(query.text)
+    comparison = compare_values(expected, actual)
+    assert comparison, f"Q{number}: {comparison.reason}"
+
+
+def test_session_workflow_through_full_stack(stack):
+    interp, hyperq, workload = stack
+    with QConnection(*hyperq.address) as q:
+        q.query("big: select from positions where notional > 1000.0")
+        count = q.query("count select from big")
+        direct = q.query(
+            "count select from positions where notional > 1000.0"
+        )
+        assert count == direct

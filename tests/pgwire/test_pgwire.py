@@ -1,0 +1,158 @@
+"""Tests for the PG v3 wire codec and authentication mechanisms."""
+
+import struct
+
+import pytest
+
+from repro.errors import AuthenticationError, ProtocolError
+from repro.pgwire import messages as m
+from repro.pgwire.auth import (
+    AuthContext,
+    CleartextAuth,
+    KerberosStubAuth,
+    Md5Auth,
+    TrustAuth,
+    md5_response,
+)
+from repro.pgwire.codec import (
+    decode_backend,
+    decode_frontend,
+    decode_startup,
+    encode_backend,
+    encode_frontend,
+    encode_startup,
+)
+
+
+def roundtrip_frontend(message):
+    encoded = encode_frontend(message)
+    type_byte, body = encoded[:1], encoded[5:]
+    return decode_frontend(type_byte, body)
+
+
+def roundtrip_backend(message):
+    encoded = encode_backend(message)
+    type_byte, body = encoded[:1], encoded[5:]
+    return decode_backend(type_byte, body)
+
+
+class TestCodec:
+    def test_startup_roundtrip(self):
+        encoded = encode_startup(m.StartupMessage("alice", "analytics"))
+        decoded = decode_startup(encoded[4:])
+        assert decoded.user == "alice"
+        assert decoded.database == "analytics"
+
+    def test_startup_rejects_wrong_version(self):
+        bad = struct.pack(">I", 12345) + b"user\x00x\x00\x00"
+        with pytest.raises(ProtocolError):
+            decode_startup(bad)
+
+    def test_query_roundtrip(self):
+        decoded = roundtrip_frontend(m.Query("SELECT 1"))
+        assert decoded.sql == "SELECT 1"
+
+    def test_password_roundtrip(self):
+        decoded = roundtrip_frontend(m.PasswordMessage("hunter2"))
+        assert decoded.password == "hunter2"
+
+    def test_terminate(self):
+        assert isinstance(roundtrip_frontend(m.Terminate()), m.Terminate)
+
+    def test_type_byte_and_length(self):
+        encoded = encode_frontend(m.Query("SELECT 1"))
+        assert encoded[:1] == b"Q"
+        (length,) = struct.unpack(">I", encoded[1:5])
+        assert length == len(encoded) - 1
+
+    def test_auth_request_roundtrip(self):
+        decoded = roundtrip_backend(m.AuthenticationRequest(3))
+        assert decoded.code == 3
+
+    def test_md5_auth_carries_salt(self):
+        decoded = roundtrip_backend(m.AuthenticationRequest(5, b"abcd"))
+        assert decoded.salt == b"abcd"
+
+    def test_row_description_roundtrip(self):
+        fields = [
+            m.FieldDescription("c1", 20),
+            m.FieldDescription("c2", 1043),
+        ]
+        decoded = roundtrip_backend(m.RowDescription(fields))
+        assert [f.name for f in decoded.fields] == ["c1", "c2"]
+        assert decoded.fields[0].type_oid == 20
+
+    def test_data_row_with_null(self):
+        decoded = roundtrip_backend(m.DataRow([b"42", None, b"x"]))
+        assert decoded.values == [b"42", None, b"x"]
+
+    def test_command_complete(self):
+        decoded = roundtrip_backend(m.CommandComplete("SELECT 4"))
+        assert decoded.tag == "SELECT 4"
+
+    def test_ready_for_query(self):
+        decoded = roundtrip_backend(m.ReadyForQuery("I"))
+        assert decoded.status == "I"
+
+    def test_error_response_fields(self):
+        decoded = roundtrip_backend(
+            m.ErrorResponse(message="relation does not exist", code="42P01")
+        )
+        assert decoded.code == "42P01"
+        assert "relation" in decoded.message
+
+    def test_row_streaming_is_row_oriented(self):
+        """The PG side of Figure 5: one DataRow message per row."""
+        rows = [m.DataRow([b"1", b"1"]), m.DataRow([b"2", b"2"])]
+        encoded = b"".join(encode_backend(r) for r in rows)
+        assert encoded.count(b"D") >= 2
+
+
+class TestAuthMechanisms:
+    def test_trust(self):
+        TrustAuth().verify(AuthContext("u"), "")
+
+    def test_cleartext_ok(self):
+        auth = CleartextAuth({"alice": "pw"})
+        ctx = AuthContext("alice")
+        auth.verify(ctx, auth.client_response(ctx, "pw"))
+
+    def test_cleartext_bad_password(self):
+        auth = CleartextAuth({"alice": "pw"})
+        with pytest.raises(AuthenticationError):
+            auth.verify(AuthContext("alice"), "nope")
+
+    def test_md5_scheme_matches_pg_algorithm(self):
+        # known-answer: md5 of 'secretalice' then salted
+        response = md5_response("alice", "secret", b"\x01\x02\x03\x04")
+        assert response.startswith("md5")
+        assert len(response) == 35
+
+    def test_md5_ok(self):
+        auth = Md5Auth({"alice": "secret"})
+        ctx = AuthContext("alice")
+        auth.challenge(ctx)
+        auth.verify(ctx, auth.client_response(ctx, "secret"))
+
+    def test_md5_wrong_password(self):
+        auth = Md5Auth({"alice": "secret"})
+        ctx = AuthContext("alice")
+        auth.challenge(ctx)
+        with pytest.raises(AuthenticationError):
+            auth.verify(ctx, auth.client_response(ctx, "wrong"))
+
+    def test_kerberos_stub_roundtrip(self):
+        auth = KerberosStubAuth(b"realm-key", principals={"svc_trading"})
+        ctx = AuthContext("svc_trading")
+        auth.verify(ctx, auth.client_response(ctx, ""))
+
+    def test_kerberos_stub_rejects_unknown_principal(self):
+        auth = KerberosStubAuth(b"realm-key", principals={"svc_trading"})
+        ctx = AuthContext("mallory")
+        with pytest.raises(AuthenticationError):
+            auth.verify(ctx, auth.client_response(ctx, ""))
+
+    def test_kerberos_stub_rejects_forged_ticket(self):
+        auth = KerberosStubAuth(b"realm-key")
+        with pytest.raises(AuthenticationError):
+            auth.verify(AuthContext("svc"), "forged-token")

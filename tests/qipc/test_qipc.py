@@ -1,0 +1,247 @@
+"""Tests for the QIPC wire protocol: codec, framing, compression, handshake."""
+
+import math
+import struct
+
+import pytest
+
+from repro.errors import AuthenticationError, ProtocolError, QError
+from repro.qipc.compress import compress, decompress
+from repro.qipc.decode import decode_value
+from repro.qipc.encode import encode_error, encode_value
+from repro.qipc.handshake import (
+    AllowAll,
+    Credentials,
+    UserPassword,
+    client_hello,
+    parse_hello,
+    server_ack,
+)
+from repro.qipc.messages import (
+    HEADER_SIZE,
+    MessageType,
+    QipcMessage,
+    frame,
+    unframe,
+)
+from repro.qlang.qtypes import NULL_LONG, QType
+from repro.qlang.values import (
+    QAtom,
+    QDict,
+    QKeyedTable,
+    QList,
+    QTable,
+    QVector,
+    q_match,
+)
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+class TestObjectCodec:
+    def test_long_atom(self):
+        assert roundtrip(QAtom(QType.LONG, 42)) == QAtom(QType.LONG, 42)
+
+    def test_negative_long(self):
+        assert roundtrip(QAtom(QType.LONG, -7)) == QAtom(QType.LONG, -7)
+
+    def test_long_null(self):
+        assert roundtrip(QAtom(QType.LONG, NULL_LONG)).is_null
+
+    def test_float_atom(self):
+        assert roundtrip(QAtom(QType.FLOAT, 1.5)).value == 1.5
+
+    def test_float_nan(self):
+        assert math.isnan(roundtrip(QAtom(QType.FLOAT, float("nan"))).value)
+
+    def test_boolean(self):
+        assert roundtrip(QAtom(QType.BOOLEAN, True)).value is True
+
+    def test_symbol(self):
+        assert roundtrip(QAtom(QType.SYMBOL, "GOOG")).value == "GOOG"
+
+    def test_empty_symbol(self):
+        assert roundtrip(QAtom(QType.SYMBOL, "")).value == ""
+
+    def test_char(self):
+        assert roundtrip(QAtom(QType.CHAR, "x")).value == "x"
+
+    def test_temporal_atoms(self):
+        for qtype, raw in [
+            (QType.DATE, 6021),
+            (QType.TIME, 34_200_000),
+            (QType.TIMESTAMP, 520_300_000_000_000_000),
+            (QType.MINUTE, 570),
+        ]:
+            atom = QAtom(qtype, raw)
+            assert roundtrip(atom) == atom
+
+    def test_long_vector(self):
+        vec = QVector(QType.LONG, [1, 2, 3])
+        assert roundtrip(vec) == vec
+
+    def test_symbol_vector(self):
+        vec = QVector(QType.SYMBOL, ["a", "bb", "ccc"])
+        assert roundtrip(vec) == vec
+
+    def test_char_vector_is_string(self):
+        vec = QVector(QType.CHAR, list("hello"))
+        assert roundtrip(vec) == vec
+
+    def test_boolean_vector(self):
+        vec = QVector(QType.BOOLEAN, [True, False, True])
+        assert roundtrip(vec) == vec
+
+    def test_empty_vector(self):
+        vec = QVector(QType.FLOAT, [])
+        assert roundtrip(vec) == vec
+
+    def test_general_list(self):
+        value = QList([QAtom(QType.LONG, 1), QAtom(QType.SYMBOL, "x")])
+        assert q_match(roundtrip(value), value)
+
+    def test_dict(self):
+        value = QDict(
+            QVector(QType.SYMBOL, ["a", "b"]), QVector(QType.LONG, [1, 2])
+        )
+        assert q_match(roundtrip(value), value)
+
+    def test_table_column_oriented(self):
+        table = QTable(
+            ["c1", "c2"],
+            [QVector(QType.LONG, [1, 2]), QVector(QType.LONG, [1, 2])],
+        )
+        payload = encode_value(table)
+        # figure 5: type 98, attributes, then a dict (99) of columns
+        assert payload[0] == 98
+        assert payload[2] == 99
+        assert q_match(decode_value(payload), table)
+
+    def test_keyed_table(self):
+        keyed = QKeyedTable(
+            QTable(["k"], [QVector(QType.SYMBOL, ["a", "b"])]),
+            QTable(["v"], [QVector(QType.LONG, [1, 2])]),
+        )
+        assert q_match(roundtrip(keyed), keyed)
+
+    def test_nested_list_of_vectors(self):
+        value = QList(
+            [QVector(QType.LONG, [1, 2]), QVector(QType.SYMBOL, ["x"])]
+        )
+        assert q_match(roundtrip(value), value)
+
+    def test_error_response_raises(self):
+        with pytest.raises(QError) as excinfo:
+            decode_value(encode_error("type"))
+        assert excinfo.value.signal == "type"
+
+    def test_truncated_payload(self):
+        payload = encode_value(QVector(QType.LONG, [1, 2, 3]))
+        with pytest.raises(ProtocolError):
+            decode_value(payload[:-2])
+
+
+class TestFraming:
+    def test_roundtrip_sync(self):
+        payload = encode_value(QAtom(QType.LONG, 1))
+        framed = frame(QipcMessage(MessageType.SYNC, payload))
+        message = unframe(framed)
+        assert message.msg_type == MessageType.SYNC
+        assert message.payload == payload
+
+    def test_header_layout(self):
+        payload = b"abc"
+        framed = frame(QipcMessage(MessageType.RESPONSE, payload))
+        endian, mtype, compressed, __, total = struct.unpack(
+            "<BBBBI", framed[:HEADER_SIZE]
+        )
+        assert endian == 1
+        assert mtype == 2
+        assert compressed == 0
+        assert total == len(framed)
+
+    def test_large_payload_compressed(self):
+        vec = QVector(QType.LONG, [7] * 5000)
+        payload = encode_value(vec)
+        framed = frame(QipcMessage(MessageType.RESPONSE, payload))
+        assert framed[2] == 1  # compressed flag
+        assert len(framed) < len(payload)
+        assert q_match(decode_value(unframe(framed).payload), vec)
+
+    def test_compression_can_be_disabled(self):
+        payload = encode_value(QVector(QType.LONG, [7] * 5000))
+        framed = frame(
+            QipcMessage(MessageType.RESPONSE, payload), allow_compression=False
+        )
+        assert framed[2] == 0
+
+    def test_bad_length_rejected(self):
+        payload = encode_value(QAtom(QType.LONG, 1))
+        framed = bytearray(frame(QipcMessage(MessageType.SYNC, payload)))
+        framed[4] = 0xFF
+        with pytest.raises(ProtocolError):
+            unframe(bytes(framed))
+
+
+class TestCompression:
+    def test_roundtrip_repetitive(self):
+        data = b"abcabcabc" * 500
+        packed = compress(data)
+        assert decompress(packed) == data
+        assert len(packed) < len(data)
+
+    def test_roundtrip_incompressible(self):
+        data = bytes(range(256)) * 4
+        assert decompress(compress(data)) == data
+
+    def test_empty(self):
+        assert decompress(compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert decompress(compress(b"x")) == b"x"
+
+    def test_long_single_run(self):
+        data = b"\x00" * 10_000
+        packed = compress(data)
+        assert decompress(packed) == data
+        assert len(packed) < 400
+
+    def test_truncated_raises(self):
+        packed = compress(b"hello world hello world hello world")
+        with pytest.raises(ProtocolError):
+            decompress(packed[: len(packed) // 2])
+
+
+class TestHandshake:
+    def test_hello_roundtrip(self):
+        hello = client_hello(Credentials("alice", "secret"))
+        parsed = parse_hello(hello)
+        assert parsed.username == "alice"
+        assert parsed.password == "secret"
+        assert parsed.capability == 3
+
+    def test_hello_without_password(self):
+        parsed = parse_hello(b"bob\x03\x00")
+        assert parsed.username == "bob"
+        assert parsed.password == ""
+
+    def test_server_ack_negotiates_down(self):
+        assert server_ack(6) == bytes([3])
+        assert server_ack(1) == bytes([1])
+
+    def test_allow_all(self):
+        AllowAll().authenticate(Credentials("anyone", "pw"))
+
+    def test_user_password_rejects(self):
+        auth = UserPassword({"alice": "secret"})
+        auth.authenticate(Credentials("alice", "secret"))
+        with pytest.raises(AuthenticationError):
+            auth.authenticate(Credentials("alice", "wrong"))
+        with pytest.raises(AuthenticationError):
+            auth.authenticate(Credentials("mallory", "secret"))
+
+    def test_malformed_hello(self):
+        with pytest.raises(ProtocolError):
+            parse_hello(b"no-terminator")

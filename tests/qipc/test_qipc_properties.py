@@ -1,0 +1,132 @@
+"""Property-based tests: QIPC codec and compression round-trips."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qipc.compress import compress, decompress
+from repro.qipc.decode import decode_value
+from repro.qipc.encode import encode_value
+from repro.qipc.messages import MessageType, QipcMessage, frame, unframe
+from repro.qlang.qtypes import NULL_INT, NULL_LONG, QType
+from repro.qlang.values import QAtom, QDict, QList, QTable, QVector, q_match
+
+# -- value strategies -----------------------------------------------------------
+
+longs = st.integers(min_value=-(2**62), max_value=2**62)
+floats = st.floats(allow_nan=True, allow_infinity=True, width=64)
+symbols = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters="\x00`"),
+    max_size=12,
+)
+booleans = st.booleans()
+
+
+@st.composite
+def atoms(draw):
+    qtype = draw(
+        st.sampled_from(
+            [QType.LONG, QType.FLOAT, QType.SYMBOL, QType.BOOLEAN,
+             QType.INT, QType.SHORT, QType.DATE, QType.TIME]
+        )
+    )
+    if qtype == QType.LONG:
+        return QAtom(qtype, draw(longs))
+    if qtype == QType.FLOAT:
+        return QAtom(qtype, draw(floats))
+    if qtype == QType.SYMBOL:
+        return QAtom(qtype, draw(symbols))
+    if qtype == QType.BOOLEAN:
+        return QAtom(qtype, draw(booleans))
+    if qtype == QType.INT:
+        return QAtom(qtype, draw(st.integers(NULL_INT, 2**31 - 1)))
+    if qtype == QType.SHORT:
+        return QAtom(qtype, draw(st.integers(-(2**15) + 1, 2**15 - 1)))
+    if qtype == QType.DATE:
+        return QAtom(qtype, draw(st.integers(-10_000, 40_000)))
+    return QAtom(qtype, draw(st.integers(0, 86_399_999)))
+
+
+@st.composite
+def vectors(draw):
+    qtype = draw(
+        st.sampled_from([QType.LONG, QType.FLOAT, QType.SYMBOL, QType.BOOLEAN])
+    )
+    size = draw(st.integers(0, 30))
+    if qtype == QType.LONG:
+        items = draw(st.lists(longs, min_size=size, max_size=size))
+    elif qtype == QType.FLOAT:
+        items = draw(st.lists(floats, min_size=size, max_size=size))
+    elif qtype == QType.SYMBOL:
+        items = draw(st.lists(symbols, min_size=size, max_size=size))
+    else:
+        items = draw(st.lists(booleans, min_size=size, max_size=size))
+    return QVector(qtype, items)
+
+
+@st.composite
+def tables(draw):
+    n_cols = draw(st.integers(1, 4))
+    n_rows = draw(st.integers(0, 10))
+    names = [f"c{i}" for i in range(n_cols)]
+    data = []
+    for __ in range(n_cols):
+        qtype = draw(st.sampled_from([QType.LONG, QType.FLOAT, QType.SYMBOL]))
+        if qtype == QType.LONG:
+            col = draw(st.lists(longs, min_size=n_rows, max_size=n_rows))
+        elif qtype == QType.FLOAT:
+            col = draw(st.lists(floats, min_size=n_rows, max_size=n_rows))
+        else:
+            col = draw(st.lists(symbols, min_size=n_rows, max_size=n_rows))
+        data.append(QVector(qtype, col))
+    return QTable(names, data)
+
+
+q_values = st.one_of(
+    atoms(),
+    vectors(),
+    tables(),
+    st.lists(atoms(), max_size=6).map(QList),
+)
+
+
+# -- properties -----------------------------------------------------------------
+
+
+@given(q_values)
+@settings(max_examples=200, deadline=None)
+def test_qipc_object_roundtrip(value):
+    assert q_match(decode_value(encode_value(value)), value)
+
+
+@given(q_values, st.sampled_from(list(MessageType)))
+@settings(max_examples=100, deadline=None)
+def test_qipc_frame_roundtrip(value, msg_type):
+    framed = frame(QipcMessage(msg_type, encode_value(value)))
+    message = unframe(framed)
+    assert message.msg_type == msg_type
+    assert q_match(decode_value(message.payload), value)
+
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=300, deadline=None)
+def test_compression_roundtrip(data):
+    assert decompress(compress(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(1, 200))
+@settings(max_examples=100, deadline=None)
+def test_compression_roundtrip_repetitive(chunk, repeats):
+    data = chunk * repeats
+    packed = compress(data)
+    assert decompress(packed) == data
+
+
+@given(vectors())
+@settings(max_examples=100, deadline=None)
+def test_dict_roundtrip(values):
+    keys = QVector(QType.SYMBOL, [f"k{i}" for i in range(len(values))])
+    value = QDict(keys, values)
+    assert q_match(decode_value(encode_value(value)), value)

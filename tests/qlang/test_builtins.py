@@ -1,0 +1,186 @@
+"""Direct unit tests for the builtin verb implementations."""
+
+import math
+
+import pytest
+
+from repro.errors import QLengthError, QTypeError
+from repro.qlang import builtins as bi
+from repro.qlang.qtypes import NULL_LONG, QType
+from repro.qlang.values import (
+    QAtom,
+    QDict,
+    QList,
+    QTable,
+    QVector,
+    q_match,
+)
+
+
+def longs(*items):
+    return QVector(QType.LONG, list(items))
+
+
+class TestBroadcasting:
+    def test_atom_atom(self):
+        result = bi.broadcast_dyad(bi.add, QAtom(QType.LONG, 1), QAtom(QType.LONG, 2))
+        assert result == QAtom(QType.LONG, 3)
+
+    def test_atom_over_list(self):
+        result = bi.broadcast_dyad(bi.multiply, QAtom(QType.LONG, 2), longs(1, 2, 3))
+        assert result == longs(2, 4, 6)
+
+    def test_list_lengths_checked(self):
+        with pytest.raises(QLengthError):
+            bi.broadcast_dyad(bi.add, longs(1), longs(1, 2))
+
+    def test_general_list_recursion(self):
+        nested = QList([longs(1, 2), QAtom(QType.LONG, 10)])
+        result = bi.broadcast_dyad(bi.add, QAtom(QType.LONG, 1), nested)
+        assert q_match(
+            result, QList([longs(2, 3), QAtom(QType.LONG, 11)])
+        )
+
+    def test_dict_keeps_keys(self):
+        d = QDict(QVector(QType.SYMBOL, ["a"]), longs(5))
+        result = bi.broadcast_dyad(bi.add, d, QAtom(QType.LONG, 1))
+        assert isinstance(result, QDict)
+        assert result.values == longs(6)
+
+    def test_table_broadcast_per_column(self):
+        t = QTable(["x", "y"], [longs(1, 2), longs(3, 4)])
+        result = bi.broadcast_dyad(bi.add, t, QAtom(QType.LONG, 10))
+        assert result.column("x") == longs(11, 12)
+
+
+class TestArithmetic:
+    def test_type_promotion_int_float(self):
+        result = bi.add(QAtom(QType.LONG, 1), QAtom(QType.FLOAT, 0.5))
+        assert result.qtype == QType.FLOAT
+        assert result.value == 1.5
+
+    def test_null_propagation(self):
+        result = bi.add(QAtom(QType.LONG, 1), QAtom(QType.LONG, NULL_LONG))
+        assert result.is_null
+
+    def test_divide_always_float(self):
+        result = bi.divide(QAtom(QType.LONG, 7), QAtom(QType.LONG, 2))
+        assert result == QAtom(QType.FLOAT, 3.5)
+
+    def test_divide_by_zero_signed_infinity(self):
+        assert bi.divide(QAtom(QType.LONG, 1), QAtom(QType.LONG, 0)).value == math.inf
+        assert bi.divide(QAtom(QType.LONG, -1), QAtom(QType.LONG, 0)).value == -math.inf
+
+    def test_temporal_difference_integral(self):
+        result = bi.subtract(QAtom(QType.DATE, 10), QAtom(QType.DATE, 3))
+        assert result.value == 7
+        assert result.qtype.is_integral
+
+    def test_multiply_temporal_rejected(self):
+        with pytest.raises(QTypeError):
+            bi.multiply(QAtom(QType.DATE, 1), QAtom(QType.DATE, 2))
+
+    def test_xbar_zero_bucket_null(self):
+        assert bi.xbar(QAtom(QType.LONG, 0), QAtom(QType.LONG, 7)).is_null
+
+    def test_modulo_sign(self):
+        assert bi.modulo(QAtom(QType.LONG, -7), QAtom(QType.LONG, 3)).value == 2
+
+
+class TestComparisons:
+    def test_q_equals_nulls(self):
+        assert bi.q_equals(
+            QAtom(QType.LONG, NULL_LONG), QAtom(QType.LONG, NULL_LONG)
+        ).value is True
+        assert bi.q_equals(
+            QAtom(QType.LONG, NULL_LONG), QAtom(QType.LONG, 5)
+        ).value is False
+
+    def test_cross_type_numeric_equality(self):
+        assert bi.q_equals(QAtom(QType.LONG, 5), QAtom(QType.FLOAT, 5.0)).value
+
+    def test_ordering_nulls_first(self):
+        assert bi.less(
+            QAtom(QType.LONG, NULL_LONG), QAtom(QType.LONG, -999)
+        ).value is True
+
+    def test_symbol_vs_number_comparison_raises(self):
+        with pytest.raises(QTypeError):
+            bi.less(QAtom(QType.SYMBOL, "a"), QAtom(QType.LONG, 1))
+
+
+class TestAggregatesDirect:
+    def test_avg_all_null_nan(self):
+        result = bi.q_avg(longs(NULL_LONG, NULL_LONG))
+        assert math.isnan(result.value)
+
+    def test_min_all_null(self):
+        assert bi.q_min(longs(NULL_LONG)).is_null
+
+    def test_sum_booleans_counts(self):
+        result = bi.q_sum(QVector(QType.BOOLEAN, [True, True, False]))
+        assert result == QAtom(QType.LONG, 2)
+
+    def test_prd(self):
+        assert bi.q_prd(longs(2, 3, 4)).value == 24
+
+    def test_dev_population(self):
+        result = bi.q_dev(QVector(QType.FLOAT, [1.0, 3.0]))
+        assert result.value == pytest.approx(1.0)
+
+
+class TestStructural:
+    def test_take_cycles_forward(self):
+        assert q_match(bi.take(QAtom(QType.LONG, 4), longs(1, 2)), longs(1, 2, 1, 2))
+
+    def test_take_from_empty(self):
+        result = bi.take(QAtom(QType.LONG, 3), QVector(QType.LONG, []))
+        assert len(result) == 0
+
+    def test_drop_more_than_length(self):
+        assert len(bi.drop(QAtom(QType.LONG, 99), longs(1, 2))) == 0
+
+    def test_sublist_pair(self):
+        result = bi.sublist(QVector(QType.LONG, [1, 2]), longs(9, 8, 7, 6))
+        assert result == longs(8, 7)
+
+    def test_concat_promotes_to_general_list(self):
+        result = bi.concat(longs(1), QAtom(QType.SYMBOL, "a"))
+        assert isinstance(result, QList)
+
+    def test_concat_tables_checks_columns(self):
+        t1 = QTable(["a"], [longs(1)])
+        t2 = QTable(["b"], [longs(2)])
+        with pytest.raises(QTypeError):
+            bi.concat(t1, t2)
+
+    def test_index_at_symbol_column(self):
+        t = QTable(["a"], [longs(1, 2)])
+        assert bi.index_at(t, QAtom(QType.SYMBOL, "a")) == longs(1, 2)
+
+    def test_index_out_of_range_null(self):
+        assert bi.index_at(longs(1, 2), QAtom(QType.LONG, 9)).is_null
+
+    def test_null_row(self):
+        t = QTable(["a", "s"], [longs(1), QVector(QType.SYMBOL, ["x"])])
+        row = bi.null_row(t)
+        values = list(row.values.items)
+        assert values[0].is_null
+        assert values[1].is_null
+
+    def test_group_preserves_first_appearance(self):
+        result = bi.group(QVector(QType.SYMBOL, ["b", "a", "b"]))
+        assert result.keys == QVector(QType.SYMBOL, ["b", "a"])
+
+    def test_raze_mixed(self):
+        value = QList([longs(1), QAtom(QType.LONG, 2)])
+        assert bi.raze(value) == longs(1, 2)
+
+    def test_within_inclusive_bounds(self):
+        result = bi.within(longs(3, 7), longs(3, 7))
+        assert result == QVector(QType.BOOLEAN, [True, True])
+
+    def test_flip_requires_symbol_keys(self):
+        d = QDict(longs(1), QList([longs(2)]))
+        with pytest.raises(QTypeError):
+            bi.flip(d)

@@ -1,0 +1,239 @@
+"""Edge-case tests for the reference interpreter: adverbs with seeds,
+amend forms, casts, strings, dictionaries, and error signals."""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    QDomainError,
+    QError,
+    QLengthError,
+    QNotSupportedError,
+    QRankError,
+    QTypeError,
+)
+from repro.qlang.interp import Interpreter
+from repro.qlang.qtypes import NULL_LONG, QType
+from repro.qlang.values import QAtom, QDict, QList, QTable, QVector, q_match
+
+
+@pytest.fixture()
+def interp():
+    return Interpreter()
+
+
+class TestAdverbEdges:
+    def test_scan_with_seed(self, interp):
+        assert interp.eval_text("10 +\\ 1 2 3") == QVector(
+            QType.LONG, [11, 13, 16]
+        )
+
+    def test_each_prior_with_seed(self, interp):
+        result = interp.eval_text("100 -': 103 110 120")
+        assert result == QVector(QType.LONG, [3, 7, 10])
+
+    def test_each_on_table_rows(self, interp):
+        interp.eval_text("t: ([] a: 1 2 3)")
+        result = interp.eval_text("count each t")
+        assert result == QVector(QType.LONG, [1, 1, 1])
+
+    def test_over_on_empty_list(self, interp):
+        empty = interp.eval_text("+/ `long$()")
+        assert isinstance(empty, QVector)
+        assert len(empty) == 0
+
+    def test_each_right_with_list_left(self, interp):
+        result = interp.eval_text("1 2 ,/: 10 20")
+        assert q_match(
+            result,
+            QList([QVector(QType.LONG, [1, 2, 10]),
+                   QVector(QType.LONG, [1, 2, 20])]),
+        )
+
+    def test_fold_with_lambda(self, interp):
+        assert interp.eval_text("{x*y} over 1 2 3 4").value == 24
+
+    def test_functional_operator_application(self, interp):
+        assert interp.eval_text("+[3;4]").value == 7
+
+
+class TestAmendForms:
+    def test_vector_indexed_amend_with_op(self, interp):
+        interp.eval_text("x: 10 20 30")
+        interp.eval_text("x[1]+:5")
+        assert interp.eval_text("x") == QVector(QType.LONG, [10, 25, 30])
+
+    def test_vector_multi_index_amend(self, interp):
+        interp.eval_text("x: 0 0 0 0")
+        interp.eval_text("x[0 2]: 7")
+        assert interp.eval_text("x") == QVector(QType.LONG, [7, 0, 7, 0])
+
+    def test_dict_amend_inserts_new_key(self, interp):
+        interp.eval_text("d: `a`b!1 2")
+        interp.eval_text("d[`c]: 3")
+        assert interp.eval_text("d[`c]").value == 3
+
+    def test_amend_undefined_raises(self, interp):
+        from repro.errors import QNameError
+
+        with pytest.raises(QNameError):
+            interp.eval_text("nope[0]: 1")
+
+
+class TestCastsAndStrings:
+    def test_symbol_cast_of_string(self, interp):
+        assert interp.eval_text('`$"hello"').value == "hello"
+
+    def test_parse_float_from_string(self, interp):
+        assert interp.eval_text('`float$"1.25"').value == 1.25
+
+    def test_timestamp_to_date(self, interp):
+        result = interp.eval_text("`date$2016.06.26D12:00:00.000000000")
+        assert result.qtype == QType.DATE
+
+    def test_time_to_minute(self, interp):
+        result = interp.eval_text("`minute$09:45:30.000")
+        assert result == QAtom(QType.MINUTE, 585)
+
+    def test_string_of_symbol(self, interp):
+        assert interp.eval_text("string `abc") == QVector(
+            QType.CHAR, list("abc")
+        )
+
+    def test_upper_lower(self, interp):
+        assert interp.eval_text("upper `goog").value == "GOOG"
+        assert interp.eval_text('lower "ABC"') == QVector(
+            QType.CHAR, list("abc")
+        )
+
+    def test_like_on_symbols(self, interp):
+        assert interp.eval_text('`GOOG like "GO*"').value is True
+
+    def test_null_cast_preserves_null(self, interp):
+        assert interp.eval_text("`float$0N").is_null
+
+
+class TestTemporalArithmetic:
+    def test_date_plus_int(self, interp):
+        result = interp.eval_text("2016.06.26 + 5")
+        assert result.qtype == QType.DATE
+        assert interp.eval_text("2016.06.26 + 5 = 2016.07.01")
+
+    def test_date_difference_is_days(self, interp):
+        result = interp.eval_text("2016.07.01 - 2016.06.26")
+        assert result.value == 5
+        assert result.qtype.is_integral
+
+    def test_time_comparison(self, interp):
+        assert interp.eval_text("09:30:00 < 09:31:00").value is True
+
+    def test_time_within(self, interp):
+        result = interp.eval_text("09:30:30 within 09:30:00 09:31:00")
+        assert result.value is True
+
+
+class TestDictOps:
+    def test_dict_plus_dict_aligns_keys(self, interp):
+        result = interp.eval_text("(`a`b!1 2) , (`b`c!20 30)")
+        assert isinstance(result, QDict)
+        assert result.lookup(QAtom(QType.SYMBOL, "b")).value == 20
+        assert result.lookup(QAtom(QType.SYMBOL, "c")).value == 30
+
+    def test_key_value(self, interp):
+        interp.eval_text("d: `a`b!1 2")
+        assert interp.eval_text("key d") == QVector(QType.SYMBOL, ["a", "b"])
+        assert interp.eval_text("value d") == QVector(QType.LONG, [1, 2])
+
+    def test_dict_of_lists(self, interp):
+        result = interp.eval_text("`x`y!(1 2; 3 4 5)")
+        assert isinstance(result.values, QList)
+
+    def test_keys_of_keyed_table(self, interp):
+        interp.eval_text("kt: ([k: `a`b] v: 1 2)")
+        assert interp.eval_text("keys kt") == QVector(QType.SYMBOL, ["k"])
+
+
+class TestErrorSignals:
+    def test_type_signal_terse_form(self, interp):
+        with pytest.raises(QTypeError) as excinfo:
+            interp.eval_text("1 + `sym")
+        assert excinfo.value.terse == "'type"
+
+    def test_length_signal(self, interp):
+        with pytest.raises(QLengthError) as excinfo:
+            interp.eval_text("1 2 + 1 2 3")
+        assert excinfo.value.signal == "length"
+
+    def test_rank_error(self, interp):
+        interp.eval_text("f: {[a] a}")
+        with pytest.raises(QRankError):
+            interp.eval_text("f[1;2]")
+
+    def test_custom_signal_propagates_name(self, interp):
+        with pytest.raises(QError) as excinfo:
+            interp.eval_text("'custom")
+        assert excinfo.value.signal == "custom"
+
+    def test_moving_window_domain(self, interp):
+        with pytest.raises(QDomainError):
+            interp.eval_text("0 mavg 1 2 3")
+
+    def test_reshape_not_supported(self, interp):
+        with pytest.raises(QNotSupportedError):
+            interp.eval_text("2 3 # til 6")
+
+
+class TestMiscVerbs:
+    def test_cut(self, interp):
+        result = interp.eval_text("0 2 4 _ til 6")
+        assert q_match(
+            result,
+            QList([
+                QVector(QType.LONG, [0, 1]),
+                QVector(QType.LONG, [2, 3]),
+                QVector(QType.LONG, [4, 5]),
+            ]),
+        )
+
+    def test_xprev(self, interp):
+        assert interp.eval_text("2 xprev 1 2 3 4") == QVector(
+            QType.LONG, [NULL_LONG, NULL_LONG, 1, 2]
+        )
+
+    def test_fills_after_amend(self, interp):
+        interp.eval_text("x: 1 0N 0N 4")
+        assert interp.eval_text("fills x") == QVector(QType.LONG, [1, 1, 1, 4])
+
+    def test_fby_matches_manual_group(self, interp):
+        interp.eval_text("t: ([] g:`a`b`a; v: 1 10 3)")
+        result = interp.eval_text("select from t where v = (max; v) fby g")
+        assert result.column("v").items == [10, 3]
+
+    def test_differ(self, interp):
+        result = interp.eval_text("differ `a`a`b`b`a")
+        assert result == QVector(
+            QType.BOOLEAN, [True, False, True, False, True]
+        )
+
+    def test_ratios(self, interp):
+        result = interp.eval_text("ratios 2.0 4.0 8.0")
+        assert result.items == [2.0, 2.0, 2.0]
+
+    def test_bin_boundaries(self, interp):
+        assert interp.eval_text("1 3 5 bin 0").value == -1
+        assert interp.eval_text("1 3 5 bin 9").value == 2
+
+    def test_union_dedupes(self, interp):
+        assert interp.eval_text("1 2 3 union 3 4") == QVector(
+            QType.LONG, [1, 2, 3, 4]
+        )
+
+    def test_med_on_even(self, interp):
+        assert interp.eval_text("med 1 2 3 4").value == 2.5
+
+    def test_table_literal_with_keyed_section(self, interp):
+        result = interp.eval_text("([s: `a`b] v: 1 2)")
+        from repro.qlang.values import QKeyedTable
+
+        assert isinstance(result, QKeyedTable)

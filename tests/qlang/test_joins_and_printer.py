@@ -1,0 +1,120 @@
+"""Tests for join internals (including wj) and the value printer."""
+
+import pytest
+
+from repro.qlang.interp import Interpreter
+from repro.qlang.printer import format_atom_raw, format_value
+from repro.qlang.qtypes import NULL_LONG, QType
+from repro.qlang.values import QAtom, QDict, QTable, QVector
+
+
+@pytest.fixture()
+def interp():
+    it = Interpreter()
+    it.eval_text(
+        "t: ([] sym:`a`a`b; ts:09:30:00 09:31:00 09:30:30; v:1.0 2.0 3.0)"
+    )
+    it.eval_text(
+        "q: ([] sym:`a`a`a`b; ts:09:29:00 09:30:30 09:31:30 09:30:00; "
+        "p:10.0 11.0 12.0 20.0)"
+    )
+    return it
+
+
+class TestWindowJoin:
+    def test_wj_aggregates_over_window(self, interp):
+        # window: +/- 60 seconds around each t row
+        result = interp.eval_text(
+            "wj[(t[`ts]-00:01:00; t[`ts]+00:01:00); `sym`ts; t; "
+            "(q; (max; `p))]"
+        )
+        assert "p" in result.columns
+        # row 0: sym=a ts=09:30 -> quotes at 09:29 and 09:30:30 -> max 11
+        assert result.column("p").items[0] == 11.0
+
+    def test_wj_empty_window_gives_null(self, interp):
+        result = interp.eval_text(
+            "wj[(t[`ts]+02:00:00; t[`ts]+03:00:00); `sym`ts; t; "
+            "(q; (max; `p))]"
+        )
+        first = result.column("p").atom_at(0)
+        assert first.is_null
+
+    def test_wj_with_avg(self, interp):
+        result = interp.eval_text(
+            "wj[(t[`ts]-01:00:00; t[`ts]+01:00:00); `sym`ts; t; "
+            "(q; (avg; `p))]"
+        )
+        assert result.column("p").items[0] == pytest.approx((10 + 11 + 12) / 3)
+
+
+class TestAj0:
+    def test_aj0_takes_right_time(self, interp):
+        result = interp.eval_text("aj0[`sym`ts; t; q]")
+        # first row matched quote at 09:29:00 -> ts replaced by quote time
+        assert result.column("ts").items[0] == 9 * 3600 + 29 * 60
+
+    def test_aj_keeps_left_time(self, interp):
+        result = interp.eval_text("aj[`sym`ts; t; q]")
+        assert result.column("ts").items[0] == 9 * 3600 + 30 * 60
+
+
+class TestPrinter:
+    def test_atom_suffixes(self):
+        assert format_value(QAtom(QType.INT, 5)) == "5i"
+        assert format_value(QAtom(QType.SHORT, 5)) == "5h"
+        assert format_value(QAtom(QType.BOOLEAN, True)) == "1b"
+
+    def test_symbol_backtick(self):
+        assert format_value(QAtom(QType.SYMBOL, "GOOG")) == "`GOOG"
+
+    def test_null_displays(self):
+        assert format_value(QAtom(QType.LONG, NULL_LONG)) == "0N"
+        assert format_value(QAtom(QType.SYMBOL, "")) == "`"
+
+    def test_date_format(self):
+        assert format_atom_raw(QAtom(QType.DATE, 0)) == "2000.01.01"
+
+    def test_time_format(self):
+        assert format_atom_raw(QAtom(QType.TIME, 34_200_000)) == "09:30:00.000"
+
+    def test_timestamp_format(self):
+        text = format_atom_raw(QAtom(QType.TIMESTAMP, 86_400_000_000_000))
+        assert text == "2000.01.02D00:00:00.000000000"
+
+    def test_vector_space_separated(self):
+        assert format_value(QVector(QType.LONG, [1, 2, 3])) == "1 2 3"
+
+    def test_singleton_vector_enlist_comma(self):
+        assert format_value(QVector(QType.LONG, [7])) == ",7"
+
+    def test_boolean_vector(self):
+        assert format_value(QVector(QType.BOOLEAN, [True, False])) == "10b"
+
+    def test_empty_typed_vector(self):
+        assert "$()" in format_value(QVector(QType.FLOAT, []))
+
+    def test_string(self):
+        assert format_value(QVector(QType.CHAR, list("hi"))) == '"hi"'
+
+    def test_dict_bang(self):
+        d = QDict(QVector(QType.SYMBOL, ["a", "b"]), QVector(QType.LONG, [1, 2]))
+        assert format_value(d) == "`a`b!1 2"
+
+    def test_table_header_and_rows(self):
+        t = QTable(["a", "b"], [QVector(QType.LONG, [1]), QVector(QType.SYMBOL, ["x"])])
+        text = format_value(t)
+        assert text.splitlines()[0].startswith("a")
+        assert "x" in text
+
+    def test_table_truncation(self):
+        t = QTable(["a"], [QVector(QType.LONG, list(range(100)))])
+        text = format_value(t, max_rows=5)
+        assert ".." in text
+
+    def test_roundtrip_through_interpreter(self):
+        it = Interpreter()
+        for literal in ["1 2 3", "`a`b", '"text"', "1.5", "0N", "09:30:00"]:
+            value = it.eval_text(literal)
+            again = it.eval_text(format_value(value))
+            assert again == value, literal

@@ -1,0 +1,188 @@
+"""Unit tests for the Q tokenizer."""
+
+import pytest
+
+from repro.errors import QSyntaxError
+from repro.qlang.lexer import Token, TokenKind, date_from_days, days_from_2000, tokenize
+from repro.qlang.qtypes import NULL_INT, NULL_LONG, QType
+from repro.qlang.values import QAtom, QVector
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def first_value(source):
+    return tokenize(source)[0].value
+
+
+class TestNumbers:
+    def test_long_literal(self):
+        atom = first_value("42")
+        assert atom == QAtom(QType.LONG, 42)
+
+    def test_int_suffix(self):
+        assert first_value("42i") == QAtom(QType.INT, 42)
+
+    def test_short_suffix(self):
+        assert first_value("7h") == QAtom(QType.SHORT, 7)
+
+    def test_float_literal(self):
+        assert first_value("1.5") == QAtom(QType.FLOAT, 1.5)
+
+    def test_float_suffix_on_int(self):
+        assert first_value("2f") == QAtom(QType.FLOAT, 2.0)
+
+    def test_real_suffix(self):
+        assert first_value("2e") == QAtom(QType.REAL, 2.0)
+
+    def test_scientific_notation(self):
+        assert first_value("1e3") == QAtom(QType.FLOAT, 1000.0)
+
+    def test_boolean_atoms(self):
+        assert first_value("1b") == QAtom(QType.BOOLEAN, True)
+        assert first_value("0b") == QAtom(QType.BOOLEAN, False)
+
+    def test_boolean_vector(self):
+        assert first_value("101b") == QVector(QType.BOOLEAN, [True, False, True])
+
+    def test_long_null(self):
+        assert first_value("0N").value == NULL_LONG
+
+    def test_int_null(self):
+        assert first_value("0Ni").value == NULL_INT
+
+    def test_float_null_is_nan(self):
+        value = first_value("0n").value
+        assert value != value
+
+    def test_negative_literal_at_start(self):
+        assert first_value("-5") == QAtom(QType.LONG, -5)
+
+    def test_minus_after_name_is_operator(self):
+        tokens = tokenize("x-5")
+        assert tokens[1].kind == TokenKind.OPERATOR
+        assert tokens[1].text == "-"
+
+    def test_minus_after_paren_is_operator(self):
+        tokens = tokenize("(x)-5")
+        operator = [t for t in tokens if t.kind == TokenKind.OPERATOR]
+        assert operator[0].text == "-"
+
+
+class TestTemporals:
+    def test_date(self):
+        atom = first_value("2000.01.01")
+        assert atom == QAtom(QType.DATE, 0)
+
+    def test_date_2016(self):
+        atom = first_value("2016.06.26")
+        assert atom.qtype == QType.DATE
+        assert date_from_days(atom.value) == (2016, 6, 26)
+
+    def test_leap_year_day(self):
+        assert days_from_2000(2000, 3, 1) == 60  # 2000 is a leap year
+
+    def test_date_roundtrip_many(self):
+        for days in range(0, 10000, 137):
+            y, m, d = date_from_days(days)
+            assert days_from_2000(y, m, d) == days
+
+    def test_time_with_millis(self):
+        atom = first_value("09:30:00.123")
+        assert atom.qtype == QType.TIME
+        assert atom.value == (9 * 3600 + 30 * 60) * 1000 + 123
+
+    def test_minute(self):
+        atom = first_value("09:30")
+        assert atom == QAtom(QType.MINUTE, 570)
+
+    def test_second(self):
+        atom = first_value("09:30:15")
+        assert atom == QAtom(QType.SECOND, 9 * 3600 + 30 * 60 + 15)
+
+    def test_timestamp(self):
+        atom = first_value("2000.01.02D00:00:01.000000000")
+        assert atom.qtype == QType.TIMESTAMP
+        assert atom.value == 86_400_000_000_000 + 1_000_000_000
+
+    def test_month(self):
+        atom = first_value("2016.06m")
+        assert atom == QAtom(QType.MONTH, 16 * 12 + 5)
+
+
+class TestSymbolsAndStrings:
+    def test_single_symbol(self):
+        assert first_value("`GOOG") == QAtom(QType.SYMBOL, "GOOG")
+
+    def test_symbol_vector(self):
+        assert first_value("`a`b`c") == QVector(QType.SYMBOL, ["a", "b", "c"])
+
+    def test_empty_symbol(self):
+        assert first_value("`") == QAtom(QType.SYMBOL, "")
+
+    def test_string(self):
+        token = tokenize('"hello"')[0]
+        assert token.kind == TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\"c"')[0].value == 'a\nb"c'
+
+    def test_unterminated_string(self):
+        with pytest.raises(QSyntaxError):
+            tokenize('"oops')
+
+
+class TestOperatorsAndAdverbs:
+    def test_multichar_operators(self):
+        texts = [t.text for t in tokenize("a<>b") if t.kind == TokenKind.OPERATOR]
+        assert texts == ["<>"]
+
+    def test_less_equal(self):
+        texts = [t.text for t in tokenize("a<=b") if t.kind == TokenKind.OPERATOR]
+        assert texts == ["<="]
+
+    def test_glued_slash_is_adverb(self):
+        tokens = tokenize("+/")
+        assert tokens[1].kind == TokenKind.ADVERB
+        assert tokens[1].text == "/"
+
+    def test_spaced_slash_is_comment(self):
+        tokens = tokenize("1 / this is a comment")
+        assert [t.kind for t in tokens] == [TokenKind.NUMBER, TokenKind.EOF]
+
+    def test_each_right_adverb(self):
+        tokens = tokenize("f/:")
+        assert tokens[1].text == "/:"
+
+    def test_each_left_adverb(self):
+        tokens = tokenize("f\\:")
+        assert tokens[1].text == "\\:"
+
+    def test_each_prior_adverb(self):
+        tokens = tokenize("f':")
+        assert tokens[1].text == "':"
+
+
+class TestKeywordsAndNames:
+    def test_template_keywords(self):
+        assert kinds("select from where") == [TokenKind.KEYWORD] * 3
+
+    def test_name_with_dots(self):
+        token = tokenize("ns.table")[0]
+        assert token.kind == TokenKind.NAME
+        assert token.text == "ns.table"
+
+    def test_builtin_names_are_plain_names(self):
+        assert tokenize("count")[0].kind == TokenKind.NAME
+
+    def test_comment_line(self):
+        tokens = tokenize("/ full line comment\n42")
+        assert tokens[0].kind == TokenKind.NUMBER
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(QSyntaxError):
+            tokenize("§")

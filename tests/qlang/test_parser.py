@@ -1,0 +1,256 @@
+"""Unit tests for the lightweight Q parser."""
+
+import pytest
+
+from repro.errors import QSyntaxError
+from repro.qlang import ast
+from repro.qlang.parser import parse, parse_expression
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QAtom, QVector
+
+
+class TestRightToLeft:
+    def test_no_precedence(self):
+        node = parse_expression("2*3+4")
+        assert isinstance(node, ast.BinOp) and node.op == "*"
+        assert isinstance(node.right, ast.BinOp) and node.right.op == "+"
+
+    def test_chain_is_right_associated(self):
+        node = parse_expression("1-2-3")
+        assert isinstance(node, ast.BinOp)
+        assert isinstance(node.right, ast.BinOp)
+        assert isinstance(node.left, ast.Literal)
+
+    def test_comparison_binds_like_any_verb(self):
+        node = parse_expression("a<b+1")
+        assert node.op == "<"
+        assert isinstance(node.right, ast.BinOp)
+
+
+class TestLiterals:
+    def test_vector_merge(self):
+        node = parse_expression("1 2 3")
+        assert node.value == QVector(QType.LONG, [1, 2, 3])
+
+    def test_mixed_run_promotes_to_float(self):
+        node = parse_expression("1 2.5 3")
+        assert node.value.qtype == QType.FLOAT
+        assert node.value.items == [1.0, 2.5, 3.0]
+
+    def test_symbol_vector(self):
+        node = parse_expression("`a`b")
+        assert node.value == QVector(QType.SYMBOL, ["a", "b"])
+
+    def test_string_literal_is_char_vector(self):
+        node = parse_expression('"hi"')
+        assert node.value == QVector(QType.CHAR, ["h", "i"])
+
+    def test_empty_list(self):
+        node = parse_expression("()")
+        assert isinstance(node, ast.Literal)
+        assert len(node.value.items) == 0
+
+
+class TestApplication:
+    def test_bracket_apply(self):
+        node = parse_expression("f[1;2]")
+        assert isinstance(node, ast.Apply)
+        assert len(node.args) == 2
+
+    def test_juxtaposition(self):
+        node = parse_expression("count trades")
+        assert isinstance(node, ast.Apply)
+        assert node.func.name == "count"
+
+    def test_niladic_call(self):
+        node = parse_expression("f[]")
+        assert isinstance(node, ast.Apply)
+        assert node.args == []
+
+    def test_projection_elided_arg(self):
+        node = parse_expression("f[;2]")
+        assert node.args[0] is None
+        assert isinstance(node.args[1], ast.Literal)
+
+    def test_indexing_looks_like_application(self):
+        node = parse_expression("t[0]")
+        assert isinstance(node, ast.Apply)
+
+    def test_chained_application(self):
+        node = parse_expression("m[0][1]")
+        assert isinstance(node, ast.Apply)
+        assert isinstance(node.func, ast.Apply)
+
+
+class TestAssignment:
+    def test_simple_assign(self):
+        node = parse_expression("x: 5")
+        assert isinstance(node, ast.Assign)
+        assert node.target == "x"
+        assert node.op is None
+
+    def test_compound_assign(self):
+        node = parse_expression("x+:5")
+        assert node.op == "+"
+
+    def test_global_assign(self):
+        node = parse_expression("x::5")
+        assert node.global_scope
+
+    def test_indexed_assign(self):
+        node = parse_expression("x[2]: 7")
+        assert node.indices and isinstance(node.indices[0], ast.Literal)
+
+    def test_join_assign(self):
+        node = parse_expression("x,:5")
+        assert node.op == ","
+
+
+class TestLambdas:
+    def test_explicit_params(self):
+        node = parse_expression("{[a;b] a+b}")
+        assert node.params == ["a", "b"]
+
+    def test_implicit_params_xy(self):
+        node = parse_expression("{x+y}")
+        assert node.params == ["x", "y"]
+
+    def test_implicit_param_default_x(self):
+        node = parse_expression("{1+1}")
+        assert node.params == ["x"]
+
+    def test_nested_lambda_params_do_not_leak(self):
+        node = parse_expression("{x + {[q] q*z} 2}")
+        # z is inside the nested lambda with explicit params: outer sees x only
+        assert node.params == ["x"]
+
+    def test_multi_statement_body(self):
+        node = parse_expression("{a:1; a+x}")
+        assert len(node.body) == 2
+
+    def test_early_return(self):
+        node = parse_expression("{:x; 99}")
+        assert isinstance(node.body[0], ast.Return)
+
+    def test_source_captured(self):
+        node = parse_expression("{x+1}")
+        assert node.source == "{x+1}"
+
+
+class TestTemplates:
+    def test_select_star(self):
+        node = parse_expression("select from t")
+        assert node.kind == "select"
+        assert node.columns == []
+
+    def test_select_columns(self):
+        node = parse_expression("select a, b from t")
+        assert [c.name for c in node.columns] == [None, None]
+        assert [c.expr.name for c in node.columns] == ["a", "b"]
+
+    def test_named_column(self):
+        node = parse_expression("select total: sum x from t")
+        assert node.columns[0].name == "total"
+
+    def test_by_clause(self):
+        node = parse_expression("select sum v by sym from t")
+        assert len(node.by) == 1
+
+    def test_where_conjuncts_ordered(self):
+        node = parse_expression("select from t where a>1, b<2, c=3")
+        assert len(node.where) == 3
+
+    def test_comma_inside_brackets_not_a_separator(self):
+        node = parse_expression("select from t where sym in f[a,b]")
+        assert len(node.where) == 1
+
+    def test_select_with_limit(self):
+        node = parse_expression("select[10] from t")
+        assert node.limit is not None
+
+    def test_exec(self):
+        node = parse_expression("exec Price from t")
+        assert node.kind == "exec"
+
+    def test_update(self):
+        node = parse_expression("update v: v*2 from t")
+        assert node.kind == "update"
+
+    def test_delete_rows(self):
+        node = parse_expression("delete from t where x=1")
+        assert node.kind == "delete"
+        assert node.where
+
+    def test_delete_columns(self):
+        node = parse_expression("delete c1 from t")
+        assert node.columns[0].expr.name == "c1"
+
+    def test_nested_template_as_source(self):
+        node = parse_expression("select from select from t where a>0")
+        assert isinstance(node.source, ast.Template)
+
+    def test_template_in_function_body(self):
+        node = parse_expression("{select from t where sym=x}")
+        assert isinstance(node.body[0], ast.Template)
+
+
+class TestStructures:
+    def test_list_expr(self):
+        node = parse_expression("(1;`a;2.5)")
+        assert isinstance(node, ast.ListExpr)
+        assert len(node.items) == 3
+
+    def test_table_literal(self):
+        node = parse_expression("([] a:1 2; b:`x`y)")
+        assert isinstance(node, ast.TableExpr)
+        assert [name for name, __ in node.columns] == ["a", "b"]
+
+    def test_keyed_table_literal(self):
+        node = parse_expression("([k:`a`b] v:1 2)")
+        assert [name for name, __ in node.key_columns] == ["k"]
+
+    def test_conditional(self):
+        node = parse_expression("$[a;b;c]")
+        assert isinstance(node, ast.Cond)
+        assert len(node.branches) == 3
+
+    def test_adverb_over(self):
+        node = parse_expression("+/ x")
+        assert isinstance(node, ast.Apply)
+        assert isinstance(node.func, ast.AdverbApply)
+
+    def test_infix_keyword(self):
+        node = parse_expression("x in y")
+        assert isinstance(node, ast.BinOp)
+        assert node.op == "in"
+
+    def test_multi_statements(self):
+        program = parse("a:1; b:2; a+b")
+        assert len(program.statements) == 3
+
+
+class TestColumnNameInference:
+    def test_plain_name(self):
+        assert ast.infer_column_name(ast.Name("Price")) == "Price"
+
+    def test_aggregate_application(self):
+        node = parse_expression("select max Price from t")
+        assert ast.infer_column_name(node.columns[0].expr) == "Price"
+
+    def test_binop_uses_rightmost(self):
+        expr = parse_expression("a+b")
+        assert ast.infer_column_name(expr) == "b"
+
+    def test_fallback(self):
+        expr = parse_expression("1+2")
+        assert ast.infer_column_name(expr) == "x"
+
+
+class TestErrors:
+    def test_unbalanced_bracket(self):
+        with pytest.raises(QSyntaxError):
+            parse_expression("f[1;2")
+
+    def test_dangling_expression(self):
+        with pytest.raises(QSyntaxError):
+            parse_expression("select from")

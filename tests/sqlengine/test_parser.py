@@ -1,0 +1,235 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine import sqlast as sa
+from repro.sqlengine.lexer import SqlTokenKind, tokenize_sql
+from repro.sqlengine.parser import parse_one, parse_sql
+from repro.sqlengine.types import SqlType
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize_sql("SeLeCt * FrOm t")
+        assert tokens[0].kind == SqlTokenKind.KEYWORD
+        assert tokens[0].value == "select"
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize_sql('"MixedCase"')
+        assert tokens[0].kind == SqlTokenKind.IDENT
+        assert tokens[0].value == "MixedCase"
+
+    def test_unquoted_identifier_lowercased(self):
+        tokens = tokenize_sql("MyTable")
+        assert tokens[0].value == "mytable"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize_sql("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_line_comment(self):
+        tokens = tokenize_sql("1 -- comment\n+ 2")
+        kinds = [t.kind for t in tokens]
+        assert SqlTokenKind.OPERATOR in kinds
+
+    def test_block_comment(self):
+        tokens = tokenize_sql("/* hi */ 42")
+        assert tokens[0].kind == SqlTokenKind.NUMBER
+
+    def test_numbers(self):
+        assert tokenize_sql("42")[0].value == 42
+        assert tokenize_sql("4.5")[0].value == 4.5
+        assert tokenize_sql("1e3")[0].value == 1000.0
+
+    def test_cast_operator(self):
+        tokens = tokenize_sql("x::int")
+        assert any(
+            t.kind == SqlTokenKind.OPERATOR and t.text == "::" for t in tokens
+        )
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize_sql("'oops")
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_one("SELECT a, b FROM t")
+        assert isinstance(stmt, sa.Select)
+        assert len(stmt.items) == 2
+
+    def test_star(self):
+        stmt = parse_one("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, sa.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_one("SELECT t.* FROM t")
+        assert stmt.items[0].expr.table == "t"
+
+    def test_alias_with_and_without_as(self):
+        stmt = parse_one("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_where_precedence(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, sa.BinaryOp)
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_group_by_having(self):
+        stmt = parse_one(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_desc_nulls(self):
+        stmt = parse_one("SELECT a FROM t ORDER BY a DESC NULLS FIRST")
+        assert stmt.order_by[0].descending
+        assert stmt.order_by[0].nulls_first is True
+
+    def test_limit_offset(self):
+        stmt = parse_one("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit.value == 10
+        assert stmt.offset.value == 5
+
+    def test_joins(self):
+        stmt = parse_one(
+            "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y "
+            "INNER JOIN c ON c.z = a.x"
+        )
+        outer_join = stmt.from_clause
+        assert isinstance(outer_join, sa.Join)
+        assert outer_join.kind == "inner"
+        assert outer_join.left.kind == "left"
+
+    def test_subquery_in_from(self):
+        stmt = parse_one("SELECT * FROM (SELECT a FROM t) AS s")
+        assert isinstance(stmt.from_clause, sa.SubqueryRef)
+        assert stmt.from_clause.alias == "s"
+
+    def test_union_all(self):
+        stmt = parse_one("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.set_op == "union all"
+
+    def test_distinct(self):
+        stmt = parse_one("SELECT DISTINCT a FROM t")
+        assert stmt.distinct
+
+    def test_is_not_distinct_from(self):
+        stmt = parse_one("SELECT * FROM t WHERE a IS NOT DISTINCT FROM b")
+        assert stmt.where.op == "IS NOT DISTINCT FROM"
+
+    def test_in_list(self):
+        stmt = parse_one("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, sa.InList)
+
+    def test_not_in(self):
+        stmt = parse_one("SELECT * FROM t WHERE a NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_between(self):
+        stmt = parse_one("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, sa.Between)
+
+    def test_like(self):
+        stmt = parse_one("SELECT * FROM t WHERE a LIKE 'x%'")
+        assert isinstance(stmt.where, sa.LikeOp)
+
+    def test_case_expression(self):
+        stmt = parse_one(
+            "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t"
+        )
+        assert isinstance(stmt.items[0].expr, sa.Case)
+
+    def test_cast_postfix(self):
+        stmt = parse_one("SELECT a::bigint FROM t")
+        cast = stmt.items[0].expr
+        assert isinstance(cast, sa.Cast)
+        assert cast.target == SqlType.BIGINT
+
+    def test_cast_function(self):
+        stmt = parse_one("SELECT CAST(a AS double precision) FROM t")
+        assert stmt.items[0].expr.target == SqlType.DOUBLE
+
+    def test_window_function(self):
+        stmt = parse_one(
+            "SELECT row_number() OVER (PARTITION BY a ORDER BY b DESC) FROM t"
+        )
+        window = stmt.items[0].expr
+        assert isinstance(window, sa.WindowFunc)
+        assert len(window.window.partition_by) == 1
+        assert window.window.order_by[0].descending
+
+    def test_window_frame_text(self):
+        stmt = parse_one(
+            "SELECT sum(x) OVER (ORDER BY y ROWS BETWEEN 2 PRECEDING AND "
+            "CURRENT ROW) FROM t"
+        )
+        assert "2 preceding" in stmt.items[0].expr.window.frame
+
+    def test_scalar_subquery(self):
+        stmt = parse_one("SELECT (SELECT max(a) FROM t) FROM u")
+        assert isinstance(stmt.items[0].expr, sa.ScalarSubquery)
+
+    def test_exists(self):
+        stmt = parse_one("SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(stmt.where, sa.ExistsSubquery)
+
+    def test_count_star(self):
+        stmt = parse_one("SELECT count(*) FROM t")
+        assert stmt.items[0].expr.star
+
+    def test_schema_qualified_table(self):
+        stmt = parse_one("SELECT * FROM information_schema.columns")
+        assert stmt.from_clause.schema == "information_schema"
+
+
+class TestDdlDmlParsing:
+    def test_create_table(self):
+        stmt = parse_one("CREATE TABLE t (a bigint, b varchar(10))")
+        assert isinstance(stmt, sa.CreateTable)
+        assert stmt.columns[0].sql_type == SqlType.BIGINT
+        assert stmt.columns[1].sql_type == SqlType.VARCHAR
+
+    def test_create_temp_table_as(self):
+        stmt = parse_one("CREATE TEMPORARY TABLE t AS SELECT 1")
+        assert isinstance(stmt, sa.CreateTableAs)
+        assert stmt.temporary
+
+    def test_create_view(self):
+        stmt = parse_one("CREATE OR REPLACE VIEW v AS SELECT 1")
+        assert isinstance(stmt, sa.CreateView)
+        assert stmt.or_replace
+
+    def test_insert_values(self):
+        stmt = parse_one("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, sa.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_one("INSERT INTO t SELECT * FROM u")
+        assert stmt.query is not None
+
+    def test_delete(self):
+        stmt = parse_one("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, sa.Delete)
+
+    def test_update(self):
+        stmt = parse_one("UPDATE t SET a = 1, b = 2 WHERE c = 3")
+        assert isinstance(stmt, sa.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_drop_if_exists(self):
+        stmt = parse_one("DROP TABLE IF EXISTS t")
+        assert stmt.if_exists
+
+    def test_multiple_statements(self):
+        statements = parse_sql("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+    def test_syntax_error(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_one("SELECT FROM WHERE")

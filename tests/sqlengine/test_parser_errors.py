@@ -1,0 +1,122 @@
+"""Negative and edge-case tests for the SQL parser and engine surface."""
+
+import pytest
+
+from repro.errors import SqlExecutionError, SqlSyntaxError
+from repro.sqlengine.engine import Engine
+from repro.sqlengine.parser import parse_one, parse_sql
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP",
+            "INSERT INTO",
+            "CREATE TABLE t",
+            "SELECT a FROM t ORDER",
+            "SELECT (a FROM t",
+            "DELETE t",
+            "UPDATE t SET",
+        ],
+    )
+    def test_malformed_statements(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_one(bad)
+
+    def test_dangling_not(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_one("SELECT * FROM t WHERE a NOT 5")
+
+    def test_two_statements_via_parse_one(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_one("SELECT 1; SELECT 2")
+
+    def test_empty_input(self):
+        assert parse_sql("") == []
+        assert parse_sql(" ; ; ") == []
+
+
+class TestEngineEdges:
+    @pytest.fixture()
+    def engine(self):
+        e = Engine()
+        e.execute("CREATE TABLE t (a bigint, b varchar)")
+        return e
+
+    def test_select_without_from(self, engine):
+        assert engine.execute("SELECT 1 + 1").scalar() == 2
+
+    def test_empty_table_aggregate(self, engine):
+        assert engine.execute("SELECT count(*) FROM t").scalar() == 0
+        assert engine.execute("SELECT sum(a) FROM t").scalar() is None
+
+    def test_group_by_empty_table_no_groups(self, engine):
+        result = engine.execute("SELECT b, count(*) FROM t GROUP BY b")
+        assert result.rows == []
+
+    def test_unknown_column_error(self, engine):
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT zzz FROM t")
+
+    def test_ambiguous_column_error(self, engine):
+        engine.execute("CREATE TABLE u (a bigint)")
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT a FROM t, u")
+
+    def test_qualified_resolves_ambiguity(self, engine):
+        engine.execute("CREATE TABLE u (a bigint)")
+        engine.execute("INSERT INTO t VALUES (1, 'x')")
+        engine.execute("INSERT INTO u VALUES (2)")
+        result = engine.execute("SELECT t.a, u.a FROM t, u")
+        assert result.rows == [(1, 2)]
+
+    def test_scalar_subquery_multiple_rows_error(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        with pytest.raises(SqlExecutionError):
+            engine.execute("SELECT (SELECT a FROM t)")
+
+    def test_aliased_subquery_scoping(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x')")
+        result = engine.execute(
+            "SELECT s.total FROM (SELECT sum(a) AS total FROM t) AS s"
+        )
+        assert result.rows == [(1,)]
+
+    def test_case_without_else_defaults_null(self, engine):
+        assert engine.execute(
+            "SELECT CASE WHEN FALSE THEN 1 END"
+        ).scalar() is None
+
+    def test_simple_case_with_operand(self, engine):
+        assert engine.execute(
+            "SELECT CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END"
+        ).scalar() == "b"
+
+    def test_string_functions(self, engine):
+        assert engine.execute("SELECT upper('ab')").scalar() == "AB"
+        assert engine.execute("SELECT substring('hello', 2, 3)").scalar() == "ell"
+        assert engine.execute("SELECT length('abc')").scalar() == 3
+
+    def test_like_escaping_regex_chars(self, engine):
+        assert engine.execute("SELECT 'a.c' LIKE 'a.c'").scalar() is True
+        assert engine.execute("SELECT 'abc' LIKE 'a.c'").scalar() is False
+        assert engine.execute("SELECT 'abc' LIKE 'a_c'").scalar() is True
+
+    def test_order_by_alias(self, engine):
+        engine.execute("INSERT INTO t VALUES (2, 'x'), (1, 'y')")
+        result = engine.execute("SELECT a * 10 AS tens FROM t ORDER BY tens")
+        assert [r[0] for r in result.rows] == [10, 20]
+
+    def test_distinct_with_nulls(self, engine):
+        engine.execute("INSERT INTO t VALUES (NULL, 'x'), (NULL, 'x')")
+        result = engine.execute("SELECT DISTINCT a, b FROM t")
+        assert result.rows == [(None, "x")]
+
+    def test_truncate(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x')")
+        engine.execute("TRUNCATE TABLE t")
+        assert engine.execute("SELECT count(*) FROM t").scalar() == 0

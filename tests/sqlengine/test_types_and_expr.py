@@ -1,0 +1,143 @@
+"""Unit tests for SQL types, casts, and three-valued-logic evaluation."""
+
+import pytest
+
+from repro.errors import SqlTypeError
+from repro.sqlengine.engine import Engine
+from repro.sqlengine.types import (
+    SqlType,
+    cast_value,
+    promote,
+    render_value,
+    type_from_name,
+)
+
+
+class TestTypeNames:
+    def test_aliases(self):
+        assert type_from_name("int8") == SqlType.BIGINT
+        assert type_from_name("float8") == SqlType.DOUBLE
+        assert type_from_name("bool") == SqlType.BOOLEAN
+
+    def test_length_arguments_ignored(self):
+        assert type_from_name("varchar(255)") == SqlType.VARCHAR
+        assert type_from_name("numeric(10,2)") == SqlType.NUMERIC
+
+    def test_multiword(self):
+        assert type_from_name("double precision") == SqlType.DOUBLE
+        assert type_from_name("character varying") == SqlType.VARCHAR
+
+    def test_unknown_raises(self):
+        with pytest.raises(SqlTypeError):
+            type_from_name("blob")
+
+
+class TestPromotion:
+    def test_numeric_widening(self):
+        assert promote(SqlType.SMALLINT, SqlType.BIGINT) == SqlType.BIGINT
+        assert promote(SqlType.BIGINT, SqlType.DOUBLE) == SqlType.DOUBLE
+
+    def test_null_yields_other(self):
+        assert promote(SqlType.NULL, SqlType.DATE) == SqlType.DATE
+
+    def test_temporal_plus_numeric(self):
+        assert promote(SqlType.DATE, SqlType.INTEGER) == SqlType.DATE
+
+    def test_text_combines_to_text(self):
+        assert promote(SqlType.VARCHAR, SqlType.CHAR) == SqlType.TEXT
+
+    def test_incompatible(self):
+        with pytest.raises(SqlTypeError):
+            promote(SqlType.BOOLEAN, SqlType.DATE)
+
+
+class TestCasts:
+    def test_null_passthrough(self):
+        assert cast_value(None, SqlType.BIGINT) is None
+
+    def test_string_to_int(self):
+        assert cast_value(" 42 ", SqlType.BIGINT) == 42
+
+    def test_string_to_bool(self):
+        assert cast_value("t", SqlType.BOOLEAN) is True
+        assert cast_value("false", SqlType.BOOLEAN) is False
+        with pytest.raises(SqlTypeError):
+            cast_value("maybe", SqlType.BOOLEAN)
+
+    def test_bool_to_text(self):
+        assert cast_value(True, SqlType.TEXT) == "t"
+
+    def test_date_text_roundtrip(self):
+        days = cast_value("2016-06-26", SqlType.DATE)
+        assert render_value(days, SqlType.DATE) == "2016-06-26"
+
+    def test_time_text_roundtrip(self):
+        millis = cast_value("09:30:00.123", SqlType.TIME)
+        assert render_value(millis, SqlType.TIME) == "09:30:00.123"
+
+    def test_timestamp_text_roundtrip(self):
+        nanos = cast_value("2016-06-26 09:30:00.5", SqlType.TIMESTAMP)
+        assert render_value(nanos, SqlType.TIMESTAMP).startswith(
+            "2016-06-26 09:30:00.5"
+        )
+
+
+class TestThreeValuedLogic:
+    @pytest.fixture()
+    def engine(self):
+        return Engine()
+
+    def q(self, engine, expr):
+        return engine.execute(f"SELECT {expr}").scalar()
+
+    def test_null_comparisons_are_null(self, engine):
+        assert self.q(engine, "NULL = 1") is None
+        assert self.q(engine, "NULL <> 1") is None
+        assert self.q(engine, "NULL < 1") is None
+
+    def test_kleene_and(self, engine):
+        assert self.q(engine, "FALSE AND NULL") is False
+        assert self.q(engine, "TRUE AND NULL") is None
+        assert self.q(engine, "NULL AND NULL") is None
+
+    def test_kleene_or(self, engine):
+        assert self.q(engine, "TRUE OR NULL") is True
+        assert self.q(engine, "FALSE OR NULL") is None
+
+    def test_not_null(self, engine):
+        assert self.q(engine, "NOT NULL::boolean") is None
+
+    def test_is_distinct_from(self, engine):
+        assert self.q(engine, "NULL IS DISTINCT FROM 1") is True
+        assert self.q(engine, "NULL IS DISTINCT FROM NULL") is False
+        assert self.q(engine, "1 IS NOT DISTINCT FROM 1") is True
+
+    def test_in_with_null_member(self, engine):
+        assert self.q(engine, "1 IN (1, NULL)") is True
+        assert self.q(engine, "2 IN (1, NULL)") is None
+
+    def test_null_arithmetic(self, engine):
+        assert self.q(engine, "1 + NULL") is None
+        assert self.q(engine, "NULL * 0") is None
+
+    def test_null_concat(self, engine):
+        assert self.q(engine, "'a' || NULL") is None
+
+    def test_between_with_null_bound(self, engine):
+        assert self.q(engine, "1 BETWEEN NULL AND 2") is None
+
+    def test_case_null_condition_not_taken(self, engine):
+        assert self.q(engine, "CASE WHEN NULL THEN 1 ELSE 2 END") == 2
+
+    def test_coalesce_chain(self, engine):
+        assert self.q(engine, "coalesce(NULL, NULL, 3)") == 3
+
+    def test_nullif(self, engine):
+        assert self.q(engine, "nullif(5, 5)") is None
+        assert self.q(engine, "nullif(5, 6)") == 5
+
+    def test_like_null(self, engine):
+        assert self.q(engine, "NULL LIKE 'a%'") is None
+
+    def test_greatest_ignores_nulls(self, engine):
+        assert self.q(engine, "greatest(1, NULL, 3)") == 3

@@ -1,0 +1,184 @@
+"""Property-based tests on core invariants.
+
+* the two-valued/three-valued logic bridge: Q ``=`` on the interpreter
+  agrees with ``IS NOT DISTINCT FROM`` through Hyper-Q on random nullable
+  data;
+* ordering transparency: results come back in interpreter order for any
+  random table;
+* interpreter algebraic identities (sum = +/, reverse∘reverse = id, ...).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.platform import HyperQ
+from repro.qlang.builtins import q_sum
+from repro.qlang.interp import Interpreter
+from repro.qlang.qtypes import NULL_LONG, QType
+from repro.qlang.values import QAtom, QTable, QVector, q_match
+from repro.testing.comparators import compare_values
+from repro.workload.loader import load_table
+
+nullable_longs = st.one_of(
+    st.integers(-1_000, 1_000), st.just(NULL_LONG)
+)
+nullable_floats = st.one_of(
+    st.floats(-1e6, 1e6, allow_nan=False), st.just(float("nan"))
+)
+small_symbols = st.sampled_from(["a", "b", "c", ""])
+
+
+@st.composite
+def random_tables(draw):
+    n = draw(st.integers(1, 12))
+    return QTable(
+        ["s", "v", "f"],
+        [
+            QVector(
+                QType.SYMBOL,
+                draw(st.lists(small_symbols, min_size=n, max_size=n)),
+            ),
+            QVector(
+                QType.LONG,
+                draw(st.lists(nullable_longs, min_size=n, max_size=n)),
+            ),
+            QVector(
+                QType.FLOAT,
+                draw(st.lists(nullable_floats, min_size=n, max_size=n)),
+            ),
+        ],
+    )
+
+
+def run_both(table, query):
+    interp = Interpreter()
+    interp.set_global("t", table)
+    hyperq = HyperQ()
+    load_table(hyperq.engine, "t", table, mdi=hyperq.mdi)
+    return interp.eval_text(query), hyperq.q(query)
+
+
+class TestTwoValuedLogicBridge:
+    @given(random_tables(), small_symbols)
+    @settings(max_examples=40, deadline=None)
+    def test_symbol_equality_with_nulls(self, table, needle):
+        """Q `=` (null matches null) ≡ IS NOT DISTINCT FROM through SQL."""
+        query = f"select v from t where s=`{needle}" if needle else \
+            "select v from t where s=`"
+        left, right = run_both(table, query)
+        assert compare_values(left, right), (left, right)
+
+    @given(random_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_long_null_equality(self, table):
+        left, right = run_both(table, "select s from t where v=0N")
+        assert compare_values(left, right)
+
+    @given(random_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_range_predicate_drops_nulls_on_both_sides(self, table):
+        left, right = run_both(table, "select s from t where v>0")
+        assert compare_values(left, right)
+
+
+class TestOrderingTransparency:
+    @given(random_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_select_preserves_row_order(self, table):
+        left, right = run_both(table, "select from t")
+        assert compare_values(left, right)
+
+    @given(random_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_sorting_matches(self, table):
+        left, right = run_both(table, "`v xasc t")
+        assert compare_values(left, right)
+
+    @given(random_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_group_by_matches(self, table):
+        left, right = run_both(table, "select cnt: count v by s from t")
+        assert compare_values(left, right)
+
+
+class TestInterpreterIdentities:
+    @given(st.lists(nullable_longs, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_sum_equals_plus_fold(self, items):
+        interp = Interpreter()
+        interp.set_global("xs", QVector(QType.LONG, items))
+        total = interp.eval_text("sum xs")
+        if items and all(x == NULL_LONG for x in items):
+            # q: the sum of an all-null list is null
+            assert total.is_null
+            return
+        # otherwise q's null-skipping sum equals the fold over 0-filled input
+        fold = interp.eval_text("0 +/ 0^xs")
+        assert total == fold
+
+    @given(st.lists(st.integers(-100, 100), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_reverse_involution(self, items):
+        interp = Interpreter()
+        interp.set_global("xs", QVector(QType.LONG, items))
+        assert q_match(
+            interp.eval_text("reverse reverse xs"), interp.eval_text("xs")
+        )
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_asc_is_sorted_permutation(self, items):
+        interp = Interpreter()
+        interp.set_global("xs", QVector(QType.LONG, items))
+        result = interp.eval_text("asc xs")
+        assert sorted(items) == result.items
+
+    @given(st.lists(st.integers(-50, 50), max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_deltas_sums_inverse(self, items):
+        interp = Interpreter()
+        interp.set_global("xs", QVector(QType.LONG, items))
+        assert q_match(
+            interp.eval_text("sums deltas xs"), interp.eval_text("xs")
+        )
+
+    @given(st.lists(st.integers(0, 20), max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_count_distinct_bounds(self, items):
+        interp = Interpreter()
+        interp.set_global("xs", QVector(QType.LONG, items))
+        distinct_count = interp.eval_text("count distinct xs").value
+        assert distinct_count <= len(items)
+        assert distinct_count == len(set(items))
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=25),
+           st.integers(1, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_take_length(self, items, n):
+        interp = Interpreter()
+        interp.set_global("xs", QVector(QType.LONG, items))
+        interp.set_global("n", QAtom(QType.LONG, n))
+        assert interp.eval_text("count n#xs").value == n
+
+
+class TestParserPrinterAgreement:
+    @given(st.lists(st.integers(-(2**31), 2**31), min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_long_vector_literal_roundtrip(self, items):
+        from repro.qlang.printer import format_value
+
+        vec = QVector(QType.LONG, items)
+        text = format_value(vec)
+        assert q_match(Interpreter().eval_text(text), vec)
+
+    @given(st.lists(st.sampled_from(["abc", "x", "Sym1"]), min_size=1,
+                    max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_symbol_vector_literal_roundtrip(self, items):
+        from repro.qlang.printer import format_value
+
+        vec = QVector(QType.SYMBOL, items)
+        assert q_match(Interpreter().eval_text(format_value(vec)), vec)

@@ -1,0 +1,162 @@
+"""The side-by-side framework validating Hyper-Q against the reference
+interpreter — the reproduction of the paper's QA methodology, and the
+single strongest correctness check in this repository."""
+
+import pytest
+
+from repro.testing.sidebyside import SideBySideHarness
+
+SOURCE = """
+trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT`IBM`GOOG;
+            Time:09:30:30 09:31:00 09:32:00 09:30:45 09:33:20 09:35:05;
+            Price:100.0 50.0 101.0 30.0 49.5 102.5;
+            Size:10 20 30 40 15 5);
+quotes: ([] Symbol:`GOOG`GOOG`IBM`IBM`MSFT;
+            Time:09:30:00 09:31:30 09:30:30 09:33:00 09:29:00;
+            Bid:99.0 100.5 49.0 49.25 29.5;
+            Ask:99.5 101.0 49.5 49.75 30.0);
+ratings: ([Symbol:`GOOG`IBM] Rating:`buy`hold)
+"""
+
+TABLES = ["trades", "quotes", "ratings"]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return SideBySideHarness(SOURCE, TABLES)
+
+
+QUERIES = [
+    # projections and filters
+    "select from trades",
+    "select Price from trades",
+    "select Symbol, Price from trades",
+    "select from trades where Symbol=`GOOG",
+    "select from trades where Price>40",
+    "select from trades where Price>40, Size>15",
+    "select from trades where Symbol in `GOOG`IBM",
+    "select from trades where Price within 40 105",
+    "select from trades where Symbol=`GOOG, Price>100",
+    "select from trades where i<3",
+    # computed columns
+    "select notional: Price*Size from trades",
+    "select Symbol, half: Price%2 from trades",
+    "select p: Price+1, s: Size-1 from trades",
+    "select b: ?[Price>60; `hi; `lo] from trades",
+    "select p: 0 ^ Price from trades",
+    # aggregation
+    "select max Price from trades",
+    "select sum Size from trades",
+    "select avg Price from trades",
+    "select m: min Price, M: max Price from trades",
+    "select count Size from trades",
+    "select dev Price from trades",
+    "select med Price from trades",
+    # group by
+    "select sum Size by Symbol from trades",
+    "select max Price by Symbol from trades",
+    "select avg Price, sum Size by Symbol from trades",
+    "select count Size by Symbol from trades",
+    # mixed aggregate broadcast
+    "select Symbol, Price, mx: max Price from trades",
+    # exec
+    "exec Price from trades",
+    "exec Symbol from trades",
+    "exec sum Size by Symbol from trades",
+    # update
+    "update Notional: Price*Size from trades",
+    "update Price: Price*2 from trades",
+    "update s: sums Size from trades",
+    "update s: sums Size by Symbol from trades",
+    "update m: max Price by Symbol from trades",
+    # delete
+    "delete from trades where Symbol=`IBM",
+    "delete Size from trades",
+    # sorting and limits
+    "`Price xasc trades",
+    "`Price xdesc trades",
+    "select[3] from trades",
+    # joins
+    "aj[`Symbol`Time; trades; quotes]",
+    "aj0[`Symbol`Time; trades; quotes]",
+    "trades lj ratings",
+    "trades ij ratings",
+    "ej[`Symbol; trades; quotes]",
+    # aggregates over tables
+    "avg exec Price from trades",
+    "count select from trades where Price > 60",
+    # scalar statements
+    "1+2",
+    "2*3+4",
+    "7%2",
+    # uniform verbs through windows
+    "update d: deltas Price from trades",
+    "update p: prev Price from trades",
+    "update n: next Price from trades",
+    "update m: 3 mavg Price from trades",
+    "update r: maxs Price from trades",
+    # nested templates
+    "select from (select from trades where Price>40) where Size>15",
+    "select sum Size by Symbol from select from trades where Price>35",
+    # vector conditional, like, casts
+    "select side: ?[Size>15; `big; `small] from trades",
+    "select from trades where Symbol like \"GO*\"",
+    "select p: `long$Price from trades",
+    "update half: Price % 2 from trades",
+    # multi-key grouping and computed group keys
+    "select sum Size by Symbol, b: Price>60 from trades",
+    "select n: count Symbol by bucket: 10 xbar Size from trades",
+    # keyed-table semantics
+    "select from ratings",
+    "1!select from trades where Size>15",
+    # admin utilities
+    "tables[]",
+    "cols trades",
+    # sorting edge cases
+    "`Size xdesc trades",
+    "`Symbol`Time xasc trades",
+    # weighted / moving analytics
+    "update w: Size wavg Price by Symbol from trades",
+    "update s: 2 msum Size from trades",
+    "update mn: 3 mmin Price from trades",
+    # fby (filter-by) and differ — classic q idioms via windows
+    "select from trades where Price = (max; Price) fby Symbol",
+    "select from trades where Size < (avg; Size) fby Symbol",
+    "update mx: (max; Price) fby Symbol from trades",
+    "update d: differ Symbol from trades",
+    "select from trades where differ Symbol",
+    # select[...] limit forms
+    "select[2] from trades",
+    "select[-2] from trades",
+    "select[1 3] from trades",
+    "select[2 99] from trades",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_side_by_side(harness, query):
+    result = harness.check(query)
+    assert result.passed, result.comparison.reason
+
+
+def test_suite_report(harness):
+    report = harness.run_suite(["select from trades", "1+2"])
+    assert report.passed == 2
+    assert report.failed == 0
+    assert "2/2" in report.summary()
+
+
+def test_variable_workflow_matches(harness):
+    query = (
+        "f: {[s] dt: select Price from trades where Symbol=s; "
+        ":avg exec Price from dt}; f[`GOOG]"
+    )
+    result = harness.check(query)
+    assert result.passed, result.comparison.reason
+
+
+def test_both_sides_error_counts_as_match(harness):
+    result = harness.check("select from nonexistent_table")
+    assert result.passed
+    assert result.q_error is not None
+    assert result.hq_error is not None

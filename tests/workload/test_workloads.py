@@ -1,0 +1,173 @@
+"""Tests for the workload generators and the loader."""
+
+import pytest
+
+from repro.core.platform import HyperQ
+from repro.errors import QTypeError
+from repro.qlang.interp import Interpreter
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QKeyedTable, QTable, QVector
+from repro.sqlengine.engine import Engine
+from repro.workload.analytical import (
+    INSTRUMENTS_COLUMNS,
+    MARKS_COLUMNS,
+    POSITIONS_COLUMNS,
+    AnalyticalConfig,
+    build_queries,
+    generate as generate_analytical,
+)
+from repro.workload.loader import load_q_source, load_table
+from repro.workload.taq import MARKET_OPEN_MS, TaqConfig, generate as generate_taq
+
+
+class TestTaqGenerator:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_taq(TaqConfig(n_symbols=3, quotes_per_symbol=50,
+                                      trades_per_symbol=20))
+
+    def test_shapes(self, data):
+        assert len(data.trades) == 60
+        assert len(data.quotes) == 150
+        assert len(data.symbols) == 3
+
+    def test_deterministic(self, data):
+        again = generate_taq(TaqConfig(n_symbols=3, quotes_per_symbol=50,
+                                       trades_per_symbol=20))
+        assert again.trades == data.trades
+        assert again.quotes == data.quotes
+
+    def test_times_in_market_hours(self, data):
+        for t in data.quotes.column("Time").items:
+            assert MARKET_OPEN_MS <= t < 16 * 3600 * 1000
+
+    def test_times_sorted(self, data):
+        times = data.trades.column("Time").items
+        assert times == sorted(times)
+
+    def test_bid_below_ask(self, data):
+        bids = data.quotes.column("Bid").items
+        asks = data.quotes.column("Ask").items
+        assert all(b < a for b, a in zip(bids, asks))
+
+    def test_trades_price_near_prevailing_quote(self, data):
+        """Trades are generated inside the prevailing bid/ask band, so the
+        paper's Example 1 has meaningful joins."""
+        interp = Interpreter()
+        interp.set_global("trades", data.trades)
+        interp.set_global("quotes", data.quotes)
+        joined = interp.eval_text(
+            "aj[`Symbol`Time; select Symbol, Time, Price from trades; "
+            "select Symbol, Time, Bid, Ask from quotes]"
+        )
+        prices = joined.column("Price").items
+        bids = joined.column("Bid").items
+        asks = joined.column("Ask").items
+        matched = [
+            (p, b, a) for p, b, a in zip(prices, bids, asks) if b == b
+        ]
+        assert matched
+        within = sum(1 for p, b, a in matched if b - 1e-9 <= p <= a + 1e-9)
+        assert within / len(matched) > 0.9
+
+
+class TestAnalyticalWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_analytical(AnalyticalConfig.small())
+
+    def test_paper_shape_25_queries(self, workload):
+        assert len(workload.queries) == 25
+
+    def test_three_wide_tables(self, workload):
+        assert set(workload.tables) == {"positions", "marks", "instruments"}
+
+    def test_tables_exceed_500_columns(self, workload):
+        positions = workload.tables["positions"]
+        marks = workload.tables["marks"]
+        instruments = workload.tables["instruments"]
+        assert len(positions.columns) == POSITIONS_COLUMNS >= 500
+        assert len(marks.columns) == MARKS_COLUMNS >= 500
+        key_cols = instruments.key.columns + instruments.value.columns
+        assert len(key_cols) == INSTRUMENTS_COLUMNS >= 500
+
+    def test_instruments_keyed(self, workload):
+        assert isinstance(workload.tables["instruments"], QKeyedTable)
+        assert workload.tables["instruments"].key_columns == ["inst"]
+
+    def test_join_heavy_queries_are_10_18_19_20(self, workload):
+        three_table = {
+            q.number for q in workload.queries if len(q.tables) == 3
+        }
+        assert three_table == {10, 18, 19, 20}
+
+    def test_queries_have_joins_and_aggregates(self, workload):
+        texts = " ".join(q.text for q in workload.queries)
+        for feature in ("lj", "ej[", "aj[", "sum", "avg", "dev", "wavg", "by"):
+            assert feature in texts
+
+    def test_deterministic(self, workload):
+        again = generate_analytical(AnalyticalConfig.small())
+        assert again.tables["positions"] == workload.tables["positions"]
+
+    def test_all_queries_parse(self, workload):
+        from repro.qlang.parser import parse
+
+        for query in workload.queries:
+            parse(query.text)
+
+
+class TestLoader:
+    def test_ordcol_added(self):
+        engine = Engine()
+        table = QTable(["a"], [QVector(QType.LONG, [5, 6])])
+        load_table(engine, "t", table)
+        result = engine.execute('SELECT "a", "ordcol" FROM "t"')
+        assert result.rows == [(5, 0), (6, 1)]
+
+    def test_nulls_loaded_as_sql_null(self):
+        from repro.qlang.qtypes import NULL_LONG
+
+        engine = Engine()
+        table = QTable(
+            ["v", "s"],
+            [QVector(QType.LONG, [1, NULL_LONG]),
+             QVector(QType.SYMBOL, ["x", ""])],
+        )
+        load_table(engine, "t", table)
+        result = engine.execute('SELECT "v", "s" FROM "t"')
+        assert result.rows == [(1, "x"), (None, None)]
+
+    def test_minutes_scaled_to_time(self):
+        engine = Engine()
+        table = QTable(["m"], [QVector(QType.MINUTE, [570])])
+        load_table(engine, "t", table)
+        assert engine.execute('SELECT "m" FROM "t"').scalar() == 570 * 60_000
+
+    def test_keyed_table_annotates_mdi(self):
+        hq = HyperQ()
+        keyed = QKeyedTable(
+            QTable(["k"], [QVector(QType.SYMBOL, ["a"])]),
+            QTable(["v"], [QVector(QType.LONG, [1])]),
+        )
+        load_table(hq.engine, "kt", keyed, mdi=hq.mdi)
+        assert hq.mdi.require_table("kt").keys == ["k"]
+
+    def test_reload_replaces(self):
+        engine = Engine()
+        load_table(engine, "t", QTable(["a"], [QVector(QType.LONG, [1])]))
+        load_table(engine, "t", QTable(["a"], [QVector(QType.LONG, [2, 3])]))
+        assert engine.execute('SELECT count(*) FROM "t"').scalar() == 2
+
+    def test_general_list_column_rejected(self):
+        from repro.qlang.values import QList, QAtom
+
+        engine = Engine()
+        table = QTable(["g"], [QList([QAtom(QType.LONG, 1)])])
+        with pytest.raises(QTypeError):
+            load_table(engine, "t", table)
+
+    def test_load_q_source_missing_table(self):
+        engine = Engine()
+        with pytest.raises(QTypeError):
+            load_q_source(engine, Interpreter(), "x: 1", ["t"])
