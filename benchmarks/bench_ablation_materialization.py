@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import save_results
+from conftest import bench_repeats, bench_rounds, save_results
 
 from repro.config import HyperQConfig, MaterializationMode
 from repro.core.session import HyperQSession
@@ -42,10 +42,12 @@ def test_ablation_materialization(benchmark, workload_env):
     results = {}
     for consumers in (1, 10):
         physical = min(
-            _run(hq, MaterializationMode.PHYSICAL, consumers) for __ in range(3)
+            _run(hq, MaterializationMode.PHYSICAL, consumers)
+            for __ in range(bench_repeats(3))
         )
         logical = min(
-            _run(hq, MaterializationMode.LOGICAL, consumers) for __ in range(3)
+            _run(hq, MaterializationMode.LOGICAL, consumers)
+            for __ in range(bench_repeats(3))
         )
         results[consumers] = {
             "physical_ms": physical * 1e3,
@@ -54,7 +56,7 @@ def test_ablation_materialization(benchmark, workload_env):
 
     benchmark.pedantic(
         lambda: _run(hq, MaterializationMode.PHYSICAL, 1),
-        rounds=3,
+        rounds=bench_rounds(3),
         iterations=1,
     )
 

@@ -12,10 +12,9 @@ algebrization stage.
 
 from __future__ import annotations
 
-import statistics
 import time
 
-from conftest import save_results
+from conftest import bench_repeats, save_results
 
 from repro.config import HyperQConfig, MetadataCacheConfig
 from repro.core.metadata import MetadataInterface
@@ -36,7 +35,7 @@ def _sweep(hq, workload, cache_enabled: bool) -> list[float]:
         try:
             session.translate(query.text)  # warm (no-op when cache off)
             best = float("inf")
-            for __ in range(3):
+            for __ in range(bench_repeats(3)):
                 start = time.perf_counter()
                 session.translate(query.text)
                 best = min(best, time.perf_counter() - start)

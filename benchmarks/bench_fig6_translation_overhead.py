@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import statistics
 
-from conftest import save_results
+from conftest import SMOKE, bench_rounds, save_results
 
 JOIN_HEAVY = {10, 18, 19, 20}
 
@@ -35,7 +35,7 @@ def test_fig6_translation_overhead(benchmark, workload_env, figure_measurements)
             finally:
                 session.close()
 
-    benchmark.pedantic(translate_workload, rounds=3, iterations=1)
+    benchmark.pedantic(translate_workload, rounds=bench_rounds(3), iterations=1)
 
     overheads = [m["overhead_pct"] for m in figure_measurements]
     average = statistics.mean(overheads)
@@ -78,6 +78,10 @@ def test_fig6_translation_overhead(benchmark, workload_env, figure_measurements)
 
     # --- shape assertions (not absolute numbers) ---
     assert average < 5.0, "translation should be a small fraction on average"
+    if SMOKE:
+        # single-shot timings: per-query outliers (GC, scheduler) are
+        # expected, so only the aggregate shape is enforced
+        return
     assert maximum < 10.0, "translation overhead should stay single-digit"
     assert set(slowest_ids) == JOIN_HEAVY, (
         "the three-table queries must be the most expensive to translate"

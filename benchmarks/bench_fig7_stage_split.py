@@ -15,7 +15,7 @@ paper's shape: optimize + serialize dominate.
 
 from __future__ import annotations
 
-from conftest import save_results
+from conftest import bench_rounds, save_results
 
 STAGES = ("parse", "algebrize", "optimize", "serialize")
 
@@ -33,7 +33,7 @@ def test_fig7_stage_split(benchmark, workload_env, figure_measurements):
         finally:
             session.close()
 
-    benchmark.pedantic(translate, rounds=5, iterations=1)
+    benchmark.pedantic(translate, rounds=bench_rounds(5), iterations=1)
 
     totals = {stage: 0.0 for stage in STAGES}
     for m in figure_measurements:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import save_results
+from conftest import bench_rounds, save_results
 
 from repro.core.crosscompiler import pivot_result
 from repro.pgwire import messages as m
@@ -99,7 +99,9 @@ def test_wire_pivot(benchmark, workload_env):
         )
 
     benchmark.pedantic(
-        lambda: _qipc_message(_make_result(1000)), rounds=3, iterations=1
+        lambda: _qipc_message(_make_result(1000)),
+        rounds=bench_rounds(3),
+        iterations=1,
     )
 
     lines = ["", "Wire pivot micro-benchmark (Figure 5 structure)"]

@@ -3,20 +3,45 @@
 The expensive pieces — generating/loading the Analytical Workload and the
 per-query translation/execution sweep — run once per pytest session and
 are shared by the Figure 6 and Figure 7 benches.
+
+Two observability hooks for CI:
+
+* ``REPRO_BENCH_SMOKE=1`` cuts per-measurement iteration counts so the
+  whole suite finishes fast enough for a per-PR smoke job (the figures
+  get noisier; the artifacts still have the right shape);
+* after every benchmark session a ``BENCH_obs.json`` snapshot of the
+  process-wide metrics registry is written next to the figure JSONs, so
+  the perf trajectory of the pipeline (stage timings, cache hit rates,
+  wire bytes) is machine-readable run over run.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 
 import pytest
 
 from repro.core.platform import HyperQ
+from repro.obs import get_registry
 from repro.workload.analytical import load_workload
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: CI smoke mode: fewest iterations that still produce every artifact
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def bench_rounds(default: int) -> int:
+    """Rounds for ``benchmark.pedantic`` — collapsed to 1 in smoke mode."""
+    return 1 if SMOKE else default
+
+
+def bench_repeats(default: int) -> int:
+    """Best-of-N repeats for hand-rolled timing loops."""
+    return 1 if SMOKE else default
 
 
 def save_results(name: str, payload) -> pathlib.Path:
@@ -24,6 +49,23 @@ def save_results(name: str, payload) -> pathlib.Path:
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2))
     return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the metrics registry after each bench run (CI artifact)."""
+    registry = get_registry()
+    snapshot = registry.snapshot()
+    if not snapshot:
+        return
+    save_results(
+        "BENCH_obs",
+        {
+            "smoke": SMOKE,
+            "exitstatus": int(exitstatus),
+            "metrics": snapshot,
+            "flat": registry.flat(),
+        },
+    )
 
 
 @pytest.fixture(scope="session")
@@ -48,6 +90,8 @@ def figure_measurements(workload_env):
         try:
             session.translate(query.text)  # warm the metadata cache
             # best-of-3 to shield the figure from GC / scheduler noise
+            # (kept in smoke mode too: translation is cheap, and single
+            # shots make the overhead percentages meaninglessly noisy)
             translate_seconds = float("inf")
             outcome = None
             for __ in range(3):

@@ -13,7 +13,7 @@ Run:  python examples/analytical_migration.py
 """
 
 from repro.testing.sidebyside import SideBySideHarness
-from repro.workload.analytical import AnalyticalConfig, build_queries, generate
+from repro.workload.analytical import AnalyticalConfig, generate
 
 
 def main() -> None:

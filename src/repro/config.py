@@ -41,6 +41,21 @@ class MetadataCacheConfig:
 
 
 @dataclass
+class ObservabilityConfig:
+    """Toggles for the :mod:`repro.obs` substrate.
+
+    Metrics and tracing are on by default (the measured overhead on the
+    Figure-6 translation workload is well under the 5% budget).  Disabling
+    metrics turns every registry update into a no-op; disabling tracing
+    keeps span wall-clock measurement (``StageTimings`` are part of the
+    public API) but skips building and retaining the span tree.
+    """
+
+    metrics_enabled: bool = True
+    tracing_enabled: bool = True
+
+
+@dataclass
 class XformerConfig:
     """Per-rule toggles; the ablation benches flip these."""
 
@@ -56,6 +71,9 @@ class XformerConfig:
 class HyperQConfig:
     metadata_cache: MetadataCacheConfig = field(default_factory=MetadataCacheConfig)
     xformer: XformerConfig = field(default_factory=XformerConfig)
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
     materialization: MaterializationMode = MaterializationMode.PHYSICAL
     #: prefix for generated temp tables, as in the paper's example SQL
     temp_table_prefix: str = "hq_temp_"

@@ -14,16 +14,16 @@ Both are modeled as FSMs per the paper's design.
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.fsm import Fsm
 from repro.core.serializer import Serializer
 from repro.core.xformer.framework import Xformer
 from repro.errors import TranslationError
+from repro.obs import metrics, tracing
 from repro.qlang.qtypes import QType
 from repro.qlang.values import (
-    QAtom,
     QDict,
     QKeyedTable,
     QList,
@@ -33,6 +33,13 @@ from repro.qlang.values import (
 )
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.types import SqlType
+
+#: per-stage translation latency (Figure 7), labelled stage=parse|
+#: algebrize|optimize|serialize; shared with the session's parse stage
+STAGE_SECONDS = metrics.histogram(
+    "hyperq_stage_seconds",
+    "Wall-clock seconds spent per translation stage",
+)
 
 
 @dataclass
@@ -53,6 +60,20 @@ class StageTimings:
         self.algebrize += other.algebrize
         self.optimize += other.optimize
         self.serialize += other.serialize
+
+
+@contextmanager
+def stage_span(timings: StageTimings, stage: str):
+    """Time one pipeline stage through the tracer.
+
+    One measurement feeds all three consumers: the ``stage.<name>`` trace
+    span, the ``hyperq_stage_seconds`` histogram, and the corresponding
+    :class:`StageTimings` field — so timings and spans agree exactly.
+    """
+    with tracing.span(f"stage.{stage}") as span:
+        yield span
+    setattr(timings, stage, getattr(timings, stage) + span.duration)
+    STAGE_SECONDS.observe(span.duration, stage=stage)
 
 
 @dataclass
@@ -80,44 +101,41 @@ class QueryTranslator:
             fsm.add_state(state)
 
         def do_bind(machine: Fsm, payload) -> None:
-            start = time.perf_counter()
-            binder = self._binder_factory()
-            work["bound"] = binder.bind(work["ast"])
-            work["timings"].algebrize += time.perf_counter() - start
+            with stage_span(work["timings"], "algebrize"):
+                binder = self._binder_factory()
+                work["bound"] = binder.bind(work["ast"])
             machine.fire("bound")
 
         def do_transform(machine: Fsm, payload) -> None:
             from repro.core.algebrizer.binder import BoundScalar
 
-            start = time.perf_counter()
-            bound = work["bound"]
-            if isinstance(bound, BoundScalar):
-                work["xformed"] = bound
-                work["rules"] = {}
-            else:
-                op, ctx = self.xformer.transform(bound.op, bound.shape)
-                bound.op = op
-                work["xformed"] = bound
-                work["rules"] = dict(ctx.applications)
-            work["timings"].optimize += time.perf_counter() - start
+            with stage_span(work["timings"], "optimize"):
+                bound = work["bound"]
+                if isinstance(bound, BoundScalar):
+                    work["xformed"] = bound
+                    work["rules"] = {}
+                else:
+                    op, ctx = self.xformer.transform(bound.op, bound.shape)
+                    bound.op = op
+                    work["xformed"] = bound
+                    work["rules"] = dict(ctx.applications)
             machine.fire("transformed")
 
         def do_serialize(machine: Fsm, payload) -> None:
             from repro.core.algebrizer.binder import BoundScalar
 
-            start = time.perf_counter()
-            bound = work["xformed"]
-            if isinstance(bound, BoundScalar):
-                work["sql"] = self.serializer.serialize_scalar_statement(
-                    bound.scalar
-                )
-                work["shape"] = "atom"
-                work["keys"] = []
-            else:
-                work["sql"] = self.serializer.serialize(bound.op)
-                work["shape"] = bound.shape
-                work["keys"] = list(bound.keys)
-            work["timings"].serialize += time.perf_counter() - start
+            with stage_span(work["timings"], "serialize"):
+                bound = work["xformed"]
+                if isinstance(bound, BoundScalar):
+                    work["sql"] = self.serializer.serialize_scalar_statement(
+                        bound.scalar
+                    )
+                    work["shape"] = "atom"
+                    work["keys"] = []
+                else:
+                    work["sql"] = self.serializer.serialize(bound.op)
+                    work["shape"] = bound.shape
+                    work["keys"] = list(bound.keys)
             machine.fire("serialized")
 
         fsm.add_state("binding", on_enter=do_bind)
@@ -264,13 +282,15 @@ class ProtocolTranslator:
         fsm.add_state("responding")
 
         def do_execute(machine: Fsm, payload) -> None:
-            work["result"] = self._run_sql(translation.sql)
+            with tracing.span("pt.execute"):
+                work["result"] = self._run_sql(translation.sql)
             machine.fire("results_ready")
 
         def do_pivot(machine: Fsm, payload) -> None:
-            work["value"] = pivot_result(
-                work["result"], translation.shape, translation.keys
-            )
+            with tracing.span("pt.pivot"):
+                work["value"] = pivot_result(
+                    work["result"], translation.shape, translation.keys
+                )
             machine.fire("pivoted")
 
         fsm.add_state("executing", on_enter=do_execute)

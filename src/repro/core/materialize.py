@@ -23,6 +23,14 @@ from repro.core.algebrizer.binder import BoundTable
 from repro.core.metadata import ColumnMeta, MetadataInterface, TableMeta
 from repro.core.scopes import Scope, VarKind, VariableDef
 from repro.core.serializer import Serializer, quote_ident
+from repro.obs import metrics
+
+#: materialization decisions, labelled kind=temp_table|view (physical vs
+#: logical, Section 4.3) — the ablation benches read this split
+MATERIALIZATIONS = metrics.counter(
+    "hyperq_materializations_total",
+    "Q assignments materialized in the backend",
+)
 
 
 @dataclass
@@ -79,6 +87,7 @@ class Materializer:
                 name, var_kind, relation=relation, meta=meta,
             )
         )
+        MATERIALIZATIONS.inc(kind=kind)
         return MaterializationStep(sql, relation, kind)
 
     def store_scalar(self, name: str, value, scope: Scope) -> None:

@@ -15,7 +15,21 @@ from dataclasses import dataclass, field
 
 from repro.config import CacheInvalidation, MetadataCacheConfig
 from repro.errors import MetadataError
+from repro.obs import metrics
 from repro.sqlengine.types import SqlType, type_from_name
+
+#: process-wide MDI cache telemetry (the per-instance ``CacheStats``
+#: remain for programmatic access; these feed the metrics export)
+CACHE_LOOKUPS = metrics.counter(
+    "mdi_cache_lookups_total", "Metadata cache lookups"
+)
+CACHE_HITS = metrics.counter("mdi_cache_hits_total", "Metadata cache hits")
+CACHE_MISSES = metrics.counter(
+    "mdi_cache_misses_total", "Metadata cache misses (backend catalog round trip)"
+)
+CACHE_INVALIDATIONS = metrics.counter(
+    "mdi_cache_invalidations_total", "Metadata cache invalidations"
+)
 
 
 @dataclass
@@ -106,12 +120,15 @@ class MetadataInterface:
     def lookup_table(self, name: str) -> TableMeta | None:
         """Metadata for a backend relation, or None if it does not exist."""
         self.stats.lookups += 1
+        CACHE_LOOKUPS.inc()
         if self.config.enabled:
             cached = self._cache_get(name)
             if cached is not _MISS:
                 self.stats.hits += 1
+                CACHE_HITS.inc()
                 return cached  # type: ignore[return-value]
         self.stats.misses += 1
+        CACHE_MISSES.inc()
         meta = self._fetch(name)
         if self.config.enabled:
             self._cache[name] = (time.monotonic(), self.port.catalog_version(), meta)
@@ -136,6 +153,7 @@ class MetadataInterface:
         else:
             self._cache.pop(name, None)
         self.stats.invalidations += 1
+        CACHE_INVALIDATIONS.inc()
 
     # -- cache ------------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from repro.config import HyperQConfig
 from repro.core.metadata import BackendPort, MetadataInterface
 from repro.core.scopes import ServerScope
 from repro.core.session import ExecutionOutcome, HyperQSession
+from repro.obs import configure as obs_configure
 from repro.qlang.values import QValue
 from repro.sqlengine.engine import Engine
 from repro.sqlengine.executor import ResultSet
@@ -40,6 +41,7 @@ class HyperQ:
         backend: BackendPort | None = None,
     ):
         self.config = config or HyperQConfig()
+        obs_configure(self.config.observability)
         self.engine = engine or Engine()
         self.backend = backend or DirectGateway(self.engine)
         self.server_scope = ServerScope()

@@ -9,7 +9,6 @@ timings), which is what the evaluation section measures.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.config import HyperQConfig, MaterializationMode
@@ -18,8 +17,8 @@ from repro.core.crosscompiler import (
     ProtocolTranslator,
     QueryTranslator,
     StageTimings,
-    TranslationResult,
     pivot_result,
+    stage_span,
 )
 from repro.core.materialize import Materializer
 from repro.core.metadata import BackendPort, MetadataInterface
@@ -33,16 +32,22 @@ from repro.core.scopes import (
 from repro.core.serializer import Serializer
 from repro.core.xformer.framework import Xformer
 from repro.errors import (
-    QError,
     QNameError,
     QNotSupportedError,
     QRankError,
     QTypeError,
     TranslationError,
 )
+from repro.obs import configure as obs_configure
+from repro.obs import metrics, tracing
 from repro.qlang import ast
 from repro.qlang.parser import parse
 from repro.qlang.values import QValue
+
+#: Q messages run through sessions, labelled mode=execute|translate
+RUNS_TOTAL = metrics.counter(
+    "hyperq_runs_total", "Q messages processed by Hyper-Q sessions"
+)
 
 
 @dataclass
@@ -64,6 +69,7 @@ class HyperQSession:
         mdi: MetadataInterface | None = None,
     ):
         self.config = config or HyperQConfig()
+        obs_configure(self.config.observability)
         self.backend = backend
         self.mdi = mdi or MetadataInterface(backend, self.config.metadata_cache)
         self.server_scope = server_scope or ServerScope()
@@ -153,13 +159,17 @@ class HyperQSession:
              outcome: ExecutionOutcome | None = None) -> ExecutionOutcome:
         outcome = outcome or ExecutionOutcome(value=None)
         scope = scope or self.session_scope
+        mode = "execute" if execute else "translate"
+        RUNS_TOTAL.inc(mode=mode)
 
-        start = time.perf_counter()
-        program = parse(q_text)
-        outcome.timings.parse += time.perf_counter() - start
+        with tracing.span("hyperq.run", mode=mode):
+            with stage_span(outcome.timings, "parse"):
+                program = parse(q_text)
 
-        for statement in program.statements:
-            outcome.value = self._run_statement(statement, scope, execute, outcome)
+            for statement in program.statements:
+                outcome.value = self._run_statement(
+                    statement, scope, execute, outcome
+                )
         return outcome
 
     def _qt(self, scope: Scope) -> QueryTranslator:
@@ -208,15 +218,24 @@ class HyperQSession:
         """kdb+-style management utilities, answered from Hyper-Q's own
         metadata layer (the enterprise-tooling angle of Sections 2.1/5):
 
-        * ``tables[]`` — list backend tables as a symbol vector;
-        * ``cols t``   — column names of a table;
-        * ``meta t``   — per-column name and q type character.
+        * ``tables[]``  — list backend tables as a symbol vector;
+        * ``cols t``    — column names of a table;
+        * ``meta t``    — per-column name and q type character;
+        * ``metrics[]`` — the observability snapshot as a Q dict of
+          ``sample name -> value`` (see docs/OBSERVABILITY.md).
         """
         from repro.qlang.qtypes import QType
         from repro.qlang.values import QTable, QVector
 
         if not execute:
             return None
+        if (
+            isinstance(statement, ast.Apply)
+            and isinstance(statement.func, ast.Name)
+            and statement.func.name == "metrics"
+            and not [a for a in statement.args if a is not None]
+        ):
+            return _metrics_qdict()
         if (
             isinstance(statement, ast.Apply)
             and isinstance(statement.func, ast.Name)
@@ -313,9 +332,8 @@ class HyperQSession:
         meta = self.mdi.require_table(relation)
 
         qt = self._qt(scope)
-        start = time.perf_counter()
-        bound = qt.bound_for(statement.right)
-        outcome.timings.algebrize += time.perf_counter() - start
+        with stage_span(outcome.timings, "algebrize"):
+            bound = qt.bound_for(statement.right)
         if not isinstance(bound, BoundTable):
             raise QTypeError("insert expects a table of new rows")
         transformed, __ = self.xformer.transform(bound.op, bound.shape)
@@ -384,9 +402,8 @@ class HyperQSession:
             return
 
         qt = self._qt(scope)
-        start = time.perf_counter()
-        bound = qt.bound_for(statement.value)
-        outcome.timings.algebrize += time.perf_counter() - start
+        with stage_span(outcome.timings, "algebrize"):
+            bound = qt.bound_for(statement.value)
 
         if isinstance(bound, BoundScalar):
             value = self._scalar_value(bound, execute)
@@ -394,21 +411,19 @@ class HyperQSession:
             return
 
         assert isinstance(bound, BoundTable)
-        start = time.perf_counter()
-        transformed, ctx = self.xformer.transform(bound.op, bound.shape)
-        bound.op = transformed
-        outcome.timings.optimize += time.perf_counter() - start
+        with stage_span(outcome.timings, "optimize"):
+            transformed, ctx = self.xformer.transform(bound.op, bound.shape)
+            bound.op = transformed
 
         # function-local assignments must be physically snapshotted; the
         # paper's Example 3 materializes dt as a temporary table
         mode = self.config.materialization
         if isinstance(scope, LocalScope):
             mode = MaterializationMode.PHYSICAL
-        start = time.perf_counter()
-        step = self.materializer.materialize_table(
-            statement.target, bound, target_scope, mode
-        )
-        outcome.timings.serialize += time.perf_counter() - start
+        with stage_span(outcome.timings, "serialize"):
+            step = self.materializer.materialize_table(
+                statement.target, bound, target_scope, mode
+            )
         outcome.sql_statements.append(step.sql)
         if execute:
             self.backend.run_sql(step.sql)
@@ -447,9 +462,8 @@ class HyperQSession:
         self, call, scope: Scope, execute: bool, outcome: ExecutionOutcome
     ) -> QValue | None:
         definition, statement = call
-        start = time.perf_counter()
-        program = parse(definition.source or "")
-        outcome.timings.parse += time.perf_counter() - start
+        with stage_span(outcome.timings, "parse"):
+            program = parse(definition.source or "")
         if len(program.statements) != 1 or not isinstance(
             program.statements[0], ast.Lambda
         ):
@@ -509,6 +523,24 @@ _QTYPE_CHARS = {
     _SqlType.INTERVAL: "n",
     _SqlType.UUID: "g",
 }
+
+
+def _metrics_qdict() -> QValue:
+    """The process-wide metrics snapshot as a Q dict (admin command).
+
+    Flat sample names (``name{label=value}``) key a float vector, so a Q
+    client reads e.g. ``(metrics[])[`server_queries_total]`` — counters
+    and gauges report their value, histograms their ``_count``/``_sum``.
+    """
+    from repro.qlang.qtypes import QType
+    from repro.qlang.values import QDict, QVector
+
+    flat = metrics.get_registry().flat()
+    names = list(flat.keys())
+    return QDict(
+        QVector(QType.SYMBOL, names),
+        QVector(QType.FLOAT, [float(flat[name]) for name in names]),
+    )
 
 
 def _const_to_qvalue(scalar) -> QValue:

@@ -51,7 +51,9 @@ class Xformer:
         self.config = config or XformerConfig()
         self.rules = rules if rules is not None else default_rules()
 
-    def transform(self, op: XtraOp, shape: str = "table") -> tuple[XtraOp, XformContext]:
+    def transform(
+        self, op: XtraOp, shape: str = "table"
+    ) -> tuple[XtraOp, XformContext]:
         """Run all enabled rules; returns the rewritten tree and stats."""
         ctx = XformContext(self.config)
         for rule in self.rules:

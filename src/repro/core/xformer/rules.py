@@ -21,7 +21,6 @@ from repro.core.xformer.framework import Rule, XformContext
 from repro.core.xtra import scalars as sc
 from repro.core.xtra.ops import (
     ORDCOL,
-    XtraColumn,
     XtraConstTable,
     XtraDistinct,
     XtraFilter,

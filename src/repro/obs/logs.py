@@ -1,0 +1,69 @@
+"""Structured logging helpers.
+
+A thin layer over the stdlib ``logging`` module that renders each record
+as a single JSON object (``{"event": ..., "logger": ..., **fields}``), so
+server logs stay machine-parseable next to the metrics snapshots.  No
+handlers are installed by default — embedding applications keep control
+of routing — but :func:`basic_config` wires a stderr handler for the
+examples and ad-hoc runs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+
+_ROOT_NAME = "repro"
+_loggers: dict[str, "StructuredLogger"] = {}
+_loggers_lock = threading.Lock()
+
+
+class StructuredLogger:
+    """Emits JSON-line events through a stdlib logger."""
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def _emit(self, level: int, event: str, fields: dict) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        record = {"event": event, "logger": self._logger.name}
+        record.update(fields)
+        self._logger.log(level, json.dumps(record, default=str, sort_keys=True))
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Structured logger under the ``repro`` namespace (cached)."""
+    full = name if name.startswith(_ROOT_NAME) else f"{_ROOT_NAME}.{name}"
+    with _loggers_lock:
+        logger = _loggers.get(full)
+        if logger is None:
+            logger = _loggers[full] = StructuredLogger(logging.getLogger(full))
+        return logger
+
+
+def basic_config(level: int = logging.INFO) -> None:
+    """Attach a plain stderr handler to the ``repro`` logger tree."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)

@@ -1,0 +1,331 @@
+"""A process-wide metrics registry (counters, gauges, histograms).
+
+Prometheus-shaped but dependency-free: instruments are created once
+(get-or-create by name), carry free-form labels per sample, and the
+registry renders a point-in-time ``snapshot()`` (nested dict), a
+``flat()`` mapping (``name{label=value}`` -> float, which the Hyper-Q
+server exposes as a Q dict through the ``metrics[]`` admin command), and
+``to_json()`` for the benchmark artifacts CI uploads.
+
+Hot-path cost matters — the acceptance bar for this subsystem is <5%
+overhead on the Figure-6 translation workload — so updates are a dict
+write under a per-instrument lock, and a disabled registry turns every
+update into a single attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+#: default histogram buckets, in seconds — spans translation stages
+#: (tens of microseconds) up to slow end-to-end queries
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def format_sample_name(name: str, labels: dict) -> str:
+    """Render ``name{k=v,...}`` the way the flat export names a sample."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Instrument:
+    """Base class: a named metric with labelled sample series."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = ""):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: dict[tuple, float] = {}
+
+    def value(self, **labels) -> float:
+        """Current value of one labelled series (0.0 if never touched)."""
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[dict]:
+        with self._lock:
+            return [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._series.items())
+            ]
+
+    def flat_samples(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                format_sample_name(self.name, dict(key)): value
+                for key, value in sorted(self._series.items())
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(Instrument):
+    """Monotonically increasing count (events, bytes, errors)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if not self.registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Gauge(Instrument):
+    """A value that goes up and down (active sessions, cache size)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        if not self.registry.enabled:
+            return
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "total", "minimum", "maximum", "bucket_counts")
+
+    def __init__(self, n_buckets: int):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +Inf
+
+
+class Histogram(Instrument):
+    """Distribution of observations (latencies, sizes, ratios)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str = "",
+        buckets: tuple = DEFAULT_BUCKETS,
+    ):
+        super().__init__(registry, name, help)
+        self.buckets = tuple(sorted(buckets))
+        self._series: dict[tuple, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.count += 1
+            series.total += value
+            series.minimum = min(series.minimum, value)
+            series.maximum = max(series.maximum, value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+                    break
+            else:
+                series.bucket_counts[-1] += 1
+
+    def value(self, **labels) -> float:
+        """For histograms, ``value`` is the observation count."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return float(series.count) if series is not None else 0.0
+
+    def mean(self, **labels) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return 0.0
+            return series.total / series.count
+
+    def samples(self) -> list[dict]:
+        with self._lock:
+            out = []
+            for key, series in sorted(self._series.items()):
+                cumulative = 0
+                bucket_map = {}
+                for bound, count in zip(self.buckets, series.bucket_counts):
+                    cumulative += count
+                    bucket_map[f"le_{bound:g}"] = cumulative
+                bucket_map["le_inf"] = series.count
+                out.append(
+                    {
+                        "labels": dict(key),
+                        "count": series.count,
+                        "sum": series.total,
+                        "min": series.minimum if series.count else 0.0,
+                        "max": series.maximum if series.count else 0.0,
+                        "buckets": bucket_map,
+                    }
+                )
+            return out
+
+    def flat_samples(self) -> dict[str, float]:
+        with self._lock:
+            out: dict[str, float] = {}
+            for key, series in sorted(self._series.items()):
+                labels = dict(key)
+                out[format_sample_name(f"{self.name}_count", labels)] = float(
+                    series.count
+                )
+                out[format_sample_name(f"{self.name}_sum", labels)] = (
+                    series.total
+                )
+            return out
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with snapshot/export.
+
+    One process-wide instance backs the module-level :func:`counter`,
+    :func:`gauge` and :func:`histogram` helpers; isolated instances are
+    handy in tests.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def set_enabled(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def enable(self) -> None:
+        self.set_enabled(True)
+
+    def disable(self) -> None:
+        self.set_enabled(False)
+
+    def reset(self) -> None:
+        """Zero every series (instruments stay registered)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()
+
+    # -- instrument creation ------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(self, name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Nested point-in-time view: name -> kind/help/samples."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {
+            name: {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "samples": instrument.samples(),
+            }
+            for name, instrument in instruments
+        }
+
+    def flat(self) -> dict[str, float]:
+        """Flat ``name{label=value}`` -> float view (the Q-dict export)."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        out: dict[str, float] = {}
+        for __, instrument in instruments:
+            out.update(instrument.flat_samples())
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every subsystem reports to."""
+    return _registry
+
+
+def counter(name: str, help: str = "") -> Counter:
+    return _registry.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    return _registry.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS
+) -> Histogram:
+    return _registry.histogram(name, help, buckets=buckets)

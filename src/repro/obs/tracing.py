@@ -1,0 +1,152 @@
+"""Lightweight span tracing for the Figure-1 pipeline.
+
+``tracer.span("bind")`` context managers nest: a span opened while
+another is active on the same thread becomes its child, so one
+``hyperq.run`` root span carries the whole parse/bind/xform/serialize
+breakdown the paper's Figure 7 charts.  Each span records wall time via
+``time.perf_counter()``; completed root spans are retained in a bounded
+ring buffer for inspection (``tracer.traces()`` / ``last_trace()``).
+
+The session derives :class:`~repro.core.crosscompiler.StageTimings` from
+these spans, so a *disabled* tracer still times each span (the timings
+are part of the public API and of the baseline behaviour) — it just
+skips building the tree and retaining anything, which makes the
+disabled cost identical to the seed's bare ``perf_counter`` pairs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One timed region; ``duration`` is wall-clock seconds."""
+
+    name: str
+    start: float = 0.0
+    end: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def child_total(self, name: str | None = None) -> float:
+        """Summed duration of (optionally name-filtered) direct children."""
+        return sum(
+            child.duration
+            for child in self.children
+            if name is None or child.name == name
+        )
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (including self) with the given name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Tracer:
+    """Per-thread span stacks over a shared ring of finished traces."""
+
+    def __init__(self, enabled: bool = True, max_traces: int = 64):
+        self.enabled = enabled
+        self.max_traces = max_traces
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=max_traces)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def set_enabled(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def enable(self) -> None:
+        self.set_enabled(True)
+
+    def disable(self) -> None:
+        self.set_enabled(False)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    # -- span API -----------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a timed span; nests under the current span if any.
+
+        Always yields a :class:`Span` whose ``duration`` is valid after
+        the block exits — even when tracing is disabled (the span is then
+        detached: no parent, no retention).
+        """
+        current = Span(name, attrs=dict(attrs))
+        recording = self.enabled
+        if recording:
+            stack = self._stack()
+            if stack:
+                stack[-1].children.append(current)
+            stack.append(current)
+        current.start = time.perf_counter()
+        try:
+            yield current
+        finally:
+            current.end = time.perf_counter()
+            if recording:
+                stack = self._stack()
+                if stack and stack[-1] is current:
+                    stack.pop()
+                if not stack:
+                    with self._lock:
+                        self._finished.append(current)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- inspection ---------------------------------------------------------
+
+    def traces(self) -> list[Span]:
+        """Finished root spans, oldest first (bounded ring)."""
+        with self._lock:
+            return list(self._finished)
+
+    def last_trace(self) -> Span | None:
+        with self._lock:
+            return self._finished[-1] if self._finished else None
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer the pipeline reports to."""
+    return _tracer
+
+
+def span(name: str, **attrs):
+    """Open a span on the process-wide tracer (context manager)."""
+    return _tracer.span(name, **attrs)

@@ -5,7 +5,15 @@ from __future__ import annotations
 import struct
 
 from repro.errors import ProtocolError
+from repro.obs import metrics
 from repro.pgwire import messages as m
+
+#: PG v3 wire telemetry: bytes and messages by direction (out = encoded
+#: by this process, in = read off the socket) and type byte
+PGWIRE_BYTES = metrics.counter("pgwire_bytes_total", "PG v3 bytes on the wire")
+PGWIRE_MESSAGES = metrics.counter(
+    "pgwire_messages_total", "PG v3 messages encoded/decoded"
+)
 
 
 def _cstr(text: str) -> bytes:
@@ -13,7 +21,10 @@ def _cstr(text: str) -> bytes:
 
 
 def _with_frame(type_byte: bytes, body: bytes) -> bytes:
-    return type_byte + struct.pack(">I", len(body) + 4) + body
+    framed = type_byte + struct.pack(">I", len(body) + 4) + body
+    PGWIRE_BYTES.inc(len(framed), direction="out")
+    PGWIRE_MESSAGES.inc(type=type_byte.decode("ascii"), direction="out")
+    return framed
 
 
 # -- frontend encoding ----------------------------------------------------------
@@ -26,7 +37,10 @@ def encode_startup(message: m.StartupMessage) -> bytes:
     for key, value in message.options.items():
         body += _cstr(key) + _cstr(value)
     body += b"\x00"
-    return struct.pack(">I", len(body) + 4) + body
+    framed = struct.pack(">I", len(body) + 4) + body
+    PGWIRE_BYTES.inc(len(framed), direction="out")
+    PGWIRE_MESSAGES.inc(type="startup", direction="out")
+    return framed
 
 
 def encode_frontend(message: m.FrontendMessage) -> bytes:
@@ -215,6 +229,8 @@ def read_message(recv_exact, decoder):
     if length < 4:
         raise ProtocolError(f"PG message declares bad length {length}")
     body = recv_exact(length - 4)
+    PGWIRE_BYTES.inc(length + 1, direction="in")
+    PGWIRE_MESSAGES.inc(type=type_byte.decode("ascii"), direction="in")
     return decoder(type_byte, body)
 
 
@@ -222,4 +238,7 @@ def read_startup(recv_exact) -> m.StartupMessage:
     (length,) = struct.unpack(">I", recv_exact(4))
     if length < 8:
         raise ProtocolError("startup message too short")
-    return decode_startup(recv_exact(length - 4))
+    body = recv_exact(length - 4)
+    PGWIRE_BYTES.inc(length, direction="in")
+    PGWIRE_MESSAGES.inc(type="startup", direction="in")
+    return decode_startup(body)

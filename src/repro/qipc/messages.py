@@ -23,6 +23,18 @@ from dataclasses import dataclass
 from enum import IntEnum
 
 from repro.errors import ProtocolError
+from repro.obs import metrics
+
+#: QIPC wire telemetry: bytes and messages by direction (out = framed by
+#: this process, in = unframed), plus the compression win on large
+#: payloads (compressed size / original size, only when kept)
+QIPC_BYTES = metrics.counter("qipc_bytes_total", "QIPC bytes on the wire")
+QIPC_MESSAGES = metrics.counter("qipc_messages_total", "QIPC messages framed")
+QIPC_COMPRESSION_RATIO = metrics.histogram(
+    "qipc_compression_ratio",
+    "Compressed/original payload size for compressed QIPC messages",
+    buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+)
 
 HEADER_SIZE = 8
 LITTLE_ENDIAN = 1
@@ -56,12 +68,15 @@ def frame(message: QipcMessage, allow_compression: bool = True) -> bytes:
         packed = compress(payload)
         # kdb+ only keeps the compressed form when it actually saves space
         if len(packed) < len(payload):
+            QIPC_COMPRESSION_RATIO.observe(len(packed) / len(payload))
             payload = packed
             compressed_flag = 1
     total = HEADER_SIZE + len(payload)
     header = struct.pack(
         "<BBBBI", LITTLE_ENDIAN, int(message.msg_type), compressed_flag, 0, total
     )
+    QIPC_BYTES.inc(total, direction="out")
+    QIPC_MESSAGES.inc(type=message.msg_type.name.lower(), direction="out")
     return header + payload
 
 
@@ -87,6 +102,8 @@ def unframe(data: bytes) -> QipcMessage:
         parsed_type = MessageType(msg_type)
     except ValueError:
         raise ProtocolError(f"unknown QIPC message type {msg_type}") from None
+    QIPC_BYTES.inc(total, direction="in")
+    QIPC_MESSAGES.inc(type=parsed_type.name.lower(), direction="in")
     return QipcMessage(parsed_type, payload, compressed=bool(compressed_flag))
 
 

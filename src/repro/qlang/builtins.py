@@ -17,7 +17,7 @@ need evaluation context (templates, adverbs, joins) live in
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.errors import (
     QDomainError,
@@ -229,7 +229,9 @@ def fill(a: QAtom, b: QAtom) -> QAtom:
 
 def _cmp_atom(test: Callable[[int], bool]):
     def op(a: QAtom, b: QAtom) -> QAtom:
-        return QAtom(QType.BOOLEAN, test(compare_raw(a.qtype, a.value, b.qtype, b.value)))
+        return QAtom(
+            QType.BOOLEAN, test(compare_raw(a.qtype, a.value, b.qtype, b.value))
+        )
 
     return op
 
@@ -247,8 +249,9 @@ def q_equals(a: QAtom, b: QAtom) -> QAtom:
     a_null, b_null = a.is_null, b.is_null
     if a_null or b_null:
         return QAtom(QType.BOOLEAN, a_null and b_null)
-    return QAtom(QType.BOOLEAN, raw_equal(a.qtype, a.value, b.value) if a.qtype == b.qtype
-                 else a.value == b.value)
+    if a.qtype == b.qtype:
+        return QAtom(QType.BOOLEAN, raw_equal(a.qtype, a.value, b.value))
+    return QAtom(QType.BOOLEAN, a.value == b.value)
 
 
 def q_not_equals(a: QAtom, b: QAtom) -> QAtom:

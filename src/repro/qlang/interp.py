@@ -480,7 +480,8 @@ class Interpreter:
             for i, spec in enumerate(node.columns):
                 value = self.eval(spec.expr, sub_env)
                 if not isinstance(value, QAtom) and length_of(value) == 1:
-                    value = value.atom_at(0) if isinstance(value, (QVector, QList)) else value
+                    if isinstance(value, (QVector, QList)):
+                        value = value.atom_at(0)
                 agg_columns[i].append(value)
         key_table = QTable(group_names, group_keys)
         value_data = [_collapse_cells(cells) for cells in agg_columns]
@@ -616,7 +617,8 @@ class Interpreter:
             if func.rank != len(args):
                 # single-arg call of a dyad is a projection
                 if len(args) < func.rank:
-                    return QProjection(func, list(args) + [None] * (func.rank - len(args)))
+                    padding = [None] * (func.rank - len(args))
+                    return QProjection(func, list(args) + padding)
                 raise QRankError(
                     f"{func.name} expects {func.rank} arguments, got {len(args)}"
                 )
@@ -694,8 +696,12 @@ class Interpreter:
             items = _item_list(value)
             return _collapse_cells([self.apply(verb, [item]) for item in items])
         if len(args) == 2:
-            left_items = _item_list(args[0]) if not isinstance(args[0], QAtom) else None
-            right_items = _item_list(args[1]) if not isinstance(args[1], QAtom) else None
+            left_items = (
+                _item_list(args[0]) if not isinstance(args[0], QAtom) else None
+            )
+            right_items = (
+                _item_list(args[1]) if not isinstance(args[1], QAtom) else None
+            )
             if left_items is None and right_items is None:
                 return self.apply(verb, args)
             if left_items is None:

@@ -153,7 +153,8 @@ def _parse_temporal(text: str) -> QAtom:
         date_part, time_part = text.split("D", 1)
         y, m, d = (int(p) for p in date_part.split("."))
         nanos = _time_to_nanos(time_part)
-        return QAtom(QType.TIMESTAMP, days_from_2000(y, m, d) * 86_400_000_000_000 + nanos)
+        days = days_from_2000(y, m, d)
+        return QAtom(QType.TIMESTAMP, days * 86_400_000_000_000 + nanos)
     if text.endswith("m"):
         y, m = (int(p) for p in text[:-1].split("."))
         return QAtom(QType.MONTH, (y - 2000) * 12 + (m - 1))
@@ -412,9 +413,8 @@ class Lexer:
                 self.pos += 2
             elif ch == '"':
                 self.pos += 1
-                self._emit(
-                    TokenKind.STRING, src[start : self.pos], start, glued, "".join(chars)
-                )
+                text = src[start : self.pos]
+                self._emit(TokenKind.STRING, text, start, glued, "".join(chars))
                 return
             else:
                 chars.append(ch)
@@ -449,9 +449,8 @@ class Lexer:
         if not match:
             raise QSyntaxError(f"bad numeric literal at position {start}")
         self.pos = match.end()
-        self._emit(
-            TokenKind.NUMBER, match.group(0), start, glued, _parse_number(match.group(0))
-        )
+        text = match.group(0)
+        self._emit(TokenKind.NUMBER, text, start, glued, _parse_number(text))
 
     def _emit(self, kind, text, start, glued, value=None) -> None:
         self.tokens.append(Token(kind, text, start, value, glued))

@@ -12,16 +12,35 @@ port used by the original kdb+ server.  Q applications run unchanged."
 from __future__ import annotations
 
 import socket
+import time
 from typing import Callable
 
 from repro.errors import AuthenticationError, QError, ReproError
+from repro.obs import get_logger, metrics
 from repro.qipc.decode import decode_value
 from repro.qipc.encode import encode_error, encode_value
 from repro.qipc.handshake import Authenticator, AllowAll, parse_hello, server_ack
 from repro.qipc.messages import MessageType, QipcMessage, frame, read_message
-from repro.qlang.values import QList, QValue, QVector
 from repro.qlang.qtypes import QType
+from repro.qlang.values import QList, QValue, QVector
 from repro.server.common import TcpServer, recv_exact
+
+#: server-level telemetry, labelled server=qipc (the PG-wire server
+#: reports the same families with server=pgwire)
+ACTIVE_SESSIONS = metrics.gauge(
+    "server_active_sessions", "Connections currently being served"
+)
+QUERIES_TOTAL = metrics.counter(
+    "server_queries_total", "Queries served, by message kind"
+)
+ERRORS_TOTAL = metrics.counter(
+    "server_errors_total", "Query errors, by exception class"
+)
+QUERY_SECONDS = metrics.histogram(
+    "server_query_seconds", "End-to-end per-query latency at the server"
+)
+
+_log = get_logger("server.endpoint")
 
 #: a handler receives query text and returns a QValue (or None)
 QueryHandler = Callable[[str], QValue | None]
@@ -83,13 +102,19 @@ class QipcEndpoint(TcpServer):
         conn.sendall(server_ack(credentials.capability))
 
         handler = self.handler_factory()
+        ACTIVE_SESSIONS.inc(server="qipc")
         try:
             while True:
                 message = read_message(lambda n: recv_exact(conn, n))
+                started = time.perf_counter()
                 try:
                     query = _extract_query(message.payload)
                     result = handler.execute(query)
                 except QError as exc:
+                    ERRORS_TOTAL.inc(error=type(exc).__name__, server="qipc")
+                    _log.warning(
+                        "query_error", signal=exc.signal, message=str(exc)
+                    )
                     payload = encode_error(exc.signal)
                     if message.msg_type == MessageType.SYNC:
                         conn.sendall(
@@ -97,6 +122,8 @@ class QipcEndpoint(TcpServer):
                         )
                     continue
                 except ReproError as exc:
+                    ERRORS_TOTAL.inc(error=type(exc).__name__, server="qipc")
+                    _log.warning("query_error", message=str(exc))
                     if message.msg_type == MessageType.SYNC:
                         conn.sendall(
                             frame(
@@ -107,6 +134,13 @@ class QipcEndpoint(TcpServer):
                             )
                         )
                     continue
+                finally:
+                    QUERIES_TOTAL.inc(
+                        kind=message.msg_type.name.lower(), server="qipc"
+                    )
+                    QUERY_SECONDS.observe(
+                        time.perf_counter() - started, server="qipc"
+                    )
                 if message.msg_type == MessageType.SYNC:
                     payload = encode_value(
                         result if result is not None else QList([])
@@ -115,6 +149,7 @@ class QipcEndpoint(TcpServer):
                         frame(QipcMessage(MessageType.RESPONSE, payload))
                     )
         finally:
+            ACTIVE_SESSIONS.dec(server="qipc")
             handler.close()
 
 

@@ -22,11 +22,19 @@ from repro.core.platform import DirectGateway
 from repro.core.plugins import default_registry
 from repro.core.scopes import ServerScope
 from repro.core.session import HyperQSession
+from repro.obs import configure as obs_configure
+from repro.obs import metrics
 from repro.qipc.handshake import Authenticator
 from repro.qlang.interp import Interpreter
 from repro.qlang.values import QValue
 from repro.server.endpoint import ConnectionHandler, QipcEndpoint
 from repro.sqlengine.engine import Engine
+
+#: concurrently executing Hyper-Q queries (the "configurable
+#: concurrency" knob made observable)
+ACTIVE_QUERIES = metrics.gauge(
+    "hyperq_active_queries", "Queries executing inside HyperQServer"
+)
 
 
 class KdbServer(QipcEndpoint):
@@ -78,6 +86,7 @@ class HyperQServer(QipcEndpoint):
         port: int = 0,
     ):
         self.config = config or HyperQConfig()
+        obs_configure(self.config.observability)
         if backend is None:
             engine = engine or Engine()
             backend = DirectGateway(engine)
@@ -111,9 +120,11 @@ class HyperQServer(QipcEndpoint):
         with self._stats_lock:
             self.active_queries += 1
             self.peak_concurrency = max(self.peak_concurrency, self.active_queries)
+        ACTIVE_QUERIES.inc()
         try:
             return fn()
         finally:
+            ACTIVE_QUERIES.dec()
             with self._stats_lock:
                 self.active_queries -= 1
 

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
 from repro.errors import AuthenticationError, ReproError
+from repro.obs import get_logger, metrics
 from repro.pgwire import messages as m
 from repro.pgwire.auth import AuthContext, AuthMechanism, TrustAuth
 from repro.pgwire.codec import (
@@ -24,6 +26,22 @@ from repro.server.common import TcpServer, recv_exact
 from repro.sqlengine.engine import Engine
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.types import render_value
+
+#: same metric families as the QIPC endpoint, labelled server=pgwire
+ACTIVE_SESSIONS = metrics.gauge(
+    "server_active_sessions", "Connections currently being served"
+)
+QUERIES_TOTAL = metrics.counter(
+    "server_queries_total", "Queries served, by message kind"
+)
+ERRORS_TOTAL = metrics.counter(
+    "server_errors_total", "Query errors, by exception class"
+)
+QUERY_SECONDS = metrics.histogram(
+    "server_query_seconds", "End-to-end per-query latency at the server"
+)
+
+_log = get_logger("server.pgwire")
 
 
 class PgWireServer(TcpServer):
@@ -60,15 +78,19 @@ class PgWireServer(TcpServer):
         self._next_pid += 1
         send(m.ReadyForQuery("I"))
 
-        while True:
-            message = read_message(rx, decode_frontend)
-            if isinstance(message, m.Terminate):
-                return
-            if not isinstance(message, m.Query):
-                send(m.ErrorResponse(message="unsupported message"))
-                send(m.ReadyForQuery("I"))
-                continue
-            self._run_query(message.sql, send)
+        ACTIVE_SESSIONS.inc(server="pgwire")
+        try:
+            while True:
+                message = read_message(rx, decode_frontend)
+                if isinstance(message, m.Terminate):
+                    return
+                if not isinstance(message, m.Query):
+                    send(m.ErrorResponse(message="unsupported message"))
+                    send(m.ReadyForQuery("I"))
+                    continue
+                self._run_query(message.sql, send)
+        finally:
+            ACTIVE_SESSIONS.dec(server="pgwire")
 
     def _authenticate(self, ctx: AuthContext, rx, send) -> bool:
         if self.auth.request_code == 0:
@@ -91,13 +113,19 @@ class PgWireServer(TcpServer):
             send(m.EmptyQueryResponse())
             send(m.ReadyForQuery("I"))
             return
+        started = time.perf_counter()
+        QUERIES_TOTAL.inc(kind="simple", server="pgwire")
         try:
             with self._query_lock:
                 results = self.engine.execute_all(sql)
         except ReproError as exc:
+            ERRORS_TOTAL.inc(error=type(exc).__name__, server="pgwire")
+            _log.warning("query_error", message=str(exc))
             send(m.ErrorResponse(message=str(exc)))
             send(m.ReadyForQuery("I"))
             return
+        finally:
+            QUERY_SECONDS.observe(time.perf_counter() - started, server="pgwire")
         for result in results:
             self._send_result(result, send)
         send(m.ReadyForQuery("I"))

@@ -159,7 +159,8 @@ class Engine:
         updated = 0
         for stored, row in zip(table.rows, relation.rows):
             ctx = EvalContext(relation.scope(row), executor=self.executor)
-            if statement.where is not None and evaluate(statement.where, ctx) is not True:
+            where = statement.where
+            if where is not None and evaluate(where, ctx) is not True:
                 continue
             for pos, (__, expr) in zip(positions, statement.assignments):
                 stored[pos] = cast_value(

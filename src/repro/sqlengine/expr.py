@@ -355,7 +355,9 @@ _HANDLERS = {
 # ---------------------------------------------------------------------------
 
 
-def infer_type(expr: sa.Expr, column_type: Callable[[sa.ColumnRef], SqlType]) -> SqlType:
+def infer_type(
+    expr: sa.Expr, column_type: Callable[[sa.ColumnRef], SqlType]
+) -> SqlType:
     """Best-effort static type of an expression for RowDescription metadata."""
     if isinstance(expr, sa.Literal):
         return expr.sql_type

@@ -86,8 +86,9 @@ def tokenize_sql(source: str) -> list[SqlToken]:
                 end += 1
             else:
                 raise SqlSyntaxError("unterminated string literal")
+            text = source[pos : end + 1]
             tokens.append(
-                SqlToken(SqlTokenKind.STRING, source[pos : end + 1], pos, "".join(chars))
+                SqlToken(SqlTokenKind.STRING, text, pos, "".join(chars))
             )
             pos = end + 1
             continue
@@ -105,7 +106,8 @@ def tokenize_sql(source: str) -> list[SqlToken]:
             match = _NUMBER_RE.match(source, pos)
             assert match
             text = match.group(0)
-            value: object = float(text) if ("." in text or "e" in text.lower()) else int(text)
+            is_float = "." in text or "e" in text.lower()
+            value: object = float(text) if is_float else int(text)
             tokens.append(SqlToken(SqlTokenKind.NUMBER, text, pos, value))
             pos = match.end()
             continue

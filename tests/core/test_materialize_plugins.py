@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.config import HyperQConfig, MaterializationMode
+from repro.config import MaterializationMode
 from repro.core.algebrizer.binder import Binder
 from repro.core.materialize import Materializer
 from repro.core.plugins import PluginError, PluginRegistry
-from repro.core.scopes import ServerScope, SessionScope, VarKind
+from repro.core.scopes import VarKind
 from repro.qlang.parser import parse_expression
 from repro.qlang.qtypes import QType
 from repro.qlang.values import QAtom

@@ -3,11 +3,11 @@
 import pytest
 
 from repro.core.migrate import DataMover
-from repro.core.platform import DirectGateway, HyperQ
+from repro.core.platform import HyperQ
 from repro.errors import QTypeError
 from repro.qlang.interp import Interpreter
-from repro.qlang.qtypes import NULL_LONG, QType
-from repro.qlang.values import QKeyedTable, QList, QAtom, QTable, QVector
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QAtom, QList, QTable, QVector
 from repro.sqlengine.engine import Engine
 from repro.testing.comparators import compare_values
 

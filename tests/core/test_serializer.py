@@ -12,7 +12,6 @@ from repro.core.xtra.ops import (
     XtraGroupAgg,
     XtraJoin,
     XtraLimit,
-    XtraProject,
     XtraSort,
     XtraUnionAll,
     XtraWindow,

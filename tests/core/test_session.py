@@ -189,7 +189,10 @@ class TestMaterializationModes:
         session = hyperq.create_session()
         session.config = config
         session.materializer.config = config
-        session.execute("f: {[s] dt: select from trades where Symbol=s; :count select from dt}")
+        session.execute(
+            "f: {[s] dt: select from trades where Symbol=s; "
+            ":count select from dt}"
+        )
         outcome = session.run("f[`GOOG]")
         assert any("CREATE TEMPORARY TABLE" in s for s in outcome.sql_statements)
         session.close()

@@ -5,14 +5,7 @@ import pytest
 from repro.config import XformerConfig
 from repro.core.algebrizer.binder import Binder
 from repro.core.xformer.framework import Xformer
-from repro.core.xformer.rules import (
-    ColumnPruningRule,
-    ConstantFoldingRule,
-    OrderElisionRule,
-    OrderInjectionRule,
-    TwoValuedLogicRule,
-    default_rules,
-)
+from repro.core.xformer.rules import default_rules
 from repro.core.xtra import scalars as sc
 from repro.core.xtra.ops import (
     XtraFilter,

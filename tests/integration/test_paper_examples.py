@@ -9,8 +9,6 @@ import pytest
 from repro.core.platform import HyperQ
 from repro.qlang.interp import Interpreter
 from repro.qlang.lexer import days_from_2000
-from repro.qlang.qtypes import QType
-from repro.qlang.values import QTable, QVector
 from repro.testing.comparators import compare_values
 from repro.workload.loader import load_table
 from repro.workload.taq import TaqConfig, generate

@@ -1,0 +1,134 @@
+"""Integration tests for the observability wiring: StageTimings/span
+parity, the ``metrics[]`` admin command over a real socket, and the
+config opt-out restoring baseline behaviour."""
+
+import pytest
+
+from repro.config import HyperQConfig, ObservabilityConfig
+from repro.core.platform import HyperQ
+from repro.obs import get_registry, get_tracer
+from repro.qlang.interp import Interpreter
+from repro.qlang.values import QDict
+from repro.server.client import QConnection
+from repro.server.hyperq_server import HyperQServer
+from repro.sqlengine.engine import Engine
+from repro.workload.loader import load_q_source
+
+SOURCE = (
+    "trades: ([] Symbol:`GOOG`IBM`GOOG; Price:100.0 50.0 101.0; "
+    "Size:10 20 30)"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Isolate each test from the process-global registry/tracer."""
+    registry, tracer = get_registry(), get_tracer()
+    registry.reset()
+    tracer.reset()
+    yield
+    registry.enable()
+    tracer.enable()
+    registry.reset()
+    tracer.reset()
+
+
+def make_hyperq(config: HyperQConfig | None = None) -> HyperQ:
+    hq = HyperQ(config=config)
+    load_q_source(hq.engine, Interpreter(), SOURCE, ["trades"], mdi=hq.mdi)
+    return hq
+
+
+class TestStageTimingSpanParity:
+    def test_timings_match_span_durations(self):
+        session = make_hyperq().create_session()
+        try:
+            outcome = session.run("select from trades where Price > 60")
+        finally:
+            session.close()
+        trace = get_tracer().last_trace()
+        assert trace is not None and trace.name == "hyperq.run"
+        for stage, recorded in (
+            ("parse", outcome.timings.parse),
+            ("algebrize", outcome.timings.algebrize),
+            ("optimize", outcome.timings.optimize),
+            ("serialize", outcome.timings.serialize),
+        ):
+            spans = trace.find(f"stage.{stage}")
+            assert spans, f"no stage.{stage} span recorded"
+            span_total = sum(span.duration for span in spans)
+            # timings are *derived from* the spans, so they agree exactly
+            assert recorded == pytest.approx(span_total, rel=1e-9)
+
+    def test_stage_histogram_observes_each_stage(self):
+        session = make_hyperq().create_session()
+        try:
+            session.execute("select from trades")
+        finally:
+            session.close()
+        histogram = get_registry().get("hyperq_stage_seconds")
+        for stage in ("parse", "algebrize", "optimize", "serialize"):
+            assert histogram.value(stage=stage) >= 1.0
+
+
+class TestMetricsAdminCommand:
+    def test_metrics_over_the_wire(self):
+        engine = Engine()
+        load_q_source(engine, Interpreter(), SOURCE, ["trades"])
+        with HyperQServer(engine=engine) as server:
+            with QConnection(*server.address) as q:
+                q.query("select from trades where Price > 60")
+                result = q.query("metrics[]")
+        assert isinstance(result, QDict)
+        exported = dict(zip(result.keys.items, result.values.items))
+        assert exported["hyperq_runs_total{mode=execute}"] >= 2.0
+        assert exported["hyperq_stage_seconds_count{stage=parse}"] >= 2.0
+        # the query that *asked* for metrics is itself already counted
+        assert (
+            exported["server_queries_total{kind=sync,server=qipc}"] >= 1.0
+        )
+
+    def test_metrics_admin_in_session(self):
+        session = make_hyperq().create_session()
+        try:
+            session.execute("select from trades")
+            result = session.execute("metrics[]")
+        finally:
+            session.close()
+        assert isinstance(result, QDict)
+        names = set(result.keys.items)
+        assert "hyperq_runs_total{mode=execute}" in names
+        assert "mdi_cache_lookups_total" in names
+
+
+class TestOptOut:
+    DISABLED = HyperQConfig(
+        observability=ObservabilityConfig(
+            metrics_enabled=False, tracing_enabled=False
+        )
+    )
+
+    def test_disabled_records_nothing(self):
+        session = make_hyperq(self.DISABLED).create_session()
+        try:
+            outcome = session.run("select from trades")
+        finally:
+            session.close()
+        # StageTimings are baseline behaviour and must survive the opt-out
+        assert outcome.timings.parse > 0
+        assert outcome.timings.algebrize > 0
+        assert get_tracer().last_trace() is None
+        runs = get_registry().get("hyperq_runs_total")
+        assert runs.value(mode="execute") == 0.0
+
+    def test_reenabling_restores_recording(self):
+        session = make_hyperq(self.DISABLED).create_session()
+        session.close()
+        session = make_hyperq(HyperQConfig()).create_session()
+        try:
+            session.execute("select from trades")
+        finally:
+            session.close()
+        assert get_tracer().last_trace() is not None
+        runs = get_registry().get("hyperq_runs_total")
+        assert runs.value(mode="execute") == 1.0

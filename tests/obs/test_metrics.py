@@ -1,0 +1,150 @@
+"""Unit tests for the metrics registry: instrument semantics, labels,
+get-or-create, export shapes, and the disabled no-op mode."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    format_sample_name,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero(self, registry):
+        c = registry.counter("events_total")
+        assert c.value() == 0.0
+
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("events_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_are_independent_series(self, registry):
+        c = registry.counter("events_total")
+        c.inc(kind="a")
+        c.inc(kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 2.0
+        assert c.value(kind="b") == 1.0
+        assert c.value() == 0.0  # the unlabelled series is its own
+
+    def test_label_order_does_not_matter(self, registry):
+        c = registry.counter("events_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("events_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("active")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4.0
+
+    def test_can_go_negative(self, registry):
+        g = registry.gauge("active")
+        g.dec()
+        assert g.value() == -1.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self, registry):
+        h = registry.histogram("latency_seconds")
+        for v in (0.001, 0.003, 0.005):
+            h.observe(v)
+        assert h.value() == 3.0  # value() is the observation count
+        assert h.mean() == pytest.approx(0.003)
+
+    def test_bucketing_is_cumulative(self, registry):
+        h = registry.histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        [sample] = h.samples()
+        assert sample["buckets"]["le_0.01"] == 1
+        assert sample["buckets"]["le_0.1"] == 2
+        assert sample["buckets"]["le_1"] == 3
+        assert sample["buckets"]["le_inf"] == 4
+        assert sample["min"] == 0.005
+        assert sample["max"] == 5.0
+
+    def test_flat_export_has_count_and_sum(self, registry):
+        h = registry.histogram("latency_seconds")
+        h.observe(0.25, stage="parse")
+        flat = registry.flat()
+        assert flat["latency_seconds_count{stage=parse}"] == 1.0
+        assert flat["latency_seconds_sum{stage=parse}"] == 0.25
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c", help="a counter").inc(kind="q")
+        snap = registry.snapshot()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["help"] == "a counter"
+        assert snap["c"]["samples"] == [
+            {"labels": {"kind": "q"}, "value": 1.0}
+        ]
+
+    def test_to_json_roundtrips(self, registry):
+        registry.gauge("g").set(2, srv="a")
+        assert json.loads(registry.to_json())["g"]["kind"] == "gauge"
+
+    def test_reset_zeroes_series_keeps_instruments(self, registry):
+        c = registry.counter("c")
+        c.inc()
+        registry.reset()
+        assert registry.get("c") is c
+        assert c.value() == 0.0
+
+    def test_disabled_registry_is_noop(self, registry):
+        registry.disable()
+        c = registry.counter("c")
+        g = registry.gauge("g")
+        h = registry.histogram("h")
+        c.inc()
+        g.set(9)
+        h.observe(1.0)
+        assert c.value() == 0.0
+        assert g.value() == 0.0
+        assert h.value() == 0.0
+        registry.enable()
+        c.inc()
+        assert c.value() == 1.0
+
+
+class TestFlatNames:
+    def test_no_labels(self):
+        assert format_sample_name("n", {}) == "n"
+
+    def test_labels_sorted(self):
+        assert (
+            format_sample_name("n", {"b": "2", "a": "1"}) == "n{a=1,b=2}"
+        )

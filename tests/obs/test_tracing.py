@@ -1,0 +1,151 @@
+"""Unit tests for the span tracer: nesting, timing, retention, and the
+disabled mode (still timed, never retained)."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+class TestNesting:
+    def test_child_attaches_to_open_parent(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert root.children == [child]
+        assert child.children == []
+
+    def test_three_levels(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        [trace] = tracer.traces()
+        assert trace.name == "a"
+        assert trace.children[0].name == "b"
+        assert trace.children[0].children[0].name == "c"
+
+    def test_siblings(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("x"):
+                pass
+            with tracer.span("y"):
+                pass
+        assert [c.name for c in root.children] == ["x", "y"]
+
+    def test_current_tracks_innermost(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+
+class TestTiming:
+    def test_duration_positive_and_nested_fits(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                sum(range(1000))
+        assert child.duration > 0
+        assert root.duration >= child.duration
+
+    def test_child_total_filters_by_name(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert root.child_total() == pytest.approx(
+            root.child_total("a") + root.child_total("b")
+        )
+
+    def test_find_collects_descendants(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("stage"):
+                pass
+            with tracer.span("stage"):
+                pass
+        assert len(root.find("stage")) == 2
+        assert root.find("root") == [root]
+
+
+class TestRetention:
+    def test_only_roots_are_retained(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [t.name for t in tracer.traces()] == ["root"]
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(max_traces=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [t.name for t in tracer.traces()] == ["s2", "s3", "s4"]
+        assert tracer.last_trace().name == "s4"
+
+    def test_reset_clears_ring(self, tracer):
+        with tracer.span("root"):
+            pass
+        tracer.reset()
+        assert tracer.traces() == []
+        assert tracer.last_trace() is None
+
+    def test_threads_have_independent_stacks(self, tracer):
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-root") as s:
+                seen["current"] = tracer.current() is s
+
+        with tracer.span("main-root") as main_root:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            # the other thread's root must not become our child
+            assert main_root.children == []
+        assert seen["current"] is True
+        assert {t.name for t in tracer.traces()} == {
+            "thread-root",
+            "main-root",
+        }
+
+
+class TestDisabled:
+    def test_disabled_span_still_times(self, tracer):
+        tracer.disable()
+        with tracer.span("work") as span:
+            sum(range(1000))
+        assert span.duration > 0
+
+    def test_disabled_span_is_detached(self, tracer):
+        tracer.disable()
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        assert root.children == []
+        assert tracer.traces() == []
+        assert tracer.current() is None
+
+    def test_reenable_resumes_recording(self, tracer):
+        tracer.disable()
+        with tracer.span("ignored"):
+            pass
+        tracer.enable()
+        with tracer.span("kept"):
+            pass
+        assert [t.name for t in tracer.traces()] == ["kept"]
+
+    def test_attrs_recorded(self, tracer):
+        with tracer.span("run", mode="execute") as span:
+            pass
+        assert span.attrs == {"mode": "execute"}
+        assert span.to_dict()["attrs"] == {"mode": "execute"}

@@ -1,7 +1,5 @@
 """Property-based tests: QIPC codec and compression round-trips."""
 
-import math
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,7 +7,7 @@ from repro.qipc.compress import compress, decompress
 from repro.qipc.decode import decode_value
 from repro.qipc.encode import encode_value
 from repro.qipc.messages import MessageType, QipcMessage, frame, unframe
-from repro.qlang.qtypes import NULL_INT, NULL_LONG, QType
+from repro.qlang.qtypes import NULL_INT, QType
 from repro.qlang.values import QAtom, QDict, QList, QTable, QVector, q_match
 
 # -- value strategies -----------------------------------------------------------

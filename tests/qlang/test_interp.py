@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.errors import QError, QLengthError, QNameError, QTypeError
+from repro.errors import QError, QLengthError, QNameError
 from repro.qlang.interp import Interpreter
 from repro.qlang.qtypes import NULL_LONG, QType
 from repro.qlang.values import (

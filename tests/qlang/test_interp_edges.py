@@ -1,8 +1,6 @@
 """Edge-case tests for the reference interpreter: adverbs with seeds,
 amend forms, casts, strings, dictionaries, and error signals."""
 
-import math
-
 import pytest
 
 from repro.errors import (
@@ -15,7 +13,7 @@ from repro.errors import (
 )
 from repro.qlang.interp import Interpreter
 from repro.qlang.qtypes import NULL_LONG, QType
-from repro.qlang.values import QAtom, QDict, QList, QTable, QVector, q_match
+from repro.qlang.values import QAtom, QDict, QList, QVector, q_match
 
 
 @pytest.fixture()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import QSyntaxError
-from repro.qlang.lexer import Token, TokenKind, date_from_days, days_from_2000, tokenize
+from repro.qlang.lexer import TokenKind, date_from_days, days_from_2000, tokenize
 from repro.qlang.qtypes import NULL_INT, NULL_LONG, QType
 from repro.qlang.values import QAtom, QVector
 

@@ -6,7 +6,7 @@ from repro.errors import QSyntaxError
 from repro.qlang import ast
 from repro.qlang.parser import parse, parse_expression
 from repro.qlang.qtypes import QType
-from repro.qlang.values import QAtom, QVector
+from repro.qlang.values import QVector
 
 
 class TestRightToLeft:

@@ -8,8 +8,6 @@ kdb+ without breaking application code.
 
 import threading
 
-import pytest
-
 from repro.config import HyperQConfig
 from repro.qlang.interp import Interpreter
 from repro.qlang.qtypes import QType

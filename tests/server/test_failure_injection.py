@@ -6,7 +6,6 @@ import struct
 import pytest
 
 from repro.errors import QError
-from repro.qipc.messages import HEADER_SIZE
 from repro.qlang.interp import Interpreter
 from repro.qlang.qtypes import QType
 from repro.qlang.values import QAtom

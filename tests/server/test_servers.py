@@ -13,7 +13,7 @@ from repro.pgwire.auth import CleartextAuth, KerberosStubAuth, Md5Auth
 from repro.qipc.handshake import UserPassword
 from repro.qlang.interp import Interpreter
 from repro.qlang.qtypes import QType
-from repro.qlang.values import QAtom, QTable, QVector
+from repro.qlang.values import QAtom, QTable
 from repro.server.client import QConnection
 from repro.server.gateway import NetworkGateway
 from repro.server.hyperq_server import HyperQServer, KdbServer

@@ -8,14 +8,10 @@
 * interpreter algebraic identities (sum = +/, reverse∘reverse = id, ...).
 """
 
-import math
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.platform import HyperQ
-from repro.qlang.builtins import q_sum
 from repro.qlang.interp import Interpreter
 from repro.qlang.qtypes import NULL_LONG, QType
 from repro.qlang.values import QAtom, QTable, QVector, q_match

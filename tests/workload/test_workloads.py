@@ -13,7 +13,6 @@ from repro.workload.analytical import (
     MARKS_COLUMNS,
     POSITIONS_COLUMNS,
     AnalyticalConfig,
-    build_queries,
     generate as generate_analytical,
 )
 from repro.workload.loader import load_q_source, load_table
