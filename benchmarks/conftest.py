@@ -24,6 +24,7 @@ import time
 
 import pytest
 
+from repro.config import HyperQConfig, TranslationCacheConfig
 from repro.core.platform import HyperQ
 from repro.obs import get_registry
 from repro.workload.analytical import load_workload
@@ -70,8 +71,18 @@ def pytest_sessionfinish(session, exitstatus):
 
 @pytest.fixture(scope="session")
 def workload_env():
-    """A Hyper-Q platform with the full-scale Analytical Workload loaded."""
-    hq = HyperQ()
+    """A Hyper-Q platform with the full-scale Analytical Workload loaded.
+
+    The translation cache is disabled here so the figure benches keep
+    measuring the raw pipeline (repeat statements would otherwise be
+    answered from cache); ``bench_translation_cache.py`` builds its own
+    cache-enabled platforms.
+    """
+    hq = HyperQ(
+        config=HyperQConfig(
+            translation_cache=TranslationCacheConfig(enabled=False)
+        )
+    )
     workload = load_workload(hq.engine, mdi=hq.mdi)
     return hq, workload
 

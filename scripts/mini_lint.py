@@ -16,6 +16,14 @@ hermetic environments where ruff cannot be installed:
 * I001  import block not sorted (stdlib -> third-party -> first-party,
   straight imports before from-imports, case-insensitive alphabetical)
 
+One repo-specific layering rule rides along (no ruff equivalent):
+
+* HQ001  production code under ``src/`` must not construct ``Binder`` or
+  ``Serializer`` directly — those are built only by the translation
+  pipeline (``repro/core/pipeline.py``); everything else goes through a
+  :class:`TranslationPipeline` instance.  The defining modules and tests
+  are exempt.
+
 Exit status is the number of findings (0 == clean).
 """
 
@@ -174,6 +182,43 @@ def check_import_order(
             break
 
 
+#: classes only repro/core/pipeline.py may construct (layering rule)
+_PIPELINE_ONLY = {"Binder", "Serializer"}
+#: modules allowed to construct them: the pipeline choke point plus the
+#: modules that define the classes themselves
+_PIPELINE_EXEMPT = {
+    ("repro", "core", "pipeline.py"),
+    ("repro", "core", "serializer.py"),
+    ("repro", "core", "algebrizer", "binder.py"),
+}
+
+
+def check_pipeline_layering(
+    path: Path, tree: ast.AST, noqa: set[int], findings: list[str]
+) -> None:
+    """HQ001: Binder/Serializer construction outside the pipeline."""
+    parts = path.parts
+    if "src" not in parts:
+        return  # tests and benches construct the stages directly
+    if any(parts[-len(tail):] == tail for tail in _PIPELINE_EXEMPT):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _PIPELINE_ONLY and node.lineno not in noqa:
+            findings.append(
+                f"{path}:{node.lineno}: HQ001 direct {name}() construction "
+                f"outside repro/core/pipeline.py — use the session's "
+                f"TranslationPipeline"
+            )
+
+
 def lint_file(path: Path) -> list[str]:
     findings: list[str] = []
     text = path.read_text()
@@ -186,6 +231,7 @@ def lint_file(path: Path) -> list[str]:
     check_comparisons(path, tree, findings)
     check_unused_imports(path, tree, noqa, findings)
     check_import_order(path, tree, noqa, findings)
+    check_pipeline_layering(path, tree, noqa, findings)
     return findings
 
 

@@ -66,10 +66,41 @@ class XformerConfig:
     constant_folding: bool = True
     filter_merge: bool = True
 
+    def fingerprint(self) -> tuple:
+        """Hashable digest of the toggles (translation-cache key part)."""
+        return tuple(sorted(self.__dict__.items()))
+
+
+@dataclass
+class TranslationCacheConfig:
+    """The translation cache: finished SQL keyed on (normalized Q source,
+    scope fingerprint, catalog version, xformer config).  Repeat
+    statements skip parse/bind/xform/serialize entirely; DDL invalidates
+    through the backend catalog version (same plumbing as the MDI cache).
+    """
+
+    enabled: bool = True
+    #: LRU bound on cached translations
+    max_entries: int = 1024
+
+
+@dataclass
+class BackendPoolConfig:
+    """Sizing for :class:`repro.core.backends.PooledBackend`."""
+
+    #: maximum concurrently open backend connections
+    size: int = 4
+    #: seconds a session waits for a pooled connection before failing
+    checkout_timeout: float = 5.0
+
 
 @dataclass
 class HyperQConfig:
     metadata_cache: MetadataCacheConfig = field(default_factory=MetadataCacheConfig)
+    translation_cache: TranslationCacheConfig = field(
+        default_factory=TranslationCacheConfig
+    )
+    backend_pool: BackendPoolConfig = field(default_factory=BackendPoolConfig)
     xformer: XformerConfig = field(default_factory=XformerConfig)
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig

@@ -1,0 +1,265 @@
+"""Pluggable execution backends (the right-hand side of Figure 1).
+
+The translation pipeline produces SQL; *where* that SQL runs is an
+interchangeable concern.  :class:`ExecutionBackend` is the protocol every
+target implements — three implementations ship with the repo:
+
+* :class:`~repro.core.platform.DirectGateway` — the in-process
+  ``sqlengine`` (no network, used by tests and the platform facade);
+* :class:`~repro.server.gateway.NetworkGateway` — one PG v3 wire
+  connection (blocking, one statement at a time);
+* :class:`PooledBackend` (here) — multiplexes a bounded pool of backend
+  connections with checkout timeouts and dead-connection replacement, so
+  many :class:`~repro.core.session.HyperQSession`\\ s execute
+  concurrently against one logical backend.
+
+Note on pooling semantics: session-scoped backend state (PG temp tables)
+is only safe behind a pool when the backend shares one catalog across
+connections, as the in-memory engine does.  Against a real PG,
+materialization should use the session's dedicated connection — the
+protocol keeps that choice per-deployment.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.core.metadata import BackendPort
+from repro.errors import PoolTimeoutError, ProtocolError
+from repro.obs import get_logger, metrics
+
+#: pool telemetry, labelled pool=<name>
+POOL_SIZE = metrics.gauge(
+    "backend_pool_connections", "Open connections held by a backend pool"
+)
+POOL_IN_USE = metrics.gauge(
+    "backend_pool_in_use", "Pooled connections currently checked out"
+)
+POOL_CHECKOUT_TIMEOUTS = metrics.counter(
+    "backend_pool_checkout_timeouts_total",
+    "Checkouts that gave up waiting for a free connection",
+)
+POOL_REPLACEMENTS = metrics.counter(
+    "backend_pool_replacements_total",
+    "Dead pooled connections discarded and replaced",
+)
+POOL_CHECKOUT_SECONDS = metrics.histogram(
+    "backend_pool_checkout_seconds",
+    "Wall-clock wait to check a connection out of the pool",
+)
+
+_log = get_logger("core.backends")
+
+#: transport-level failures that mean "this connection is dead" (SQL
+#: errors leave the connection healthy and are re-raised as-is)
+TRANSPORT_ERRORS = (OSError, ConnectionError, EOFError, ProtocolError)
+
+
+class ExecutionBackend(BackendPort):
+    """Protocol for anything the pipeline's SQL can execute against.
+
+    Extends :class:`~repro.core.metadata.BackendPort` (``run_sql`` +
+    ``catalog_version``) with lifecycle hooks the pool needs.
+    """
+
+    #: human-readable backend label (metrics, diagnostics)
+    name = "backend"
+
+    def ping(self) -> bool:
+        """Cheap liveness check; False means the connection is dead."""
+        return True
+
+    def close(self) -> None:
+        """Release any held resources; idempotent."""
+        return None
+
+
+class PooledBackend(ExecutionBackend):
+    """A bounded pool of backend connections behind one ``run_sql``.
+
+    * connections are created lazily by ``factory`` up to ``size``;
+    * ``run_sql`` checks a connection out (waiting up to
+      ``checkout_timeout`` seconds, then raising
+      :class:`~repro.errors.PoolTimeoutError`);
+    * a connection that fails its liveness probe at checkout, or dies
+      with a transport error mid-statement, is discarded and replaced;
+    * DDL observed on any pooled connection bumps the pool's catalog
+      version, so metadata/translation caches invalidate exactly as with
+      a single connection.
+    """
+
+    name = "pooled"
+
+    def __init__(
+        self,
+        factory,
+        size: int = 4,
+        checkout_timeout: float = 5.0,
+        name: str = "pooled",
+    ):
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self._factory = factory
+        self.size = size
+        self.checkout_timeout = checkout_timeout
+        self.name = name
+        self._idle: queue.LifoQueue = queue.LifoQueue()
+        self._lock = threading.Lock()
+        self._open = 0
+        self._in_use = 0
+        self._catalog_version = 0
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def open_connections(self) -> int:
+        with self._lock:
+            return self._open
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self._in_use
+
+    # -- ExecutionBackend ------------------------------------------------------
+
+    def run_sql(self, sql: str):
+        conn = self._checkout()
+        try:
+            before = conn.catalog_version()
+            result = conn.run_sql(sql)
+        except TRANSPORT_ERRORS:
+            self._discard(conn)
+            raise
+        except Exception:
+            # a SQL-level rejection: the connection is still healthy
+            self._checkin(conn)
+            raise
+        delta = conn.catalog_version() - before
+        if delta > 0:
+            with self._lock:
+                self._catalog_version += delta
+        self._checkin(conn)
+        return result
+
+    def catalog_version(self) -> int:
+        with self._lock:
+            return self._catalog_version
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        while True:
+            try:
+                conn = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            self._close_quietly(conn)
+            with self._lock:
+                self._open -= 1
+        POOL_SIZE.set(self.open_connections, pool=self.name)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- pool mechanics --------------------------------------------------------
+
+    def _checkout(self) -> ExecutionBackend:
+        if self._closed:
+            raise PoolTimeoutError(f"backend pool {self.name!r} is closed")
+        with POOL_CHECKOUT_SECONDS.time(pool=self.name):
+            conn = self._acquire()
+        with self._lock:
+            self._in_use += 1
+        POOL_IN_USE.inc(pool=self.name)
+        return conn
+
+    def _acquire(self) -> ExecutionBackend:
+        try:
+            conn = self._idle.get_nowait()
+        except queue.Empty:
+            grown = self._try_grow()
+            if grown is not None:
+                return grown
+            try:
+                conn = self._idle.get(timeout=self.checkout_timeout)
+            except queue.Empty:
+                POOL_CHECKOUT_TIMEOUTS.inc(pool=self.name)
+                raise PoolTimeoutError(
+                    f"no backend connection free after "
+                    f"{self.checkout_timeout:.1f}s (pool {self.name!r}, "
+                    f"size {self.size})"
+                ) from None
+        if not self._ping_quietly(conn):
+            # dead while idle: replace it in place
+            self._close_quietly(conn)
+            with self._lock:
+                self._open -= 1
+            POOL_REPLACEMENTS.inc(pool=self.name)
+            _log.warning("pool_replaced_dead_connection", pool=self.name)
+            replacement = self._try_grow()
+            if replacement is not None:
+                return replacement
+            return self._acquire()
+        return conn
+
+    def _try_grow(self) -> ExecutionBackend | None:
+        """Open a fresh connection if the pool is under its bound."""
+        with self._lock:
+            if self._open >= self.size:
+                return None
+            self._open += 1
+        try:
+            conn = self._factory()
+        except Exception:
+            with self._lock:
+                self._open -= 1
+            raise
+        POOL_SIZE.set(self.open_connections, pool=self.name)
+        return conn
+
+    def _checkin(self, conn: ExecutionBackend) -> None:
+        with self._lock:
+            self._in_use -= 1
+            closed = self._closed
+        POOL_IN_USE.dec(pool=self.name)
+        if closed:
+            self._close_quietly(conn)
+            with self._lock:
+                self._open -= 1
+            return
+        self._idle.put(conn)
+
+    def _discard(self, conn: ExecutionBackend) -> None:
+        """Drop a connection that died mid-statement; the next checkout
+        replaces it through :meth:`_try_grow`."""
+        self._close_quietly(conn)
+        with self._lock:
+            self._in_use -= 1
+            self._open -= 1
+        POOL_IN_USE.dec(pool=self.name)
+        POOL_REPLACEMENTS.inc(pool=self.name)
+        POOL_SIZE.set(self.open_connections, pool=self.name)
+        _log.warning("pool_discarded_connection", pool=self.name)
+
+    @staticmethod
+    def _ping_quietly(conn) -> bool:
+        try:
+            ping = getattr(conn, "ping", None)
+            return True if ping is None else bool(ping())
+        except Exception:
+            return False
+
+    @staticmethod
+    def _close_quietly(conn) -> None:
+        try:
+            close = getattr(conn, "close", None)
+            if close is not None:
+                close()
+        except Exception:
+            pass

@@ -2,26 +2,34 @@
 
 The XC couples two components:
 
-* the **Query Translator (QT)** drives Q text through the translation
-  pipeline — parse, bind (Algebrizer), transform (Xformer), serialize —
-  and measures each stage (the stage split is the paper's Figure 7);
+* the **Query Translator (QT)** drives Q statements through the staged
+  pipeline — bind (Algebrizer), transform (Xformer), serialize — which
+  now lives in :mod:`repro.core.pipeline` as an explicit pass manager;
+  :class:`QueryTranslator` here is the thin per-session facade over it
+  (built once; the active scope is passed per call);
 * the **Protocol Translator (PT)** turns backend row sets back into the
   column-oriented values a Q application expects (Figure 5's pivot),
-  buffering the full result before forming the QIPC message.
+  buffering the full result before forming the QIPC message.  The PT is
+  modeled as an FSM per the paper's design.
 
-Both are modeled as FSMs per the paper's design.
+``StageTimings``/``stage_span``/``TranslationResult`` moved to
+:mod:`repro.core.pipeline` with the stage machinery; they are re-exported
+here for compatibility.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-
 from repro.core.fsm import Fsm
-from repro.core.serializer import Serializer
-from repro.core.xformer.framework import Xformer
+from repro.core.pipeline import (
+    STAGE_SECONDS,
+    StageTimings,
+    TranslationPipeline,
+    TranslationResult,
+    stage_span,
+)
+from repro.core.scopes import Scope
 from repro.errors import TranslationError
-from repro.obs import metrics, tracing
+from repro.obs import tracing
 from repro.qlang.qtypes import QType
 from repro.qlang.values import (
     QDict,
@@ -34,139 +42,31 @@ from repro.qlang.values import (
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.types import SqlType
 
-#: per-stage translation latency (Figure 7), labelled stage=parse|
-#: algebrize|optimize|serialize; shared with the session's parse stage
-STAGE_SECONDS = metrics.histogram(
-    "hyperq_stage_seconds",
-    "Wall-clock seconds spent per translation stage",
-)
-
-
-@dataclass
-class StageTimings:
-    """Per-stage wall-clock seconds for one translation (Figure 7)."""
-
-    parse: float = 0.0
-    algebrize: float = 0.0
-    optimize: float = 0.0
-    serialize: float = 0.0
-
-    @property
-    def total(self) -> float:
-        return self.parse + self.algebrize + self.optimize + self.serialize
-
-    def add(self, other: "StageTimings") -> None:
-        self.parse += other.parse
-        self.algebrize += other.algebrize
-        self.optimize += other.optimize
-        self.serialize += other.serialize
-
-
-@contextmanager
-def stage_span(timings: StageTimings, stage: str):
-    """Time one pipeline stage through the tracer.
-
-    One measurement feeds all three consumers: the ``stage.<name>`` trace
-    span, the ``hyperq_stage_seconds`` histogram, and the corresponding
-    :class:`StageTimings` field — so timings and spans agree exactly.
-    """
-    with tracing.span(f"stage.{stage}") as span:
-        yield span
-    setattr(timings, stage, getattr(timings, stage) + span.duration)
-    STAGE_SECONDS.observe(span.duration, stage=stage)
-
-
-@dataclass
-class TranslationResult:
-    """Everything QT produces for one Q statement."""
-
-    sql: str
-    shape: str
-    keys: list[str]
-    timings: StageTimings
-    rule_applications: dict[str, int] = field(default_factory=dict)
+__all__ = [
+    "STAGE_SECONDS",
+    "ProtocolTranslator",
+    "QueryTranslator",
+    "StageTimings",
+    "TranslationResult",
+    "pivot_result",
+    "stage_span",
+]
 
 
 class QueryTranslator:
-    """QT: drives bind -> transform -> serialize as an FSM."""
+    """QT: facade over the pass pipeline (one per session)."""
 
-    def __init__(self, binder_factory, xformer: Xformer, serializer: Serializer):
-        self._binder_factory = binder_factory
-        self.xformer = xformer
-        self.serializer = serializer
+    def __init__(self, pipeline: TranslationPipeline):
+        self.pipeline = pipeline
 
-    def _build_fsm(self, work: dict) -> Fsm:
-        fsm = Fsm("query-translator", "idle")
-        for state in ("binding", "transforming", "serializing", "done"):
-            fsm.add_state(state)
+    def translate(
+        self, ast_node, scope: Scope, timings: StageTimings
+    ) -> TranslationResult:
+        return self.pipeline.translate(ast_node, scope, timings).to_result()
 
-        def do_bind(machine: Fsm, payload) -> None:
-            with stage_span(work["timings"], "algebrize"):
-                binder = self._binder_factory()
-                work["bound"] = binder.bind(work["ast"])
-            machine.fire("bound")
-
-        def do_transform(machine: Fsm, payload) -> None:
-            from repro.core.algebrizer.binder import BoundScalar
-
-            with stage_span(work["timings"], "optimize"):
-                bound = work["bound"]
-                if isinstance(bound, BoundScalar):
-                    work["xformed"] = bound
-                    work["rules"] = {}
-                else:
-                    op, ctx = self.xformer.transform(bound.op, bound.shape)
-                    bound.op = op
-                    work["xformed"] = bound
-                    work["rules"] = dict(ctx.applications)
-            machine.fire("transformed")
-
-        def do_serialize(machine: Fsm, payload) -> None:
-            from repro.core.algebrizer.binder import BoundScalar
-
-            with stage_span(work["timings"], "serialize"):
-                bound = work["xformed"]
-                if isinstance(bound, BoundScalar):
-                    work["sql"] = self.serializer.serialize_scalar_statement(
-                        bound.scalar
-                    )
-                    work["shape"] = "atom"
-                    work["keys"] = []
-                else:
-                    work["sql"] = self.serializer.serialize(bound.op)
-                    work["shape"] = bound.shape
-                    work["keys"] = list(bound.keys)
-            machine.fire("serialized")
-
-        fsm.add_state("binding", on_enter=do_bind)
-        fsm.add_state("transforming", on_enter=do_transform)
-        fsm.add_state("serializing", on_enter=do_serialize)
-        fsm.add_transition("idle", "translate", "binding")
-        fsm.add_transition("binding", "bound", "transforming")
-        fsm.add_transition("transforming", "transformed", "serializing")
-        fsm.add_transition("serializing", "serialized", "done")
-        return fsm
-
-    def translate(self, ast_node, timings: StageTimings) -> TranslationResult:
-        work: dict = {"ast": ast_node, "timings": timings}
-        fsm = self._build_fsm(work)
-        fsm.fire("translate")
-        if fsm.state != "done":
-            raise TranslationError(
-                f"query translator stalled in state {fsm.state!r}"
-            )
-        return TranslationResult(
-            sql=work["sql"],
-            shape=work["shape"],
-            keys=work["keys"],
-            timings=timings,
-            rule_applications=work.get("rules", {}),
-        )
-
-    def bound_for(self, ast_node):
+    def bound_for(self, ast_node, scope: Scope):
         """Bind without serializing (used by materialization)."""
-        binder = self._binder_factory()
-        return binder.bind(ast_node)
+        return self.pipeline.bind(ast_node, scope)
 
 
 # ---------------------------------------------------------------------------

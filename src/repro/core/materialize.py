@@ -49,11 +49,13 @@ class Materializer:
         self,
         mdi: MetadataInterface,
         config: HyperQConfig,
-        serializer: Serializer | None = None,
+        serializer: Serializer,
     ):
+        # the serializer comes from the session's pipeline (layering rule
+        # HQ001: only repro/core/pipeline.py constructs Serializer)
         self.mdi = mdi
         self.config = config
-        self.serializer = serializer or Serializer()
+        self.serializer = serializer
         self._temp_counter = itertools.count(1)
         self._view_counter = itertools.count(1)
 

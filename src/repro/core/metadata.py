@@ -142,6 +142,14 @@ class MetadataInterface:
             )
         return meta
 
+    def catalog_version(self) -> int:
+        """The backend's monotonic DDL version (-1 if unknown).
+
+        Shared plumbing for both caches: the metadata cache's VERSION
+        invalidation policy and the translation-cache key both read it.
+        """
+        return self.port.catalog_version()
+
     def annotate_keys(self, table: str, keys: list[str]) -> None:
         """Record Q key columns for a backend table (kept Hyper-Q-side)."""
         self._key_annotations[table] = list(keys)

@@ -9,7 +9,9 @@ variable scope, and per-client sessions.  The socket-level deployment
 from __future__ import annotations
 
 from repro.config import HyperQConfig
+from repro.core.backends import ExecutionBackend
 from repro.core.metadata import BackendPort, MetadataInterface
+from repro.core.pipeline import TranslationCache
 from repro.core.scopes import ServerScope
 from repro.core.session import ExecutionOutcome, HyperQSession
 from repro.obs import configure as obs_configure
@@ -18,8 +20,10 @@ from repro.sqlengine.engine import Engine
 from repro.sqlengine.executor import ResultSet
 
 
-class DirectGateway(BackendPort):
-    """Backend port talking to an in-process engine (no network)."""
+class DirectGateway(ExecutionBackend):
+    """The in-process execution backend: direct engine calls, no network."""
+
+    name = "in-process"
 
     def __init__(self, engine: Engine):
         self.engine = engine
@@ -46,6 +50,9 @@ class HyperQ:
         self.backend = backend or DirectGateway(self.engine)
         self.server_scope = ServerScope()
         self.mdi = MetadataInterface(self.backend, self.config.metadata_cache)
+        # one translation cache for the whole platform: repeat statements
+        # hit across sessions (the scope fingerprint keeps them honest)
+        self.translation_cache = TranslationCache(self.config.translation_cache)
 
     def create_session(self) -> HyperQSession:
         return HyperQSession(
@@ -53,6 +60,7 @@ class HyperQ:
             server_scope=self.server_scope,
             config=self.config,
             mdi=self.mdi,
+            translation_cache=self.translation_cache,
         )
 
     # -- conveniences ------------------------------------------------------------

@@ -9,6 +9,7 @@ folds unquoted names to lower case.
 from __future__ import annotations
 
 import itertools
+import threading
 
 from repro.core.xtra import scalars as sc
 from repro.core.xtra.ops import (
@@ -39,20 +40,29 @@ def quote_string(text: str) -> str:
 
 
 class Serializer:
-    """Stateless XTRA-to-SQL serializer (alias counter per serialize call)."""
+    """Stateless XTRA-to-SQL serializer (alias counter per serialize call).
+
+    The alias counter is thread-local so one serializer instance — there
+    is one per pipeline, shared with the materializer — can serialize
+    concurrently from pooled-backend sessions without interleaving alias
+    sequences.
+    """
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
 
     def serialize(self, op: XtraOp) -> str:
-        self._alias = itertools.count(1)
+        self._tls.alias = itertools.count(1)
         return self._rel(op)
 
     def serialize_scalar_statement(self, scalar: sc.Scalar) -> str:
-        self._alias = itertools.count(1)
+        self._tls.alias = itertools.count(1)
         return f"SELECT {self._scalar(scalar)} AS {quote_ident('value')}"
 
     # -- relational -----------------------------------------------------------
 
     def _next_alias(self) -> str:
-        return f"hq_t{next(self._alias)}"
+        return f"hq_t{next(self._tls.alias)}"
 
     def _rel(self, op: XtraOp) -> str:
         method = getattr(self, f"_rel_{type(op).__name__.lower()}", None)

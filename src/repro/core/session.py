@@ -1,10 +1,12 @@
-"""HyperQSession: the query life cycle of Figure 1.
+"""HyperQSession: orchestration over the translation pipeline (Figure 1).
 
-A session owns a session-level variable scope, a metadata interface, the
-Query Translator and Protocol Translator, and the eager-materialization
-machinery.  ``execute`` runs Q text end-to-end against the backend;
-``translate`` stops after serialization and returns the SQL (plus stage
-timings), which is what the evaluation section measures.
+A session owns a session-level variable scope, a metadata interface, one
+:class:`~repro.core.pipeline.TranslationPipeline` (built once; the active
+scope is passed per statement), the translation cache, the Protocol
+Translator, and the eager-materialization machinery.  ``execute`` runs Q
+text end-to-end against the backend; ``translate`` stops after
+serialization and returns the SQL (plus stage timings), which is what the
+evaluation section measures.
 """
 
 from __future__ import annotations
@@ -12,16 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import HyperQConfig, MaterializationMode
-from repro.core.algebrizer.binder import Binder, BoundScalar, BoundTable
+from repro.core.algebrizer.binder import BoundScalar, BoundTable
 from repro.core.crosscompiler import (
     ProtocolTranslator,
-    QueryTranslator,
-    StageTimings,
     pivot_result,
-    stage_span,
 )
 from repro.core.materialize import Materializer
 from repro.core.metadata import BackendPort, MetadataInterface
+from repro.core.pipeline import (
+    StageTimings,
+    TranslationCache,
+    TranslationPipeline,
+    TranslationResult,
+    stage_span,
+)
 from repro.core.scopes import (
     LocalScope,
     Scope,
@@ -29,8 +35,6 @@ from repro.core.scopes import (
     SessionScope,
     VarKind,
 )
-from repro.core.serializer import Serializer
-from repro.core.xformer.framework import Xformer
 from repro.errors import (
     QNameError,
     QNotSupportedError,
@@ -58,6 +62,18 @@ class ExecutionOutcome:
     sql_statements: list[str] = field(default_factory=list)
     timings: StageTimings = field(default_factory=StageTimings)
     rule_applications: dict[str, int] = field(default_factory=dict)
+    #: messages answered from the translation cache (no pipeline run)
+    cache_hits: int = 0
+    #: pure-translation result of the last statement, feeding the cache;
+    #: cleared whenever a statement takes a side-effecting path
+    _last_translation: TranslationResult | None = field(
+        default=None, repr=False
+    )
+    _cacheable: bool = field(default=True, repr=False)
+
+    def mark_uncacheable(self) -> None:
+        self._cacheable = False
+        self._last_translation = None
 
 
 class HyperQSession:
@@ -67,6 +83,7 @@ class HyperQSession:
         server_scope: ServerScope | None = None,
         config: HyperQConfig | None = None,
         mdi: MetadataInterface | None = None,
+        translation_cache: TranslationCache | None = None,
     ):
         self.config = config or HyperQConfig()
         obs_configure(self.config.observability)
@@ -74,12 +91,33 @@ class HyperQSession:
         self.mdi = mdi or MetadataInterface(backend, self.config.metadata_cache)
         self.server_scope = server_scope or ServerScope()
         self.session_scope = SessionScope(self.server_scope)
-        self.serializer = Serializer()
-        self.xformer = Xformer(self.config.xformer)
-        self.materializer = Materializer(self.mdi, self.config, self.serializer)
+        # one pipeline per session (satellite of the Figure-1 refactor:
+        # no per-statement translator reconstruction); scope per call
+        self.pipeline = TranslationPipeline(self.mdi, self.config)
+        self.serializer = self.pipeline.serializer
+        # the cache is usually shared across sessions (HyperQ/HyperQServer
+        # pass one in); a standalone session gets a private one
+        self.translation_cache = (
+            translation_cache
+            if translation_cache is not None
+            else TranslationCache(self.config.translation_cache)
+        )
+        self.materializer = Materializer(
+            self.mdi, self.config, self.pipeline.serializer
+        )
         self.pt = ProtocolTranslator(self.backend.run_sql)
         self._materialized: list[tuple[str, str]] = []  # (relation, kind)
         self._closed = False
+
+    @property
+    def xformer(self):
+        """The pipeline's Xformer; assigning swaps it for the session
+        (ablation benches reconfigure rules this way)."""
+        return self.pipeline.xformer
+
+    @xformer.setter
+    def xformer(self, value) -> None:
+        self.pipeline.xformer = value
 
     # -- public API ------------------------------------------------------------
 
@@ -162,7 +200,15 @@ class HyperQSession:
         mode = "execute" if execute else "translate"
         RUNS_TOTAL.inc(mode=mode)
 
+        cache = self.translation_cache
+        key: tuple | None = None
         with tracing.span("hyperq.run", mode=mode):
+            if cache.enabled:
+                key = cache.key_for(q_text, scope, self.mdi, self.xformer)
+                cached = cache.get(key)
+                if cached is not None:
+                    return self._replay(cached, execute, outcome)
+
             with stage_span(outcome.timings, "parse"):
                 program = parse(q_text)
 
@@ -170,14 +216,32 @@ class HyperQSession:
                 outcome.value = self._run_statement(
                     statement, scope, execute, outcome
                 )
+
+            if (
+                key is not None
+                and outcome._cacheable
+                and outcome._last_translation is not None
+                and len(program.statements) == 1
+            ):
+                cache.put(key, outcome._last_translation)
         return outcome
 
-    def _qt(self, scope: Scope) -> QueryTranslator:
-        return QueryTranslator(
-            lambda: Binder(self.mdi, scope, self.config),
-            self.xformer,
-            self.serializer,
-        )
+    def _replay(
+        self, cached: TranslationResult, execute: bool,
+        outcome: ExecutionOutcome,
+    ) -> ExecutionOutcome:
+        """Answer a message from the translation cache: the SQL, shape
+        and rule counts are replayed; parse/bind/xform/serialize are
+        skipped entirely (execution, if requested, still runs)."""
+        outcome.cache_hits += 1
+        outcome.sql_statements.append(cached.sql)
+        for rule, count in cached.rule_applications.items():
+            outcome.rule_applications[rule] = (
+                outcome.rule_applications.get(rule, 0) + count
+            )
+        if execute:
+            outcome.value = self.pt.respond(cached)
+        return outcome
 
     def _run_statement(
         self,
@@ -187,22 +251,29 @@ class HyperQSession:
         outcome: ExecutionOutcome,
     ) -> QValue | None:
         if isinstance(statement, ast.Assign):
+            outcome.mark_uncacheable()
             self._run_assign(statement, scope, execute, outcome)
             return None
         if isinstance(statement, ast.Return):
             return self._run_statement(statement.value, scope, execute, outcome)
         call = self._as_function_call(statement, scope)
         if call is not None:
+            outcome.mark_uncacheable()
             return self._invoke_function(call, scope, execute, outcome)
         admin = self._try_admin(statement, scope, execute)
         if admin is not None:
+            outcome.mark_uncacheable()
             return admin
         if (
             isinstance(statement, ast.BinOp)
             and statement.op in ("insert", "upsert")
         ):
+            outcome.mark_uncacheable()
             return self._run_insert(statement, scope, execute, outcome)
-        translation = self._qt(scope).translate(statement, outcome.timings)
+        translation = self.pipeline.translate(
+            statement, scope, outcome.timings
+        ).to_result()
+        outcome._last_translation = translation
         outcome.sql_statements.append(translation.sql)
         for rule, count in translation.rule_applications.items():
             outcome.rule_applications[rule] = (
@@ -331,13 +402,11 @@ class HyperQSession:
         )
         meta = self.mdi.require_table(relation)
 
-        qt = self._qt(scope)
         with stage_span(outcome.timings, "algebrize"):
-            bound = qt.bound_for(statement.right)
+            bound = self.pipeline.bind(statement.right, scope)
         if not isinstance(bound, BoundTable):
             raise QTypeError("insert expects a table of new rows")
-        transformed, __ = self.xformer.transform(bound.op, bound.shape)
-        bound.op = transformed
+        self.pipeline.transform(bound)
 
         target_columns = [c.name for c in meta.data_columns]
         source_columns = [
@@ -401,9 +470,8 @@ class HyperQSession:
             )
             return
 
-        qt = self._qt(scope)
         with stage_span(outcome.timings, "algebrize"):
-            bound = qt.bound_for(statement.value)
+            bound = self.pipeline.bind(statement.value, scope)
 
         if isinstance(bound, BoundScalar):
             value = self._scalar_value(bound, execute)
@@ -412,8 +480,7 @@ class HyperQSession:
 
         assert isinstance(bound, BoundTable)
         with stage_span(outcome.timings, "optimize"):
-            transformed, ctx = self.xformer.transform(bound.op, bound.shape)
-            bound.op = transformed
+            self.pipeline.transform(bound)
 
         # function-local assignments must be physically snapshotted; the
         # paper's Example 3 materializes dt as a temporary table
@@ -479,9 +546,8 @@ class HyperQSession:
             )
 
         local = LocalScope(scope)
-        qt = self._qt(scope)
         for param, arg in zip(lam.params, args):
-            bound = qt.bound_for(arg)
+            bound = self.pipeline.bind(arg, scope)
             if isinstance(bound, BoundScalar):
                 value = self._scalar_value(bound, execute)
                 self.materializer.store_scalar(param, value, local)

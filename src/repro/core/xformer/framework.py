@@ -51,6 +51,14 @@ class Xformer:
         self.config = config or XformerConfig()
         self.rules = rules if rules is not None else default_rules()
 
+    def fingerprint(self) -> tuple:
+        """Hashable digest of the rule order + toggles; part of the
+        translation-cache key (a config flip must miss the cache)."""
+        return (
+            tuple(rule.name for rule in self.rules),
+            self.config.fingerprint(),
+        )
+
     def transform(
         self, op: XtraOp, shape: str = "table"
     ) -> tuple[XtraOp, XformContext]:

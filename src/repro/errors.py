@@ -109,6 +109,26 @@ class SqlExecutionError(SqlError):
     """Runtime failure while executing a plan."""
 
 
+class BackendSqlError(SqlExecutionError):
+    """A backend rejected SQL over the wire.
+
+    Carries the PG ``ErrorResponse`` details — SQLSTATE ``code`` and
+    ``severity`` — so sessions and clients see *why* the backend failed,
+    not a generic failure (paper Section 5's verbose-errors stance).
+    """
+
+    def __init__(self, message: str, code: str = "XX000",
+                 severity: str = "ERROR"):
+        super().__init__(f"{severity} {code}: {message}")
+        self.code = code
+        self.severity = severity
+        self.backend_message = message
+
+
+class PoolTimeoutError(ReproError):
+    """No pooled backend connection became free within the timeout."""
+
+
 class ProtocolError(ReproError):
     """Malformed wire-protocol traffic (QIPC or PG v3)."""
 

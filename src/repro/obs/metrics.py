@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 #: default histogram buckets, in seconds — spans translation stages
 #: (tens of microseconds) up to slow end-to-end queries
@@ -170,6 +171,14 @@ class Histogram(Instrument):
             else:
                 series.bucket_counts[-1] += 1
 
+    def time(self, **labels):
+        """Context manager observing the wall-clock time of its body.
+
+        Used on short waits we want distributions for (pool checkout,
+        cache stampedes) without hand-rolling perf_counter bookkeeping.
+        """
+        return _HistogramTimer(self, labels)
+
     def value(self, **labels) -> float:
         """For histograms, ``value`` is the observation count."""
         with self._lock:
@@ -217,6 +226,26 @@ class Histogram(Instrument):
                     series.total
                 )
             return out
+
+
+class _HistogramTimer:
+    """Times a ``with`` body into a histogram (see :meth:`Histogram.time`)."""
+
+    __slots__ = ("_histogram", "_labels", "_start")
+
+    def __init__(self, histogram: Histogram, labels: dict):
+        self._histogram = histogram
+        self._labels = labels
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._histogram.observe(
+            time.perf_counter() - self._start, **self._labels
+        )
+        return False
 
 
 class MetricsRegistry:

@@ -150,7 +150,14 @@ class QipcEndpoint(TcpServer):
                     )
         finally:
             ACTIVE_SESSIONS.dec(server="qipc")
-            handler.close()
+            try:
+                handler.close()
+            except Exception as exc:
+                # session teardown runs backend SQL (temp-table drops,
+                # promotion); a pooled/network backend failing here must
+                # not kill the server's connection thread
+                ERRORS_TOTAL.inc(error=type(exc).__name__, server="qipc")
+                _log.warning("handler_close_error", message=str(exc))
 
 
 def _read_hello(conn: socket.socket) -> bytes:

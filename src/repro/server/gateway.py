@@ -12,8 +12,8 @@ from __future__ import annotations
 import socket
 import threading
 
-from repro.core.metadata import BackendPort
-from repro.errors import AuthenticationError, ProtocolError, SqlExecutionError
+from repro.core.backends import ExecutionBackend
+from repro.errors import AuthenticationError, BackendSqlError, ProtocolError
 from repro.pgwire import messages as m
 from repro.pgwire.auth import AuthContext, AuthMechanism, TrustAuth
 from repro.pgwire.codec import (
@@ -46,8 +46,10 @@ _OID_TYPES = {
 }
 
 
-class NetworkGateway(BackendPort):
-    """A BackendPort over a live PG v3 connection."""
+class NetworkGateway(ExecutionBackend):
+    """An execution backend over a live PG v3 connection."""
+
+    name = "pg-wire"
 
     def __init__(
         self,
@@ -126,6 +128,11 @@ class NetworkGateway(BackendPort):
         # other clients is covered by the TTL policy
         return self._catalog_version
 
+    def ping(self) -> bool:
+        """Cheap liveness probe (socket-level; the pool calls this at
+        checkout, and transport errors mid-statement catch the rest)."""
+        return self._sock is not None
+
     # -- internals ----------------------------------------------------------------
 
     def _send(self, message: m.FrontendMessage) -> None:
@@ -140,7 +147,7 @@ class NetworkGateway(BackendPort):
         columns: list[Column] = []
         rows: list[tuple] = []
         command = ""
-        error: str | None = None
+        error: m.ErrorResponse | None = None
         while True:
             message = self._read()
             if isinstance(message, m.RowDescription):
@@ -157,11 +164,15 @@ class NetworkGateway(BackendPort):
             elif isinstance(message, m.EmptyQueryResponse):
                 command = "EMPTY"
             elif isinstance(message, m.ErrorResponse):
-                error = message.message
+                error = message
             elif isinstance(message, m.ReadyForQuery):
                 break
         if error is not None:
-            raise SqlExecutionError(error)
+            # surface the backend's ErrorResponse details (SQLSTATE code
+            # + message), not a generic failure
+            raise BackendSqlError(
+                error.message, code=error.code, severity=error.severity
+            )
         return ResultSet(columns, rows, command=command or "SELECT")
 
     @staticmethod

@@ -17,7 +17,9 @@ from __future__ import annotations
 import threading
 
 from repro.config import HyperQConfig
+from repro.core.backends import PooledBackend
 from repro.core.metadata import BackendPort, MetadataInterface
+from repro.core.pipeline import TranslationCache
 from repro.core.platform import DirectGateway
 from repro.core.plugins import default_registry
 from repro.core.scopes import ServerScope
@@ -94,6 +96,8 @@ class HyperQServer(QipcEndpoint):
         self.engine = engine
         self.server_scope = ServerScope()
         self.mdi = MetadataInterface(backend, self.config.metadata_cache)
+        # repeat statements across all sessions hit one shared cache
+        self.translation_cache = TranslationCache(self.config.translation_cache)
         # "configurable concurrency" (paper Section 5): kdb+ is strictly
         # serial; Hyper-Q lets the operator pick the concurrency level
         self._concurrency = (
@@ -134,7 +138,30 @@ class HyperQServer(QipcEndpoint):
             server_scope=self.server_scope,
             config=self.config,
             mdi=self.mdi,
+            translation_cache=self.translation_cache,
         )
+
+    @classmethod
+    def pooled(
+        cls,
+        connection_factory,
+        config: HyperQConfig | None = None,
+        **kwargs,
+    ) -> "HyperQServer":
+        """A server whose sessions share a bounded connection pool.
+
+        ``connection_factory`` builds one connected
+        :class:`~repro.core.backends.ExecutionBackend` (typically a
+        :class:`~repro.server.gateway.NetworkGateway`); pool sizing comes
+        from ``config.backend_pool``.
+        """
+        config = config or HyperQConfig()
+        pool = PooledBackend(
+            connection_factory,
+            size=config.backend_pool.size,
+            checkout_timeout=config.backend_pool.checkout_timeout,
+        )
+        return cls(backend=pool, config=config, **kwargs)
 
 
 class _HyperQHandler(ConnectionHandler):

@@ -12,7 +12,14 @@ import socket
 import threading
 import time
 
-from repro.errors import AuthenticationError, ReproError
+from repro.errors import (
+    AuthenticationError,
+    MetadataError,
+    ReproError,
+    SqlCatalogError,
+    SqlSyntaxError,
+    SqlTypeError,
+)
 from repro.obs import get_logger, metrics
 from repro.pgwire import messages as m
 from repro.pgwire.auth import AuthContext, AuthMechanism, TrustAuth
@@ -42,6 +49,22 @@ QUERY_SECONDS = metrics.histogram(
 )
 
 _log = get_logger("server.pgwire")
+
+#: engine error class -> SQLSTATE, so clients (and Hyper-Q's gateway)
+#: see *why* a statement failed, not a generic XX000
+_SQLSTATE_BY_ERROR = (
+    (SqlSyntaxError, "42601"),  # syntax_error
+    (SqlCatalogError, "42P01"),  # undefined_table (closest family)
+    (SqlTypeError, "42804"),  # datatype_mismatch
+    (MetadataError, "42P01"),
+)
+
+
+def _sqlstate_for(exc: Exception) -> str:
+    for klass, code in _SQLSTATE_BY_ERROR:
+        if isinstance(exc, klass):
+            return code
+    return "XX000"  # internal_error
 
 
 class PgWireServer(TcpServer):
@@ -121,7 +144,7 @@ class PgWireServer(TcpServer):
         except ReproError as exc:
             ERRORS_TOTAL.inc(error=type(exc).__name__, server="pgwire")
             _log.warning("query_error", message=str(exc))
-            send(m.ErrorResponse(message=str(exc)))
+            send(m.ErrorResponse(message=str(exc), code=_sqlstate_for(exc)))
             send(m.ReadyForQuery("I"))
             return
         finally:

@@ -16,7 +16,7 @@ from repro.qlang.values import QAtom
 def setup(hyperq):
     session = hyperq.create_session()
     binder = Binder(session.mdi, session.session_scope, hyperq.config)
-    materializer = Materializer(session.mdi, hyperq.config)
+    materializer = Materializer(session.mdi, hyperq.config, session.serializer)
     return hyperq, session, binder, materializer
 
 

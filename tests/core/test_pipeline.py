@@ -1,0 +1,273 @@
+"""Tests for the pass pipeline, TranslationUnit IR, and translation cache."""
+
+import pytest
+
+from repro.config import (
+    HyperQConfig,
+    TranslationCacheConfig,
+    XformerConfig,
+)
+from repro.core.pipeline import (
+    Pass,
+    TranslationCache,
+    TranslationPipeline,
+    normalize_q_source,
+    scope_fingerprint,
+)
+from repro.core.xformer.framework import Xformer
+from repro.errors import TranslationError
+from repro.qlang.parser import parse_expression
+
+
+@pytest.fixture()
+def pipeline(hyperq):
+    session = hyperq.create_session()
+    return session, session.pipeline
+
+
+class TestPassManager:
+    def test_default_pass_order(self, pipeline):
+        __, pl = pipeline
+        assert pl.pass_names == ["bind", "xform", "serialize"]
+
+    def test_translate_fills_the_unit(self, pipeline):
+        session, pl = pipeline
+        unit = pl.translate(
+            parse_expression("select from trades where Price > 50"),
+            session.session_scope,
+        )
+        assert unit.sql is not None and "SELECT" in unit.sql
+        assert unit.shape == "table"
+        assert unit.bound is not None
+        assert [s.name for s in unit.stages] == ["bind", "xform", "serialize"]
+        assert all(s.seconds >= 0.0 for s in unit.stages)
+
+    def test_unit_records_rule_applications(self, pipeline):
+        session, pl = pipeline
+        unit = pl.translate(
+            parse_expression("select Price from trades where Symbol=`GOOG"),
+            session.session_scope,
+        )
+        assert unit.rule_applications.get("two_valued_logic", 0) >= 1
+
+    def test_custom_pass_registration_and_order(self, pipeline):
+        session, pl = pipeline
+
+        class NotePass(Pass):
+            name = "note"
+            stage = "optimize"
+
+            def run(self, unit, pipeline):
+                unit.diagnostics.append("saw the unit")
+
+        pl.register_pass(NotePass(), after="bind")
+        assert pl.pass_names == ["bind", "note", "xform", "serialize"]
+        unit = pl.translate(
+            parse_expression("select from trades"), session.session_scope
+        )
+        assert unit.diagnostics == ["saw the unit"]
+        assert [s.name for s in unit.stages][1] == "note"
+
+    def test_duplicate_pass_name_rejected(self, pipeline):
+        __, pl = pipeline
+
+        class Dup(Pass):
+            name = "bind"
+
+        with pytest.raises(TranslationError):
+            pl.register_pass(Dup())
+
+    def test_unknown_anchor_rejected(self, pipeline):
+        __, pl = pipeline
+
+        class P(Pass):
+            name = "p"
+
+        with pytest.raises(TranslationError):
+            pl.register_pass(P(), before="no-such-pass")
+
+    def test_to_result_requires_serialize(self, pipeline):
+        session, pl = pipeline
+        bare = TranslationPipeline(pl.mdi, pl.config, passes=[])
+        unit = bare.translate(
+            parse_expression("select from trades"), session.session_scope
+        )
+        with pytest.raises(TranslationError):
+            unit.to_result()
+
+
+class TestNormalizeQSource:
+    def test_whitespace_collapses(self):
+        assert normalize_q_source("select   from\n  trades") == (
+            "select from trades"
+        )
+
+    def test_leading_trailing_stripped(self):
+        assert normalize_q_source("  1+2  ") == "1+2"
+
+    def test_string_literals_preserved(self):
+        a = normalize_q_source('select from t where s="a  b"')
+        b = normalize_q_source('select from t where s="a b"')
+        assert a != b
+        assert '"a  b"' in a
+
+    def test_escaped_quote_inside_string(self):
+        text = 'x: "he said \\"hi\\"  there"'
+        assert '\\"hi\\"  there' in normalize_q_source(text)
+
+    def test_equivalent_sources_normalize_equal(self):
+        assert normalize_q_source("select  from trades ") == (
+            normalize_q_source("select from\ttrades")
+        )
+
+
+class TestScopeFingerprint:
+    def test_changes_when_variable_defined(self, hyperq):
+        session = hyperq.create_session()
+        before = scope_fingerprint(session.session_scope)
+        session.execute("fp_x: 41")
+        after = scope_fingerprint(session.session_scope)
+        assert before != after
+        session.close()
+
+    def test_scalar_value_participates(self, hyperq):
+        session = hyperq.create_session()
+        session.execute("fp_y: 1")
+        one = scope_fingerprint(session.session_scope)
+        session.execute("fp_y: 2")
+        two = scope_fingerprint(session.session_scope)
+        assert one != two
+        session.close()
+
+
+class TestTranslationCache:
+    def test_repeat_statement_hits(self, hyperq):
+        session = hyperq.create_session()
+        q = "select Price from trades where Symbol=`GOOG"
+        cold = session.run(q)
+        warm = session.run(q)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == 1
+        assert warm.sql_statements == cold.sql_statements
+        assert warm.value == cold.value
+        # cache hits skip the pipeline: no bind/serialize time accrues
+        assert warm.timings.algebrize == 0.0
+        assert warm.timings.serialize == 0.0
+        # rule applications are replayed from the cached entry
+        assert warm.rule_applications == cold.rule_applications
+        session.close()
+
+    def test_shared_across_sessions(self, hyperq):
+        q = "select from trades where Price > 50"
+        s1 = hyperq.create_session()
+        s1.run(q)
+        s1.close()
+        s2 = hyperq.create_session()
+        warm = s2.run(q)
+        assert warm.cache_hits == 1
+        s2.close()
+
+    def test_whitespace_variants_share_an_entry(self, hyperq):
+        session = hyperq.create_session()
+        session.run("select from trades")
+        warm = session.run("select   from \n trades")
+        assert warm.cache_hits == 1
+        session.close()
+
+    def test_invalidated_on_catalog_version_change(self, hyperq):
+        session = hyperq.create_session()
+        q = "select from trades"
+        session.run(q)
+        assert session.run(q).cache_hits == 1
+        # DDL bumps the engine catalog version -> the key changes
+        hyperq.engine.execute("CREATE TABLE cache_bump (x BIGINT)")
+        missed = session.run(q)
+        assert missed.cache_hits == 0
+        # and the re-translation re-primes the cache at the new version
+        assert session.run(q).cache_hits == 1
+        session.close()
+
+    def test_invalidated_on_scope_change(self, hyperq):
+        session = hyperq.create_session()
+        q = "select from trades where Price > threshold"
+        session.execute("threshold: 50")
+        first = session.run(q)
+        session.execute("threshold: 100")
+        second = session.run(q)
+        assert second.cache_hits == 0
+        assert first.sql_statements != second.sql_statements
+        session.close()
+
+    def test_xformer_config_participates_in_key(self, hyperq):
+        session = hyperq.create_session()
+        q = "select Price from trades where Symbol=`GOOG"
+        session.run(q)
+        session.xformer = Xformer(XformerConfig(two_valued_logic=False))
+        missed = session.run(q)
+        assert missed.cache_hits == 0
+        assert "IS NOT DISTINCT FROM" not in missed.sql_statements[0]
+        session.close()
+
+    def test_side_effecting_statements_not_cached(self, hyperq):
+        session = hyperq.create_session()
+        session.execute("sv: 1")
+        assert len(session.translation_cache) == 0
+        session.run("sv: 2")
+        assert len(session.translation_cache) == 0
+        session.close()
+
+    def test_admin_commands_not_cached(self, hyperq):
+        session = hyperq.create_session()
+        session.execute("tables[]")
+        assert len(session.translation_cache) == 0
+        session.close()
+
+    def test_disabled_cache_never_hits(self, hyperq):
+        config = HyperQConfig(
+            translation_cache=TranslationCacheConfig(enabled=False)
+        )
+        session = hyperq.create_session()
+        session.translation_cache = TranslationCache(config.translation_cache)
+        q = "select from trades"
+        session.run(q)
+        assert session.run(q).cache_hits == 0
+        session.close()
+
+    def test_lru_eviction_bounds_entries(self, hyperq):
+        session = hyperq.create_session()
+        session.translation_cache = TranslationCache(
+            TranslationCacheConfig(max_entries=2)
+        )
+        session.run("select from trades")
+        session.run("select Price from trades")
+        session.run("select Size from trades")
+        assert len(session.translation_cache) == 2
+        # the oldest entry was evicted: translating it again misses
+        assert session.run("select from trades").cache_hits == 0
+        session.close()
+
+    def test_hit_miss_counters_exported(self, hyperq):
+        from repro.core.pipeline import (
+            TRANSLATION_CACHE_HITS,
+            TRANSLATION_CACHE_MISSES,
+        )
+
+        hits_before = TRANSLATION_CACHE_HITS.value()
+        misses_before = TRANSLATION_CACHE_MISSES.value()
+        session = hyperq.create_session()
+        q = "select Size from trades where Price > 99"
+        session.run(q)
+        session.run(q)
+        session.close()
+        assert TRANSLATION_CACHE_HITS.value() == hits_before + 1
+        assert TRANSLATION_CACHE_MISSES.value() >= misses_before + 1
+
+    def test_translate_mode_also_served_from_cache(self, hyperq):
+        session = hyperq.create_session()
+        q = "select from trades where Size > 15"
+        executed = session.run(q)
+        translated = session.translate(q)
+        assert translated.cache_hits == 1
+        assert translated.value is None
+        assert translated.sql_statements == executed.sql_statements
+        session.close()

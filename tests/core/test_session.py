@@ -170,6 +170,41 @@ class TestSessionScopes:
         assert "x" in first
         assert session.close() == []
 
+    def test_close_promotes_temp_table_to_hq_global_relation(self, hyperq):
+        """Figure 3: a session temp table promoted at close becomes an
+        ``hq_global_<name>`` permanent relation in the backend."""
+        s1 = hyperq.create_session()
+        s1.execute("promo: select from trades where Price > 50")
+        temp_relation = s1.session_scope.lookup("promo").relation
+        assert temp_relation.startswith("hq_temp_")
+        promoted = s1.close()
+        assert "promo" in promoted
+
+        # the server-scope definition now points at the permanent relation
+        definition = hyperq.server_scope.lookup("promo")
+        assert definition.relation == "hq_global_promo"
+        assert definition.meta is not None
+        assert definition.meta.name == "hq_global_promo"
+        assert definition.meta.schema == "public"
+
+        # permanent relation exists in the backend with the rows; the
+        # pg_temp relation it was copied from is gone
+        rows = hyperq.engine.execute(
+            'SELECT count(*) FROM "hq_global_promo"'
+        ).scalar()
+        assert rows == 2
+        assert temp_relation not in hyperq.engine.catalog.temp_tables
+
+    def test_promoted_relation_visible_in_new_session_sql(self, hyperq):
+        s1 = hyperq.create_session()
+        s1.execute("keepme: select Symbol, Price from trades")
+        s1.close()
+        s2 = hyperq.create_session()
+        outcome = s2.run("select from keepme")
+        assert '"hq_global_keepme"' in outcome.sql_statements[0]
+        assert len(outcome.value) == 4
+        s2.close()
+
 
 class TestMaterializationModes:
     def test_logical_mode_creates_view(self, hyperq):

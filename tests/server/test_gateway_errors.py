@@ -1,0 +1,54 @@
+"""Regression tests: NetworkGateway must surface PG ErrorResponse details.
+
+Before the backends refactor, a backend error came back as a bare
+"backend reported an error" with the severity/code/message fields of the
+ErrorResponse dropped on the floor.
+"""
+
+import pytest
+
+from repro.errors import BackendSqlError, SqlExecutionError
+from repro.server.gateway import NetworkGateway
+from repro.server.pgserver import PgWireServer
+from repro.sqlengine.engine import Engine
+
+
+@pytest.fixture()
+def pg_server():
+    engine = Engine()
+    engine.execute("CREATE TABLE t (a bigint, b varchar)")
+    engine.execute("INSERT INTO t VALUES (1, 'x')")
+    with PgWireServer(engine) as server:
+        yield server
+
+
+class TestGatewayErrorDetails:
+    def test_missing_table_surfaces_code_and_message(self, pg_server):
+        with NetworkGateway(*pg_server.address) as gateway:
+            with pytest.raises(BackendSqlError) as excinfo:
+                gateway.run_sql("SELECT * FROM missing")
+            error = excinfo.value
+            assert error.code == "42P01"
+            assert error.severity == "ERROR"
+            assert "missing" in error.backend_message
+            # the formatted message carries all three fields
+            assert "42P01" in str(error)
+            assert "ERROR" in str(error)
+
+    def test_syntax_error_maps_to_42601(self, pg_server):
+        with NetworkGateway(*pg_server.address) as gateway:
+            with pytest.raises(BackendSqlError) as excinfo:
+                gateway.run_sql("SELEKT 1")
+            assert excinfo.value.code == "42601"
+
+    def test_backend_sql_error_is_still_sql_execution_error(self, pg_server):
+        """Existing catch sites keyed on SqlExecutionError keep working."""
+        with NetworkGateway(*pg_server.address) as gateway:
+            with pytest.raises(SqlExecutionError):
+                gateway.run_sql("SELECT * FROM missing")
+
+    def test_connection_usable_after_backend_error(self, pg_server):
+        with NetworkGateway(*pg_server.address) as gateway:
+            with pytest.raises(BackendSqlError):
+                gateway.run_sql("SELECT * FROM missing")
+            assert gateway.run_sql("SELECT a FROM t").rows == [(1,)]

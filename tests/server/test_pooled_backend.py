@@ -1,0 +1,244 @@
+"""Tests for PooledBackend: pool mechanics plus the concurrent-server
+acceptance scenario (more sessions than pooled connections)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import BackendPoolConfig, HyperQConfig
+from repro.core.backends import PooledBackend
+from repro.core.platform import DirectGateway
+from repro.errors import PoolTimeoutError
+from repro.qlang.interp import Interpreter
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QAtom
+from repro.server.client import QConnection
+from repro.server.hyperq_server import HyperQServer
+from repro.sqlengine.engine import Engine
+from repro.workload.loader import load_q_source
+
+
+class FakeConnection:
+    """A scriptable in-memory backend connection for pool tests."""
+
+    def __init__(self, registry):
+        registry.append(self)
+        self.statements = []
+        self.alive = True
+        self.closed = False
+        self._version = 0
+        #: set to an exception instance to raise it on the next run_sql
+        self.fail_next = None
+        #: event the next run_sql blocks on before returning (for holding
+        #: a connection checked out from another thread)
+        self.block_on = None
+
+    def run_sql(self, sql):
+        if self.fail_next is not None:
+            exc, self.fail_next = self.fail_next, None
+            raise exc
+        if self.block_on is not None:
+            self.block_on.wait(timeout=10)
+        self.statements.append(sql)
+        if sql.startswith("CREATE"):
+            self._version += 1
+        return f"ok:{sql}"
+
+    def catalog_version(self):
+        return self._version
+
+    def ping(self):
+        return self.alive and not self.closed
+
+    def close(self):
+        self.closed = True
+
+
+@pytest.fixture()
+def conns():
+    return []
+
+
+@pytest.fixture()
+def pool(conns):
+    with PooledBackend(lambda: FakeConnection(conns), size=3,
+                       checkout_timeout=0.2) as p:
+        yield p
+
+
+class TestPoolMechanics:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PooledBackend(lambda: None, size=0)
+
+    def test_lazy_growth_reuses_one_connection(self, pool, conns):
+        for __ in range(5):
+            pool.run_sql("SELECT 1")
+        assert len(conns) == 1
+        assert pool.open_connections == 1
+        assert conns[0].statements == ["SELECT 1"] * 5
+
+    def test_bound_respected_under_contention(self, conns):
+        release = threading.Event()
+
+        def slow_connection():
+            conn = FakeConnection(conns)
+            conn.block_on = release  # every statement blocks until released
+            return conn
+
+        pool = PooledBackend(slow_connection, size=2, checkout_timeout=5.0)
+        threads = [
+            threading.Thread(target=pool.run_sql, args=("SELECT slow",))
+            for __ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)  # let the workers fight over the pool
+        assert pool.open_connections <= 2
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(conns) <= 2
+        pool.close()
+
+    def test_checkout_timeout_raises(self, conns):
+        release = threading.Event()
+        created = threading.Event()
+
+        def slow_connection():
+            conn = FakeConnection(conns)
+            conn.block_on = release
+            created.set()
+            return conn
+
+        pool = PooledBackend(slow_connection, size=1, checkout_timeout=0.05)
+        holder = threading.Thread(target=pool.run_sql, args=("SELECT held",))
+        holder.start()
+        assert created.wait(timeout=5)
+        time.sleep(0.05)  # let the holder reach the blocking statement
+        with pytest.raises(PoolTimeoutError):
+            pool.run_sql("SELECT 2")
+        release.set()
+        holder.join(timeout=10)
+        pool.close()
+
+    def test_dead_idle_connection_replaced(self, pool, conns):
+        pool.run_sql("SELECT 1")
+        conns[0].alive = False  # dies while sitting idle
+        assert pool.run_sql("SELECT 2") == "ok:SELECT 2"
+        assert len(conns) == 2
+        assert conns[0].closed
+        assert conns[1].statements == ["SELECT 2"]
+        assert pool.open_connections == 1
+
+    def test_transport_error_discards_connection(self, pool, conns):
+        pool.run_sql("SELECT 1")
+        conns[0].fail_next = ConnectionError("backend went away")
+        with pytest.raises(ConnectionError):
+            pool.run_sql("SELECT 2")
+        assert pool.open_connections == 0
+        assert conns[0].closed
+        # the pool recovers on the next statement with a fresh connection
+        assert pool.run_sql("SELECT 3") == "ok:SELECT 3"
+        assert len(conns) == 2
+
+    def test_sql_error_keeps_connection(self, pool, conns):
+        pool.run_sql("SELECT 1")
+        conns[0].fail_next = ValueError("42P01: relation does not exist")
+        with pytest.raises(ValueError):
+            pool.run_sql("SELECT * FROM missing")
+        # same healthy connection serves the next statement
+        assert pool.run_sql("SELECT 2") == "ok:SELECT 2"
+        assert len(conns) == 1
+        assert not conns[0].closed
+
+    def test_ddl_bumps_pool_catalog_version(self, pool, conns):
+        assert pool.catalog_version() == 0
+        pool.run_sql("SELECT 1")
+        assert pool.catalog_version() == 0
+        pool.run_sql("CREATE TABLE t (x bigint)")
+        assert pool.catalog_version() == 1
+        pool.run_sql("CREATE TABLE u (y bigint)")
+        assert pool.catalog_version() == 2
+
+    def test_close_drains_and_rejects(self, conns):
+        pool = PooledBackend(lambda: FakeConnection(conns), size=2)
+        pool.run_sql("SELECT 1")
+        pool.close()
+        assert conns[0].closed
+        assert pool.open_connections == 0
+        with pytest.raises(PoolTimeoutError):
+            pool.run_sql("SELECT 2")
+
+
+SOURCE = """
+trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT;
+            Price:100.0 50.0 101.0 30.0;
+            Size:10 20 30 40)
+"""
+
+
+class TestPooledServerAcceptance:
+    def test_more_sessions_than_pooled_connections(self):
+        """The issue's acceptance scenario: >=8 concurrent QIPC sessions
+        over a pool smaller than the session count, with per-session
+        state intact and shared-table results consistent."""
+        engine = Engine()
+        load_q_source(engine, Interpreter(), SOURCE, ["trades"])
+        config = HyperQConfig(
+            backend_pool=BackendPoolConfig(size=3, checkout_timeout=10.0)
+        )
+        server = HyperQServer.pooled(
+            lambda: DirectGateway(engine), config=config
+        )
+        clients = 9
+        outcome = {}
+        errors = []
+        lock = threading.Lock()
+
+        def client(tag):
+            try:
+                with QConnection(*server.address) as q:
+                    q.query(f"mine: {tag}")
+                    total = q.query("exec sum Size from trades")
+                    mine = q.query("mine")
+                with lock:
+                    outcome[tag] = (total, mine)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                with lock:
+                    errors.append(exc)
+
+        with server:
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(1, clients + 1)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors
+        assert len(outcome) == clients
+        pool = server.backend
+        assert isinstance(pool, PooledBackend)
+        # the pool never grew past its bound despite 9 sessions
+        assert pool.open_connections <= 3
+        for tag, (total, mine) in outcome.items():
+            assert total == QAtom(QType.LONG, 100)
+            # session variables never leaked across pooled sessions
+            assert mine == QAtom(QType.LONG, tag)
+
+    def test_pooled_server_sees_ddl_in_translation_cache_key(self):
+        """DDL through one pooled connection moves the pool's catalog
+        version, so translation-cache keys change for every session."""
+        engine = Engine()
+        load_q_source(engine, Interpreter(), SOURCE, ["trades"])
+        server = HyperQServer.pooled(lambda: DirectGateway(engine))
+        session = server.create_session()
+        q = "select from trades where Size > 15"
+        session.run(q)
+        assert session.run(q).cache_hits == 1
+        server.backend.run_sql("CREATE TABLE pool_bump (x BIGINT)")
+        assert session.run(q).cache_hits == 0
+        session.close()
