@@ -1,0 +1,153 @@
+"""Pluggable repo-lint rules for ``scripts/mini_lint.py``.
+
+Rules register themselves with :func:`register` at import time — the same
+discovery pattern as the Xformer rewrite rules and the qcheck rules in
+``src/repro/analysis`` — and :func:`default_rules` returns one fresh
+instance of each.  A rule sees one :class:`LintContext` per file and
+yields :class:`LintFinding` records; the driver renders them in the
+classic ``path:line: CODE message`` shape so the output (and the
+exit-status contract) of the pre-refactor monolith is preserved.
+
+``LintFinding`` mirrors ``repro.analysis.framework.Finding`` (code,
+message, severity, path, line) so Q-level and Python-level diagnostics
+aggregate identically, but this package stays stdlib-only: it must run
+in hermetic environments without ``src/`` on the path.
+"""
+
+from __future__ import annotations
+
+import ast
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+SEVERITY_INFO = "info"
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+
+
+@dataclass
+class LintFinding:
+    """One diagnostic, shaped like ``repro.analysis.framework.Finding``."""
+
+    code: str
+    message: str
+    severity: str = SEVERITY_ERROR
+    rule: str = ""
+    path: str = ""
+    line: int = -1
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult about the file under analysis.
+
+    ``tree`` is None when the file failed to parse (the driver reports
+    E999 itself; tree-based rules are skipped).  ``root`` is the repo
+    root, for rules that need sibling files (HQ003 reads the metric-name
+    registry source).
+    """
+
+    path: Path
+    text: str
+    tree: ast.Module | None
+    noqa: set[int] = field(default_factory=set)
+    root: Path | None = None
+
+    def suppressed(self, line: int) -> bool:
+        return line in self.noqa
+
+
+class LintRule:
+    """One repo-lint rule; subclasses override :meth:`check`.
+
+    ``requires_tree`` rules are skipped on syntactically broken files.
+    """
+
+    code = "HQ000"
+    name = "rule"
+    purpose = ""
+    default_severity = SEVERITY_ERROR
+    requires_tree = True
+    enabled = True
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, line: int, message: str, **kw):
+        kw.setdefault("severity", self.default_severity)
+        return LintFinding(
+            self.code, message, rule=self.name,
+            path=str(ctx.path), line=line, **kw,
+        )
+
+
+_RULES: list[type[LintRule]] = []
+
+
+def register(rule_class: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the default registry."""
+    _RULES.append(rule_class)
+    return rule_class
+
+
+def default_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule, in registration order."""
+    from lint_rules import layering, style  # noqa: F401  (registration)
+
+    return [rule_class() for rule_class in _RULES]
+
+
+def noqa_lines(path: Path) -> set[int]:
+    """Line numbers carrying a ``# noqa`` comment."""
+    noqa: set[int] = set()
+    with tokenize.open(path) as handle:
+        try:
+            for token in tokenize.generate_tokens(handle.readline):
+                if token.type == tokenize.COMMENT and "noqa" in token.string:
+                    noqa.add(token.start[0])
+        except tokenize.TokenError:
+            pass
+    return noqa
+
+
+def lint_file(
+    path: Path, rules: list[LintRule], root: Path | None = None
+) -> Iterator[LintFinding]:
+    """Run every enabled rule over one file."""
+    text = path.read_text()
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        tree = None
+        yield LintFinding(
+            "E999", str(exc.msg), rule="syntax",
+            path=str(path), line=exc.lineno or 0,
+        )
+    ctx = LintContext(
+        path=path,
+        text=text,
+        tree=tree,
+        noqa=noqa_lines(path) if tree is not None else set(),
+        root=root,
+    )
+    for rule in rules:
+        if not rule.enabled:
+            continue
+        if rule.requires_tree and ctx.tree is None:
+            continue
+        yield from rule.check(ctx)

@@ -1,0 +1,208 @@
+"""Repo-specific layering rules (``HQ0xx``) — no ruff equivalents.
+
+These encode architectural invariants of the Hyper-Q reproduction:
+
+* HQ001 — ``Binder``/``Serializer`` are built only by the translation
+  pipeline; everything else goes through a ``TranslationPipeline``.
+* HQ002 — no ``except ...: pass`` silent swallows in the server and core
+  layers; failures must at least reach the structured logger.
+* HQ003 — every metric family name passed to ``metrics.counter`` /
+  ``gauge`` / ``histogram`` under ``src/`` must be declared in the
+  central registry ``src/repro/obs/names.py`` (typo'd names otherwise
+  produce dashboards that silently read zero).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from lint_rules import LintContext, LintFinding, LintRule, register
+
+#: classes only repro/core/pipeline.py may construct (HQ001)
+_PIPELINE_ONLY = {"Binder", "Serializer"}
+#: modules allowed to construct them: the pipeline choke point plus the
+#: modules that define the classes themselves
+_PIPELINE_EXEMPT = {
+    ("repro", "core", "pipeline.py"),
+    ("repro", "core", "serializer.py"),
+    ("repro", "core", "algebrizer", "binder.py"),
+}
+
+#: directory tails whose files may not silently swallow exceptions (HQ002)
+_NO_SWALLOW_DIRS = (
+    ("src", "repro", "server"),
+    ("src", "repro", "core"),
+)
+
+#: the metric factory functions whose first argument HQ003 validates
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+
+
+def _under(parts: tuple[str, ...], tail: tuple[str, ...]) -> bool:
+    """Whether ``tail`` appears as a contiguous run in ``parts``."""
+    n = len(tail)
+    return any(parts[i:i + n] == tail for i in range(len(parts) - n + 1))
+
+
+@register
+class PipelineLayeringRule(LintRule):
+    """HQ001: Binder/Serializer construction outside the pipeline."""
+
+    code = "HQ001"
+    name = "pipeline_layering"
+    purpose = "stage construction goes through TranslationPipeline"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if "src" not in parts:
+            return  # tests and benches construct the stages directly
+        if any(parts[-len(tail):] == tail for tail in _PIPELINE_EXEMPT):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _PIPELINE_ONLY and not ctx.suppressed(node.lineno):
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"direct {name}() construction outside "
+                    f"repro/core/pipeline.py — use the session's "
+                    f"TranslationPipeline",
+                )
+
+
+def _is_broad(handler_type: ast.expr | None) -> bool:
+    """Whether the except clause catches Exception/BaseException (or is
+    bare).  Narrow handlers (``except OSError: pass`` on a teardown
+    path) stay legitimate idiom."""
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in ("Exception", "BaseException")
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(element) for element in handler_type.elts)
+    return False
+
+
+@register
+class SilentSwallowRule(LintRule):
+    """HQ002: ``except Exception: pass`` in the server/core layers."""
+
+    code = "HQ002"
+    name = "silent_swallow"
+    purpose = "no broad silently-passed exception handlers in server/core"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if not any(_under(parts, tail) for tail in _NO_SWALLOW_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if ctx.suppressed(node.lineno):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+                yield self.finding(
+                    ctx, node.lineno,
+                    "exception silently swallowed (broad `except: pass`) "
+                    "— log it through repro.obs.get_logger or narrow "
+                    "the handler",
+                )
+
+
+@register
+class MetricRegistryRule(LintRule):
+    """HQ003: metric family names must come from repro/obs/names.py."""
+
+    code = "HQ003"
+    name = "metric_registry"
+    purpose = "metric names declared in the central obs/names.py registry"
+
+    #: relative path of the registry module (also HQ003-exempt itself)
+    REGISTRY = ("src", "repro", "obs", "names.py")
+
+    def __init__(self):
+        self._registry_cache: tuple[Path, frozenset[str]] | None = None
+
+    def _declared_names(self, root: Path | None) -> frozenset[str] | None:
+        """Upper-case string constants in the registry module, by parsing
+        its source (this package must not import ``repro``)."""
+        if root is None:
+            return None
+        if (
+            self._registry_cache is not None
+            and self._registry_cache[0] == root
+        ):
+            return self._registry_cache[1]
+        registry_path = root.joinpath(*self.REGISTRY)
+        if not registry_path.is_file():
+            return None
+        names: set[str] = set()
+        tree = ast.parse(registry_path.read_text())
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if not any(t.isupper() for t in targets):
+                continue
+            if isinstance(node.value, ast.Constant) and isinstance(
+                node.value.value, str
+            ):
+                names.add(node.value.value)
+        declared = frozenset(names)
+        self._registry_cache = (root, declared)
+        return declared
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if "src" not in parts:
+            return  # tests may mint ad-hoc metric families
+        if parts[-len(self.REGISTRY):] == self.REGISTRY:
+            return
+        declared = self._declared_names(ctx.root)
+        if declared is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _METRIC_FACTORIES
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "metrics"
+            ):
+                continue
+            if ctx.suppressed(node.lineno):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"metrics.{func.attr} family name must be a string "
+                    f"literal so HQ003 can check it against "
+                    f"repro/obs/names.py",
+                )
+                continue
+            if first.value not in declared:
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"metric family {first.value!r} is not declared in "
+                    f"repro/obs/names.py — add it to the registry",
+                )

@@ -1,0 +1,207 @@
+"""Style rules: the ruff-subset (E, W, F, I) the codebase relies on.
+
+Ported unchanged from the pre-refactor ``mini_lint.py`` monolith; each
+check is now one :class:`~lint_rules.LintRule` so projects (and tests)
+can enable, disable, or extend them individually.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from typing import Iterable
+
+from lint_rules import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    LintContext,
+    LintFinding,
+    LintRule,
+    register,
+)
+
+LINE_LENGTH = 88
+FIRST_PARTY = {"repro", "conftest", "lint_rules"}
+
+_STDLIB = set(sys.stdlib_module_names)
+
+
+def _section(module: str) -> int:
+    """0 = __future__, 1 = stdlib, 2 = third-party, 3 = first-party."""
+    root = module.split(".", 1)[0]
+    if root == "__future__":
+        return 0
+    if root in FIRST_PARTY:
+        return 3
+    if root in _STDLIB:
+        return 1
+    return 2
+
+
+@register
+class TextRule(LintRule):
+    """E501 long lines, W291/W293 trailing whitespace, W292 final newline."""
+
+    code = "E501"
+    name = "text"
+    purpose = "line length and whitespace hygiene"
+    requires_tree = False
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        lines = ctx.text.split("\n")
+        for number, line in enumerate(lines, start=1):
+            if len(line) > LINE_LENGTH and "noqa" not in line:
+                yield LintFinding(
+                    "E501",
+                    f"line too long ({len(line)} > {LINE_LENGTH})",
+                    severity=SEVERITY_ERROR, rule=self.name,
+                    path=str(ctx.path), line=number,
+                )
+            if line != line.rstrip():
+                code = "W293" if not line.strip() else "W291"
+                yield LintFinding(
+                    code, "trailing whitespace",
+                    severity=SEVERITY_WARNING, rule=self.name,
+                    path=str(ctx.path), line=number,
+                )
+        if ctx.text and not ctx.text.endswith("\n"):
+            yield LintFinding(
+                "W292", "no newline at end of file",
+                severity=SEVERITY_WARNING, rule=self.name,
+                path=str(ctx.path), line=len(lines),
+            )
+
+
+@register
+class ComparisonRule(LintRule):
+    """E711/E712 constant comparison with ==/!=, E722 bare except."""
+
+    code = "E711"
+    name = "comparisons"
+    purpose = "identity comparisons and bare excepts"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    if isinstance(comparator, ast.Constant) and (
+                        comparator.value is None
+                        or comparator.value is True
+                        or comparator.value is False
+                    ):
+                        code = (
+                            "E711" if comparator.value is None else "E712"
+                        )
+                        yield LintFinding(
+                            code,
+                            f"comparison to {comparator.value!r} "
+                            f"with ==/!=",
+                            severity=SEVERITY_ERROR, rule=self.name,
+                            path=str(ctx.path), line=node.lineno,
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield LintFinding(
+                    "E722", "bare except",
+                    severity=SEVERITY_ERROR, rule=self.name,
+                    path=str(ctx.path), line=node.lineno,
+                )
+
+
+def _imported_names(tree: ast.Module) -> list[tuple[str, str, int]]:
+    """(bound name, qualified source, line) for module-level imports."""
+    out = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".", 1)[0]
+                out.append((bound, alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue  # future imports are effects, never "unused"
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                out.append((bound, alias.name, node.lineno))
+    return out
+
+
+@register
+class UnusedImportRule(LintRule):
+    """F401: module-level import never used (honours __all__ and noqa)."""
+
+    code = "F401"
+    name = "unused_imports"
+    purpose = "unused module-level imports"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        used: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+        exported: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if "__all__" in targets and isinstance(
+                    node.value, (ast.List, ast.Tuple)
+                ):
+                    exported = {
+                        element.value
+                        for element in node.value.elts
+                        if isinstance(element, ast.Constant)
+                    }
+        for bound, source, lineno in _imported_names(ctx.tree):
+            if ctx.suppressed(lineno):
+                continue
+            if bound in used or bound in exported:
+                continue
+            # redundant aliases (`import x as x`) re-export, not unused
+            if source == bound and ctx.path.name == "__init__.py":
+                continue
+            yield LintFinding(
+                "F401", f"{source!r} imported but unused",
+                severity=SEVERITY_ERROR, rule=self.name,
+                path=str(ctx.path), line=lineno,
+            )
+
+
+@register
+class ImportOrderRule(LintRule):
+    """I001: approximate ruff/isort ordering on the leading import block."""
+
+    code = "I001"
+    name = "import_order"
+    purpose = "stdlib -> third-party -> first-party import ordering"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        block: list[tuple[int, int, str, int]] = []
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if ctx.suppressed(node.lineno):
+                    continue
+                if isinstance(node, ast.ImportFrom):
+                    module = node.module or "." * node.level
+                    style = 1
+                else:
+                    module = node.names[0].name
+                    style = 0
+                block.append(
+                    (_section(module), style, module.lower(), node.lineno)
+                )
+            elif not isinstance(node, (ast.Expr, ast.Constant)):
+                break  # imports below code are E402 territory
+        for before, after in zip(block, block[1:]):
+            if before[:3] > after[:3]:
+                yield LintFinding(
+                    "I001",
+                    f"import block out of order "
+                    f"({after[2]} after {before[2]})",
+                    severity=SEVERITY_ERROR, rule=self.name,
+                    path=str(ctx.path), line=after[3],
+                )
+                break

@@ -2,251 +2,50 @@
 """Stdlib-only lint fallback approximating the repo's ruff gate.
 
 CI runs ``ruff check .`` (select = E, F, W, I per pyproject.toml); this
-script re-implements the subset of those rules that the codebase relies
-on, using only ``ast`` and ``tokenize``, so the same gate is runnable in
-hermetic environments where ruff cannot be installed:
+driver runs the subset of those rules that the codebase relies on, using
+only ``ast`` and ``tokenize``, so the same gate is runnable in hermetic
+environments where ruff cannot be installed.  The rules themselves live
+in the pluggable ``scripts/lint_rules/`` registry (the same discovery
+pattern as the Xformer rewrite rules and the qcheck rules):
 
-* E501  line too long (> the configured 88 columns)
-* E711/E712  comparisons to None/True/False with ==/!=
-* E722  bare ``except:``
-* W291/W293  trailing whitespace
-* W292  missing newline at end of file
-* F401  module-level import never used (honours ``__all__`` and
-  ``# noqa`` comments)
-* I001  import block not sorted (stdlib -> third-party -> first-party,
-  straight imports before from-imports, case-insensitive alphabetical)
+* ``lint_rules/style.py`` — E501, E711/E712, E722, W291/W292/W293,
+  F401 (honours ``__all__`` and ``# noqa``), I001
+* ``lint_rules/layering.py`` — the repo-specific architectural rules:
+  HQ001 (Binder/Serializer construction only inside the pipeline),
+  HQ002 (no silent ``except: pass`` in server/core),
+  HQ003 (metric family names declared in ``repro/obs/names.py``)
 
-One repo-specific layering rule rides along (no ruff equivalent):
-
-* HQ001  production code under ``src/`` must not construct ``Binder`` or
-  ``Serializer`` directly — those are built only by the translation
-  pipeline (``repro/core/pipeline.py``); everything else goes through a
-  :class:`TranslationPipeline` instance.  The defining modules and tests
-  are exempt.
-
-Exit status is the number of findings (0 == clean).
+See docs/ANALYSIS.md for the rule catalog and how to add a rule.
+Exit status is the number of findings, capped at 125 (0 == clean).
 """
 
 from __future__ import annotations
 
-import ast
 import sys
-import tokenize
 from pathlib import Path
 
-LINE_LENGTH = 88
-FIRST_PARTY = {"repro", "conftest"}
+_SCRIPTS_DIR = Path(__file__).resolve().parent
+if str(_SCRIPTS_DIR) not in sys.path:
+    sys.path.insert(0, str(_SCRIPTS_DIR))
+
+from lint_rules import default_rules, lint_file  # noqa: E402
+
 CHECK_DIRS = ("src", "tests", "benchmarks", "examples", "scripts")
-
-_STDLIB = set(sys.stdlib_module_names)
-
-
-def _section(module: str) -> int:
-    """0 = __future__, 1 = stdlib, 2 = third-party, 3 = first-party."""
-    root = module.split(".", 1)[0]
-    if root == "__future__":
-        return 0
-    if root in FIRST_PARTY:
-        return 3
-    if root in _STDLIB:
-        return 1
-    return 2
-
-
-def _noqa_lines(path: Path) -> set[int]:
-    noqa = set()
-    with tokenize.open(path) as handle:
-        try:
-            for token in tokenize.generate_tokens(handle.readline):
-                if token.type == tokenize.COMMENT and "noqa" in token.string:
-                    noqa.add(token.start[0])
-        except tokenize.TokenError:
-            pass
-    return noqa
-
-
-def check_text(path: Path, text: str, findings: list[str]) -> None:
-    lines = text.split("\n")
-    for number, line in enumerate(lines, start=1):
-        if len(line) > LINE_LENGTH and "noqa" not in line:
-            findings.append(
-                f"{path}:{number}: E501 line too long ({len(line)} > "
-                f"{LINE_LENGTH})"
-            )
-        if line != line.rstrip():
-            code = "W293" if not line.strip() else "W291"
-            findings.append(f"{path}:{number}: {code} trailing whitespace")
-    if text and not text.endswith("\n"):
-        findings.append(f"{path}:{len(lines)}: W292 no newline at end of file")
-
-
-def check_comparisons(path: Path, tree: ast.AST, findings: list[str]) -> None:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Compare):
-            for op, comparator in zip(node.ops, node.comparators):
-                if not isinstance(op, (ast.Eq, ast.NotEq)):
-                    continue
-                if isinstance(comparator, ast.Constant) and (
-                    comparator.value is None
-                    or comparator.value is True
-                    or comparator.value is False
-                ):
-                    code = "E711" if comparator.value is None else "E712"
-                    findings.append(
-                        f"{path}:{node.lineno}: {code} comparison to "
-                        f"{comparator.value!r} with ==/!="
-                    )
-        elif isinstance(node, ast.ExceptHandler) and node.type is None:
-            findings.append(f"{path}:{node.lineno}: E722 bare except")
-
-
-def _imported_names(tree: ast.Module) -> list[tuple[str, str, int]]:
-    """(bound name, qualified source, line) for module-level imports."""
-    out = []
-    for node in tree.body:
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                bound = alias.asname or alias.name.split(".", 1)[0]
-                out.append((bound, alias.name, node.lineno))
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue  # future imports are effects, never "unused"
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                bound = alias.asname or alias.name
-                out.append((bound, alias.name, node.lineno))
-    return out
-
-
-def check_unused_imports(
-    path: Path, tree: ast.Module, noqa: set[int], findings: list[str]
-) -> None:
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            pass  # the Name at the base of the chain is what counts
-    exported: set[str] = set()
-    for node in tree.body:
-        if isinstance(node, ast.Assign):
-            targets = [
-                t.id for t in node.targets if isinstance(t, ast.Name)
-            ]
-            if "__all__" in targets and isinstance(
-                node.value, (ast.List, ast.Tuple)
-            ):
-                exported = {
-                    element.value
-                    for element in node.value.elts
-                    if isinstance(element, ast.Constant)
-                }
-    for bound, source, lineno in _imported_names(tree):
-        if lineno in noqa:
-            continue
-        if bound in used or bound in exported:
-            continue
-        # redundant aliases (`import x as x`) are re-exports, not unused
-        if source == bound and path.name == "__init__.py":
-            continue
-        findings.append(
-            f"{path}:{lineno}: F401 {source!r} imported but unused"
-        )
-
-
-def check_import_order(
-    path: Path, tree: ast.Module, noqa: set[int], findings: list[str]
-) -> None:
-    """Approximate ruff/isort I001 on the leading import block."""
-    block: list[tuple[int, int, str, int]] = []
-    for node in tree.body:
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            if node.lineno in noqa:
-                continue
-            if isinstance(node, ast.ImportFrom):
-                module = node.module or "." * node.level
-                style = 1
-            else:
-                module = node.names[0].name
-                style = 0
-            block.append((_section(module), style, module.lower(), node.lineno))
-        elif not isinstance(node, (ast.Expr, ast.Constant)):
-            break  # imports below code are E402 territory, not ordering
-    for before, after in zip(block, block[1:]):
-        if before[:3] > after[:3]:
-            findings.append(
-                f"{path}:{after[3]}: I001 import block out of order "
-                f"({after[2]} after {before[2]})"
-            )
-            break
-
-
-#: classes only repro/core/pipeline.py may construct (layering rule)
-_PIPELINE_ONLY = {"Binder", "Serializer"}
-#: modules allowed to construct them: the pipeline choke point plus the
-#: modules that define the classes themselves
-_PIPELINE_EXEMPT = {
-    ("repro", "core", "pipeline.py"),
-    ("repro", "core", "serializer.py"),
-    ("repro", "core", "algebrizer", "binder.py"),
-}
-
-
-def check_pipeline_layering(
-    path: Path, tree: ast.AST, noqa: set[int], findings: list[str]
-) -> None:
-    """HQ001: Binder/Serializer construction outside the pipeline."""
-    parts = path.parts
-    if "src" not in parts:
-        return  # tests and benches construct the stages directly
-    if any(parts[-len(tail):] == tail for tail in _PIPELINE_EXEMPT):
-        return
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        name = None
-        if isinstance(func, ast.Name):
-            name = func.id
-        elif isinstance(func, ast.Attribute):
-            name = func.attr
-        if name in _PIPELINE_ONLY and node.lineno not in noqa:
-            findings.append(
-                f"{path}:{node.lineno}: HQ001 direct {name}() construction "
-                f"outside repro/core/pipeline.py — use the session's "
-                f"TranslationPipeline"
-            )
-
-
-def lint_file(path: Path) -> list[str]:
-    findings: list[str] = []
-    text = path.read_text()
-    check_text(path, text, findings)
-    try:
-        tree = ast.parse(text)
-    except SyntaxError as exc:
-        return findings + [f"{path}:{exc.lineno}: E999 {exc.msg}"]
-    noqa = _noqa_lines(path)
-    check_comparisons(path, tree, findings)
-    check_unused_imports(path, tree, noqa, findings)
-    check_import_order(path, tree, noqa, findings)
-    check_pipeline_layering(path, tree, noqa, findings)
-    return findings
 
 
 def main(argv: list[str]) -> int:
-    root = Path(__file__).resolve().parent.parent
+    root = _SCRIPTS_DIR.parent
     targets = [Path(arg) for arg in argv] or [
         path
         for directory in CHECK_DIRS
         for path in sorted((root / directory).rglob("*.py"))
     ]
-    findings: list[str] = []
+    rules = default_rules()
+    findings = []
     for path in targets:
-        findings.extend(lint_file(path))
+        findings.extend(lint_file(path, rules, root=root))
     for finding in findings:
-        print(finding)
+        print(finding.render())
     print(f"mini-lint: {len(findings)} finding(s) in {len(targets)} file(s)")
     return min(len(findings), 125)
 

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Batch qcheck runner: analyze the shipped Q query corpora.
+
+Runs the ``repro.analysis`` qcheck rules (the same rules the pipeline's
+``analyze`` pass applies per statement) over every Q query the repo
+ships — the paper's 25-query Analytical Workload plus the ``examples/``
+corpora — against the real schemas those queries run on, and writes a
+JSON report.  CI runs this and fails on any error-severity finding, so
+a new workload query with a typo'd column name (or an analyzer false
+positive on supported Q) breaks the build instead of a benchmark run.
+
+Usage::
+
+    python scripts/qlint.py [--output PATH] [-v]
+
+Exit status: the number of error-severity findings (capped at 125).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+
+from repro.analysis import QueryAnalyzer, Severity  # noqa: E402
+from repro.core.platform import HyperQ  # noqa: E402
+from repro.qlang.interp import Interpreter  # noqa: E402
+from repro.workload.analytical import AnalyticalConfig, load_workload  # noqa: E402
+from repro.workload.loader import load_q_source, load_table  # noqa: E402
+from repro.workload.taq import TaqConfig, generate  # noqa: E402
+
+DEFAULT_REPORT = _ROOT / "benchmarks" / "results" / "qlint_report.json"
+
+
+@dataclass
+class Corpus:
+    """One named set of Q queries plus the platform they bind against."""
+
+    name: str
+    queries: list[str]
+    platform: HyperQ = field(default_factory=HyperQ)
+
+
+def _market_platform(source: str, tables: list[str]) -> HyperQ:
+    platform = HyperQ()
+    load_q_source(
+        platform.engine, Interpreter(), source, tables, mdi=platform.mdi
+    )
+    return platform
+
+
+def _taq_platform() -> HyperQ:
+    platform = HyperQ()
+    data = generate(
+        TaqConfig(n_symbols=2, quotes_per_symbol=8, trades_per_symbol=4)
+    )
+    load_table(platform.engine, "trades", data.trades, mdi=platform.mdi)
+    load_table(platform.engine, "quotes", data.quotes, mdi=platform.mdi)
+    return platform
+
+
+def build_corpora() -> list[Corpus]:
+    """The shipped query corpora, each with its real schema loaded."""
+    from examples.migration_tool import SPOT_CHECKS
+    from examples.quickstart import MARKET as QUICKSTART_MARKET
+    from examples.quickstart import QUERIES as QUICKSTART_QUERIES
+    from examples.trading_analytics import ANALYTICS
+    from examples.virtualized_server import (
+        APPLICATION_QUERIES,
+        MARKET as SERVER_MARKET,
+    )
+
+    workload_platform = HyperQ()
+    workload = load_workload(
+        workload_platform.engine,
+        mdi=workload_platform.mdi,
+        config=AnalyticalConfig.small(),
+    )
+    taq = _taq_platform()
+    return [
+        Corpus(
+            "workload.analytical",
+            [query.text for query in workload.queries],
+            workload_platform,
+        ),
+        Corpus(
+            "examples.quickstart",
+            list(QUICKSTART_QUERIES),
+            _market_platform(QUICKSTART_MARKET, ["trades"]),
+        ),
+        Corpus(
+            "examples.trading_analytics",
+            [query for __, query in ANALYTICS],
+            taq,
+        ),
+        Corpus("examples.migration_tool", list(SPOT_CHECKS), taq),
+        Corpus(
+            "examples.virtualized_server",
+            list(APPLICATION_QUERIES),
+            _market_platform(SERVER_MARKET, ["trades"]),
+        ),
+    ]
+
+
+def analyze_corpus(corpus: Corpus) -> list[dict]:
+    """qcheck findings for every query in one corpus, as report rows."""
+    analyzer = QueryAnalyzer(
+        mdi=corpus.platform.mdi, config=corpus.platform.config
+    )
+    session = corpus.platform.create_session()
+    rows: list[dict] = []
+    try:
+        for number, query in enumerate(corpus.queries, start=1):
+            for finding in analyzer.analyze_source(
+                query, session.session_scope
+            ):
+                row = finding.to_dict()
+                row["corpus"] = corpus.name
+                row["query_number"] = number
+                row["query"] = query
+                rows.append(row)
+    finally:
+        session.close()
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_REPORT,
+        help=f"JSON report path (default: {DEFAULT_REPORT})",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print every finding, not just the summary",
+    )
+    args = parser.parse_args(argv)
+
+    corpora = build_corpora()
+    findings: list[dict] = []
+    counts: dict[str, int] = {}
+    for corpus in corpora:
+        rows = analyze_corpus(corpus)
+        findings.extend(rows)
+        counts[corpus.name] = len(corpus.queries)
+
+    by_severity = {severity.label: 0 for severity in Severity}
+    for row in findings:
+        by_severity[row["severity"]] += 1
+        if args.verbose or row["severity"] == Severity.ERROR.label:
+            print(
+                f"{row['corpus']} #{row['query_number']}: {row['code']} "
+                f"[{row['severity']}] {row['message']}\n"
+                f"    q) {row['query']}"
+            )
+
+    report = {
+        "tool": "qlint",
+        "corpora": counts,
+        "total_queries": sum(counts.values()),
+        "findings": findings,
+        "by_severity": by_severity,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"qlint: {sum(counts.values())} queries in {len(corpora)} corpora, "
+        f"{len(findings)} finding(s) "
+        f"({by_severity['error']} error, {by_severity['warning']} warning, "
+        f"{by_severity['info']} info) -> {args.output}"
+    )
+    return min(by_severity["error"], 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Static analysis for Hyper-Q: qcheck rules + XTRA invariants.
+
+Two levels (ISSUE 3):
+
+* **qcheck** — pre-bind rules over the Q AST (:mod:`repro.analysis.qcheck`)
+  run by :class:`QueryAnalyzer`, reporting :class:`Finding` records with
+  ``QC0xx`` codes;
+* **invariants** — structural checks on the XTRA operator tree
+  (:mod:`repro.analysis.invariants`), run by the pipeline after each pass.
+
+See ``docs/ANALYSIS.md`` for the rule catalog.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    QueryAnalyzer,
+    Rule,
+    Severity,
+    default_rules,
+)
+from repro.analysis.invariants import InvariantViolation, check_operator_tree
+
+__all__ = [
+    "Finding",
+    "InvariantViolation",
+    "QueryAnalyzer",
+    "Rule",
+    "Severity",
+    "check_operator_tree",
+    "default_rules",
+]

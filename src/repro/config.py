@@ -8,8 +8,15 @@ individual Xformer rules used by the ablation benchmarks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from enum import Enum
+
+
+def _analysis_default_enabled() -> bool:
+    """Analysis defaults off in production, on when ``REPRO_ANALYSIS`` is
+    set (the test suite sets it so every translated statement is vetted)."""
+    return os.environ.get("REPRO_ANALYSIS", "") not in ("", "0")
 
 
 class MaterializationMode(Enum):
@@ -95,6 +102,28 @@ class BackendPoolConfig:
 
 
 @dataclass
+class AnalysisConfig:
+    """The :mod:`repro.analysis` static-analysis subsystem.
+
+    When ``enabled``, the translation pipeline gains an ``analyze`` pass
+    (pre-bind qcheck rules over the Q AST) and verifies XTRA invariants on
+    the operator tree after every pass.  Findings are recorded in the
+    ``analysis_findings_total`` metric either way; only QC004
+    (untranslatable construct) raises, and only when
+    ``raise_on_untranslatable`` is set.
+    """
+
+    enabled: bool = field(default_factory=_analysis_default_enabled)
+    #: run the pre-bind qcheck rules as an ``analyze`` pipeline pass
+    qcheck: bool = True
+    #: verify XTRA invariants on each pass's output operator tree
+    check_invariants: bool = True
+    #: raise :class:`repro.errors.UntranslatableError` from the analyze
+    #: pass for constructs that provably have no XTRA mapping (QC004)
+    raise_on_untranslatable: bool = True
+
+
+@dataclass
 class HyperQConfig:
     metadata_cache: MetadataCacheConfig = field(default_factory=MetadataCacheConfig)
     translation_cache: TranslationCacheConfig = field(
@@ -105,6 +134,7 @@ class HyperQConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     materialization: MaterializationMode = MaterializationMode.PHYSICAL
     #: prefix for generated temp tables, as in the paper's example SQL
     temp_table_prefix: str = "hq_temp_"

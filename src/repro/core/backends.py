@@ -255,11 +255,14 @@ class PooledBackend(ExecutionBackend):
         except Exception:
             return False
 
-    @staticmethod
-    def _close_quietly(conn) -> None:
+    def _close_quietly(self, conn) -> None:
         try:
             close = getattr(conn, "close", None)
             if close is not None:
                 close()
-        except Exception:
-            pass
+        except Exception as exc:
+            # quiet means the pool keeps going, not that the failure
+            # disappears (lint rule HQ002)
+            _log.warning(
+                "pool_close_failed", pool=self.name, error=str(exc)
+            )

@@ -30,13 +30,15 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.analysis.framework import QueryAnalyzer
+from repro.analysis.invariants import check_operator_tree
 from repro.config import HyperQConfig, TranslationCacheConfig
 from repro.core.algebrizer.binder import Binder, BoundScalar
 from repro.core.metadata import MetadataInterface
 from repro.core.scopes import Scope
 from repro.core.serializer import Serializer
 from repro.core.xformer.framework import Xformer
-from repro.errors import TranslationError
+from repro.errors import InvariantError, TranslationError, UntranslatableError
 from repro.obs import metrics, tracing
 from repro.qlang import ast
 
@@ -65,22 +67,44 @@ TRANSLATION_CACHE_ENTRIES = metrics.gauge(
     "Entries currently held by the translation cache",
 )
 
+#: static-analysis telemetry, labelled by rule code (QC0xx / XI00x)
+ANALYSIS_FINDINGS = metrics.counter(
+    "analysis_findings_total",
+    "qcheck findings reported by the analyze pass",
+)
+ANALYSIS_INVARIANT_VIOLATIONS = metrics.counter(
+    "analysis_invariant_violations_total",
+    "XTRA invariant violations detected after pipeline passes",
+)
+
 
 @dataclass
 class StageTimings:
-    """Per-stage wall-clock seconds for one translation (Figure 7)."""
+    """Per-stage wall-clock seconds for one translation (Figure 7).
+
+    ``analyze`` bills the opt-in static-analysis pass; it stays 0.0 in
+    the paper's four-stage split when analysis is disabled.
+    """
 
     parse: float = 0.0
+    analyze: float = 0.0
     algebrize: float = 0.0
     optimize: float = 0.0
     serialize: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.parse + self.algebrize + self.optimize + self.serialize
+        return (
+            self.parse
+            + self.analyze
+            + self.algebrize
+            + self.optimize
+            + self.serialize
+        )
 
     def add(self, other: "StageTimings") -> None:
         self.parse += other.parse
+        self.analyze += other.analyze
         self.algebrize += other.algebrize
         self.optimize += other.optimize
         self.serialize += other.serialize
@@ -174,6 +198,37 @@ class Pass:
         raise NotImplementedError
 
 
+class AnalyzePass(Pass):
+    """Pre-bind static analysis: run the qcheck rules over the AST.
+
+    Findings are recorded on the unit's diagnostics and the
+    ``analysis_findings_total`` metric; only fatal QC004 findings
+    (constructs with no XTRA mapping) abort the translation, as a
+    structured :class:`~repro.errors.UntranslatableError` raised before
+    the binder ever runs.
+    """
+
+    name = "analyze"
+    stage = "analyze"
+
+    def run(self, unit: TranslationUnit, pipeline: "TranslationPipeline") -> None:
+        findings = pipeline.analyzer.analyze_statement(
+            unit.statement, unit.scope
+        )
+        for finding in findings:
+            ANALYSIS_FINDINGS.inc(rule=finding.code)
+            unit.diagnostics.append(finding.render())
+        if not pipeline.config.analysis.raise_on_untranslatable:
+            return
+        for finding in findings:
+            if finding.fatal:
+                raise UntranslatableError(
+                    finding.message,
+                    category=finding.category or "missing-feature",
+                    construct=finding.rule,
+                )
+
+
 class BindPass(Pass):
     """Algebrize: AST -> bound XTRA through the scope chain + MDI."""
 
@@ -246,8 +301,13 @@ class TranslationPipeline:
         self.config = config or HyperQConfig()
         self.xformer = xformer or Xformer(self.config.xformer)
         self.serializer = Serializer()
+        self.analyzer = QueryAnalyzer(mdi=mdi, config=self.config)
         self._passes: list[Pass] = []
-        for p in passes if passes is not None else default_passes():
+        if passes is None:
+            passes = default_passes()
+            if self.config.analysis.enabled and self.config.analysis.qcheck:
+                passes.insert(0, AnalyzePass())
+        for p in passes:
             self.register_pass(p)
 
     # -- pass registry ---------------------------------------------------------
@@ -306,12 +366,45 @@ class TranslationPipeline:
             timings=timings if timings is not None else StageTimings(),
             source=source,
         )
+        check_invariants = (
+            self.config.analysis.enabled
+            and self.config.analysis.check_invariants
+        )
         for p in self._passes:
             with tracing.span(f"pass.{p.name}") as span:
                 with stage_span(unit.timings, p.stage):
                     p.run(unit, self)
+                if check_invariants:
+                    self._check_invariants(unit, p.name, span)
             unit.stages.append(StageRecord(p.name, span.duration))
         return unit
+
+    @staticmethod
+    def _check_invariants(unit: TranslationUnit, pass_name: str, span) -> None:
+        """Verify XTRA invariants on the tree ``pass_name`` just produced.
+
+        Attribution is the point: the error and the trace span both name
+        the pass whose *output* is broken, so a buggy xformer rule shows
+        up as ``xform``, not as a mysterious serializer failure later.
+        """
+        bound = unit.bound
+        op = getattr(bound, "op", None)
+        if op is None:
+            return  # nothing bound yet, or a scalar-only statement
+        violations = check_operator_tree(op)
+        if not violations:
+            return
+        span.attrs["invariant_violations"] = len(violations)
+        span.attrs["violating_pass"] = pass_name
+        for violation in violations:
+            ANALYSIS_INVARIANT_VIOLATIONS.inc(rule=violation.code)
+        rendered = "; ".join(v.render() for v in violations)
+        raise InvariantError(
+            f"pass {pass_name!r} produced an XTRA tree violating "
+            f"{len(violations)} invariant(s): {rendered}",
+            pass_name=pass_name,
+            violations=violations,
+        )
 
     def bind(self, node: ast.Node, scope: Scope):
         """Bind without transforming/serializing (materialization path)."""

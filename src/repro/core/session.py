@@ -43,7 +43,7 @@ from repro.errors import (
     TranslationError,
 )
 from repro.obs import configure as obs_configure
-from repro.obs import metrics, tracing
+from repro.obs import get_logger, metrics, tracing
 from repro.qlang import ast
 from repro.qlang.parser import parse
 from repro.qlang.values import QValue
@@ -52,6 +52,8 @@ from repro.qlang.values import QValue
 RUNS_TOTAL = metrics.counter(
     "hyperq_runs_total", "Q messages processed by Hyper-Q sessions"
 )
+
+_log = get_logger("core.session")
 
 
 @dataclass
@@ -169,7 +171,12 @@ class HyperQSession:
                             definition.meta.name = permanent
                             definition.meta.schema = "public"
                         self.mdi.invalidate(permanent)
-                    except Exception:
+                    except Exception as exc:
+                        _log.warning(
+                            "session_promote_failed",
+                            relation=relation,
+                            error=str(exc),
+                        )
                         keep.add(relation)
         promoted = self.session_scope.destroy()
         for relation, kind in self._materialized:
@@ -185,8 +192,15 @@ class HyperQSession:
                         f"DROP TABLE IF EXISTS {quote_ident(relation)}"
                     )
                 self.mdi.invalidate(relation)
-            except Exception:
-                pass
+            except Exception as exc:
+                # best-effort cleanup, but never silent (lint rule HQ002):
+                # an undroppable temp table is worth a log line
+                _log.warning(
+                    "session_drop_failed",
+                    relation=relation,
+                    kind=kind,
+                    error=str(exc),
+                )
         self._materialized.clear()
         self._closed = True
         return promoted
@@ -293,13 +307,24 @@ class HyperQSession:
         * ``cols t``    — column names of a table;
         * ``meta t``    — per-column name and q type character;
         * ``metrics[]`` — the observability snapshot as a Q dict of
-          ``sample name -> value`` (see docs/OBSERVABILITY.md).
+          ``sample name -> value`` (see docs/OBSERVABILITY.md);
+        * ``check "<q>"`` — run the qcheck analyzer over the quoted Q
+          source against the current scope and return the findings as a
+          table; ``check[]`` lists the rule catalog (docs/ANALYSIS.md).
         """
         from repro.qlang.qtypes import QType
         from repro.qlang.values import QTable, QVector
 
         if not execute:
             return None
+        if (
+            isinstance(statement, ast.Apply)
+            and isinstance(statement.func, ast.Name)
+            and statement.func.name == "check"
+        ):
+            check = self._try_check(statement, scope)
+            if check is not None:
+                return check
         if (
             isinstance(statement, ast.Apply)
             and isinstance(statement.func, ast.Name)
@@ -350,6 +375,51 @@ class HyperQSession:
                 QVector(QType.CHAR, chars),
             ],
         )
+
+    def _try_check(self, statement: ast.Apply, scope: Scope):
+        """``check "<q source>"`` — findings as a Q table; ``check[]`` —
+        the registered rule catalog.  Any other shape falls through to the
+        normal pipeline (so a user-defined ``check`` still binds)."""
+        from repro.qlang.qtypes import QType
+        from repro.qlang.values import QTable, QVector
+
+        args = [a for a in statement.args if a is not None]
+        analyzer = self.pipeline.analyzer
+        if not args:
+            rules = analyzer.rules
+            return QTable(
+                ["code", "name", "severity", "purpose"],
+                [
+                    QVector(QType.SYMBOL, [r.code for r in rules]),
+                    QVector(QType.SYMBOL, [r.name for r in rules]),
+                    QVector(
+                        QType.SYMBOL,
+                        [r.default_severity.label for r in rules],
+                    ),
+                    QVector(QType.SYMBOL, [r.purpose for r in rules]),
+                ],
+            )
+        if (
+            len(args) == 1
+            and isinstance(args[0], ast.Literal)
+            and isinstance(args[0].value, QVector)
+            and args[0].value.qtype == QType.CHAR
+        ):
+            source = "".join(args[0].value.items)
+            findings = analyzer.analyze_source(source, scope)
+            return QTable(
+                ["code", "severity", "rule", "pos", "message"],
+                [
+                    QVector(QType.SYMBOL, [f.code for f in findings]),
+                    QVector(
+                        QType.SYMBOL, [f.severity.label for f in findings]
+                    ),
+                    QVector(QType.SYMBOL, [f.rule for f in findings]),
+                    QVector(QType.LONG, [f.pos for f in findings]),
+                    QVector(QType.SYMBOL, [f.message for f in findings]),
+                ],
+            )
+        return None
 
     @staticmethod
     def _admin_target(statement: ast.Node, verbs: tuple[str, ...]):

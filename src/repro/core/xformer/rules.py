@@ -393,7 +393,11 @@ class ColumnPruningRule(Rule):
             if len(kept) < len(op.output):
                 ctx.record(self.name, len(op.output) - len(kept))
             ordcol = op.ordcol if any(c.name == op.ordcol for c in kept) else None
-            return XtraGet(op.table, kept, ordcol=ordcol, keys=op.keys)
+            # keys must stay a subset of the output columns (invariant
+            # XI006), so pruned key columns leave the key list too
+            kept_names = {c.name for c in kept}
+            keys = [k for k in op.keys if k in kept_names]
+            return XtraGet(op.table, kept, ordcol=ordcol, keys=keys)
         if isinstance(op, XtraConstTable):
             keep_idx = [
                 i for i, c in enumerate(op.output) if c.name in required

@@ -89,6 +89,22 @@ class QNotSupportedError(QError):
         self.category = category
 
 
+class UntranslatableError(QNotSupportedError):
+    """Static analysis proved the statement untranslatable before binding.
+
+    Raised by the ``analyze`` pipeline pass (QC004) so constructs with no
+    XTRA mapping fail fast, with the same ``signal``/``category`` contract
+    as :class:`QNotSupportedError`.  ``code`` is the analysis rule code
+    (``QC004``) and ``construct`` names the offending syntax.
+    """
+
+    def __init__(self, message: str, category: str = "missing-feature",
+                 construct: str = ""):
+        super().__init__(message, category=category)
+        self.code = "QC004"
+        self.construct = construct
+
+
 class SqlError(ReproError):
     """Base class for errors raised by the SQL engine substrate."""
 
@@ -139,6 +155,21 @@ class AuthenticationError(ProtocolError):
 
 class TranslationError(ReproError):
     """Hyper-Q could not translate a bound XTRA tree to SQL."""
+
+
+class InvariantError(TranslationError):
+    """A pipeline pass produced an XTRA tree violating a checked invariant.
+
+    Carries ``pass_name`` — the pass whose *output* failed the check — so
+    a broken xformer rule is attributed to ``xform``, not to whichever
+    later stage happened to trip over the damage.  ``violations`` holds the
+    :class:`repro.analysis.invariants.InvariantViolation` records.
+    """
+
+    def __init__(self, message: str, pass_name: str, violations=()):
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.violations = list(violations)
 
 
 class MetadataError(ReproError):

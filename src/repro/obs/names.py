@@ -1,0 +1,59 @@
+"""Central registry of metric family names.
+
+Every family name passed to :func:`repro.obs.metrics.counter` / ``gauge`` /
+``histogram`` anywhere under ``src/`` must be declared here.  The lint rule
+HQ003 (``scripts/lint_rules/layering.py``) enforces the invariant, which
+turns metric-name typos — the classic "dashboard silently shows zero"
+failure — into lint errors.
+
+Grouped by subsystem; each constant's value is the Prometheus-style family
+name exactly as it appears at the declaration site.
+"""
+
+from __future__ import annotations
+
+# --- servers (QIPC endpoint + PG wire server share the family names) ----
+SERVER_ACTIVE_SESSIONS = "server_active_sessions"
+SERVER_QUERIES_TOTAL = "server_queries_total"
+SERVER_ERRORS_TOTAL = "server_errors_total"
+SERVER_QUERY_SECONDS = "server_query_seconds"
+HYPERQ_ACTIVE_QUERIES = "hyperq_active_queries"
+
+# --- wire protocols -----------------------------------------------------
+QIPC_BYTES_TOTAL = "qipc_bytes_total"
+QIPC_MESSAGES_TOTAL = "qipc_messages_total"
+QIPC_COMPRESSION_RATIO = "qipc_compression_ratio"
+PGWIRE_BYTES_TOTAL = "pgwire_bytes_total"
+PGWIRE_MESSAGES_TOTAL = "pgwire_messages_total"
+
+# --- session + translation pipeline -------------------------------------
+HYPERQ_RUNS_TOTAL = "hyperq_runs_total"
+HYPERQ_STAGE_SECONDS = "hyperq_stage_seconds"
+TRANSLATION_CACHE_HITS_TOTAL = "hyperq_translation_cache_hits_total"
+TRANSLATION_CACHE_MISSES_TOTAL = "hyperq_translation_cache_misses_total"
+TRANSLATION_CACHE_EVICTIONS_TOTAL = "hyperq_translation_cache_evictions_total"
+TRANSLATION_CACHE_ENTRIES = "hyperq_translation_cache_entries"
+HYPERQ_MATERIALIZATIONS_TOTAL = "hyperq_materializations_total"
+
+# --- metadata interface cache -------------------------------------------
+MDI_CACHE_LOOKUPS_TOTAL = "mdi_cache_lookups_total"
+MDI_CACHE_HITS_TOTAL = "mdi_cache_hits_total"
+MDI_CACHE_MISSES_TOTAL = "mdi_cache_misses_total"
+MDI_CACHE_INVALIDATIONS_TOTAL = "mdi_cache_invalidations_total"
+
+# --- backend connection pool --------------------------------------------
+BACKEND_POOL_CONNECTIONS = "backend_pool_connections"
+BACKEND_POOL_IN_USE = "backend_pool_in_use"
+BACKEND_POOL_CHECKOUT_TIMEOUTS_TOTAL = "backend_pool_checkout_timeouts_total"
+BACKEND_POOL_REPLACEMENTS_TOTAL = "backend_pool_replacements_total"
+BACKEND_POOL_CHECKOUT_SECONDS = "backend_pool_checkout_seconds"
+
+# --- static analysis -----------------------------------------------------
+ANALYSIS_FINDINGS_TOTAL = "analysis_findings_total"
+ANALYSIS_INVARIANT_VIOLATIONS_TOTAL = "analysis_invariant_violations_total"
+
+#: every declared family name, for HQ003's membership check
+ALL_METRIC_NAMES = frozenset(
+    value for key, value in vars().items()
+    if key.isupper() and isinstance(value, str)
+)

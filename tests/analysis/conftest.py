@@ -1,0 +1,43 @@
+"""Fixtures for the static-analysis suite: a market-loaded platform."""
+
+import pytest
+
+from repro.core.platform import HyperQ
+from repro.qlang.interp import Interpreter
+from repro.workload.loader import load_q_source
+
+MARKET_SOURCE = """
+trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT;
+            Time:09:30:30 09:31:00 09:32:00 09:30:45;
+            Price:100.0 50.0 101.0 30.0;
+            Size:10 20 30 40);
+quotes: ([] Symbol:`GOOG`GOOG`IBM;
+            Time:09:30:00 09:31:00 09:30:30;
+            Bid:99.0 100.5 49.0;
+            Ask:99.5 101.0 49.5)
+"""
+
+MARKET_TABLES = ["trades", "quotes"]
+
+
+@pytest.fixture()
+def hyperq():
+    hq = HyperQ()
+    load_q_source(
+        hq.engine, Interpreter(), MARKET_SOURCE, MARKET_TABLES, mdi=hq.mdi
+    )
+    return hq
+
+
+@pytest.fixture()
+def session(hyperq):
+    s = hyperq.create_session()
+    yield s
+    s.close()
+
+
+@pytest.fixture()
+def analyzer(hyperq):
+    from repro.analysis import QueryAnalyzer
+
+    return QueryAnalyzer(mdi=hyperq.mdi, config=hyperq.config)

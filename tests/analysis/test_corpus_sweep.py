@@ -1,0 +1,63 @@
+"""Zero-findings sweep: every shipped Q query passes qcheck clean.
+
+Runs ``scripts/qlint.py`` (the CI gate) in-process over the 25-query
+Analytical Workload and the ``examples/`` corpora, asserting zero
+findings of any severity — the analyzer has no false positives on the
+supported Q surface the repo itself exercises.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def qlint():
+    spec = importlib.util.spec_from_file_location(
+        "qlint", REPO_ROOT / "scripts" / "qlint.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["qlint"] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop("qlint", None)
+
+
+class TestCorpusSweep:
+    def test_all_shipped_corpora_are_clean(self, qlint, tmp_path):
+        report_path = tmp_path / "qlint_report.json"
+        exit_code = qlint.main(["--output", str(report_path)])
+        assert exit_code == 0
+        report = json.loads(report_path.read_text())
+        assert report["findings"] == [], (
+            "qcheck false positives on shipped queries: "
+            + json.dumps(report["findings"], indent=2)
+        )
+        assert report["by_severity"] == {
+            "info": 0, "warning": 0, "error": 0,
+        }
+
+    def test_sweep_covers_the_25_query_workload(self, qlint, tmp_path):
+        report_path = tmp_path / "qlint_report.json"
+        qlint.main(["--output", str(report_path)])
+        report = json.loads(report_path.read_text())
+        assert report["corpora"]["workload.analytical"] == 25
+        assert len(report["corpora"]) == 5
+        assert report["total_queries"] >= 25 + 5
+
+    def test_sweep_catches_a_planted_bad_query(self, qlint):
+        corpus = qlint.Corpus(
+            "planted",
+            ["select ghost_column from trades"],
+            qlint._market_platform(
+                "trades: ([] Symbol:`A`B; Price:1.0 2.0)", ["trades"]
+            ),
+        )
+        rows = qlint.analyze_corpus(corpus)
+        assert any(row["code"] == "QC001" for row in rows)
+        assert all(row["corpus"] == "planted" for row in rows)

@@ -1,0 +1,116 @@
+"""Tests for the qcheck rule framework (findings, registry, driver)."""
+
+from repro.analysis import Finding, QueryAnalyzer, Severity, default_rules
+from repro.analysis.framework import (
+    AnalysisContext,
+    Rule,
+    iter_child_nodes,
+    walk_q,
+)
+from repro.qlang.parser import parse, parse_expression
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_labels(self):
+        assert Severity.ERROR.label == "error"
+        assert Severity.INFO.label == "info"
+
+
+class TestFinding:
+    def test_render_with_pos(self):
+        finding = Finding("QC001", "bad name", Severity.ERROR, pos=12)
+        assert finding.render() == "pos 12: QC001 [error] bad name"
+
+    def test_render_with_path(self):
+        finding = Finding(
+            "HQ002", "swallowed", Severity.WARNING, path="x.py", line=3
+        )
+        assert finding.render() == "x.py:3: HQ002 [warning] swallowed"
+
+    def test_to_dict_round_trips_the_label(self):
+        finding = Finding("QC004", "nope", Severity.ERROR, category="m")
+        data = finding.to_dict()
+        assert data["severity"] == "error"
+        assert data["category"] == "m"
+
+
+class TestWalk:
+    def test_walk_visits_template_parts(self):
+        node = parse_expression(
+            "select Price by Symbol from trades where Size > 10"
+        )
+        kinds = {type(n).__name__ for n in walk_q(node)}
+        assert {"Template", "Name", "BinOp"} <= kinds
+
+    def test_iter_child_nodes_skips_none(self):
+        node = parse_expression("f[x;]")
+        children = list(iter_child_nodes(node))
+        assert all(child is not None for child in children)
+
+
+class TestRegistry:
+    def test_default_rules_are_fresh_instances(self):
+        first = default_rules()
+        second = default_rules()
+        assert [r.code for r in first] == [r.code for r in second]
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_expected_codes_registered(self):
+        codes = {r.code for r in default_rules()}
+        assert {"QC001", "QC002", "QC003", "QC004", "QC005", "QC006"} <= codes
+
+
+class TestAnalyzer:
+    def test_parse_error_becomes_qc000(self, analyzer):
+        findings = analyzer.analyze_source("select from (")
+        assert [f.code for f in findings] == ["QC000"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_declared_accumulates_across_statements(self, analyzer, session):
+        program = parse("v: select from trades; select Symbol from v")
+        findings = analyzer.analyze(program, session.session_scope)
+        assert [f for f in findings if f.code == "QC001"] == []
+
+    def test_custom_rule_list(self, session):
+        class Always(Rule):
+            code = "QC099"
+            name = "always"
+
+            def check(self, statement, ctx):
+                yield self.finding("fired")
+
+        analyzer = QueryAnalyzer(rules=[Always()])
+        findings = analyzer.analyze_source("1+1", session.session_scope)
+        assert [f.code for f in findings] == ["QC099"]
+
+    def test_disabled_rule_skipped(self, session):
+        class Off(Rule):
+            code = "QC098"
+            enabled = False
+
+            def check(self, statement, ctx):
+                yield self.finding("must not fire")
+
+        analyzer = QueryAnalyzer(rules=[Off()])
+        assert analyzer.analyze_source("1+1", session.session_scope) == []
+
+
+class TestAnalysisContext:
+    def test_table_columns_from_mdi(self, hyperq):
+        ctx = AnalysisContext(mdi=hyperq.mdi)
+        assert ctx.table_columns("trades") == [
+            "Symbol", "Time", "Price", "Size",
+        ]
+
+    def test_table_columns_unknown(self, hyperq):
+        ctx = AnalysisContext(mdi=hyperq.mdi)
+        assert ctx.table_columns("ghost") is None
+
+    def test_names_anything_covers_declared(self, hyperq):
+        ctx = AnalysisContext(mdi=hyperq.mdi, declared={"tmp"})
+        assert ctx.names_anything("tmp")
+        assert ctx.names_anything("trades")
+        assert not ctx.names_anything("ghost")

@@ -1,0 +1,137 @@
+"""Unit tests for the XTRA invariant checker on hand-built trees."""
+
+from repro.analysis import check_operator_tree
+from repro.core.xtra import scalars as sc
+from repro.core.xtra.ops import (
+    ORDCOL,
+    XtraColumn,
+    XtraConstTable,
+    XtraFilter,
+    XtraGet,
+    XtraJoin,
+    XtraLimit,
+    XtraProject,
+    XtraUnionAll,
+)
+from repro.sqlengine.types import SqlType
+
+
+def _get(*names, keys=()):
+    columns = [XtraColumn(n, SqlType.DOUBLE) for n in names]
+    columns.append(XtraColumn(ORDCOL, SqlType.BIGINT, implicit=True))
+    return XtraGet("t", columns, ordcol=ORDCOL, keys=list(keys))
+
+
+def codes(op):
+    return {v.code for v in check_operator_tree(op)}
+
+
+class TestCleanTrees:
+    def test_simple_scan(self):
+        assert check_operator_tree(_get("a", "b")) == []
+
+    def test_filter_over_scan(self):
+        op = XtraFilter(
+            _get("a"), sc.SCmp(">", sc.SColRef("a"), sc.SConst(1, None))
+        )
+        assert check_operator_tree(op) == []
+
+    def test_project_over_scan(self):
+        op = XtraProject(_get("a", "b"), [("a2", sc.SColRef("a"))])
+        assert check_operator_tree(op) == []
+
+
+class TestViolations:
+    def test_xi001_duplicate_leaf_columns(self):
+        op = XtraGet(
+            "t",
+            [
+                XtraColumn("a", SqlType.DOUBLE),
+                XtraColumn("a", SqlType.DOUBLE),
+            ],
+            ordcol=None,
+        )
+        assert "XI001" in codes(op)
+
+    def test_xi002_order_column_missing(self):
+        op = XtraGet(
+            "t", [XtraColumn("a", SqlType.DOUBLE)], ordcol="not_there"
+        )
+        assert "XI002" in codes(op)
+
+    def test_xi003_unresolvable_reference(self):
+        op = XtraFilter(
+            _get("a"),
+            sc.SCmp("=", sc.SColRef("ghost"), sc.SConst(1, None)),
+        )
+        violations = check_operator_tree(op)
+        assert any(
+            v.code == "XI003" and "ghost" in v.message for v in violations
+        )
+
+    def test_xi004_non_boolean_predicate(self):
+        op = XtraFilter(
+            _get("a"),
+            sc.SArith("+", sc.SColRef("a"), sc.SConst(1.0, SqlType.DOUBLE)),
+        )
+        assert "XI004" in codes(op)
+
+    def test_xi005_unknown_join_kind(self):
+        op = XtraJoin("sideways", _get("a"), _get("b"))
+        assert "XI005" in codes(op)
+
+    def test_xi005_union_arity_mismatch(self):
+        op = XtraUnionAll(_get("a"), _get("a", "b"))
+        assert "XI005" in codes(op)
+
+    def test_xi005_const_table_ragged_rows(self):
+        op = XtraConstTable(
+            [XtraColumn("a", SqlType.BIGINT)], [[1], [2, 3]]
+        )
+        assert "XI005" in codes(op)
+
+    def test_xi005_negative_limit(self):
+        op = XtraLimit(_get("a"), count=-1)
+        assert "XI005" in codes(op)
+
+    def test_xi006_keys_not_in_output(self):
+        op = _get("a", keys=["missing_key"])
+        assert "XI006" in codes(op)
+
+    def test_violations_name_the_operator(self):
+        op = XtraLimit(_get("a"), count=-1)
+        [violation] = [
+            v for v in check_operator_tree(op) if v.code == "XI005"
+        ]
+        assert violation.operator == "XtraLimit"
+        assert "XI005" in violation.render()
+
+    def test_nested_violations_all_reported(self):
+        broken_leaf = XtraGet(
+            "t", [XtraColumn("a", SqlType.DOUBLE)], ordcol="nope"
+        )
+        op = XtraFilter(
+            broken_leaf,
+            sc.SCmp("=", sc.SColRef("ghost"), sc.SConst(1, None)),
+        )
+        assert {"XI002", "XI003"} <= codes(op)
+
+
+class TestPrunedScanKeepsKeysConsistent:
+    """Regression: column pruning must drop XtraGet.keys with the columns
+    (the XI006 invariant caught the original bug)."""
+
+    def test_pruning_a_keyed_scan(self, hyperq):
+        from repro.qlang.parser import parse_expression
+
+        hyperq.engine.execute(
+            "CREATE TABLE keyed_ref (k BIGINT, v DOUBLE PRECISION, "
+            "w DOUBLE PRECISION, ordcol BIGINT)"
+        )
+        session = hyperq.create_session()
+        unit = session.pipeline.translate(
+            parse_expression("select v from keyed_ref"),
+            session.session_scope,
+        )
+        assert unit.sql is not None
+        session.close()

@@ -1,0 +1,223 @@
+"""Tests for the pluggable repo-lint rule engine (``scripts/lint_rules``).
+
+The package lives under ``scripts/`` (it is stdlib-only and must run
+without ``src/`` on the path), so the suite loads it by extending
+``sys.path`` the same way ``mini_lint.py`` does.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPTS_DIR = REPO_ROOT / "scripts"
+
+if str(SCRIPTS_DIR) not in sys.path:
+    sys.path.insert(0, str(SCRIPTS_DIR))
+
+from lint_rules import (  # noqa: E402
+    LintFinding,
+    default_rules,
+    lint_file,
+)
+
+
+def _write(tmp_path: Path, relative: str, source: str) -> Path:
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def run_lint(path: Path) -> list[LintFinding]:
+    return list(lint_file(path, default_rules(), root=REPO_ROOT))
+
+
+def lint_codes(path: Path) -> set[str]:
+    return {finding.code for finding in run_lint(path)}
+
+
+class TestRegistry:
+    def test_rules_discovered(self):
+        codes = {rule.code for rule in default_rules()}
+        assert {"E501", "E711", "F401", "I001"} <= codes
+        assert {"HQ001", "HQ002", "HQ003"} <= codes
+
+    def test_fresh_instances_per_call(self):
+        first, second = default_rules(), default_rules()
+        assert all(a is not b for a, b in zip(first, second))
+
+
+class TestStyleRules:
+    def test_long_line_and_trailing_whitespace(self, tmp_path):
+        path = _write(
+            tmp_path, "a.py", "x = 1  \ny = '" + "a" * 95 + "'\n"
+        )
+        codes = lint_codes(path)
+        assert {"W291", "E501"} <= codes
+
+    def test_unused_import_honours_noqa(self, tmp_path):
+        flagged = _write(tmp_path, "b.py", "import os\n")
+        assert "F401" in lint_codes(flagged)
+        suppressed = _write(tmp_path, "c.py", "import os  # noqa: F401\n")
+        assert "F401" not in lint_codes(suppressed)
+
+    def test_import_order(self, tmp_path):
+        path = _write(tmp_path, "d.py", "import sys\nimport ast\n\nsys, ast\n")
+        assert "I001" in lint_codes(path)
+
+    def test_clean_file_is_clean(self, tmp_path):
+        path = _write(tmp_path, "e.py", "import ast\n\nprint(ast)\n")
+        assert run_lint(path) == []
+
+
+class TestHQ002SilentSwallow:
+    BAD = """\
+        try:
+            pass
+        except Exception:
+            pass
+    """
+
+    def test_fires_in_core(self, tmp_path):
+        path = _write(tmp_path, "src/repro/core/x.py", self.BAD)
+        findings = run_lint(path)
+        assert any(f.code == "HQ002" for f in findings)
+
+    def test_fires_in_server(self, tmp_path):
+        path = _write(tmp_path, "src/repro/server/x.py", self.BAD)
+        assert "HQ002" in lint_codes(path)
+
+    def test_silent_outside_the_layered_dirs(self, tmp_path):
+        path = _write(tmp_path, "src/repro/qlang/x.py", self.BAD)
+        assert "HQ002" not in lint_codes(path)
+
+    def test_narrow_handlers_allowed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/y.py",
+            """\
+            try:
+                pass
+            except OSError:
+                pass
+            """,
+        )
+        assert "HQ002" not in lint_codes(path)
+
+    def test_logged_handlers_allowed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/z.py",
+            """\
+            try:
+                pass
+            except Exception as exc:
+                log.warning("boom", error=str(exc))
+            """,
+        )
+        assert "HQ002" not in lint_codes(path)
+
+    @pytest.mark.parametrize("clause", ["BaseException", "(OSError, Exception)"])
+    def test_broad_variants_fire(self, tmp_path, clause):
+        path = _write(
+            tmp_path,
+            "src/repro/core/w.py",
+            f"""\
+            try:
+                pass
+            except {clause}:
+                pass
+            """,
+        )
+        assert "HQ002" in lint_codes(path)
+
+
+class TestHQ003MetricRegistry:
+    def test_undeclared_name_fires(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/m.py",
+            """\
+            from repro.obs import metrics
+
+            X = metrics.counter("totally_new_metric_total", "nope")
+            """,
+        )
+        findings = [f for f in run_lint(path) if f.code == "HQ003"]
+        assert findings
+        assert "totally_new_metric_total" in findings[0].message
+
+    def test_declared_name_is_clean(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/m2.py",
+            """\
+            from repro.obs import metrics
+
+            X = metrics.counter("hyperq_runs_total", "declared")
+            """,
+        )
+        assert "HQ003" not in lint_codes(path)
+
+    def test_non_literal_name_fires(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/m3.py",
+            """\
+            from repro.obs import metrics
+
+            NAME = "hyperq_runs_total"
+            X = metrics.counter(NAME, "unverifiable")
+            """,
+        )
+        assert "HQ003" in lint_codes(path)
+
+    def test_tests_exempt(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "tests/t.py",
+            """\
+            from repro.obs import metrics
+
+            X = metrics.counter("ad_hoc_test_metric", "fine in tests")
+            """,
+        )
+        assert "HQ003" not in lint_codes(path)
+
+    def test_every_declared_metric_is_real(self):
+        """The registry itself stays in sync: every name declared in
+        obs/names.py is actually minted somewhere under src/."""
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        try:
+            from repro.obs.names import ALL_METRIC_NAMES
+        finally:
+            sys.path.pop(0)
+        source = "\n".join(
+            path.read_text()
+            for path in (REPO_ROOT / "src").rglob("*.py")
+            if path.name != "names.py"
+        )
+        unused = [
+            name for name in ALL_METRIC_NAMES if f'"{name}"' not in source
+        ]
+        assert unused == [], f"declared but never minted: {unused}"
+
+
+class TestDriver:
+    def test_syntax_error_reported_as_e999(self, tmp_path):
+        path = _write(tmp_path, "broken.py", "def f(:\n")
+        findings = run_lint(path)
+        assert any(f.code == "E999" for f in findings)
+
+    def test_repo_is_clean(self):
+        """The gate the CI lint job enforces, from inside the suite."""
+        import subprocess
+
+        result = subprocess.run(
+            [sys.executable, str(SCRIPTS_DIR / "mini_lint.py")],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

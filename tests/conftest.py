@@ -1,0 +1,16 @@
+"""Suite-wide test configuration.
+
+The static-analysis subsystem (``repro.analysis``) is off by default in
+production but on throughout the test suite: every statement the tests
+push through a pipeline also runs the qcheck rules and the XTRA invariant
+checker, so a rewrite bug or analyzer false positive fails loudly here
+first.  Benchmarks keep their own conftest and stay un-instrumented (the
+obs-overhead budget is measured without analysis).
+
+Set before ``repro.config`` can be imported: ``AnalysisConfig.enabled``
+reads the environment at dataclass-default time.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_ANALYSIS", "1")

@@ -80,3 +80,47 @@ class TestMetaCommand:
 
         with pytest.raises(QNameError):
             session.execute("meta ghost_table")
+
+
+class TestCheckCommand:
+    """``check`` surfaces the qcheck analyzer on the session protocol."""
+
+    def test_check_empty_lists_rule_catalog(self, session):
+        result = session.execute("check[]")
+        assert isinstance(result, QTable)
+        assert result.columns == ["code", "name", "severity", "purpose"]
+        codes = result.column("code").items
+        assert len(codes) >= 5
+        assert all(code.startswith("QC") for code in codes)
+
+    def test_check_clean_query_reports_nothing(self, session):
+        result = session.execute(
+            'check "select Price from trades where Symbol=`GOOG"'
+        )
+        assert isinstance(result, QTable)
+        assert result.columns == ["code", "severity", "rule", "pos", "message"]
+        assert len(result.column("code").items) == 0
+
+    def test_check_reports_unbound_name(self, session):
+        result = session.execute('check "select frobnicate from trades"')
+        codes = result.column("code").items
+        assert "QC001" in codes
+        severities = result.column("severity").items
+        assert severities[codes.index("QC001")] == "error"
+
+    def test_check_sees_session_variables(self, session):
+        session.execute("vt: select from trades")
+        clean = session.execute('check "select Symbol from vt"')
+        assert len(clean.column("code").items) == 0
+
+    def test_check_reports_parse_errors_as_qc000(self, session):
+        result = session.execute('check "select from ("')
+        assert "QC000" in result.column("code").items
+
+    def test_check_does_not_shadow_user_function(self, session):
+        """A user-defined ``check`` still wins over the admin command
+        when applied to a non-string argument."""
+        session.execute("check: {[x] select from trades where Size > x}")
+        result = session.execute("check[25]")
+        assert isinstance(result, QTable)
+        assert "Symbol" in result.columns

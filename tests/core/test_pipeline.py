@@ -15,7 +15,7 @@ from repro.core.pipeline import (
     scope_fingerprint,
 )
 from repro.core.xformer.framework import Xformer
-from repro.errors import TranslationError
+from repro.errors import InvariantError, TranslationError
 from repro.qlang.parser import parse_expression
 
 
@@ -27,8 +27,10 @@ def pipeline(hyperq):
 
 class TestPassManager:
     def test_default_pass_order(self, pipeline):
+        # the test env enables analysis (REPRO_ANALYSIS), so the qcheck
+        # pass leads the paper's bind -> xform -> serialize order
         __, pl = pipeline
-        assert pl.pass_names == ["bind", "xform", "serialize"]
+        assert pl.pass_names == ["analyze", "bind", "xform", "serialize"]
 
     def test_translate_fills_the_unit(self, pipeline):
         session, pl = pipeline
@@ -39,7 +41,9 @@ class TestPassManager:
         assert unit.sql is not None and "SELECT" in unit.sql
         assert unit.shape == "table"
         assert unit.bound is not None
-        assert [s.name for s in unit.stages] == ["bind", "xform", "serialize"]
+        assert [s.name for s in unit.stages] == [
+            "analyze", "bind", "xform", "serialize",
+        ]
         assert all(s.seconds >= 0.0 for s in unit.stages)
 
     def test_unit_records_rule_applications(self, pipeline):
@@ -61,12 +65,12 @@ class TestPassManager:
                 unit.diagnostics.append("saw the unit")
 
         pl.register_pass(NotePass(), after="bind")
-        assert pl.pass_names == ["bind", "note", "xform", "serialize"]
+        assert pl.pass_names == ["analyze", "bind", "note", "xform", "serialize"]
         unit = pl.translate(
             parse_expression("select from trades"), session.session_scope
         )
         assert unit.diagnostics == ["saw the unit"]
-        assert [s.name for s in unit.stages][1] == "note"
+        assert [s.name for s in unit.stages][2] == "note"
 
     def test_duplicate_pass_name_rejected(self, pipeline):
         __, pl = pipeline
@@ -270,4 +274,88 @@ class TestTranslationCache:
         assert translated.cache_hits == 1
         assert translated.value is None
         assert translated.sql_statements == executed.sql_statements
+        session.close()
+
+
+class TestInvariantChecking:
+    """The pipeline verifies XTRA invariants after every pass and blames
+    the pass that produced the broken tree (not a later stage)."""
+
+    def _corrupt_pass(self):
+        from repro.core.xtra import scalars as sc
+        from repro.core.xtra.ops import XtraFilter
+
+        class CorruptPass(Pass):
+            """Deliberately wraps the tree in a filter on a column that
+            no input produces — a stand-in for a buggy rewrite rule."""
+
+            name = "corrupt"
+            stage = "optimize"
+
+            def run(self, unit, pipeline):
+                unit.bound.op = XtraFilter(
+                    unit.bound.op,
+                    sc.SCmp(
+                        "=",
+                        sc.SColRef("no_such_column"),
+                        sc.SConst(1, None),
+                    ),
+                )
+
+        return CorruptPass()
+
+    def test_mutated_pass_is_caught_and_named(self, pipeline):
+        session, pl = pipeline
+        pl.register_pass(self._corrupt_pass(), after="xform")
+        with pytest.raises(InvariantError) as excinfo:
+            pl.translate(
+                parse_expression("select from trades"),
+                session.session_scope,
+            )
+        # attribution: the corrupting pass, not serialize
+        assert excinfo.value.pass_name == "corrupt"
+        assert "corrupt" in str(excinfo.value)
+        assert "serialize" not in str(excinfo.value)
+        codes = {v.code for v in excinfo.value.violations}
+        assert "XI003" in codes  # unresolvable column reference
+
+    def test_violating_pass_recorded_on_trace_span(self, hyperq):
+        from repro.obs import tracing
+
+        session = hyperq.create_session()
+        session.pipeline.register_pass(self._corrupt_pass(), after="xform")
+        with tracing.span("test.root") as root:
+            with pytest.raises(InvariantError):
+                session.pipeline.translate(
+                    parse_expression("select from trades"),
+                    session.session_scope,
+                )
+        spans = [s for s in root.children if s.name == "pass.corrupt"]
+        assert spans and spans[0].attrs.get("violating_pass") == "corrupt"
+        assert spans[0].attrs.get("invariant_violations", 0) >= 1
+        session.close()
+
+    def test_clean_translations_pass_the_checker(self, pipeline):
+        session, pl = pipeline
+        unit = pl.translate(
+            parse_expression("select Price from trades where Symbol=`GOOG"),
+            session.session_scope,
+        )
+        assert unit.sql is not None
+
+    def test_checks_disabled_ship_broken_sql_to_the_backend(self, hyperq):
+        """Without the checker the corrupt tree serializes fine — the
+        bogus column reference only explodes at the backend.  This is
+        the late-failure mode the invariant checker exists to prevent."""
+        from repro.config import AnalysisConfig, HyperQConfig
+
+        config = HyperQConfig(analysis=AnalysisConfig(enabled=False))
+        pl = TranslationPipeline(hyperq.mdi, config)
+        pl.register_pass(self._corrupt_pass(), after="xform")
+        session = hyperq.create_session()
+        unit = pl.translate(
+            parse_expression("select from trades"),
+            session.session_scope,
+        )
+        assert "no_such_column" in unit.sql
         session.close()
