@@ -1,0 +1,186 @@
+"""Workload-management overhead — the happy path must stay under 5%.
+
+The WLM subsystem sits on *every* request, in two places: the session
+path (classification, admission, the deadline/request scope) and the
+backend path (the ResilientBackend breaker/retry wrapper).  Its
+no-contention cost is the price of admission for the whole feature, so
+this bench measures both — WLM enabled with faults off (the shipping
+default) against WLM disabled (the seed behaviour):
+
+* the Figure-6 Analytical Workload translation sweep, WLM on vs off —
+  the session-path overhead (same substrate as ``bench_obs_overhead``);
+* a tight ``run_sql`` loop on the in-process engine, wrapped vs bare —
+  the per-statement cost of the breaker/retry/fault-hook wrapper.
+
+Both medians must stay under the 5% budget; the artifact lands in
+``benchmarks/results/wlm_overhead.json`` for the bench-smoke CI job.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from conftest import bench_repeats, bench_rounds, save_results
+
+from repro.config import HyperQConfig, TranslationCacheConfig, WlmConfig
+from repro.core.platform import DirectGateway, HyperQ
+from repro.sqlengine.engine import Engine
+from repro.wlm import WorkloadManager
+from repro.workload.analytical import load_workload
+
+OVERHEAD_BUDGET_PCT = 5.0
+
+#: statements per backend micro-sweep
+BACKEND_SWEEP_STATEMENTS = 100
+
+#: the micro-sweep statement: a grouped aggregate over a small table,
+#: the shape of a typical translated analytic (an empty ``SELECT 1``
+#: would overstate the wrapper's relative cost ~200x)
+BACKEND_SWEEP_ROWS = 500
+BACKEND_SWEEP_SQL = (
+    "SELECT sym, COUNT(*) AS n, SUM(px * qty) AS notional "
+    "FROM bench_t GROUP BY sym"
+)
+
+
+def _backend_engine() -> Engine:
+    engine = Engine()
+    engine.execute(
+        "CREATE TABLE bench_t (sym text, px double precision, qty bigint)"
+    )
+    rows = ", ".join(
+        f"('S{i % 50}', {100 + (i % 97) * 0.25}, {1 + i % 400})"
+        for i in range(BACKEND_SWEEP_ROWS)
+    )
+    engine.execute(f"INSERT INTO bench_t VALUES {rows}")
+    return engine
+
+
+def _make_platform(wlm_enabled: bool, engine=None) -> HyperQ:
+    return HyperQ(
+        engine=engine,
+        config=HyperQConfig(
+            # raw pipeline cost, as in the figure benches: no repeat
+            # statements answered from the translation cache
+            translation_cache=TranslationCacheConfig(enabled=False),
+            wlm=WlmConfig(enabled=wlm_enabled),
+        ),
+    )
+
+
+def _sweep_seconds(hq: HyperQ, workload) -> float:
+    """One full translation sweep over the workload."""
+    start = time.perf_counter()
+    for query in workload.queries:
+        session = hq.create_session()
+        try:
+            session.translate(query.text)
+        finally:
+            session.close()
+    return time.perf_counter() - start
+
+
+def _backend_paired_samples(
+    wrapped, bare, statements: int
+) -> tuple[list, list]:
+    """Per-statement timings, paired and order-alternated.
+
+    Sweep-vs-sweep comparison is hostage to drift (GC, scheduler) that
+    easily dwarfs the wrapper's few-microsecond cost; timing each
+    statement back-to-back and flipping who goes first cancels it.
+    """
+    wrapped_s, bare_s = [], []
+    for i in range(statements):
+        order = (wrapped, bare) if i % 2 == 0 else (bare, wrapped)
+        for backend in order:
+            start = time.perf_counter()
+            backend.run_sql(BACKEND_SWEEP_SQL)
+            elapsed = time.perf_counter() - start
+            (wrapped_s if backend is wrapped else bare_s).append(elapsed)
+    return wrapped_s, bare_s
+
+
+def _median_overhead(enabled: list, disabled: list) -> tuple:
+    median_on = statistics.median(enabled)
+    median_off = statistics.median(disabled)
+    return median_on, median_off, 100.0 * (median_on - median_off) / median_off
+
+
+def test_wlm_overhead(benchmark):
+    hq_on = _make_platform(wlm_enabled=True)
+    workload = load_workload(hq_on.engine, mdi=hq_on.mdi)
+    hq_off = _make_platform(wlm_enabled=False, engine=hq_on.engine)
+    # the workload loader annotated keyed tables on hq_on's MDI only;
+    # the off-platform shares the engine, so mirror the annotations
+    for table, keys in hq_on.mdi.key_annotations.items():
+        hq_off.mdi.annotate_keys(table, keys)
+    assert hq_on.wlm is not None and hq_off.wlm is None
+
+    # enough interleaved pairs for the median to shrug off scheduler
+    # noise even in smoke mode — each sweep is only ~0.3s
+    repeats = max(5, bench_repeats(7))
+
+    benchmark.pedantic(
+        lambda: _sweep_seconds(hq_on, workload),
+        rounds=bench_rounds(3),
+        iterations=1,
+    )
+
+    # -- session path: classify + admit + scope per request ----------------
+    # warm both platforms (metadata caches, allocator), then interleave
+    # pairs so drift (thermal, GC pressure) hits both modes equally
+    _sweep_seconds(hq_on, workload)
+    _sweep_seconds(hq_off, workload)
+    enabled, disabled = [], []
+    for __ in range(repeats):
+        enabled.append(_sweep_seconds(hq_on, workload))
+        disabled.append(_sweep_seconds(hq_off, workload))
+    median_on, median_off, session_pct = _median_overhead(enabled, disabled)
+
+    # -- backend path: the ResilientBackend wrapper ------------------------
+    engine = _backend_engine()
+    bare = DirectGateway(engine)
+    wrapped = WorkloadManager(WlmConfig()).wrap_backend(
+        DirectGateway(engine)
+    )
+    _backend_paired_samples(wrapped, bare, statements=10)  # warm-up
+    wrapped_runs, bare_runs = _backend_paired_samples(
+        wrapped, bare, statements=BACKEND_SWEEP_STATEMENTS
+    )
+    wrapped_med, bare_med, backend_pct = _median_overhead(
+        wrapped_runs, bare_runs
+    )
+
+    print(
+        f"\nWLM overhead, faults off (medians, budget "
+        f"{OVERHEAD_BUDGET_PCT}%)"
+        f"\n  translation sweep : {median_on * 1e3:8.1f} ms on / "
+        f"{median_off * 1e3:8.1f} ms off  ({session_pct:+.2f}%)"
+        f"\n  backend run_sql   : {wrapped_med * 1e3:8.3f} ms/stmt wrapped "
+        f"/ {bare_med * 1e3:8.3f} ms/stmt bare  ({backend_pct:+.2f}%)"
+    )
+    save_results(
+        "wlm_overhead",
+        {
+            "enabled_ms": [t * 1e3 for t in enabled],
+            "disabled_ms": [t * 1e3 for t in disabled],
+            "median_enabled_ms": median_on * 1e3,
+            "median_disabled_ms": median_off * 1e3,
+            "session_overhead_pct": session_pct,
+            "backend_wrapped_ms": [t * 1e3 for t in wrapped_runs],
+            "backend_bare_ms": [t * 1e3 for t in bare_runs],
+            "backend_overhead_pct": backend_pct,
+            "backend_sweep_statements": BACKEND_SWEEP_STATEMENTS,
+            "budget_pct": OVERHEAD_BUDGET_PCT,
+        },
+    )
+
+    assert session_pct < OVERHEAD_BUDGET_PCT, (
+        f"WLM session path costs {session_pct:.2f}% on the translation "
+        f"sweep — over the {OVERHEAD_BUDGET_PCT}% budget"
+    )
+    assert backend_pct < OVERHEAD_BUDGET_PCT, (
+        f"ResilientBackend wrapper costs {backend_pct:.2f}% per statement "
+        f"— over the {OVERHEAD_BUDGET_PCT}% budget"
+    )

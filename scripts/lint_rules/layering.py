@@ -10,6 +10,11 @@ These encode architectural invariants of the Hyper-Q reproduction:
   ``gauge`` / ``histogram`` under ``src/`` must be declared in the
   central registry ``src/repro/obs/names.py`` (typo'd names otherwise
   produce dashboards that silently read zero).
+* HQ004 — no hard-coded blocking in the serving path: literal-constant
+  socket timeouts and ``time.sleep`` calls under ``src/repro/server`` /
+  ``src/repro/core`` must come from config (``WlmConfig``), a named
+  module constant, or live in ``src/repro/wlm`` (the one layer whose job
+  *is* sleeping and timing out).
 """
 
 from __future__ import annotations
@@ -38,6 +43,16 @@ _NO_SWALLOW_DIRS = (
 
 #: the metric factory functions whose first argument HQ003 validates
 _METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+
+#: directory tails where HQ004 forbids hard-coded blocking; repro/wlm is
+#: a sibling of these, so the WLM layer is exempt by construction
+_NO_HARDCODED_BLOCKING_DIRS = (
+    ("src", "repro", "server"),
+    ("src", "repro", "core"),
+)
+
+#: socket methods/functions whose timeout HQ004 inspects
+_SOCKET_TIMEOUT_CALLS = {"settimeout", "create_connection"}
 
 
 def _under(parts: tuple[str, ...], tail: tuple[str, ...]) -> bool:
@@ -206,3 +221,63 @@ class MetricRegistryRule(LintRule):
                     f"metric family {first.value!r} is not declared in "
                     f"repro/obs/names.py — add it to the registry",
                 )
+
+
+def _is_numeric_literal(node: ast.expr) -> bool:
+    """A bare number (possibly negated): the hard-coded case HQ004 bans.
+    Names, attributes and call results are assumed config-driven."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    )
+
+
+@register
+class HardcodedBlockingRule(LintRule):
+    """HQ004: literal socket timeouts / time.sleep in server and core."""
+
+    code = "HQ004"
+    name = "hardcoded_blocking"
+    purpose = "socket timeouts and sleeps in server/core come from config"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if not any(
+            _under(parts, tail) for tail in _NO_HARDCODED_BLOCKING_DIRS
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or ctx.suppressed(node.lineno):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    "time.sleep in the serving path — blocking belongs in "
+                    "repro/wlm (backoff, fault injection), driven by "
+                    "config, not inline sleeps",
+                )
+                continue
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name not in _SOCKET_TIMEOUT_CALLS:
+                continue
+            candidates = list(node.args) if name == "settimeout" else []
+            candidates += [
+                kw.value for kw in node.keywords if kw.arg == "timeout"
+            ]
+            for arg in candidates:
+                if _is_numeric_literal(arg):
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"hard-coded {name} timeout — plumb it from "
+                        f"WlmConfig/HyperQConfig or name it as a module "
+                        f"constant",
+                    )

@@ -21,7 +21,7 @@ from lint_rules import (
 )
 
 LINE_LENGTH = 88
-FIRST_PARTY = {"repro", "conftest", "lint_rules"}
+FIRST_PARTY = {"repro", "conftest", "lint_rules", "tests"}
 
 _STDLIB = set(sys.stdlib_module_names)
 

@@ -102,6 +102,169 @@ class BackendPoolConfig:
 
 
 @dataclass
+class WlmClassPolicy:
+    """Admission quota for one query class (docs/WLM.md).
+
+    ``max_concurrency`` bounds in-flight queries of the class;
+    ``max_queue`` bounds how many more may wait; ``enqueue_timeout``
+    bounds how long a queued request waits for a slot before it is shed.
+    """
+
+    max_concurrency: int = 8
+    max_queue: int = 64
+    enqueue_timeout: float = 5.0
+
+
+def _default_class_policies() -> dict:
+    """Per-class defaults: cheap classes get wide quotas and short queue
+    patience; materializing work is throttled hardest (it holds backend
+    write locks and temp-table space)."""
+    return {
+        "admin": WlmClassPolicy(
+            max_concurrency=8, max_queue=16, enqueue_timeout=1.0
+        ),
+        "point_lookup": WlmClassPolicy(
+            max_concurrency=32, max_queue=128, enqueue_timeout=2.0
+        ),
+        "analytical": WlmClassPolicy(
+            max_concurrency=16, max_queue=64, enqueue_timeout=5.0
+        ),
+        "materializing": WlmClassPolicy(
+            max_concurrency=4, max_queue=32, enqueue_timeout=5.0
+        ),
+    }
+
+
+@dataclass
+class RetryConfig:
+    """Backoff/retry policy for idempotent backend reads (repro/wlm/retry).
+
+    Exponential backoff with full jitter, bounded attempts, and a global
+    retry *budget* (token bucket refilled by successes) so a dying
+    backend is not DDoS'd by its own clients.  Only idempotent reads are
+    ever retried; writes surface their first failure.
+    """
+
+    enabled: bool = True
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    #: retry tokens earned per successful request (Finagle-style budget)
+    budget_ratio: float = 0.1
+    #: tokens available before any success has been observed
+    budget_min_tokens: float = 10.0
+    #: deterministic jitter for tests; production leaves the default
+    jitter_seed: int | None = None
+
+
+@dataclass
+class CircuitBreakerConfig:
+    """Per-backend circuit breaker (closed -> open -> half-open)."""
+
+    enabled: bool = True
+    #: consecutive failures that trip the breaker open
+    failure_threshold: int = 5
+    #: seconds the breaker stays open before half-opening a probe
+    reset_timeout: float = 5.0
+    #: successful probes required to close again from half-open
+    close_threshold: int = 1
+
+
+def _parse_fault_spec(text: str) -> dict:
+    """``seed=42,error_rate=0.3,latency_ms=200`` -> field dict."""
+    values: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part or "=" not in part:
+            continue
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if not key or not raw:
+            continue  # malformed part: ignore, never crash startup
+        try:
+            if key == "latency_ms":
+                values["latency_seconds"] = float(raw) / 1000.0
+            elif key == "slow_read_ms":
+                values["slow_read_seconds"] = float(raw) / 1000.0
+            elif key == "seed":
+                values["seed"] = int(raw)
+            else:
+                values[key] = float(raw)
+        except ValueError:
+            continue
+    if values:
+        values["enabled"] = True
+    return values
+
+
+@dataclass
+class FaultConfig:
+    """Deterministic fault injection (repro/wlm/faults, docs/WLM.md).
+
+    All rates are probabilities in [0, 1] drawn from one seeded RNG, so a
+    fixed seed replays the same fault sequence.  Settable from the
+    environment: ``REPRO_FAULTS="seed=42,error_rate=0.3,latency_rate=0.1,
+    latency_ms=200"`` (``*_ms`` keys are milliseconds).
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    #: inject added latency before the backend executes
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.0
+    #: drop the (simulated) backend connection: raises ConnectionError
+    drop_rate: float = 0.0
+    #: transient backend SQL error (SQLSTATE 53300, retryable)
+    error_rate: float = 0.0
+    #: slow down reading the result (the QIPC write-back stall)
+    slow_read_rate: float = 0.0
+    slow_read_seconds: float = 0.0
+
+    @classmethod
+    def from_env(cls, text: str | None = None) -> "FaultConfig":
+        """Parse ``REPRO_FAULTS`` (or an explicit spec string)."""
+        if text is None:
+            text = os.environ.get("REPRO_FAULTS", "")
+        return cls(**_parse_fault_spec(text)) if text.strip() else cls()
+
+
+@dataclass
+class WlmConfig:
+    """The workload-management & resilience subsystem (docs/WLM.md).
+
+    Enabled by default: with no faults, no deadline and uncontended
+    quotas the added cost is a few dict/lock operations per query (the
+    ``bench_wlm_overhead`` budget is <5%).  Disabling restores the
+    pre-WLM forward-everything behaviour.
+    """
+
+    enabled: bool = True
+    #: per-class admission quotas, keyed by QueryClass value
+    classes: dict = field(default_factory=_default_class_policies)
+    #: default per-request deadline in seconds; 0 disables deadlines
+    default_deadline: float = 0.0
+    #: socket connect timeout for outbound gateways (client + PG wire)
+    connect_timeout: float = 10.0
+    #: socket read timeout for the PG gateway; 0 means no read timeout
+    #: (a live deadline still caps every read)
+    read_timeout: float = 0.0
+    retry: RetryConfig = field(default_factory=RetryConfig)
+    breaker: CircuitBreakerConfig = field(
+        default_factory=CircuitBreakerConfig
+    )
+    faults: FaultConfig = field(default_factory=FaultConfig.from_env)
+
+    def gateway_timeouts(self) -> dict:
+        """Keyword arguments for :class:`repro.server.gateway.NetworkGateway`
+        (and :class:`repro.server.client.QConnection`) timeout plumbing."""
+        return {
+            "connect_timeout": self.connect_timeout,
+            "read_timeout": self.read_timeout or None,
+        }
+
+
+@dataclass
 class AnalysisConfig:
     """The :mod:`repro.analysis` static-analysis subsystem.
 
@@ -135,6 +298,7 @@ class HyperQConfig:
         default_factory=ObservabilityConfig
     )
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+    wlm: WlmConfig = field(default_factory=WlmConfig)
     materialization: MaterializationMode = MaterializationMode.PHYSICAL
     #: prefix for generated temp tables, as in the paper's example SQL
     temp_table_prefix: str = "hq_temp_"

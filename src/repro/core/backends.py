@@ -22,8 +22,8 @@ protocol keeps that choice per-deployment.
 
 from __future__ import annotations
 
-import queue
 import threading
+import time
 
 from repro.core.metadata import BackendPort
 from repro.errors import PoolTimeoutError, ProtocolError
@@ -87,6 +87,15 @@ class PooledBackend(ExecutionBackend):
     * DDL observed on any pooled connection bumps the pool's catalog
       version, so metadata/translation caches invalidate exactly as with
       a single connection.
+
+    All pool state lives behind one :class:`threading.Condition`, which
+    gives two invariants the previous queue-based design could not:
+    ``open <= size`` at every instant (a slot is *reserved* under the
+    lock before the factory runs, so concurrent checkouts cannot
+    transiently overshoot), and one checkout observes one overall
+    ``checkout_timeout`` even when it has to discard dead idle
+    connections along the way (the deadline is fixed on entry, not reset
+    per retry).
     """
 
     name = "pooled"
@@ -104,8 +113,8 @@ class PooledBackend(ExecutionBackend):
         self.size = size
         self.checkout_timeout = checkout_timeout
         self.name = name
-        self._idle: queue.LifoQueue = queue.LifoQueue()
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._idle: list[ExecutionBackend] = []  # LIFO: last in, first out
         self._open = 0
         self._in_use = 0
         self._catalog_version = 0
@@ -115,12 +124,12 @@ class PooledBackend(ExecutionBackend):
 
     @property
     def open_connections(self) -> int:
-        with self._lock:
+        with self._cond:
             return self._open
 
     @property
     def in_use(self) -> int:
-        with self._lock:
+        with self._cond:
             return self._in_use
 
     # -- ExecutionBackend ------------------------------------------------------
@@ -139,26 +148,25 @@ class PooledBackend(ExecutionBackend):
             raise
         delta = conn.catalog_version() - before
         if delta > 0:
-            with self._lock:
+            with self._cond:
                 self._catalog_version += delta
         self._checkin(conn)
         return result
 
     def catalog_version(self) -> int:
-        with self._lock:
+        with self._cond:
             return self._catalog_version
 
     def close(self) -> None:
-        with self._lock:
+        with self._cond:
             self._closed = True
-        while True:
-            try:
-                conn = self._idle.get_nowait()
-            except queue.Empty:
-                break
+            idle, self._idle = self._idle, []
+            self._open -= len(idle)
+            # wake every blocked checkout so it fails fast ("closed"),
+            # not after its full timeout
+            self._cond.notify_all()
+        for conn in idle:
             self._close_quietly(conn)
-            with self._lock:
-                self._open -= 1
         POOL_SIZE.set(self.open_connections, pool=self.name)
 
     def __enter__(self):
@@ -170,78 +178,97 @@ class PooledBackend(ExecutionBackend):
     # -- pool mechanics --------------------------------------------------------
 
     def _checkout(self) -> ExecutionBackend:
-        if self._closed:
-            raise PoolTimeoutError(f"backend pool {self.name!r} is closed")
         with POOL_CHECKOUT_SECONDS.time(pool=self.name):
             conn = self._acquire()
-        with self._lock:
-            self._in_use += 1
         POOL_IN_USE.inc(pool=self.name)
         return conn
 
     def _acquire(self) -> ExecutionBackend:
-        try:
-            conn = self._idle.get_nowait()
-        except queue.Empty:
-            grown = self._try_grow()
-            if grown is not None:
-                return grown
-            try:
-                conn = self._idle.get(timeout=self.checkout_timeout)
-            except queue.Empty:
-                POOL_CHECKOUT_TIMEOUTS.inc(pool=self.name)
-                raise PoolTimeoutError(
-                    f"no backend connection free after "
-                    f"{self.checkout_timeout:.1f}s (pool {self.name!r}, "
-                    f"size {self.size})"
-                ) from None
-        if not self._ping_quietly(conn):
-            # dead while idle: replace it in place
-            self._close_quietly(conn)
-            with self._lock:
-                self._open -= 1
-            POOL_REPLACEMENTS.inc(pool=self.name)
-            _log.warning("pool_replaced_dead_connection", pool=self.name)
-            replacement = self._try_grow()
-            if replacement is not None:
-                return replacement
-            return self._acquire()
-        return conn
+        """Take a connection, honouring one overall checkout deadline.
 
-    def _try_grow(self) -> ExecutionBackend | None:
-        """Open a fresh connection if the pool is under its bound."""
-        with self._lock:
-            if self._open >= self.size:
-                return None
-            self._open += 1
-        try:
-            conn = self._factory()
-        except Exception:
-            with self._lock:
-                self._open -= 1
-            raise
-        POOL_SIZE.set(self.open_connections, pool=self.name)
-        return conn
+        Under the condition lock the pool either hands out an idle
+        connection, reserves a slot for a fresh one, or waits.  Slow work
+        (factory call, liveness probe, close) happens outside the lock
+        against the reserved accounting, so ``open``/``in_use`` never
+        overshoot and other checkouts are never serialized behind I/O.
+        """
+        deadline = time.monotonic() + self.checkout_timeout
+        while True:
+            create = False
+            with self._cond:
+                while True:
+                    if self._closed:
+                        raise PoolTimeoutError(
+                            f"backend pool {self.name!r} is closed"
+                        )
+                    if self._idle:
+                        conn = self._idle.pop()
+                        self._in_use += 1
+                        break
+                    if self._open < self.size:
+                        # reserve before the (slow, unlocked) factory
+                        # call so open <= size holds at every instant
+                        self._open += 1
+                        self._in_use += 1
+                        create = True
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        POOL_CHECKOUT_TIMEOUTS.inc(pool=self.name)
+                        raise PoolTimeoutError(
+                            f"no backend connection free after "
+                            f"{self.checkout_timeout:.1f}s (pool "
+                            f"{self.name!r}, size {self.size})"
+                        )
+                    self._cond.wait(remaining)
+            if create:
+                try:
+                    conn = self._factory()
+                except Exception:
+                    self._release_slot()
+                    raise
+                POOL_SIZE.set(self.open_connections, pool=self.name)
+                return conn
+            if self._ping_quietly(conn):
+                return conn
+            # dead while idle: drop it and retry against the *same*
+            # deadline — replacement must not restart the clock
+            self._close_quietly(conn)
+            self._release_slot()
+            POOL_REPLACEMENTS.inc(pool=self.name)
+            POOL_SIZE.set(self.open_connections, pool=self.name)
+            _log.warning("pool_replaced_dead_connection", pool=self.name)
+
+    def _release_slot(self) -> None:
+        """Give back a reserved slot (failed create or dead idle conn)."""
+        with self._cond:
+            self._open -= 1
+            self._in_use -= 1
+            self._cond.notify()
 
     def _checkin(self, conn: ExecutionBackend) -> None:
-        with self._lock:
+        close_it = False
+        with self._cond:
             self._in_use -= 1
-            closed = self._closed
-        POOL_IN_USE.dec(pool=self.name)
-        if closed:
-            self._close_quietly(conn)
-            with self._lock:
+            if self._closed:
+                # close() already drained the idle list; a connection
+                # returned after that must be closed here, not leaked
+                # back into a dead pool
                 self._open -= 1
-            return
-        self._idle.put(conn)
+                close_it = True
+            else:
+                self._idle.append(conn)
+            self._cond.notify()
+        POOL_IN_USE.dec(pool=self.name)
+        if close_it:
+            self._close_quietly(conn)
+            POOL_SIZE.set(self.open_connections, pool=self.name)
 
     def _discard(self, conn: ExecutionBackend) -> None:
-        """Drop a connection that died mid-statement; the next checkout
-        replaces it through :meth:`_try_grow`."""
+        """Drop a connection that died mid-statement; the freed slot lets
+        the next checkout open a replacement."""
         self._close_quietly(conn)
-        with self._lock:
-            self._in_use -= 1
-            self._open -= 1
+        self._release_slot()
         POOL_IN_USE.dec(pool=self.name)
         POOL_REPLACEMENTS.inc(pool=self.name)
         POOL_SIZE.set(self.open_connections, pool=self.name)

@@ -41,6 +41,8 @@ from repro.core.xformer.framework import Xformer
 from repro.errors import InvariantError, TranslationError, UntranslatableError
 from repro.obs import metrics, tracing
 from repro.qlang import ast
+from repro.wlm.classifier import classify_statement
+from repro.wlm.deadline import current_context, current_deadline
 
 #: per-stage translation latency (Figure 7), labelled stage=parse|
 #: algebrize|optimize|serialize; shared with the session's parse stage
@@ -133,6 +135,9 @@ class TranslationResult:
     keys: list[str]
     timings: StageTimings
     rule_applications: dict[str, int] = field(default_factory=dict)
+    #: admission class of the statement (repro/wlm/classifier.py);
+    #: cached entries replay it so cache hits bill the right quota
+    query_class: str = "analytical"
 
 
 @dataclass
@@ -168,6 +173,9 @@ class TranslationUnit:
     #: per-pass execution trace, in run order
     stages: list[StageRecord] = field(default_factory=list)
     cache_hit: bool = False
+    #: admission class (repro/wlm): inherited from the request context
+    #: when one is active, else classified from the statement AST
+    query_class: str = "analytical"
 
     def to_result(self) -> TranslationResult:
         if self.sql is None or self.shape is None:
@@ -181,6 +189,7 @@ class TranslationUnit:
             keys=list(self.keys),
             timings=self.timings,
             rule_applications=dict(self.rule_applications),
+            query_class=self.query_class,
         )
 
 
@@ -366,11 +375,19 @@ class TranslationPipeline:
             timings=timings if timings is not None else StageTimings(),
             source=source,
         )
+        context = current_context()
+        if context is not None:
+            unit.query_class = context.query_class
+        else:
+            unit.query_class = classify_statement(statement).value
         check_invariants = (
             self.config.analysis.enabled
             and self.config.analysis.check_invariants
         )
+        deadline = current_deadline()
         for p in self._passes:
+            if deadline is not None:
+                deadline.check(f"pass.{p.name}")
             with tracing.span(f"pass.{p.name}") as span:
                 with stage_span(unit.timings, p.stage):
                     p.run(unit, self)
@@ -560,6 +577,7 @@ class TranslationCache:
             keys=list(result.keys),
             timings=StageTimings(),
             rule_applications=dict(result.rule_applications),
+            query_class=result.query_class,
         )
         with self._lock:
             self._entries[key] = entry

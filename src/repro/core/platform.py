@@ -18,10 +18,18 @@ from repro.obs import configure as obs_configure
 from repro.qlang.values import QValue
 from repro.sqlengine.engine import Engine
 from repro.sqlengine.executor import ResultSet
+from repro.wlm import WorkloadManager
+from repro.wlm.deadline import current_deadline
 
 
 class DirectGateway(ExecutionBackend):
-    """The in-process execution backend: direct engine calls, no network."""
+    """The in-process execution backend: direct engine calls, no network.
+
+    Deadline enforcement is cooperative: there is no socket to time out,
+    so the gateway checks the request deadline at the statement boundary
+    (the in-memory engine executes statements in microseconds; a
+    finer-grained check would buy nothing).
+    """
 
     name = "in-process"
 
@@ -29,6 +37,9 @@ class DirectGateway(ExecutionBackend):
         self.engine = engine
 
     def run_sql(self, sql: str) -> ResultSet:
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("backend.execute")
         return self.engine.execute(sql)
 
     def catalog_version(self) -> int:
@@ -47,7 +58,17 @@ class HyperQ:
         self.config = config or HyperQConfig()
         obs_configure(self.config.observability)
         self.engine = engine or Engine()
-        self.backend = backend or DirectGateway(self.engine)
+        backend = backend or DirectGateway(self.engine)
+        # platform-wide workload management, mirroring HyperQServer: one
+        # admission domain, shared breakers, backend wrapped before MDI
+        self.wlm = (
+            WorkloadManager(self.config.wlm)
+            if self.config.wlm.enabled
+            else None
+        )
+        if self.wlm is not None:
+            backend = self.wlm.wrap_backend(backend)
+        self.backend = backend
         self.server_scope = ServerScope()
         self.mdi = MetadataInterface(self.backend, self.config.metadata_cache)
         # one translation cache for the whole platform: repeat statements
@@ -61,6 +82,7 @@ class HyperQ:
             config=self.config,
             mdi=self.mdi,
             translation_cache=self.translation_cache,
+            wlm=self.wlm,
         )
 
     # -- conveniences ------------------------------------------------------------

@@ -11,6 +11,7 @@ evaluation section measures.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.config import HyperQConfig, MaterializationMode
@@ -47,6 +48,7 @@ from repro.obs import get_logger, metrics, tracing
 from repro.qlang import ast
 from repro.qlang.parser import parse
 from repro.qlang.values import QValue
+from repro.wlm import WorkloadManager, classify_program, request_scope
 
 #: Q messages run through sessions, labelled mode=execute|translate
 RUNS_TOTAL = metrics.counter(
@@ -86,9 +88,19 @@ class HyperQSession:
         config: HyperQConfig | None = None,
         mdi: MetadataInterface | None = None,
         translation_cache: TranslationCache | None = None,
+        wlm: WorkloadManager | None = None,
     ):
         self.config = config or HyperQConfig()
         obs_configure(self.config.observability)
+        # workload management: a server passes its shared manager (one
+        # admission domain per deployment) along with an already-wrapped
+        # backend; a standalone session builds a private manager and wraps
+        # the backend itself so retries/breaker/faults apply to everything
+        # it executes.
+        if wlm is None and self.config.wlm.enabled:
+            wlm = WorkloadManager(self.config.wlm)
+            backend = wlm.wrap_backend(backend)
+        self.wlm = wlm
         self.backend = backend
         self.mdi = mdi or MetadataInterface(backend, self.config.metadata_cache)
         self.server_scope = server_scope or ServerScope()
@@ -216,20 +228,29 @@ class HyperQSession:
 
         cache = self.translation_cache
         key: tuple | None = None
-        with tracing.span("hyperq.run", mode=mode):
+        with tracing.span("hyperq.run", mode=mode) as run_span:
             if cache.enabled:
                 key = cache.key_for(q_text, scope, self.mdi, self.xformer)
                 cached = cache.get(key)
                 if cached is not None:
-                    return self._replay(cached, execute, outcome)
+                    # cache hits skip parse/classify; the entry remembers
+                    # its class so the replay bills the right quota
+                    with self._wlm_scope(cached.query_class, run_span):
+                        return self._replay(cached, execute, outcome)
 
             with stage_span(outcome.timings, "parse"):
                 program = parse(q_text)
 
-            for statement in program.statements:
-                outcome.value = self._run_statement(
-                    statement, scope, execute, outcome
-                )
+            qclass = (
+                classify_program(program.statements).value
+                if self.wlm is not None
+                else "analytical"
+            )
+            with self._wlm_scope(qclass, run_span):
+                for statement in program.statements:
+                    outcome.value = self._run_statement(
+                        statement, scope, execute, outcome
+                    )
 
             if (
                 key is not None
@@ -239,6 +260,30 @@ class HyperQSession:
             ):
                 cache.put(key, outcome._last_translation)
         return outcome
+
+    @contextmanager
+    def _wlm_scope(self, query_class: str, run_span):
+        """Admission + deadline + span attribution for one request.
+
+        The request scope (with its deadline) is installed *before*
+        admission so time spent queued counts against the deadline and a
+        queued request whose deadline expires is shed, not started.
+        """
+        if self.wlm is None:
+            yield
+            return
+        deadline = self.wlm.deadline_for_request()
+        with request_scope(deadline, query_class) as context:
+            run_span.attrs["wlm.class"] = query_class
+            with self.wlm.admit(query_class) as queued_seconds:
+                context.queued_seconds = queued_seconds
+                run_span.attrs["wlm.queued_ms"] = round(
+                    queued_seconds * 1e3, 3
+                )
+                try:
+                    yield
+                finally:
+                    run_span.attrs["wlm.retries"] = context.retries
 
     def _replay(
         self, cached: TranslationResult, execute: bool,
@@ -310,7 +355,9 @@ class HyperQSession:
           ``sample name -> value`` (see docs/OBSERVABILITY.md);
         * ``check "<q>"`` — run the qcheck analyzer over the quoted Q
           source against the current scope and return the findings as a
-          table; ``check[]`` lists the rule catalog (docs/ANALYSIS.md).
+          table; ``check[]`` lists the rule catalog (docs/ANALYSIS.md);
+        * ``wlm[]`` — live workload-management state (queue depths,
+          breaker states, shed counts) as a Q table (docs/WLM.md).
         """
         from repro.qlang.qtypes import QType
         from repro.qlang.values import QTable, QVector
@@ -332,6 +379,13 @@ class HyperQSession:
             and not [a for a in statement.args if a is not None]
         ):
             return _metrics_qdict()
+        if (
+            isinstance(statement, ast.Apply)
+            and isinstance(statement.func, ast.Name)
+            and statement.func.name == "wlm"
+            and not [a for a in statement.args if a is not None]
+        ):
+            return self._wlm_qtable()
         if (
             isinstance(statement, ast.Apply)
             and isinstance(statement.func, ast.Name)
@@ -373,6 +427,51 @@ class HyperQSession:
             [
                 QVector(QType.SYMBOL, [c.name for c in data_columns]),
                 QVector(QType.CHAR, chars),
+            ],
+        )
+
+    def _wlm_qtable(self):
+        """``wlm[]`` — workload-management state as one Q table.
+
+        One row per admission class (``kind=`class``: quota, live
+        active/queued depth, admitted/shed totals), per circuit breaker
+        (``kind=`breaker``: state, consecutive failures, transition
+        count) and per fired fault point (``kind=`fault``).  An empty
+        table means workload management is disabled.
+        """
+        from repro.qlang.qtypes import QType
+        from repro.qlang.values import QTable, QVector
+
+        rows: list[tuple] = []  # (name, kind, state, limit, active,
+        #                          queued, admitted, shed)
+        if self.wlm is not None:
+            snapshot = self.wlm.snapshot()
+            for name, stats in snapshot["classes"].items():
+                rows.append((
+                    name, "class", "ok", stats["limit"], stats["active"],
+                    stats["queued"], stats["admitted"], stats["shed"],
+                ))
+            for name, stats in snapshot["breakers"].items():
+                rows.append((
+                    name, "breaker", stats["state"],
+                    self.wlm.config.breaker.failure_threshold,
+                    stats["failures"], 0, stats["transitions"], 0,
+                ))
+            for point, count in snapshot["faults"].items():
+                rows.append((point, "fault", "armed", 0, count, 0, 0, 0))
+        symbol_columns = {"name": 0, "kind": 1, "state": 2}
+        long_columns = {
+            "limit": 3, "active": 4, "queued": 5, "admitted": 6, "shed": 7,
+        }
+        return QTable(
+            list(symbol_columns) + list(long_columns),
+            [
+                QVector(QType.SYMBOL, [row[i] for row in rows])
+                for i in symbol_columns.values()
+            ]
+            + [
+                QVector(QType.LONG, [int(row[i]) for row in rows])
+                for i in long_columns.values()
             ],
         )
 

@@ -145,6 +145,57 @@ class PoolTimeoutError(ReproError):
     """No pooled backend connection became free within the timeout."""
 
 
+class WlmShedError(QError):
+    """Admission control shed the request instead of letting it hang.
+
+    Raised by :class:`repro.wlm.admission.AdmissionController` when a
+    query class is at its concurrency quota and its queue is full (or the
+    enqueue deadline passed).  Reaches QIPC clients as the structured
+    ``'wlm-shed`` signal — a fast, explicit "try again later", never a
+    stalled socket.  ``query_class`` and ``reason`` (``queue-full`` /
+    ``timeout`` / ``deadline``) say exactly what was exhausted.
+    """
+
+    default_signal = "wlm-shed"
+
+    def __init__(self, message: str, query_class: str = "",
+                 reason: str = ""):
+        super().__init__(message)
+        self.query_class = query_class
+        self.reason = reason
+
+
+class DeadlineExceededError(QError):
+    """A request overran its :class:`repro.wlm.deadline.Deadline`.
+
+    Raised cooperatively by pipeline passes and :class:`DirectGateway`,
+    and via socket timeouts by :class:`NetworkGateway`.  ``what`` names
+    the stage that noticed (``pass.bind``, ``backend.execute``, ...).
+    """
+
+    default_signal = "wlm-deadline"
+
+    def __init__(self, message: str, what: str = ""):
+        super().__init__(message)
+        self.what = what
+
+
+class CircuitOpenError(QError):
+    """A backend's circuit breaker is open: fail fast, do not enqueue.
+
+    Carries ``backend`` (the breaker's name) and ``retry_after`` — the
+    seconds until the breaker half-opens and probes recovery.
+    """
+
+    default_signal = "wlm-open"
+
+    def __init__(self, message: str, backend: str = "",
+                 retry_after: float = 0.0):
+        super().__init__(message)
+        self.backend = backend
+        self.retry_after = retry_after
+
+
 class ProtocolError(ReproError):
     """Malformed wire-protocol traffic (QIPC or PG v3)."""
 

@@ -52,6 +52,21 @@ BACKEND_POOL_CHECKOUT_SECONDS = "backend_pool_checkout_seconds"
 ANALYSIS_FINDINGS_TOTAL = "analysis_findings_total"
 ANALYSIS_INVARIANT_VIOLATIONS_TOTAL = "analysis_invariant_violations_total"
 
+# --- workload management & resilience (repro/wlm, docs/WLM.md) ----------
+WLM_CLASSIFIED_TOTAL = "wlm_classified_total"
+WLM_ADMITTED_TOTAL = "wlm_admitted_total"
+WLM_SHED_TOTAL = "wlm_shed_total"
+WLM_ACTIVE_QUERIES = "wlm_active_queries"
+WLM_QUEUE_DEPTH = "wlm_queue_depth"
+WLM_QUEUED_SECONDS = "wlm_queued_seconds"
+WLM_DEADLINE_EXCEEDED_TOTAL = "wlm_deadline_exceeded_total"
+WLM_RETRIES_TOTAL = "wlm_retries_total"
+WLM_RETRY_GIVEUPS_TOTAL = "wlm_retry_giveups_total"
+WLM_BREAKER_STATE = "wlm_breaker_state"
+WLM_BREAKER_TRANSITIONS_TOTAL = "wlm_breaker_transitions_total"
+WLM_BREAKER_REJECTIONS_TOTAL = "wlm_breaker_rejections_total"
+WLM_FAULTS_INJECTED_TOTAL = "wlm_faults_injected_total"
+
 #: every declared family name, for HQ003's membership check
 ALL_METRIC_NAMES = frozenset(
     value for key, value in vars().items()

@@ -29,15 +29,21 @@ class QConnection:
         port: int,
         username: str = "user",
         password: str = "",
+        connect_timeout: float = 10.0,
+        read_timeout: float | None = None,
     ):
         self.host = host
         self.port = port
         self.credentials = Credentials(username, password)
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
 
     def connect(self) -> "QConnection":
-        sock = socket.create_connection((self.host, self.port), timeout=10.0)
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
         sock.sendall(client_hello(self.credentials))
         ack = sock.recv(1)
         if not ack:
@@ -45,6 +51,7 @@ class QConnection:
             raise AuthenticationError(
                 f"server at {self.host}:{self.port} rejected the credentials"
             )
+        sock.settimeout(self.read_timeout)
         self._sock = sock
         return self
 

@@ -7,6 +7,10 @@ import threading
 
 from repro.errors import ProtocolError
 
+#: how often the accept loop wakes to notice a stop() request; a poll
+#: interval, not a client-visible timeout (HQ004 wants it named)
+ACCEPT_POLL_INTERVAL = 0.2
+
 
 def recv_exact(sock: socket.socket, n: int) -> bytes:
     """Read exactly ``n`` bytes or raise (connection closed mid-message)."""
@@ -49,7 +53,7 @@ class TcpServer:
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((self.host, self._requested_port))
         self._sock.listen(16)
-        self._sock.settimeout(0.2)
+        self._sock.settimeout(ACCEPT_POLL_INTERVAL)
         self._running.set()
         self._thread = threading.Thread(
             target=self._accept_loop, name=type(self).__name__, daemon=True

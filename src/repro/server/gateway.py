@@ -13,7 +13,12 @@ import socket
 import threading
 
 from repro.core.backends import ExecutionBackend
-from repro.errors import AuthenticationError, BackendSqlError, ProtocolError
+from repro.errors import (
+    AuthenticationError,
+    BackendSqlError,
+    DeadlineExceededError,
+    ProtocolError,
+)
 from repro.pgwire import messages as m
 from repro.pgwire.auth import AuthContext, AuthMechanism, TrustAuth
 from repro.pgwire.codec import (
@@ -25,6 +30,7 @@ from repro.server.common import recv_exact
 from repro.sqlengine.catalog import Column
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.types import SqlType, cast_value
+from repro.wlm.deadline import current_deadline
 
 #: reverse OID -> SqlType mapping for result metadata
 _OID_TYPES = {
@@ -47,7 +53,19 @@ _OID_TYPES = {
 
 
 class NetworkGateway(ExecutionBackend):
-    """An execution backend over a live PG v3 connection."""
+    """An execution backend over a live PG v3 connection.
+
+    Timeouts are configurable (``WlmConfig.gateway_timeouts()`` plumbs
+    them from :class:`~repro.config.HyperQConfig`): ``connect_timeout``
+    bounds connection establishment, ``read_timeout`` every blocking
+    read.  When a request :class:`~repro.wlm.deadline.Deadline` is
+    active, the remaining time additionally caps every read — a stalled
+    backend read cannot outlive its request.  A deadline that fires
+    mid-statement closes the connection (the unread result would poison
+    the next statement) and surfaces as
+    :class:`~repro.errors.DeadlineExceededError`; a pool replaces the
+    dead connection on the next checkout.
+    """
 
     name = "pg-wire"
 
@@ -59,6 +77,8 @@ class NetworkGateway(ExecutionBackend):
         password: str = "",
         database: str = "analytics",
         auth: AuthMechanism | None = None,
+        connect_timeout: float = 10.0,
+        read_timeout: float | None = None,
     ):
         self.host = host
         self.port = port
@@ -66,6 +86,8 @@ class NetworkGateway(ExecutionBackend):
         self.password = password
         self.database = database
         self.auth = auth or TrustAuth()
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
         self._catalog_version = 0
@@ -73,7 +95,10 @@ class NetworkGateway(ExecutionBackend):
     # -- connection ------------------------------------------------------------
 
     def connect(self) -> "NetworkGateway":
-        sock = socket.create_connection((self.host, self.port), timeout=10.0)
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.read_timeout)
         self._sock = sock
         self._send(m.StartupMessage(self.user, self.database))
         ctx = AuthContext(self.user)
@@ -120,8 +145,24 @@ class NetworkGateway(ExecutionBackend):
         if self._sock is None:
             raise ProtocolError("gateway is not connected")
         with self._lock:
-            self._send(m.Query(sql))
-            return self._collect_result(sql)
+            deadline = current_deadline()
+            if deadline is not None:
+                deadline.check("gateway.send")
+                self._sock.settimeout(deadline.cap(self.read_timeout))
+            try:
+                self._send(m.Query(sql))
+                return self._collect_result(sql)
+            except (socket.timeout, TimeoutError):
+                # a timed-out read leaves an unread result on the wire:
+                # the connection is dirty either way, so close it and let
+                # the pool replace it on the next checkout
+                self.close()
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceededError("gateway.read") from None
+                raise
+            finally:
+                if self._sock is not None and deadline is not None:
+                    self._sock.settimeout(self.read_timeout)
 
     def catalog_version(self) -> int:
         # DDL through this gateway bumps a local counter; remote DDL by

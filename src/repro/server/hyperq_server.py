@@ -31,6 +31,7 @@ from repro.qlang.interp import Interpreter
 from repro.qlang.values import QValue
 from repro.server.endpoint import ConnectionHandler, QipcEndpoint
 from repro.sqlengine.engine import Engine
+from repro.wlm import WorkloadManager
 
 #: concurrently executing Hyper-Q queries (the "configurable
 #: concurrency" knob made observable)
@@ -92,6 +93,17 @@ class HyperQServer(QipcEndpoint):
         if backend is None:
             engine = engine or Engine()
             backend = DirectGateway(engine)
+        # the workload manager is server-wide: all sessions share one
+        # admission domain, one retry budget and one breaker per backend,
+        # and the backend is wrapped before the MDI so metadata reads get
+        # the same recovery policies as query execution (docs/WLM.md)
+        self.wlm = (
+            WorkloadManager(self.config.wlm)
+            if self.config.wlm.enabled
+            else None
+        )
+        if self.wlm is not None:
+            backend = self.wlm.wrap_backend(backend)
         self.backend = backend
         self.engine = engine
         self.server_scope = ServerScope()
@@ -139,6 +151,7 @@ class HyperQServer(QipcEndpoint):
             config=self.config,
             mdi=self.mdi,
             translation_cache=self.translation_cache,
+            wlm=self.wlm,
         )
 
     @classmethod

@@ -1,0 +1,156 @@
+"""Per-request deadlines and the thread-local request context.
+
+Hyper-Q sits in the critical path between every Q client and the backing
+warehouse; a request with no deadline hangs its client for as long as the
+slowest backend read.  A :class:`Deadline` is an absolute expiry on the
+monotonic clock, created once when a request is admitted and consulted
+cooperatively by everything downstream:
+
+* the translation pipeline checks it between passes;
+* :class:`~repro.core.platform.DirectGateway` checks it before executing;
+* :class:`~repro.server.gateway.NetworkGateway` converts the remaining
+  time into a socket timeout, so a stalled backend read cannot outlive
+  the request;
+* :class:`~repro.wlm.retry.ResilientBackend` caps backoff sleeps by it.
+
+Rather than threading a parameter through every signature in the stack,
+the active deadline rides on a thread-local :class:`RequestContext`
+(:func:`request_scope`), together with the request's query class and its
+retry count — the same pattern the tracer uses for span nesting, and
+valid for the same reason: one request runs on one thread here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlineExceededError
+from repro.obs import metrics
+
+#: requests that overran their deadline, labelled by the stage that
+#: noticed (what=pass.bind|backend.execute|...)
+DEADLINE_EXCEEDED = metrics.counter(
+    "wlm_deadline_exceeded_total",
+    "Requests cancelled because their deadline expired",
+)
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    Immutable once created; ``clock`` is injectable so tests advance time
+    without sleeping.
+    """
+
+    __slots__ = ("expires_at", "clock")
+
+    def __init__(self, expires_at: float, clock=time.monotonic):
+        self.expires_at = expires_at
+        self.clock = clock
+
+    @classmethod
+    def after(cls, seconds: float, clock=time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the deadline passed.
+
+        ``what`` names the checkpoint (``pass.bind``, ``backend.execute``)
+        so the error says where the request died, not just that it did.
+        """
+        overrun = -self.remaining()
+        if overrun < 0.0:
+            return
+        DEADLINE_EXCEEDED.inc(what=what or "unknown")
+        where = f" at {what}" if what else ""
+        raise DeadlineExceededError(
+            f"request deadline exceeded{where} "
+            f"(over by {overrun * 1e3:.0f}ms)",
+            what=what,
+        )
+
+    def cap(self, seconds: float | None) -> float | None:
+        """The smaller of ``seconds`` and the time remaining (for socket
+        timeouts and backoff sleeps); None means uncapped input."""
+        remaining = max(self.remaining(), 0.0)
+        if seconds is None:
+            return remaining
+        return min(seconds, remaining)
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+@dataclass
+class RequestContext:
+    """Everything the WLM knows about the request on this thread."""
+
+    deadline: Deadline | None = None
+    query_class: str = "analytical"
+    retries: int = 0
+    queued_seconds: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+
+_local = threading.local()
+
+
+def _stack() -> list[RequestContext]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_context() -> RequestContext | None:
+    """The innermost active request context on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def current_deadline() -> Deadline | None:
+    """The active deadline on this thread, if any (nearest wins: nested
+    scopes inherit the parent deadline unless they set an earlier one)."""
+    context = current_context()
+    return context.deadline if context is not None else None
+
+
+@contextmanager
+def request_scope(
+    deadline: Deadline | None = None, query_class: str = "analytical"
+):
+    """Install a :class:`RequestContext` for the duration of a request.
+
+    A nested scope without its own deadline inherits the enclosing one;
+    with one, the *earlier* expiry wins (a callee can only tighten).
+    """
+    parent = current_context()
+    if parent is not None and parent.deadline is not None:
+        if deadline is None or parent.deadline.expires_at <= deadline.expires_at:
+            deadline = parent.deadline
+    context = RequestContext(deadline=deadline, query_class=query_class)
+    stack = _stack()
+    stack.append(context)
+    try:
+        yield context
+    finally:
+        stack.pop()
+
+
+def note_retry(count: int = 1) -> None:
+    """Record backend retries on the active request (span attribution)."""
+    context = current_context()
+    if context is not None:
+        context.retries += count

@@ -43,7 +43,7 @@ class TestRegistry:
     def test_rules_discovered(self):
         codes = {rule.code for rule in default_rules()}
         assert {"E501", "E711", "F401", "I001"} <= codes
-        assert {"HQ001", "HQ002", "HQ003"} <= codes
+        assert {"HQ001", "HQ002", "HQ003", "HQ004"} <= codes
 
     def test_fresh_instances_per_call(self):
         first, second = default_rules(), default_rules()
@@ -204,6 +204,96 @@ class TestHQ003MetricRegistry:
             name for name in ALL_METRIC_NAMES if f'"{name}"' not in source
         ]
         assert unused == [], f"declared but never minted: {unused}"
+
+
+class TestHQ004HardcodedBlocking:
+    def test_literal_settimeout_fires(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/x.py",
+            """\
+            def connect(sock):
+                sock.settimeout(10.0)
+            """,
+        )
+        assert "HQ004" in lint_codes(path)
+
+    def test_literal_create_connection_timeout_fires(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/y.py",
+            """\
+            import socket
+
+            def connect(host, port):
+                return socket.create_connection((host, port), timeout=5)
+            """,
+        )
+        assert "HQ004" in lint_codes(path)
+
+    def test_time_sleep_fires(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/z.py",
+            """\
+            import time
+
+            def wait():
+                time.sleep(0.5)
+            """,
+        )
+        assert "HQ004" in lint_codes(path)
+
+    def test_config_driven_timeout_is_clean(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/ok.py",
+            """\
+            POLL_INTERVAL = 0.2
+
+            def connect(sock, config):
+                sock.settimeout(config.read_timeout)
+                sock.settimeout(POLL_INTERVAL)
+            """,
+        )
+        assert "HQ004" not in lint_codes(path)
+
+    def test_wlm_layer_is_exempt(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/wlm/backoff.py",
+            """\
+            import time
+
+            def backoff():
+                time.sleep(0.05)
+            """,
+        )
+        assert "HQ004" not in lint_codes(path)
+
+    def test_tests_are_exempt(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "tests/server/t.py",
+            """\
+            import time
+
+            def slow():
+                time.sleep(1.0)
+            """,
+        )
+        assert "HQ004" not in lint_codes(path)
+
+    def test_noqa_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/n.py",
+            """\
+            def connect(sock):
+                sock.settimeout(10.0)  # noqa: HQ004
+            """,
+        )
+        assert "HQ004" not in lint_codes(path)
 
 
 class TestDriver:

@@ -172,6 +172,148 @@ class TestPoolMechanics:
             pool.run_sql("SELECT 2")
 
 
+class TestPoolRaces:
+    """Regression tests for the checkout accounting races: the open-count
+    bound must hold at every instant (not just at rest), one checkout
+    observes one overall timeout, and a connection returned after close()
+    is closed rather than leaked into the dead pool."""
+
+    def test_open_never_exceeds_size_with_slow_factory(self, conns):
+        """Concurrent first checkouts race the factory: each must reserve
+        its slot *before* creating, so a slow factory cannot let the pool
+        transiently overshoot its bound."""
+        size = 3
+        peak = []
+        lock = threading.Lock()
+
+        def slow_factory():
+            time.sleep(0.02)  # widen the reserve→create window
+            with lock:
+                peak.append(len(conns) + 1)
+            return FakeConnection(conns)
+
+        pool = PooledBackend(slow_factory, size=size, checkout_timeout=5.0)
+        errors = []
+
+        def worker():
+            try:
+                for __ in range(5):
+                    pool.run_sql("SELECT 1")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for __ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(conns) <= size  # the factory never overshot
+        assert max(peak) <= size
+        assert pool.open_connections <= size
+        assert pool.in_use == 0
+        pool.close()
+
+    def test_hammer_with_transport_errors_keeps_invariants(self, conns):
+        """Mixed success/transport-failure traffic from many threads:
+        discards and replacements must leave the accounting exact."""
+        pool = PooledBackend(
+            lambda: FakeConnection(conns), size=3, checkout_timeout=5.0
+        )
+        errors = []
+        lock = threading.Lock()
+
+        def worker(n):
+            for i in range(20):
+                try:
+                    if (n + i) % 5 == 0:
+                        with lock:
+                            for c in conns:
+                                if not c.closed and c.fail_next is None:
+                                    c.fail_next = ConnectionError("boom")
+                                    break
+                    pool.run_sql(f"SELECT {n}")
+                except ConnectionError:
+                    pass  # expected: injected transport failure
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert pool.in_use == 0
+        assert 0 <= pool.open_connections <= 3
+        # every connection the pool ever dropped was actually closed
+        open_now = [c for c in conns if not c.closed]
+        assert len(open_now) == pool.open_connections
+        pool.close()
+        assert all(c.closed for c in conns)
+
+    def test_checkin_after_close_does_not_leak(self, conns):
+        """close() while a statement is in flight: the connection coming
+        back afterwards must be closed, not parked in the idle list."""
+        release = threading.Event()
+
+        def blocking_factory():
+            conn = FakeConnection(conns)
+            conn.block_on = release
+            return conn
+
+        pool = PooledBackend(blocking_factory, size=2, checkout_timeout=1.0)
+        holder = threading.Thread(target=pool.run_sql, args=("SELECT held",))
+        holder.start()
+        for __ in range(100):  # wait for the checkout to land
+            if pool.in_use == 1:
+                break
+            time.sleep(0.01)
+        assert pool.in_use == 1
+        pool.close()
+        release.set()
+        holder.join(timeout=10)
+        assert pool.open_connections == 0
+        assert all(c.closed for c in conns)
+
+    def test_waiters_fail_fast_on_close(self, conns):
+        """A checkout blocked on a full pool should raise as soon as the
+        pool closes, not sit out its full timeout."""
+        release = threading.Event()
+
+        def blocking_factory():
+            conn = FakeConnection(conns)
+            conn.block_on = release
+            return conn
+
+        pool = PooledBackend(blocking_factory, size=1, checkout_timeout=30.0)
+        holder = threading.Thread(target=pool.run_sql, args=("SELECT held",))
+        holder.start()
+        for __ in range(100):
+            if pool.in_use == 1:
+                break
+            time.sleep(0.01)
+        outcome = {}
+
+        def waiter():
+            start = time.monotonic()
+            try:
+                pool.run_sql("SELECT 2")
+            except PoolTimeoutError:
+                outcome["elapsed"] = time.monotonic() - start
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.1)  # let the waiter block on the condition
+        pool.close()
+        t.join(timeout=5)
+        release.set()
+        holder.join(timeout=10)
+        assert outcome["elapsed"] < 5.0  # nowhere near the 30s timeout
+
+
 SOURCE = """
 trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT;
             Price:100.0 50.0 101.0 30.0;
@@ -220,7 +362,9 @@ class TestPooledServerAcceptance:
                 t.join(timeout=60)
         assert not errors
         assert len(outcome) == clients
-        pool = server.backend
+        # the server wraps the pool in the WLM's ResilientBackend; the
+        # pool itself sits underneath
+        pool = getattr(server.backend, "inner", server.backend)
         assert isinstance(pool, PooledBackend)
         # the pool never grew past its bound despite 9 sessions
         assert pool.open_connections <= 3

@@ -1,0 +1,116 @@
+"""Configurable connect/read timeouts on the QIPC client and the PG-wire
+gateway, plumbed from WlmConfig (no more hard-coded 10.0s literals)."""
+
+import pytest
+
+from repro.config import HyperQConfig, WlmConfig
+from repro.errors import DeadlineExceededError
+from repro.qlang.interp import Interpreter
+from repro.server.client import QConnection
+from repro.server.gateway import NetworkGateway
+from repro.server.hyperq_server import HyperQServer
+from repro.server.pgserver import PgWireServer
+from repro.sqlengine.engine import Engine
+from repro.wlm.deadline import Deadline, request_scope
+from repro.workload.loader import load_q_source
+
+SOURCE = "trades: ([] Symbol:`GOOG`IBM; Price:100.0 50.0; Size:10 20)"
+
+
+@pytest.fixture()
+def pg_server():
+    engine = Engine()
+    engine.execute("CREATE TABLE t (a bigint)")
+    engine.execute("INSERT INTO t VALUES (1)")
+    server = PgWireServer(engine)
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestGatewayTimeouts:
+    def test_defaults_preserved(self):
+        gateway = NetworkGateway("127.0.0.1", 5432)
+        assert gateway.connect_timeout == 10.0
+        assert gateway.read_timeout is None
+
+    def test_configured_timeouts_applied_to_socket(self, pg_server):
+        gateway = NetworkGateway(
+            *pg_server.address, connect_timeout=2.0, read_timeout=3.0
+        ).connect()
+        try:
+            assert gateway._sock.gettimeout() == 3.0
+            assert gateway.run_sql("SELECT a FROM t").rows == [(1,)]
+        finally:
+            gateway.close()
+
+    def test_wlm_config_plumbs_gateway_timeouts(self, pg_server):
+        config = WlmConfig(connect_timeout=2.5, read_timeout=4.0)
+        gateway = NetworkGateway(
+            *pg_server.address, **config.gateway_timeouts()
+        )
+        assert gateway.connect_timeout == 2.5
+        assert gateway.read_timeout == 4.0
+        # read_timeout=0 means "no read timeout" (blocking socket)
+        unbounded = WlmConfig(read_timeout=0.0).gateway_timeouts()
+        assert unbounded["read_timeout"] is None
+
+    def test_expired_deadline_fails_before_sending(self, pg_server):
+        gateway = NetworkGateway(*pg_server.address).connect()
+        try:
+            expired = Deadline(expires_at=-1.0, clock=lambda: 0.0)
+            with request_scope(expired):
+                with pytest.raises(DeadlineExceededError):
+                    gateway.run_sql("SELECT a FROM t")
+            # the connection was never dirtied: it still works
+            assert gateway.run_sql("SELECT a FROM t").rows == [(1,)]
+        finally:
+            gateway.close()
+
+    def test_deadline_caps_the_read_timeout(self, pg_server):
+        gateway = NetworkGateway(
+            *pg_server.address, read_timeout=30.0
+        ).connect()
+        try:
+            with request_scope(Deadline.after(5.0)):
+                gateway.run_sql("SELECT a FROM t")
+            # after the scoped statement the socket timeout is restored
+            assert gateway._sock.gettimeout() == 30.0
+        finally:
+            gateway.close()
+
+
+class TestClientTimeouts:
+    def test_defaults_preserved(self):
+        q = QConnection("127.0.0.1", 5000)
+        assert q.connect_timeout == 10.0
+        assert q.read_timeout is None
+
+    def test_configured_timeouts_applied(self):
+        engine = Engine()
+        load_q_source(engine, Interpreter(), SOURCE, ["trades"])
+        with HyperQServer(engine=engine) as server:
+            q = QConnection(
+                *server.address, connect_timeout=2.0, read_timeout=5.0
+            ).connect()
+            try:
+                assert q._sock.gettimeout() == 5.0
+                assert q.query("count select from trades").value == 2
+            finally:
+                q.close()
+
+    def test_connect_timeout_respected(self):
+        # RFC 5737 TEST-NET address: unroutable, so connect must time out
+        q = QConnection("192.0.2.1", 9999, connect_timeout=0.1)
+        with pytest.raises(OSError):
+            q.connect()
+
+
+class TestHyperQConfigWlm:
+    def test_wlm_config_reachable_from_hyperq_config(self):
+        config = HyperQConfig()
+        assert config.wlm.enabled
+        assert config.wlm.connect_timeout == 10.0
+        assert set(config.wlm.classes) == {
+            "admin", "point_lookup", "analytical", "materializing",
+        }

@@ -1,0 +1,28 @@
+"""Fixtures for the WLM suites: a market-data platform and session."""
+
+import pytest
+
+from repro.core.platform import HyperQ
+from repro.qlang.interp import Interpreter
+from repro.workload.loader import load_q_source
+
+MARKET_SOURCE = """
+trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT;
+            Price:100.0 50.0 101.0 30.0;
+            Size:10 20 30 40)
+"""
+
+
+@pytest.fixture()
+def hyperq():
+    hq = HyperQ()
+    it = Interpreter()
+    load_q_source(hq.engine, it, MARKET_SOURCE, ["trades"], mdi=hq.mdi)
+    return hq
+
+
+@pytest.fixture()
+def session(hyperq):
+    s = hyperq.create_session()
+    yield s
+    s.close()

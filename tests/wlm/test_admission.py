@@ -1,0 +1,157 @@
+"""Tests for the admission controller: quotas, FIFO queues, shedding."""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import WlmClassPolicy, WlmConfig
+from repro.errors import WlmShedError
+from repro.wlm.admission import AdmissionController
+from repro.wlm.deadline import Deadline, request_scope
+
+
+def make_controller(**policies) -> AdmissionController:
+    config = WlmConfig(classes={name: p for name, p in policies.items()})
+    return AdmissionController(config)
+
+
+class TestFastPath:
+    def test_admit_and_release(self):
+        ctrl = make_controller(analytical=WlmClassPolicy(max_concurrency=2))
+        with ctrl.admit("analytical") as queued:
+            assert queued == 0.0
+            assert ctrl.snapshot()["analytical"]["active"] == 1
+        snap = ctrl.snapshot()["analytical"]
+        assert snap["active"] == 0
+        assert snap["admitted"] == 1
+
+    def test_unknown_class_gets_default_policy(self):
+        ctrl = make_controller()
+        with ctrl.admit("mystery"):
+            assert ctrl.snapshot()["mystery"]["active"] == 1
+
+    def test_classes_are_isolated(self):
+        ctrl = make_controller(
+            admin=WlmClassPolicy(max_concurrency=1),
+            analytical=WlmClassPolicy(max_concurrency=1),
+        )
+        with ctrl.admit("admin"):
+            # a full admin quota must not block analytical work
+            with ctrl.admit("analytical") as queued:
+                assert queued == 0.0
+
+
+class TestShedding:
+    def test_queue_full_sheds_immediately(self):
+        ctrl = make_controller(
+            analytical=WlmClassPolicy(max_concurrency=1, max_queue=0)
+        )
+        with ctrl.admit("analytical"):
+            with pytest.raises(WlmShedError) as err:
+                with ctrl.admit("analytical"):
+                    pass
+        assert err.value.reason == "queue-full"
+        assert err.value.query_class == "analytical"
+        assert err.value.signal == "wlm-shed"
+        assert ctrl.snapshot()["analytical"]["shed"] == 1
+
+    def test_enqueue_timeout_sheds(self):
+        ctrl = make_controller(
+            analytical=WlmClassPolicy(
+                max_concurrency=1, max_queue=4, enqueue_timeout=0.05
+            )
+        )
+        with ctrl.admit("analytical"):
+            start = time.monotonic()
+            with pytest.raises(WlmShedError) as err:
+                with ctrl.admit("analytical"):
+                    pass
+            elapsed = time.monotonic() - start
+        assert err.value.reason == "timeout"
+        assert 0.01 < elapsed < 2.0
+        # the shed request left the queue behind it clean
+        assert ctrl.snapshot()["analytical"]["queued"] == 0
+
+    def test_expired_deadline_sheds_with_deadline_reason(self):
+        ctrl = make_controller(
+            analytical=WlmClassPolicy(
+                max_concurrency=1, max_queue=4, enqueue_timeout=30.0
+            )
+        )
+        with ctrl.admit("analytical"):
+            with request_scope(Deadline.after(0.02)):
+                with pytest.raises(WlmShedError) as err:
+                    with ctrl.admit("analytical"):
+                        pass
+        assert err.value.reason == "deadline"
+
+
+class TestQueueing:
+    def test_queued_request_admitted_when_slot_frees(self):
+        ctrl = make_controller(
+            analytical=WlmClassPolicy(
+                max_concurrency=1, max_queue=4, enqueue_timeout=5.0
+            )
+        )
+        holding = threading.Event()
+        release = threading.Event()
+        waited = {}
+
+        def holder():
+            with ctrl.admit("analytical"):
+                holding.set()
+                release.wait(timeout=10)
+
+        def waiter():
+            with ctrl.admit("analytical") as queued:
+                waited["queued"] = queued
+
+        t1 = threading.Thread(target=holder)
+        t1.start()
+        assert holding.wait(timeout=5)
+        t2 = threading.Thread(target=waiter)
+        t2.start()
+        time.sleep(0.05)  # let the waiter actually queue
+        assert ctrl.snapshot()["analytical"]["queued"] == 1
+        release.set()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert waited["queued"] > 0.0
+
+    def test_fifo_order_preserved(self):
+        ctrl = make_controller(
+            analytical=WlmClassPolicy(
+                max_concurrency=1, max_queue=8, enqueue_timeout=10.0
+            )
+        )
+        order = []
+        lock = threading.Lock()
+        holding = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with ctrl.admit("analytical"):
+                holding.set()
+                release.wait(timeout=10)
+
+        def waiter(tag):
+            with ctrl.admit("analytical"):
+                with lock:
+                    order.append(tag)
+                time.sleep(0.01)
+
+        t0 = threading.Thread(target=holder)
+        t0.start()
+        assert holding.wait(timeout=5)
+        waiters = []
+        for tag in range(4):
+            t = threading.Thread(target=waiter, args=(tag,))
+            t.start()
+            waiters.append(t)
+            time.sleep(0.05)  # serialize arrival order
+        release.set()
+        t0.join(timeout=10)
+        for t in waiters:
+            t.join(timeout=10)
+        assert order == [0, 1, 2, 3]

@@ -1,0 +1,104 @@
+"""Tests for per-request deadlines and the thread-local request scope."""
+
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.wlm.deadline import (
+    Deadline,
+    current_context,
+    current_deadline,
+    note_retry,
+    request_scope,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.advance(2.5)
+        assert deadline.remaining() == pytest.approx(-0.5)
+        assert deadline.expired
+
+    def test_check_raises_with_checkpoint_name(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.check("pass.bind")  # not expired: no-op
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceededError) as err:
+            deadline.check("pass.bind")
+        assert "pass.bind" in str(err.value)
+        assert err.value.signal == "wlm-deadline"
+
+    def test_cap_bounds_socket_timeouts(self):
+        clock = FakeClock()
+        deadline = Deadline.after(3.0, clock=clock)
+        assert deadline.cap(10.0) == pytest.approx(3.0)
+        assert deadline.cap(1.0) == pytest.approx(1.0)
+        assert deadline.cap(None) == pytest.approx(3.0)  # uncapped input
+        clock.advance(5.0)
+        assert deadline.cap(10.0) == 0.0  # never negative
+
+
+class TestRequestScope:
+    def test_no_scope_means_no_deadline(self):
+        assert current_context() is None
+        assert current_deadline() is None
+
+    def test_scope_installs_and_removes(self):
+        deadline = Deadline.after(5.0)
+        with request_scope(deadline, query_class="analytical") as ctx:
+            assert current_deadline() is deadline
+            assert ctx.query_class == "analytical"
+        assert current_deadline() is None
+
+    def test_nested_scope_inherits_parent_deadline(self):
+        outer = Deadline.after(5.0)
+        with request_scope(outer):
+            with request_scope(None, query_class="admin"):
+                assert current_deadline() is outer
+
+    def test_earlier_deadline_wins(self):
+        clock = FakeClock()
+        late = Deadline.after(10.0, clock=clock)
+        early = Deadline.after(1.0, clock=clock)
+        with request_scope(late):
+            with request_scope(early):
+                assert current_deadline() is early
+        with request_scope(early):
+            with request_scope(late):  # callee cannot loosen
+                assert current_deadline() is early
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+        with request_scope(Deadline.after(5.0)):
+
+            def probe():
+                seen["deadline"] = current_deadline()
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["deadline"] is None
+
+    def test_note_retry_accumulates_on_context(self):
+        with request_scope(None) as ctx:
+            note_retry()
+            note_retry(2)
+            assert ctx.retries == 3
+        note_retry()  # no active scope: a no-op, not an error

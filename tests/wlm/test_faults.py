@@ -1,0 +1,104 @@
+"""Tests for deterministic fault injection and its REPRO_FAULTS spec."""
+
+import pytest
+
+from repro.config import FaultConfig
+from repro.errors import BackendSqlError
+from repro.wlm.faults import FaultInjector
+from repro.wlm.retry import is_transient
+
+
+def drive(injector, calls=50):
+    """Run the injection points ``calls`` times; return the outcome tags."""
+    outcomes = []
+    for __ in range(calls):
+        try:
+            injector.before_execute()
+        except ConnectionError:
+            outcomes.append("drop")
+            continue
+        except BackendSqlError:
+            outcomes.append("error")
+            continue
+        injector.after_execute()
+        outcomes.append("ok")
+    return outcomes
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        config = FaultConfig(
+            enabled=True, seed=42, drop_rate=0.2, error_rate=0.2,
+            latency_rate=0.1, latency_seconds=0.0,
+        )
+        a = FaultInjector(config, sleep=lambda s: None)
+        b = FaultInjector(config, sleep=lambda s: None)
+        assert drive(a) == drive(b)
+        assert a.injected == b.injected
+
+    def test_different_seeds_differ(self):
+        base = dict(enabled=True, drop_rate=0.3, error_rate=0.3)
+        a = FaultInjector(FaultConfig(seed=1, **base))
+        b = FaultInjector(FaultConfig(seed=2, **base))
+        assert drive(a) != drive(b)
+
+
+class TestInjectionPoints:
+    def test_disabled_injector_is_inert(self):
+        injector = FaultInjector(FaultConfig(enabled=False, drop_rate=1.0))
+        injector.before_execute()
+        injector.after_execute()
+        assert sum(injector.injected.values()) == 0
+
+    def test_drop_raises_connection_error(self):
+        injector = FaultInjector(FaultConfig(enabled=True, drop_rate=1.0))
+        with pytest.raises(ConnectionError):
+            injector.before_execute()
+        assert injector.injected["drop"] == 1
+
+    def test_error_is_transient_sqlstate(self):
+        injector = FaultInjector(FaultConfig(enabled=True, error_rate=1.0))
+        with pytest.raises(BackendSqlError) as err:
+            injector.before_execute()
+        assert err.value.code == "53300"
+        assert is_transient(err.value)
+
+    def test_latency_and_slow_read_sleep(self):
+        slept = []
+        injector = FaultInjector(
+            FaultConfig(
+                enabled=True,
+                latency_rate=1.0, latency_seconds=0.2,
+                slow_read_rate=1.0, slow_read_seconds=0.1,
+            ),
+            sleep=slept.append,
+        )
+        injector.before_execute()
+        injector.after_execute()
+        assert slept == [0.2, 0.1]
+        assert injector.injected["latency"] == 1
+        assert injector.injected["slow_read"] == 1
+
+
+class TestFaultSpec:
+    def test_from_env_spec_parsing(self):
+        config = FaultConfig.from_env(
+            "seed=7,error_rate=0.3,latency_rate=0.1,latency_ms=200,"
+            "drop_rate=0.05,slow_read_rate=0.2,slow_read_ms=50"
+        )
+        assert config.enabled
+        assert config.seed == 7
+        assert config.error_rate == 0.3
+        assert config.latency_rate == 0.1
+        assert config.latency_seconds == pytest.approx(0.2)
+        assert config.drop_rate == 0.05
+        assert config.slow_read_seconds == pytest.approx(0.05)
+
+    def test_empty_spec_is_disabled(self):
+        assert not FaultConfig.from_env("").enabled
+        assert not FaultConfig.from_env("   ").enabled
+
+    def test_malformed_parts_are_skipped(self):
+        config = FaultConfig.from_env("error_rate=0.5,,bogus,=")
+        assert config.enabled
+        assert config.error_rate == 0.5

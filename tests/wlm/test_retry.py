@@ -1,0 +1,301 @@
+"""Tests for retry policy, retry budget, circuit breaker and the
+ResilientBackend composition."""
+
+import pytest
+
+from repro.config import CircuitBreakerConfig, FaultConfig, RetryConfig
+from repro.errors import BackendSqlError, CircuitOpenError
+from repro.wlm.deadline import Deadline, request_scope
+from repro.wlm.faults import FaultInjector
+from repro.wlm.retry import (
+    BreakerState,
+    CircuitBreaker,
+    ResilientBackend,
+    RetryBudget,
+    RetryPolicy,
+    is_idempotent,
+    is_transient,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class ScriptedBackend:
+    """Raises the scripted exceptions in order, then succeeds forever."""
+
+    name = "scripted"
+
+    def __init__(self, failures=()):
+        self.failures = list(failures)
+        self.calls = 0
+
+    def run_sql(self, sql):
+        self.calls += 1
+        if self.failures:
+            raise self.failures.pop(0)
+        return f"ok:{sql}"
+
+    def catalog_version(self):
+        return 0
+
+
+def make_resilient(inner, retry=None, breaker=None, faults=None):
+    policy = RetryPolicy(
+        retry or RetryConfig(jitter_seed=7), sleep=lambda s: None
+    )
+    cb = CircuitBreaker("scripted", breaker or CircuitBreakerConfig())
+    return ResilientBackend(inner, policy=policy, breaker=cb, faults=faults)
+
+
+class TestTransience:
+    def test_transport_errors_are_transient(self):
+        assert is_transient(ConnectionError("reset"))
+        assert is_transient(OSError("broken pipe"))
+
+    def test_transient_sqlstates(self):
+        assert is_transient(BackendSqlError("overload", code="53300"))
+        assert is_transient(BackendSqlError("conn failure", code="08006"))
+        assert is_transient(BackendSqlError("serialize", code="40001"))
+        assert is_transient(BackendSqlError("shutdown", code="57P01"))
+
+    def test_sql_rejections_are_not_transient(self):
+        assert not is_transient(BackendSqlError("no table", code="42P01"))
+        assert not is_transient(ValueError("bad plan"))
+
+    def test_idempotency_is_first_keyword(self):
+        assert is_idempotent("SELECT 1")
+        assert is_idempotent("  with x as (select 1) select * from x")
+        assert is_idempotent("SHOW server_version")
+        assert not is_idempotent("INSERT INTO t VALUES (1)")
+        assert not is_idempotent("CREATE TEMP TABLE t (x bigint)")
+        assert not is_idempotent("")
+
+
+class TestRetryBudget:
+    def test_spend_until_exhausted(self):
+        budget = RetryBudget(ratio=0.1, min_tokens=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_successes_refill(self):
+        budget = RetryBudget(ratio=0.5, min_tokens=1.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        for __ in range(2):
+            budget.record_success()
+        assert budget.try_spend()
+
+    def test_refill_is_capped(self):
+        budget = RetryBudget(ratio=1.0, min_tokens=5.0)
+        for __ in range(100):
+            budget.record_success()
+        assert budget.tokens == 10.0  # 2x min_tokens
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(
+            RetryConfig(base_delay=0.1, max_delay=0.4, jitter_seed=1)
+        )
+        for attempt, ceiling in [(1, 0.1), (2, 0.2), (3, 0.4), (4, 0.4)]:
+            for __ in range(20):
+                assert 0.0 <= policy.backoff(attempt) <= ceiling
+
+    def test_attempt_limit(self):
+        policy = RetryPolicy(RetryConfig(max_attempts=3))
+        exc = ConnectionError("reset")
+        assert policy.should_retry("SELECT 1", exc, attempt=1)
+        assert policy.should_retry("SELECT 1", exc, attempt=2)
+        assert not policy.should_retry("SELECT 1", exc, attempt=3)
+
+    def test_writes_never_retried(self):
+        policy = RetryPolicy(RetryConfig())
+        assert not policy.should_retry(
+            "INSERT INTO t VALUES (1)", ConnectionError("reset"), 1
+        )
+
+    def test_disabled_policy_never_retries(self):
+        policy = RetryPolicy(RetryConfig(enabled=False))
+        assert not policy.should_retry("SELECT 1", ConnectionError(), 1)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        defaults = dict(
+            failure_threshold=3, reset_timeout=5.0, close_threshold=1
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker(
+            "b", CircuitBreakerConfig(**defaults), clock=clock
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for __ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.allow()
+        assert err.value.signal == "wlm-open"
+        assert err.value.retry_after == pytest.approx(5.0)
+
+    def test_success_resets_the_count(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_probe_lifecycle(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == BreakerState.HALF_OPEN
+        breaker.allow()  # first caller becomes the probe
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # second caller fails fast meanwhile
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.allow()  # closed again: everyone passes
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        expected = [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.OPEN),
+        ]
+        assert breaker.transitions == expected
+
+    def test_close_threshold_needs_multiple_probes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, close_threshold=2)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BreakerState.HALF_OPEN
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_disabled_breaker_never_trips(self):
+        breaker = CircuitBreaker(
+            "b", CircuitBreakerConfig(enabled=False), clock=FakeClock()
+        )
+        for __ in range(100):
+            breaker.record_failure()
+        breaker.allow()  # never raises
+
+
+class TestResilientBackend:
+    def test_transparent_on_success(self):
+        inner = ScriptedBackend()
+        backend = make_resilient(inner)
+        assert backend.run_sql("SELECT 1") == "ok:SELECT 1"
+        assert inner.calls == 1
+
+    def test_retries_transient_read_failures(self):
+        inner = ScriptedBackend(
+            failures=[ConnectionError("r1"), ConnectionError("r2")]
+        )
+        backend = make_resilient(inner)
+        assert backend.run_sql("SELECT 1") == "ok:SELECT 1"
+        assert inner.calls == 3
+
+    def test_gives_up_after_max_attempts(self):
+        inner = ScriptedBackend(failures=[ConnectionError("r")] * 10)
+        backend = make_resilient(
+            inner, retry=RetryConfig(max_attempts=2, jitter_seed=7)
+        )
+        with pytest.raises(ConnectionError):
+            backend.run_sql("SELECT 1")
+        assert inner.calls == 2
+
+    def test_never_retries_writes(self):
+        inner = ScriptedBackend(failures=[ConnectionError("r")])
+        backend = make_resilient(inner)
+        with pytest.raises(ConnectionError):
+            backend.run_sql("INSERT INTO t VALUES (1)")
+        assert inner.calls == 1
+
+    def test_sql_rejection_passes_through_untouched(self):
+        inner = ScriptedBackend(
+            failures=[BackendSqlError("no table", code="42P01")]
+        )
+        backend = make_resilient(inner)
+        with pytest.raises(BackendSqlError):
+            backend.run_sql("SELECT * FROM missing")
+        assert inner.calls == 1
+        # a SQL rejection says nothing about backend health
+        assert backend.breaker.snapshot()["failures"] == 0
+
+    def test_breaker_opens_and_fails_fast(self):
+        inner = ScriptedBackend(failures=[ConnectionError("r")] * 50)
+        backend = make_resilient(
+            inner,
+            retry=RetryConfig(enabled=False),
+            breaker=CircuitBreakerConfig(failure_threshold=3),
+        )
+        for __ in range(3):
+            with pytest.raises(ConnectionError):
+                backend.run_sql("SELECT 1")
+        calls_before = inner.calls
+        with pytest.raises(CircuitOpenError):
+            backend.run_sql("SELECT 1")
+        assert inner.calls == calls_before  # failed fast, no backend call
+
+    def test_deadline_bounds_the_retry_loop(self):
+        inner = ScriptedBackend(failures=[ConnectionError("r")] * 10)
+        backend = make_resilient(
+            inner, retry=RetryConfig(max_attempts=10, jitter_seed=7)
+        )
+        clock = FakeClock()
+        deadline = Deadline(expires_at=-1.0, clock=clock)  # already expired
+        from repro.errors import DeadlineExceededError
+
+        with request_scope(deadline):
+            with pytest.raises(DeadlineExceededError):
+                backend.run_sql("SELECT 1")
+        assert inner.calls == 0  # checked before touching the backend
+
+    def test_fault_injector_sits_inside_the_retry_loop(self):
+        inner = ScriptedBackend()
+        faults = FaultInjector(
+            FaultConfig(enabled=True, seed=3, error_rate=1.0),
+            sleep=lambda s: None,
+        )
+        backend = make_resilient(
+            inner, retry=RetryConfig(max_attempts=2, jitter_seed=7),
+            faults=faults,
+        )
+        with pytest.raises(BackendSqlError) as err:
+            backend.run_sql("SELECT 1")
+        assert err.value.code == "53300"
+        assert faults.injected["error"] == 2  # initial try + 1 retry

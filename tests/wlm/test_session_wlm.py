@@ -1,0 +1,125 @@
+"""Session-level WLM behavior: classification threading, quotas and the
+``wlm[]`` admin command."""
+
+import pytest
+
+from repro.config import HyperQConfig, WlmClassPolicy, WlmConfig
+from repro.core.platform import HyperQ
+from repro.errors import DeadlineExceededError, WlmShedError
+from repro.qlang.interp import Interpreter
+from repro.qlang.values import QTable
+from repro.workload.loader import load_q_source
+from tests.wlm.conftest import MARKET_SOURCE
+
+
+def make_platform(wlm: WlmConfig) -> HyperQ:
+    hq = HyperQ(config=HyperQConfig(wlm=wlm))
+    load_q_source(
+        hq.engine, Interpreter(), MARKET_SOURCE, ["trades"], mdi=hq.mdi
+    )
+    return hq
+
+
+class TestWlmAdminCommand:
+    def test_wlm_returns_class_rows(self, session):
+        session.execute("select from trades")
+        table = session.execute("wlm[]")
+        assert isinstance(table, QTable)
+        assert table.columns == [
+            "name", "kind", "state", "limit", "active", "queued",
+            "admitted", "shed",
+        ]
+        by_name = dict(
+            zip(table.column("name").items, table.column("admitted").items)
+        )
+        assert by_name.get("analytical", 0) >= 1
+
+    def test_wlm_is_billed_as_admin(self, session):
+        session.execute("wlm[]")
+        table = session.execute("wlm[]")
+        by_name = dict(
+            zip(table.column("name").items, table.column("admitted").items)
+        )
+        assert by_name.get("admin", 0) >= 1
+
+    def test_breaker_rows_present(self, session):
+        session.execute("select from trades")
+        table = session.execute("wlm[]")
+        kinds = set(table.column("kind").items)
+        assert "breaker" in kinds
+
+    def test_disabled_wlm_yields_empty_table(self):
+        hq = make_platform(WlmConfig(enabled=False))
+        session = hq.create_session()
+        try:
+            assert hq.wlm is None
+            table = session.execute("wlm[]")
+            assert isinstance(table, QTable)
+            assert len(table.column("name").items) == 0
+            # ordinary queries still work without a workload manager
+            session.execute("select from trades")
+        finally:
+            session.close()
+
+
+class TestQuotaEnforcement:
+    def test_zero_concurrency_class_sheds(self):
+        hq = make_platform(
+            WlmConfig(
+                classes={
+                    "analytical": WlmClassPolicy(
+                        max_concurrency=0, max_queue=0
+                    ),
+                }
+            )
+        )
+        session = hq.create_session()
+        try:
+            with pytest.raises(WlmShedError) as err:
+                session.execute("select from trades")
+            assert err.value.reason == "queue-full"
+            # other classes are untouched: admin still runs
+            table = session.execute("wlm[]")
+            by_name = dict(
+                zip(table.column("name").items, table.column("shed").items)
+            )
+            assert by_name["analytical"] == 1
+        finally:
+            session.close()
+
+    def test_cache_hit_bills_the_same_class(self):
+        hq = make_platform(WlmConfig())
+        session = hq.create_session()
+        try:
+            session.execute("select from trades")
+            session.execute("select from trades")  # translation-cache hit
+            table = session.execute("wlm[]")
+            by_name = dict(
+                zip(
+                    table.column("name").items,
+                    table.column("admitted").items,
+                )
+            )
+            assert by_name["analytical"] == 2
+        finally:
+            session.close()
+
+
+class TestDefaultDeadline:
+    def test_expired_default_deadline_kills_the_request(self):
+        hq = make_platform(WlmConfig(default_deadline=1e-9))
+        session = hq.create_session()
+        try:
+            with pytest.raises(DeadlineExceededError) as err:
+                session.execute("select from trades")
+            assert err.value.signal == "wlm-deadline"
+        finally:
+            session.close()
+
+    def test_generous_deadline_is_invisible(self):
+        hq = make_platform(WlmConfig(default_deadline=30.0))
+        session = hq.create_session()
+        try:
+            session.execute("select from trades")
+        finally:
+            session.close()
