@@ -9,7 +9,7 @@ individual Xformer rules used by the ablation benchmarks.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 
 
@@ -226,7 +226,13 @@ class FaultConfig:
         """Parse ``REPRO_FAULTS`` (or an explicit spec string)."""
         if text is None:
             text = os.environ.get("REPRO_FAULTS", "")
-        return cls(**_parse_fault_spec(text)) if text.strip() else cls()
+        if not text.strip():
+            return cls()
+        values = _parse_fault_spec(text)
+        # unknown keys (typos like drop= for drop_rate=) are dropped, not
+        # passed through: a malformed env var must never crash startup
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in values.items() if k in known})
 
 
 @dataclass

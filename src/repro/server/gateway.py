@@ -30,7 +30,7 @@ from repro.server.common import recv_exact
 from repro.sqlengine.catalog import Column
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.types import SqlType, cast_value
-from repro.wlm.deadline import current_deadline
+from repro.wlm.deadline import DEADLINE_EXCEEDED, current_deadline
 
 #: reverse OID -> SqlType mapping for result metadata
 _OID_TYPES = {
@@ -158,7 +158,12 @@ class NetworkGateway(ExecutionBackend):
                 # the pool replace it on the next checkout
                 self.close()
                 if deadline is not None and deadline.expired:
-                    raise DeadlineExceededError("gateway.read") from None
+                    DEADLINE_EXCEEDED.inc(what="gateway.read")
+                    raise DeadlineExceededError(
+                        "request deadline exceeded at gateway.read "
+                        "(socket timeout on backend read)",
+                        what="gateway.read",
+                    ) from None
                 raise
             finally:
                 if self._sock is not None and deadline is not None:

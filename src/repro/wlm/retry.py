@@ -25,6 +25,7 @@ without the pipeline noticing.
 from __future__ import annotations
 
 import random
+import re
 import threading
 import time
 
@@ -75,10 +76,30 @@ def is_transient(exc: BaseException) -> bool:
     return False
 
 
+#: data-modifying verbs that disqualify a WITH statement from retry:
+#: PostgreSQL allows ``WITH x AS (DELETE ... RETURNING *) SELECT ...``,
+#: where the mutation hides inside the CTE list
+_MUTATING_VERBS = re.compile(r"\b(INSERT|UPDATE|DELETE|MERGE)\b", re.IGNORECASE)
+
+
 def is_idempotent(sql: str) -> bool:
-    """Only plain reads are safe to re-send blindly."""
+    """Only plain reads are safe to re-send blindly.
+
+    WITH statements count only when no data-modifying verb appears
+    anywhere in the text: a transient failure after the backend applied a
+    data-modifying CTE would otherwise be retried and applied twice.
+    (Conservative — a read whose identifiers merely *contain* such a word
+    loses its retry, never the other way around.)
+    """
     head = sql.lstrip().split(None, 1)
-    return bool(head) and head[0].upper() in ("SELECT", "WITH", "SHOW")
+    if not head:
+        return False
+    verb = head[0].upper()
+    if verb in ("SELECT", "SHOW"):
+        return True
+    if verb == "WITH":
+        return _MUTATING_VERBS.search(sql) is None
+    return False
 
 
 class RetryBudget:
@@ -212,19 +233,25 @@ class CircuitBreaker:
             self._probe_successes = 0
             self._probe_in_flight = False
 
-    def allow(self) -> None:
+    def allow(self) -> bool:
         """Gate one request; raises :class:`CircuitOpenError` fast when
-        open (or when half-open with a probe already in flight)."""
+        open (or when half-open with a probe already in flight).
+
+        Returns True when this caller holds the half-open probe slot and
+        must therefore settle it — via :meth:`record_success`,
+        :meth:`record_failure`, or :meth:`record_probe_abort` — on every
+        exit path, or the breaker stays half-open rejecting everything.
+        """
         if not self.config.enabled:
-            return
+            return False
         with self._lock:
             self._maybe_half_open_locked()
             if self._state == BreakerState.CLOSED:
-                return
+                return False
             if self._state == BreakerState.HALF_OPEN:
                 if not self._probe_in_flight:
                     self._probe_in_flight = True  # this caller probes
-                    return
+                    return True
                 retry_after = 0.0
             else:
                 retry_after = max(
@@ -249,6 +276,17 @@ class CircuitBreaker:
                 self._probe_successes += 1
                 if self._probe_successes >= self.config.close_threshold:
                     self._transition_locked(BreakerState.CLOSED)
+
+    def record_probe_abort(self) -> None:
+        """Release the half-open probe slot without judging health.
+
+        For probe requests that die for reasons unrelated to the backend
+        (SQL-level rejection, request deadline): the breaker stays
+        half-open and the next caller becomes the probe instead.
+        """
+        with self._lock:
+            if self._state == BreakerState.HALF_OPEN:
+                self._probe_in_flight = False
 
     def record_failure(self) -> None:
         with self._lock:
@@ -305,7 +343,7 @@ class ResilientBackend(ExecutionBackend):
             deadline = current_deadline()
             if deadline is not None:
                 deadline.check("backend.execute")
-            self.breaker.allow()
+            is_probe = self.breaker.allow()
             try:
                 if self.faults is not None:
                     self.faults.before_execute()
@@ -314,7 +352,12 @@ class ResilientBackend(ExecutionBackend):
                     self.faults.after_execute()
             except Exception as exc:
                 if not is_transient(exc):
-                    raise  # SQL-level rejection: not the backend's health
+                    # SQL-level rejection: not the backend's health — but
+                    # a held probe slot must be released or the breaker
+                    # wedges half-open, rejecting every future request
+                    if is_probe:
+                        self.breaker.record_probe_abort()
+                    raise
                 self.breaker.record_failure()
                 if not self.policy.should_retry(sql, exc, attempt):
                     RETRY_GIVEUPS_TOTAL.inc(backend=self.breaker.name)
@@ -333,6 +376,12 @@ class ResilientBackend(ExecutionBackend):
                 if delay > 0:
                     self.policy.sleep(delay)
                 continue
+            except BaseException:
+                # KeyboardInterrupt and friends: release the probe slot
+                # without judging backend health
+                if is_probe:
+                    self.breaker.record_probe_abort()
+                raise
             self.breaker.record_success()
             self.policy.budget.record_success()
             return result

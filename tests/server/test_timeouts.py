@@ -67,6 +67,34 @@ class TestGatewayTimeouts:
         finally:
             gateway.close()
 
+    def test_socket_timeout_expiry_names_the_stage(
+        self, pg_server, monkeypatch
+    ):
+        """A deadline-driven socket timeout raises a real error (message,
+        ``what``) and bumps the deadline-exceeded counter, same as the
+        cooperative Deadline.check paths."""
+        from repro.wlm.deadline import DEADLINE_EXCEEDED
+
+        gateway = NetworkGateway(*pg_server.address).connect()
+        try:
+            now = [0.0]
+            deadline = Deadline(expires_at=1.0, clock=lambda: now[0])
+
+            def stall(sql):
+                now[0] = 2.0  # deadline expires mid-read
+                raise TimeoutError("timed out")
+
+            monkeypatch.setattr(gateway, "_collect_result", stall)
+            before = DEADLINE_EXCEEDED.value(what="gateway.read")
+            with request_scope(deadline):
+                with pytest.raises(DeadlineExceededError) as err:
+                    gateway.run_sql("SELECT a FROM t")
+            assert err.value.what == "gateway.read"
+            assert "deadline exceeded" in str(err.value)
+            assert DEADLINE_EXCEEDED.value(what="gateway.read") == before + 1
+        finally:
+            gateway.close()
+
     def test_deadline_caps_the_read_timeout(self, pg_server):
         gateway = NetworkGateway(
             *pg_server.address, read_timeout=30.0

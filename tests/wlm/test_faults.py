@@ -102,3 +102,11 @@ class TestFaultSpec:
         config = FaultConfig.from_env("error_rate=0.5,,bogus,=")
         assert config.enabled
         assert config.error_rate == 0.5
+
+    def test_unknown_keys_are_dropped_not_fatal(self):
+        # a typo ('drop=' for 'drop_rate=') must never crash config
+        # construction — from_env runs as a dataclass default_factory
+        config = FaultConfig.from_env("drop=0.3,error_rate=0.5")
+        assert config.enabled
+        assert config.error_rate == 0.5
+        assert config.drop_rate == 0.0

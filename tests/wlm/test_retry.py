@@ -79,6 +79,22 @@ class TestTransience:
         assert not is_idempotent("CREATE TEMP TABLE t (x bigint)")
         assert not is_idempotent("")
 
+    def test_data_modifying_ctes_are_not_idempotent(self):
+        # PostgreSQL data-modifying CTEs mutate state even though the
+        # statement starts with WITH: retrying could apply the write twice
+        assert not is_idempotent(
+            "WITH moved AS (DELETE FROM t RETURNING *) SELECT * FROM moved"
+        )
+        assert not is_idempotent(
+            "with x as (insert into t values (1) returning a)"
+            " select * from x"
+        )
+        assert not is_idempotent(
+            "WITH x AS (UPDATE t SET a = 2 RETURNING a) SELECT * FROM x"
+        )
+        assert not is_idempotent("WITH x AS (SELECT 1) DELETE FROM t")
+        assert is_idempotent("WITH x AS (SELECT 1) SELECT * FROM x")
+
 
 class TestRetryBudget:
     def test_spend_until_exhausted(self):
@@ -205,6 +221,32 @@ class TestCircuitBreaker:
         breaker.record_success()
         assert breaker.state == BreakerState.CLOSED
 
+    def test_allow_reports_probe_ownership(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        assert breaker.allow() is False  # closed: nobody is the probe
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow() is True  # half-open: this caller probes
+        breaker.record_success()
+        assert breaker.allow() is False  # closed again
+
+    def test_probe_abort_releases_the_slot_without_judging(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow() is True
+        breaker.record_probe_abort()
+        # still half-open (no verdict on the backend), and the slot is
+        # free: the next caller becomes the probe instead of failing fast
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+
     def test_disabled_breaker_never_trips(self):
         breaker = CircuitBreaker(
             "b", CircuitBreakerConfig(enabled=False), clock=FakeClock()
@@ -270,6 +312,39 @@ class TestResilientBackend:
         with pytest.raises(CircuitOpenError):
             backend.run_sql("SELECT 1")
         assert inner.calls == calls_before  # failed fast, no backend call
+
+    def test_sql_rejection_on_probe_does_not_wedge_the_breaker(self):
+        # regression: a non-transient error on the half-open probe used
+        # to leave _probe_in_flight set forever, so the breaker rejected
+        # every future request — permanent outage from one SQL error
+        clock = FakeClock()
+        inner = ScriptedBackend(
+            failures=[ConnectionError("down")] * 3
+            + [BackendSqlError("no table", code="42P01")]
+        )
+        breaker = CircuitBreaker(
+            "scripted",
+            CircuitBreakerConfig(failure_threshold=3, reset_timeout=5.0),
+            clock=clock,
+        )
+        backend = ResilientBackend(
+            inner,
+            policy=RetryPolicy(RetryConfig(enabled=False)),
+            breaker=breaker,
+        )
+        for __ in range(3):
+            with pytest.raises(ConnectionError):
+                backend.run_sql("SELECT 1")
+        assert breaker.state == BreakerState.OPEN
+        clock.advance(5.0)
+        # this request is the half-open probe and dies on a SQL-level
+        # rejection, which says nothing about backend health
+        with pytest.raises(BackendSqlError):
+            backend.run_sql("SELECT * FROM missing")
+        assert breaker.state == BreakerState.HALF_OPEN
+        # the slot was released: the next caller probes and re-closes
+        assert backend.run_sql("SELECT 1") == "ok:SELECT 1"
+        assert breaker.state == BreakerState.CLOSED
 
     def test_deadline_bounds_the_retry_loop(self):
         inner = ScriptedBackend(failures=[ConnectionError("r")] * 10)
