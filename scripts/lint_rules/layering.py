@@ -15,6 +15,11 @@ These encode architectural invariants of the Hyper-Q reproduction:
   ``src/repro/core`` must come from config (``WlmConfig``), a named
   module constant, or live in ``src/repro/wlm`` (the one layer whose job
   *is* sleeping and timing out).
+* HQ005 — no per-element serialization on the wire paths: ``struct.pack``
+  inside a loop and ``bytes``-building ``+=`` accumulation inside a loop
+  are banned under ``src/repro/pgwire`` / ``src/repro/qipc``.  Batched
+  packing lives in the ``kernels.py`` module of each package (the one
+  allowed home, exempt by filename).
 """
 
 from __future__ import annotations
@@ -53,6 +58,15 @@ _NO_HARDCODED_BLOCKING_DIRS = (
 
 #: socket methods/functions whose timeout HQ004 inspects
 _SOCKET_TIMEOUT_CALLS = {"settimeout", "create_connection"}
+
+#: directory tails where HQ005 bans per-element wire serialization
+_BATCHED_WIRE_DIRS = (
+    ("src", "repro", "pgwire"),
+    ("src", "repro", "qipc"),
+)
+
+#: the one allowed home for per-element pack loops in those packages
+_KERNELS_FILENAME = "kernels.py"
 
 
 def _under(parts: tuple[str, ...], tail: tuple[str, ...]) -> bool:
@@ -221,6 +235,88 @@ class MetricRegistryRule(LintRule):
                     f"metric family {first.value!r} is not declared in "
                     f"repro/obs/names.py — add it to the registry",
                 )
+
+
+def _is_struct_pack(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("pack", "pack_into")
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "struct"
+    )
+
+
+def _builds_bytes(expr: ast.expr) -> bool:
+    """Whether an expression visibly constructs wire bytes: a bytes
+    literal, an ``.encode()`` call, ``struct.pack`` or ``_cstr``."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+            return True
+        if _is_struct_pack(node):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "encode":
+                return True
+            if isinstance(func, ast.Name) and func.id == "_cstr":
+                return True
+    return False
+
+
+@register
+class BatchedWireSerializationRule(LintRule):
+    """HQ005: per-element pack loops / ``bytes +=`` on the wire paths."""
+
+    code = "HQ005"
+    name = "batched_wire_serialization"
+    purpose = "wire serialization is batched through the kernels modules"
+
+    #: loop constructs whose bodies HQ005 scans (comprehensions included:
+    #: a genexpr of struct.pack calls is still one pack per element)
+    LOOPS = (
+        ast.For, ast.While, ast.ListComp, ast.SetComp, ast.GeneratorExp,
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if not any(_under(parts, tail) for tail in _BATCHED_WIRE_DIRS):
+            return
+        if parts[-1] == _KERNELS_FILENAME:
+            return  # the batched kernels own the scalar fallbacks
+        seen: set[tuple[int, str]] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, self.LOOPS):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, (ast.Call, ast.AugAssign)):
+                    continue
+                if ctx.suppressed(node.lineno):
+                    continue
+                if _is_struct_pack(node):
+                    key = (node.lineno, "pack")
+                    if key not in seen:
+                        seen.add(key)
+                        yield self.finding(
+                            ctx, node.lineno,
+                            "per-element struct.pack in a loop — batch it "
+                            "through this package's kernels module (one "
+                            "pack per vector/result set)",
+                        )
+                elif (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and _builds_bytes(node.value)
+                ):
+                    key = (node.lineno, "augadd")
+                    if key not in seen:
+                        seen.add(key)
+                        yield self.finding(
+                            ctx, node.lineno,
+                            "quadratic bytes accumulation (`+=` in a loop) "
+                            "— collect parts in a list and b\"\".join them, "
+                            "or use the kernels module",
+                        )
 
 
 def _is_numeric_literal(node: ast.expr) -> bool:

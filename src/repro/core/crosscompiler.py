@@ -97,49 +97,58 @@ def _is_internal(name: str) -> bool:
     return name == "ordcol" or name.startswith("hq_")
 
 
+def _converter_for(qtype: QType):
+    if qtype == QType.BOOLEAN:
+        return bool
+    if qtype in (QType.REAL, QType.FLOAT):
+        return float
+    if qtype in (QType.SYMBOL, QType.CHAR):
+        return str
+    return int
+
+
+#: Q-type -> per-value coercion, resolved once per column instead of an
+#: if/elif dispatch per cell
+_QTYPE_CONVERTERS = {
+    qtype: _converter_for(qtype) for qtype in set(_SQL_TO_QTYPE.values())
+}
+
+
 def _column_to_vector(values: list, sql_type: SqlType) -> QVector:
     qtype = _SQL_TO_QTYPE.get(sql_type, QType.FLOAT)
     null = qtype.null_value()
-    raws = []
-    for value in values:
-        if value is None:
-            raws.append(null)
-        elif qtype == QType.BOOLEAN:
-            raws.append(bool(value))
-        elif qtype in (QType.FLOAT, QType.REAL):
-            raws.append(float(value))
-        elif qtype in (QType.SYMBOL, QType.CHAR):
-            raws.append(str(value))
-        else:
-            raws.append(int(value))
+    convert = _QTYPE_CONVERTERS.get(qtype, float)
+    raws = [null if value is None else convert(value) for value in values]
     return QVector(qtype, raws)
 
 
 def pivot_result(result: ResultSet, shape: str, keys: list[str]) -> QValue:
-    """Pivot a row-oriented SQL result into the column-oriented Q value.
+    """Pivot a SQL result into the column-oriented Q value it maps to.
 
-    This is the QIPC-side of Figure 5: PG streams rows; Hyper-Q buffers
-    them (the ResultSet *is* the buffered set) and flips to columns.
+    This is the QIPC side of Figure 5: PG streams rows; Hyper-Q buffers
+    them (the ResultSet *is* the buffered set) and ships columns.  A
+    gateway result already carries columnar data, so this is a cheap
+    wrap — no transpose; engine-built row results transpose once inside
+    ``ResultSet.column_data``.
     """
+    data = result.column_data
+    row_count = len(data[0]) if data else 0
     visible = [
         (i, col)
         for i, col in enumerate(result.columns)
         if not _is_internal(col.name)
     ]
-    column_values = {
-        col.name: [row[i] for row in result.rows] for i, col in visible
-    }
     vectors = {
-        col.name: _column_to_vector(column_values[col.name], col.sql_type)
-        for __, col in visible
+        col.name: _column_to_vector(data[i], col.sql_type)
+        for i, col in visible
     }
     names = [col.name for __, col in visible]
 
     if shape == "atom":
-        if len(names) != 1 or len(result.rows) != 1:
+        if len(names) != 1 or row_count != 1:
             raise TranslationError(
                 f"atom-shaped result has {len(names)} columns x "
-                f"{len(result.rows)} rows"
+                f"{row_count} rows"
             )
         return vectors[names[0]].atom_at(0)
     if shape == "vector":

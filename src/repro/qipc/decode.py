@@ -1,10 +1,17 @@
-"""QIPC bytes -> QValue deserialization (inverse of encode)."""
+"""QIPC bytes -> QValue deserialization (inverse of encode).
+
+Vector payloads decode through the batched kernels in
+:mod:`repro.qipc.kernels`: one ``struct.unpack_from`` per fixed-width
+vector and one split pass per symbol vector, instead of a reader call
+per element.
+"""
 
 from __future__ import annotations
 
 import struct
 
 from repro.errors import ProtocolError, QError
+from repro.qipc.kernels import unpack_fixed, unpack_symbols
 from repro.qlang.qtypes import QType
 from repro.qlang.values import (
     QAtom,
@@ -146,7 +153,8 @@ def _decode_vector(reader: _Reader, code: int) -> QVector:
     reader.uint8()  # attributes
     count = reader.uint32()
     if qtype == QType.SYMBOL:
-        return QVector(qtype, [reader.cstring() for __ in range(count)])
+        symbols, reader.pos = unpack_symbols(reader.data, reader.pos, count)
+        return QVector(qtype, symbols)
     if qtype == QType.CHAR:
         text = reader.take(count).decode("utf-8", "replace")
         return QVector(qtype, list(text))
@@ -154,13 +162,7 @@ def _decode_vector(reader: _Reader, code: int) -> QVector:
         return QVector(
             qtype, [_guid_text(reader.take(16)) for __ in range(count)]
         )
-    fmt, size = _FIXED[qtype]
-    items = []
-    for __ in range(count):
-        value = struct.unpack(fmt, reader.take(size))[0]
-        if qtype == QType.BOOLEAN:
-            value = bool(value)
-        items.append(value)
+    items, reader.pos = unpack_fixed(qtype, reader.data, reader.pos, count)
     return QVector(qtype, items)
 
 

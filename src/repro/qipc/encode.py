@@ -4,6 +4,11 @@ Follows the kx IPC object layout: a signed type byte, then the payload.
 Vectors carry an attribute byte and a uint32 length; tables are type 98
 wrapping a columns!values dictionary; dictionaries are type 99.  Figure 5
 of the paper shows exactly this layout for a two-column result set.
+
+Fixed-width vector payloads — the bulk of every result set — are packed
+through the batched kernels in :mod:`repro.qipc.kernels` (one
+``struct.pack`` per vector, not per element); the scalar reference
+encoder retained there is the differential-test oracle for this module.
 """
 
 from __future__ import annotations
@@ -12,7 +17,8 @@ import math
 import struct
 
 from repro.errors import ProtocolError
-from repro.qlang.qtypes import NULL_INT, NULL_LONG, NULL_SHORT, QType
+from repro.qipc.kernels import INT_NULLS, guid_bytes, pack_fixed
+from repro.qlang.qtypes import QType
 from repro.qlang.values import (
     QAtom,
     QDict,
@@ -24,37 +30,27 @@ from repro.qlang.values import (
     QVector,
 )
 
-#: struct format per fixed-width Q type
-_FORMATS = {
-    QType.BOOLEAN: "<b",
-    QType.BYTE: "<B",
-    QType.SHORT: "<h",
-    QType.INT: "<i",
-    QType.LONG: "<q",
-    QType.REAL: "<f",
-    QType.FLOAT: "<d",
-    QType.TIMESTAMP: "<q",
-    QType.MONTH: "<i",
-    QType.DATE: "<i",
-    QType.DATETIME: "<d",
-    QType.TIMESPAN: "<q",
-    QType.MINUTE: "<i",
-    QType.SECOND: "<i",
-    QType.TIME: "<i",
-}
+#: struct format per fixed-width Q type (atoms pack one element each)
+_FORMATS = {qtype: "<" + code for qtype, code in (
+    (QType.BOOLEAN, "b"),
+    (QType.BYTE, "B"),
+    (QType.SHORT, "h"),
+    (QType.INT, "i"),
+    (QType.LONG, "q"),
+    (QType.REAL, "f"),
+    (QType.FLOAT, "d"),
+    (QType.TIMESTAMP, "q"),
+    (QType.MONTH, "i"),
+    (QType.DATE, "i"),
+    (QType.DATETIME, "d"),
+    (QType.TIMESPAN, "q"),
+    (QType.MINUTE, "i"),
+    (QType.SECOND, "i"),
+    (QType.TIME, "i"),
+)}
 
-_INT_NULLS = {
-    QType.SHORT: NULL_SHORT,
-    QType.INT: NULL_INT,
-    QType.LONG: NULL_LONG,
-    QType.TIMESTAMP: NULL_LONG,
-    QType.TIMESPAN: NULL_LONG,
-    QType.MONTH: NULL_INT,
-    QType.DATE: NULL_INT,
-    QType.MINUTE: NULL_INT,
-    QType.SECOND: NULL_INT,
-    QType.TIME: NULL_INT,
-}
+#: kept as the public-ish name earlier satellites referenced
+_INT_NULLS = INT_NULLS
 
 
 def _pack_raw(qtype: QType, raw) -> bytes:
@@ -119,7 +115,7 @@ def _encode_atom(atom: QAtom) -> bytes:
         ch = str(atom.value)[:1] or " "
         return type_byte + ch.encode("utf-8")[:1]
     if qtype == QType.GUID:
-        return type_byte + _guid_bytes(atom.value)
+        return type_byte + guid_bytes(atom.value)
     raw = atom.value
     if atom.is_null and qtype in _INT_NULLS:
         raw = _INT_NULLS[qtype]
@@ -143,16 +139,5 @@ def _encode_vector(vector: QVector) -> bytes:
         header = struct.pack("<bBI", qtype.code, 0, len(encoded))
         return header + encoded
     if qtype == QType.GUID:
-        return header + b"".join(_guid_bytes(g) for g in vector.items)
-    out = [header]
-    null = _INT_NULLS.get(qtype)
-    for raw in vector.items:
-        if null is not None and isinstance(raw, float) and math.isnan(raw):
-            raw = null
-        out.append(_pack_raw(qtype, raw))
-    return b"".join(out)
-
-
-def _guid_bytes(value) -> bytes:
-    text = str(value).replace("-", "")
-    return bytes.fromhex(text.ljust(32, "0")[:32])
+        return header + b"".join(guid_bytes(g) for g in vector.items)
+    return header + pack_fixed(qtype, vector.items)

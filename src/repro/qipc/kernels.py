@@ -1,0 +1,192 @@
+"""Batched pack/unpack kernels for QIPC vector payloads.
+
+A QIPC response carries each column as one contiguous fixed-width array
+(Figure 5), which Python serializes fastest as a single
+``struct.pack(f"<{n}q", *items)`` call rather than one two-byte-dispatch
+``struct.pack`` per element.  This module owns those bulk kernels — the
+fast path, the scalar fallback it degrades to when a vector carries
+NaN-coded nulls or mixed numeric types, and the *reference* scalar
+encoder the differential test suite compares against byte-for-byte.
+Lint rule HQ005 keeps per-element packing loops out of the rest of
+``qipc``/``pgwire``; the ``kernels`` modules are their one allowed home.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.errors import ProtocolError
+from repro.qlang.qtypes import NULL_INT, NULL_LONG, NULL_SHORT, QType
+
+#: struct element code per fixed-width Q type (little-endian throughout)
+STRUCT_CODES = {
+    QType.BOOLEAN: "b",
+    QType.BYTE: "B",
+    QType.SHORT: "h",
+    QType.INT: "i",
+    QType.LONG: "q",
+    QType.REAL: "f",
+    QType.FLOAT: "d",
+    QType.TIMESTAMP: "q",
+    QType.MONTH: "i",
+    QType.DATE: "i",
+    QType.DATETIME: "d",
+    QType.TIMESPAN: "q",
+    QType.MINUTE: "i",
+    QType.SECOND: "i",
+    QType.TIME: "i",
+}
+
+ITEM_SIZES = {
+    qtype: struct.calcsize("<" + code) for qtype, code in STRUCT_CODES.items()
+}
+
+#: integer null sentinel per integral Q type (floats use NaN natively)
+INT_NULLS = {
+    QType.SHORT: NULL_SHORT,
+    QType.INT: NULL_INT,
+    QType.LONG: NULL_LONG,
+    QType.TIMESTAMP: NULL_LONG,
+    QType.TIMESPAN: NULL_LONG,
+    QType.MONTH: NULL_INT,
+    QType.DATE: NULL_INT,
+    QType.MINUTE: NULL_INT,
+    QType.SECOND: NULL_INT,
+    QType.TIME: NULL_INT,
+}
+
+_FLOATING = (QType.REAL, QType.FLOAT, QType.DATETIME)
+
+
+# -- packing ------------------------------------------------------------------
+
+
+def pack_fixed(qtype: QType, items) -> bytes:
+    """Pack a fixed-width vector payload in one ``struct.pack`` call.
+
+    The bulk call only succeeds when every item already has the exact
+    wire representation (ints in integral vectors, numbers in float
+    vectors) — which is the overwhelmingly common shape coming out of
+    the columnar result pipeline.  Anything else (NaN-coded nulls in an
+    integral vector, floats that need truncation, strings) falls back to
+    a normalizing pass that bulk-substitutes and packs again, with
+    byte-identical output to the per-element reference encoder.
+    """
+    if qtype == QType.BOOLEAN:
+        # normalize truthiness the way the scalar encoder does (1/0)
+        return bytes([1 if item else 0 for item in items])
+    code = STRUCT_CODES[qtype]
+    try:
+        return struct.pack(f"<{len(items)}{code}", *items)
+    except (struct.error, TypeError):
+        return struct.pack(f"<{len(items)}{code}", *_normalized(qtype, items))
+
+
+def _normalized(qtype: QType, items) -> list:
+    """Coerce items to their wire type, mapping NaN to the typed null."""
+    if qtype in _FLOATING:
+        return [float(item) for item in items]
+    null = INT_NULLS.get(qtype)
+    return [
+        null
+        if null is not None and isinstance(item, float) and math.isnan(item)
+        else int(item)
+        for item in items
+    ]
+
+
+def pack_fixed_reference(qtype: QType, items) -> bytes:
+    """The pre-kernel scalar loop, retained as the differential oracle.
+
+    One ``struct.pack`` per element, with the same NaN-to-null and
+    coercion rules the original ``_encode_vector`` applied.  Slow on
+    purpose — tests assert ``pack_fixed`` matches it byte-for-byte.
+    """
+    fmt = "<" + STRUCT_CODES[qtype]
+    null = INT_NULLS.get(qtype)
+    out = []
+    for raw in items:
+        if null is not None and isinstance(raw, float) and math.isnan(raw):
+            raw = null
+        if qtype in _FLOATING:
+            out.append(struct.pack(fmt, float(raw)))
+        elif qtype == QType.BOOLEAN:
+            out.append(struct.pack(fmt, 1 if raw else 0))
+        else:
+            out.append(struct.pack(fmt, int(raw)))
+    return b"".join(out)
+
+
+def guid_bytes(value) -> bytes:
+    """16 GUID payload bytes from canonical text; malformed input is a
+    protocol error, never silently padded or truncated."""
+    text = str(value).replace("-", "")
+    if len(text) != 32:
+        raise ProtocolError(f"invalid GUID {value!r}: expected 32 hex digits")
+    try:
+        return bytes.fromhex(text)
+    except ValueError:
+        raise ProtocolError(
+            f"invalid GUID {value!r}: non-hexadecimal digits"
+        ) from None
+
+
+# -- unpacking ----------------------------------------------------------------
+
+
+def unpack_fixed(qtype: QType, data, offset: int, count: int) -> tuple[list, int]:
+    """Decode ``count`` fixed-width items with one ``unpack_from`` call.
+
+    Returns ``(values, next_offset)``; booleans come back as ``bool``.
+    """
+    end = offset + count * ITEM_SIZES[qtype]
+    if end > len(data):
+        raise ProtocolError(
+            f"QIPC payload truncated at offset {offset} "
+            f"(needed {end - offset} bytes of {len(data) - offset})"
+        )
+    code = STRUCT_CODES[qtype]
+    values = list(struct.unpack_from(f"<{count}{code}", data, offset))
+    if qtype == QType.BOOLEAN:
+        values = [value != 0 for value in values]
+    return values, end
+
+
+def unpack_symbols(data: bytes, offset: int, count: int) -> tuple[list[str], int]:
+    """Decode ``count`` NUL-terminated symbols in one split pass."""
+    if count == 0:
+        return [], offset
+    parts = bytes(data[offset:]).split(b"\x00", count)
+    if len(parts) <= count:
+        raise ProtocolError("unterminated symbol in QIPC payload")
+    symbols = [part.decode("utf-8") for part in parts[:count]]
+    consumed = sum(len(part) for part in parts[:count]) + count
+    return symbols, offset + consumed
+
+
+# -- reference vector encoder (differential-test oracle) ----------------------
+
+
+def reference_encode_vector(vector) -> bytes:
+    """The pre-change ``_encode_vector``, element at a time.
+
+    Kept verbatim so the round-trip suite can prove the batched encoder
+    in :mod:`repro.qipc.encode` produces identical bytes for every
+    vector type, including typed nulls, NaN and multi-byte symbols.
+    """
+    qtype = vector.qtype
+    header = struct.pack("<bBI", qtype.code, 0, len(vector.items))
+    if qtype == QType.SYMBOL:
+        body = b"".join(
+            str(s).encode("utf-8") + b"\x00" for s in vector.items
+        )
+        return header + body
+    if qtype == QType.CHAR:
+        text = "".join(str(c)[:1] or " " for c in vector.items)
+        encoded = text.encode("utf-8")
+        header = struct.pack("<bBI", qtype.code, 0, len(encoded))
+        return header + encoded
+    if qtype == QType.GUID:
+        return header + b"".join(guid_bytes(g) for g in vector.items)
+    return header + pack_fixed_reference(qtype, vector.items)

@@ -17,7 +17,7 @@ from repro.qipc.handshake import Credentials, client_hello
 from repro.qipc.messages import MessageType, QipcMessage, frame, read_message
 from repro.qlang.qtypes import QType
 from repro.qlang.values import QValue, QVector
-from repro.server.common import recv_exact
+from repro.server.common import BufferedSocketReader
 
 
 class QConnection:
@@ -38,6 +38,7 @@ class QConnection:
         self.connect_timeout = connect_timeout
         self.read_timeout = read_timeout
         self._sock: socket.socket | None = None
+        self._reader: BufferedSocketReader | None = None
         self._lock = threading.Lock()
 
     def connect(self) -> "QConnection":
@@ -53,12 +54,14 @@ class QConnection:
             )
         sock.settimeout(self.read_timeout)
         self._sock = sock
+        self._reader = BufferedSocketReader(sock)
         return self
 
     def close(self) -> None:
         if self._sock is not None:
             self._sock.close()
             self._sock = None
+            self._reader = None
 
     def __enter__(self):
         return self.connect()
@@ -70,12 +73,12 @@ class QConnection:
 
     def query(self, q_text: str) -> QValue:
         """Synchronous query: send text, block for the response object."""
-        if self._sock is None:
+        if self._sock is None or self._reader is None:
             raise ProtocolError("connection is not open")
         payload = encode_value(QVector(QType.CHAR, list(q_text)))
         with self._lock:
             self._sock.sendall(frame(QipcMessage(MessageType.SYNC, payload)))
-            response = read_message(lambda n: recv_exact(self._sock, n))
+            response = read_message(self._reader.recv_exact)
         if response.msg_type != MessageType.RESPONSE:
             raise ProtocolError(
                 f"expected a response message, got {response.msg_type.name}"

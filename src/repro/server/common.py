@@ -25,6 +25,82 @@ def recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
+#: how much BufferedSocketReader asks the kernel for per recv(); large
+#: enough to drain hundreds of small DataRow frames per syscall
+DEFAULT_RECV_SIZE = 64 * 1024
+
+
+class BufferedSocketReader:
+    """Exact-length reads served from large ``recv()`` chunks.
+
+    The per-message ``recv_exact(1)`` / ``recv_exact(4)`` pattern costs
+    three syscalls per protocol frame; on a 100k-row result that is
+    300k syscalls for a few megabytes of data.  This reader drains the
+    socket in :data:`DEFAULT_RECV_SIZE` chunks into a reusable
+    ``bytearray`` and slices complete frames out of it, so many frames
+    ride on one syscall.
+
+    Timeout semantics are unchanged from bare ``recv``: the reader never
+    touches the socket while buffered bytes satisfy a request, and a
+    ``socket.timeout`` raised mid-fill leaves already-received bytes in
+    the buffer (the caller owns connection disposal, exactly as with
+    ``recv_exact``).
+    """
+
+    __slots__ = ("_sock", "_buf", "_pos", "recv_size")
+
+    def __init__(self, sock: socket.socket, recv_size: int = DEFAULT_RECV_SIZE):
+        self._sock = sock
+        self._buf = bytearray()
+        self._pos = 0
+        self.recv_size = recv_size
+
+    def buffered(self) -> int:
+        """Bytes available without touching the socket."""
+        return len(self._buf) - self._pos
+
+    def _compact(self) -> None:
+        if self._pos:
+            del self._buf[: self._pos]
+            self._pos = 0
+
+    def _grow(self, hint: int) -> None:
+        """One recv() into the buffer (at least ``hint`` bytes wanted)."""
+        self._compact()
+        chunk = self._sock.recv(max(self.recv_size, hint))
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        self._buf += chunk
+
+    def take(self, n: int) -> bytes:
+        """Exactly ``n`` bytes, blocking on the socket only when the
+        buffer cannot satisfy the request."""
+        while self.buffered() < n:
+            self._grow(n - self.buffered())
+        start = self._pos
+        self._pos = start + n
+        return bytes(self._buf[start : self._pos])
+
+    #: drop-in replacement for functools.partial(recv_exact, sock)
+    recv_exact = take
+
+    def take_until(self, delimiter: bytes, limit: int = 1024) -> bytes:
+        """Bytes up to and including ``delimiter`` (for the QIPC hello,
+        which is NUL-terminated rather than length-prefixed)."""
+        while True:
+            index = self._buf.find(delimiter, self._pos)
+            if index != -1:
+                end = index + len(delimiter)
+                chunk = bytes(self._buf[self._pos : end])
+                self._pos = end
+                return chunk
+            if self.buffered() > limit:
+                raise ConnectionError(
+                    f"delimiter not found in the first {limit} bytes"
+                )
+            self._grow(1)
+
+
 class TcpServer:
     """A minimal threaded accept loop; subclasses implement handle()."""
 

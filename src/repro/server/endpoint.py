@@ -23,7 +23,7 @@ from repro.qipc.handshake import Authenticator, AllowAll, parse_hello, server_ac
 from repro.qipc.messages import MessageType, QipcMessage, frame, read_message
 from repro.qlang.qtypes import QType
 from repro.qlang.values import QList, QValue, QVector
-from repro.server.common import TcpServer, recv_exact
+from repro.server.common import BufferedSocketReader, TcpServer
 
 #: server-level telemetry, labelled server=qipc (the PG-wire server
 #: reports the same families with server=pgwire)
@@ -93,7 +93,8 @@ class QipcEndpoint(TcpServer):
         return cls(lambda: _CallableHandler(fn), authenticator, host, port)
 
     def handle(self, conn: socket.socket) -> None:
-        hello = _read_hello(conn)
+        reader = BufferedSocketReader(conn)
+        hello = _read_hello(reader)
         credentials = parse_hello(hello)
         try:
             self.authenticator.authenticate(credentials)
@@ -105,7 +106,7 @@ class QipcEndpoint(TcpServer):
         ACTIVE_SESSIONS.inc(server="qipc")
         try:
             while True:
-                message = read_message(lambda n: recv_exact(conn, n))
+                message = read_message(reader.recv_exact)
                 started = time.perf_counter()
                 try:
                     query = _extract_query(message.payload)
@@ -160,15 +161,8 @@ class QipcEndpoint(TcpServer):
                 _log.warning("handler_close_error", message=str(exc))
 
 
-def _read_hello(conn: socket.socket) -> bytes:
-    chunks = bytearray()
-    while True:
-        byte = recv_exact(conn, 1)
-        chunks += byte
-        if byte == b"\x00":
-            return bytes(chunks)
-        if len(chunks) > 1024:
-            raise ConnectionError("oversized QIPC hello")
+def _read_hello(reader: BufferedSocketReader) -> bytes:
+    return reader.take_until(b"\x00", limit=1024)
 
 
 def _extract_query(payload: bytes) -> str:

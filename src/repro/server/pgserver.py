@@ -24,12 +24,12 @@ from repro.obs import get_logger, metrics
 from repro.pgwire import messages as m
 from repro.pgwire.auth import AuthContext, AuthMechanism, TrustAuth
 from repro.pgwire.codec import (
+    PgFrameStream,
     decode_frontend,
     encode_backend,
-    read_message,
-    read_startup,
+    encode_data_rows,
 )
-from repro.server.common import TcpServer, recv_exact
+from repro.server.common import TcpServer
 from repro.sqlengine.engine import Engine
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.types import render_value
@@ -85,15 +85,14 @@ class PgWireServer(TcpServer):
         self._next_pid = 1000
 
     def handle(self, conn: socket.socket) -> None:
-        def rx(n: int) -> bytes:
-            return recv_exact(conn, n)
+        stream = PgFrameStream.over(conn)
 
         def send(message: m.BackendMessage) -> None:
             conn.sendall(encode_backend(message))
 
-        startup = read_startup(rx)
+        startup = stream.read_startup()
         ctx = AuthContext(startup.user)
-        if not self._authenticate(ctx, rx, send):
+        if not self._authenticate(ctx, stream, send):
             return
         send(m.AuthenticationRequest(0))
         send(m.ParameterStatus("server_version", "9.2-repro"))
@@ -104,23 +103,26 @@ class PgWireServer(TcpServer):
         ACTIVE_SESSIONS.inc(server="pgwire")
         try:
             while True:
-                message = read_message(rx, decode_frontend)
+                message = stream.read_message(decode_frontend)
                 if isinstance(message, m.Terminate):
                     return
                 if not isinstance(message, m.Query):
                     send(m.ErrorResponse(message="unsupported message"))
                     send(m.ReadyForQuery("I"))
                     continue
-                self._run_query(message.sql, send)
+                self._run_query(message.sql, conn)
         finally:
+            stream.flush()
             ACTIVE_SESSIONS.dec(server="pgwire")
 
-    def _authenticate(self, ctx: AuthContext, rx, send) -> bool:
+    def _authenticate(
+        self, ctx: AuthContext, stream: PgFrameStream, send
+    ) -> bool:
         if self.auth.request_code == 0:
             return True
         salt = self.auth.challenge(ctx)
         send(m.AuthenticationRequest(self.auth.request_code, salt))
-        response = read_message(rx, decode_frontend)
+        response = stream.read_message(decode_frontend)
         if not isinstance(response, m.PasswordMessage):
             send(m.ErrorResponse(message="expected a password message"))
             return False
@@ -131,7 +133,10 @@ class PgWireServer(TcpServer):
             return False
         return True
 
-    def _run_query(self, sql: str, send) -> None:
+    def _run_query(self, sql: str, conn: socket.socket) -> None:
+        def send(message: m.BackendMessage) -> None:
+            conn.sendall(encode_backend(message))
+
         if not sql.strip():
             send(m.EmptyQueryResponse())
             send(m.ReadyForQuery("I"))
@@ -149,11 +154,13 @@ class PgWireServer(TcpServer):
             return
         finally:
             QUERY_SECONDS.observe(time.perf_counter() - started, server="pgwire")
-        for result in results:
-            self._send_result(result, send)
-        send(m.ReadyForQuery("I"))
+        # one sendall per statement batch: every result's messages plus
+        # the trailing ReadyForQuery leave in a single syscall
+        parts = [self._result_bytes(result) for result in results]
+        parts.append(encode_backend(m.ReadyForQuery("I")))
+        conn.sendall(b"".join(parts))
 
-    def _send_result(self, result: ResultSet, send) -> None:
+    def _result_bytes(self, result: ResultSet) -> bytes:
         if result.columns:
             fields = [
                 m.FieldDescription(
@@ -162,19 +169,24 @@ class PgWireServer(TcpServer):
                 )
                 for column in result.columns
             ]
-            send(m.RowDescription(fields))
-            # the PG side of Figure 5: one message per row
-            for row in result.rows:
-                cells: list[bytes | None] = []
-                for value, column in zip(row, result.columns):
-                    if value is None:
-                        cells.append(None)
-                    else:
-                        cells.append(
-                            render_value(value, column.sql_type).encode("utf-8")
-                        )
-                send(m.DataRow(cells))
-            tag = f"SELECT {len(result.rows)}"
-        else:
-            tag = result.command
-        send(m.CommandComplete(tag))
+            column_types = [column.sql_type for column in result.columns]
+            # the PG side of Figure 5: one DataRow message per row, all
+            # framed in one batched pass
+            row_cells = [
+                [
+                    None
+                    if value is None
+                    else render_value(value, sql_type).encode("utf-8")
+                    for value, sql_type in zip(row, column_types)
+                ]
+                for row in result.rows
+            ]
+            tag = f"SELECT {len(row_cells)}"
+            return b"".join(
+                (
+                    encode_backend(m.RowDescription(fields)),
+                    encode_data_rows(row_cells),
+                    encode_backend(m.CommandComplete(tag)),
+                )
+            )
+        return encode_backend(m.CommandComplete(result.command))

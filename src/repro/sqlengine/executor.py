@@ -74,13 +74,72 @@ class Relation:
         return self.columns[index].sql_type if index is not None else SqlType.NULL
 
 
-@dataclass
 class ResultSet:
-    """What a query returns: column metadata and row tuples."""
+    """What a query returns: column metadata plus the data, in either
+    row-major or column-major form.
 
-    columns: list[Column]
-    rows: list[tuple]
-    command: str = "SELECT"
+    The in-memory engine produces row tuples; the network gateway
+    accumulates columnar lists straight off the wire (one list per
+    column), which is the layout the Cross Compiler's pivot consumes.
+    Whichever form a result was built with, the other is materialized
+    lazily on first access — so ``pivot_result`` never transposes a
+    gateway result, while row-oriented consumers (``sqlengine``,
+    ``testing``) keep their ``.rows`` view unchanged.
+    """
+
+    __slots__ = ("columns", "command", "_rows", "_column_data")
+
+    def __init__(
+        self,
+        columns: list[Column],
+        rows: list[tuple] | None = None,
+        command: str = "SELECT",
+        column_data: list[list] | None = None,
+    ):
+        self.columns = columns
+        self.command = command
+        if rows is None and column_data is None:
+            rows = []
+        self._rows = rows
+        self._column_data = column_data
+
+    @classmethod
+    def from_columns(
+        cls, columns: list[Column], column_data: list[list],
+        command: str = "SELECT",
+    ) -> "ResultSet":
+        """A columnar result (one payload list per column)."""
+        return cls(columns, command=command, column_data=column_data)
+
+    @property
+    def rows(self) -> list[tuple]:
+        """Row-tuple view; materialized from columns on first access."""
+        if self._rows is None:
+            self._rows = list(zip(*self._column_data))
+        return self._rows
+
+    @rows.setter
+    def rows(self, rows: list[tuple]) -> None:
+        # rebinding rows (LIMIT/OFFSET slicing, sorting) invalidates any
+        # derived columnar view
+        self._rows = rows
+        self._column_data = None
+
+    @property
+    def column_data(self) -> list[list]:
+        """Column-major view; transposed from rows only when the result
+        was not built columnar in the first place."""
+        if self._column_data is None:
+            if self._rows:
+                self._column_data = [list(col) for col in zip(*self._rows)]
+            else:
+                self._column_data = [[] for __ in self.columns]
+        return self._column_data
+
+    @property
+    def is_columnar(self) -> bool:
+        """Whether the result natively carries column-major data."""
+        return self._column_data is not None
 
     @property
     def column_names(self) -> list[str]:
@@ -91,6 +150,12 @@ class ResultSet:
         if len(self.rows) != 1 or len(self.columns) != 1:
             raise SqlExecutionError("result is not a single scalar")
         return self.rows[0][0]
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultSet(columns={len(self.columns)}, rows={len(self.rows)}, "
+            f"command={self.command!r})"
+        )
 
 
 @dataclass

@@ -209,6 +209,36 @@ def _parse_temporal_text(text: str, target: SqlType) -> int:
     raise SqlTypeError(f"cannot parse {text!r} as {target.value}")
 
 
+def _parse_boolean_text(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("t", "true", "1", "yes", "on"):
+        return True
+    if lowered in ("f", "false", "0", "no", "off"):
+        return False
+    raise SqlTypeError(f"invalid boolean literal {text!r}")
+
+
+def text_decoder(sql_type: SqlType):
+    """One ``bytes -> value`` converter for a whole result column.
+
+    The gateway resolves this once per column at RowDescription time, so
+    decoding a DataRow cell is a single call instead of a decode plus a
+    ``cast_value`` type dispatch per cell.  Each converter matches what
+    ``cast_value(cell.decode("utf-8"), sql_type)`` produced for the PG
+    text-format payloads the backend sends.
+    """
+    if sql_type.is_integral:
+        return int  # int() accepts ascii bytes, whitespace included
+    if sql_type in (SqlType.REAL, SqlType.DOUBLE, SqlType.NUMERIC):
+        return float
+    if sql_type == SqlType.BOOLEAN:
+        return lambda cell: _parse_boolean_text(cell.decode("utf-8"))
+    if sql_type.is_temporal:
+        return lambda cell: _parse_temporal_text(cell.decode("utf-8"), sql_type)
+    # text, uuid, and anything unrecognized travel as their utf-8 text
+    return lambda cell: cell.decode("utf-8")
+
+
 def render_value(value, sql_type: SqlType) -> str:
     """Text rendering of a value the way PG's text protocol format would."""
     if value is None:

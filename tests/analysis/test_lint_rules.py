@@ -43,7 +43,7 @@ class TestRegistry:
     def test_rules_discovered(self):
         codes = {rule.code for rule in default_rules()}
         assert {"E501", "E711", "F401", "I001"} <= codes
-        assert {"HQ001", "HQ002", "HQ003", "HQ004"} <= codes
+        assert {"HQ001", "HQ002", "HQ003", "HQ004", "HQ005"} <= codes
 
     def test_fresh_instances_per_call(self):
         first, second = default_rules(), default_rules()
@@ -294,6 +294,103 @@ class TestHQ004HardcodedBlocking:
             """,
         )
         assert "HQ004" not in lint_codes(path)
+
+
+class TestHQ005BatchedWireSerialization:
+    PACK_LOOP = """\
+        import struct
+
+        def encode(items):
+            out = []
+            for item in items:
+                out.append(struct.pack("<q", item))
+            return b"".join(out)
+    """
+    BYTES_ACCUMULATION = """\
+        def frame(rows):
+            body = b""
+            for row in rows:
+                body += row.encode("utf-8") + b"\\x00"
+            return body
+    """
+
+    def test_pack_loop_fires_in_pgwire(self, tmp_path):
+        path = _write(tmp_path, "src/repro/pgwire/x.py", self.PACK_LOOP)
+        assert "HQ005" in lint_codes(path)
+
+    def test_pack_loop_fires_in_qipc(self, tmp_path):
+        path = _write(tmp_path, "src/repro/qipc/x.py", self.PACK_LOOP)
+        assert "HQ005" in lint_codes(path)
+
+    def test_pack_genexpr_fires(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/qipc/g.py",
+            """\
+            import struct
+
+            def encode(items):
+                return b"".join(struct.pack("<q", i) for i in items)
+            """,
+        )
+        assert "HQ005" in lint_codes(path)
+
+    def test_bytes_accumulation_fires(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/pgwire/a.py", self.BYTES_ACCUMULATION
+        )
+        assert "HQ005" in lint_codes(path)
+
+    def test_kernels_module_is_exempt(self, tmp_path):
+        path = _write(tmp_path, "src/repro/qipc/kernels.py", self.PACK_LOOP)
+        assert "HQ005" not in lint_codes(path)
+
+    def test_other_layers_are_exempt(self, tmp_path):
+        path = _write(tmp_path, "src/repro/qlang/x.py", self.PACK_LOOP)
+        assert "HQ005" not in lint_codes(path)
+
+    def test_single_pack_outside_a_loop_is_clean(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/qipc/ok.py",
+            """\
+            import struct
+
+            def encode(items):
+                return struct.pack(f"<{len(items)}q", *items)
+            """,
+        )
+        assert "HQ005" not in lint_codes(path)
+
+    def test_integer_accumulation_in_loop_is_clean(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/pgwire/c.py",
+            """\
+            def total(rows):
+                n = 0
+                for row in rows:
+                    n += len(row)
+                return n
+            """,
+        )
+        assert "HQ005" not in lint_codes(path)
+
+    def test_noqa_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/qipc/n.py",
+            """\
+            import struct
+
+            def encode(items):
+                out = []
+                for item in items:
+                    out.append(struct.pack("<q", item))  # noqa: HQ005
+                return b"".join(out)
+            """,
+        )
+        assert "HQ005" not in lint_codes(path)
 
 
 class TestDriver:

@@ -1,0 +1,162 @@
+"""Tests for the columnar result path: ``collect_result`` + ``ResultSet``.
+
+The gateway accumulates DataRow traffic straight into per-column lists
+(one resolved decoder per column); ``ResultSet`` then serves both the
+columnar view (free for ``pivot_result``) and the row view (for the SQL
+engine and the testing harness).
+"""
+
+import socket
+
+import pytest
+
+from repro.core.crosscompiler import pivot_result
+from repro.errors import SqlExecutionError
+from repro.pgwire import messages as m
+from repro.pgwire.codec import PgFrameStream, encode_backend, encode_data_rows
+from repro.qlang.qtypes import QType
+from repro.server.gateway import collect_result
+from repro.sqlengine.catalog import Column
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import SqlType
+
+
+def _serve(script_bytes: bytes) -> PgFrameStream:
+    left, right = socket.socketpair()
+    right.sendall(script_bytes)
+    right.close()
+    return PgFrameStream.over(left)
+
+
+def _result_wire(fields, rows, tag="SELECT"):
+    return b"".join(
+        (
+            encode_backend(m.RowDescription(fields)),
+            encode_data_rows(rows),
+            encode_backend(m.CommandComplete(tag)),
+            encode_backend(m.ReadyForQuery("I")),
+        )
+    )
+
+
+class TestCollectResult:
+    FIELDS = [
+        m.FieldDescription("n", 20),  # bigint
+        m.FieldDescription("x", 701),  # double
+        m.FieldDescription("s", 25),  # text
+        m.FieldDescription("flag", 16),  # boolean
+    ]
+    ROWS = [
+        [b"1", b"1.5", "café".encode("utf-8"), b"t"],
+        [b"-2", None, b"", b"f"],
+        [None, b"0.25", b"plain", None],
+    ]
+
+    def test_columnar_accumulation(self):
+        stream = _serve(_result_wire(self.FIELDS, self.ROWS, "SELECT 3"))
+        columns, data, command, error, saw_ddl = collect_result(stream)
+        assert [c.name for c in columns] == ["n", "x", "s", "flag"]
+        assert [c.sql_type for c in columns] == [
+            SqlType.BIGINT, SqlType.DOUBLE, SqlType.TEXT, SqlType.BOOLEAN,
+        ]
+        assert data == [
+            [1, -2, None],
+            [1.5, None, 0.25],
+            ["café", "", "plain"],
+            [True, False, None],
+        ]
+        assert command == "SELECT 3"
+        assert error is None
+        assert not saw_ddl
+
+    def test_decoded_types_are_per_column(self):
+        stream = _serve(_result_wire(self.FIELDS, self.ROWS))
+        __, data, *___ = collect_result(stream)
+        assert all(isinstance(v, int) for v in data[0] if v is not None)
+        assert all(isinstance(v, float) for v in data[1] if v is not None)
+        assert all(isinstance(v, str) for v in data[2] if v is not None)
+
+    def test_error_captured_not_raised(self):
+        wire = b"".join(
+            (
+                encode_backend(
+                    m.ErrorResponse(message="boom", code="42P01")
+                ),
+                encode_backend(m.ReadyForQuery("I")),
+            )
+        )
+        __, data, ___, error, ____ = collect_result(_serve(wire))
+        assert error is not None and error.code == "42P01"
+        assert data == []
+
+    def test_ddl_flagged(self):
+        wire = b"".join(
+            (
+                encode_backend(m.CommandComplete("CREATE TABLE")),
+                encode_backend(m.ReadyForQuery("I")),
+            )
+        )
+        *__, saw_ddl = collect_result(_serve(wire))
+        assert saw_ddl
+
+    def test_gateway_resultset_is_columnar(self):
+        stream = _serve(_result_wire(self.FIELDS, self.ROWS, "SELECT 3"))
+        columns, data, command, __, ___ = collect_result(stream)
+        result = ResultSet.from_columns(columns, data, command=command)
+        assert result.is_columnar
+        assert result.rows == [
+            (1, 1.5, "café", True),
+            (-2, None, "", False),
+            (None, 0.25, "plain", None),
+        ]
+
+
+class TestResultSetViews:
+    COLUMNS = [Column("a", SqlType.BIGINT), Column("b", SqlType.TEXT)]
+
+    def test_rows_to_columns(self):
+        result = ResultSet(self.COLUMNS, [(1, "x"), (2, "y")])
+        assert not result.is_columnar
+        assert result.column_data == [[1, 2], ["x", "y"]]
+
+    def test_columns_to_rows(self):
+        result = ResultSet.from_columns(self.COLUMNS, [[1, 2], ["x", "y"]])
+        assert result.rows == [(1, "x"), (2, "y")]
+
+    def test_row_rebind_invalidates_columnar_view(self):
+        result = ResultSet.from_columns(self.COLUMNS, [[1, 2], ["x", "y"]])
+        result.rows = result.rows[1:]  # what LIMIT/OFFSET slicing does
+        assert result.rows == [(2, "y")]
+        assert result.column_data == [[2], ["y"]]
+
+    def test_empty_columnar_result(self):
+        result = ResultSet.from_columns(self.COLUMNS, [[], []])
+        assert result.rows == []
+        assert result.column_data == [[], []]
+
+    def test_empty_row_result_has_per_column_lists(self):
+        result = ResultSet(self.COLUMNS, [])
+        assert result.column_data == [[], []]
+
+    def test_commandonly_result(self):
+        result = ResultSet([], command="CREATE TABLE")
+        assert result.rows == []
+        assert result.column_data == []
+
+    def test_scalar(self):
+        assert ResultSet.from_columns(
+            [self.COLUMNS[0]], [[42]]
+        ).scalar() == 42
+        with pytest.raises(SqlExecutionError):
+            ResultSet(self.COLUMNS, [(1, "x")]).scalar()
+
+    def test_pivot_consumes_columns_without_transpose(self):
+        result = ResultSet.from_columns(self.COLUMNS, [[1, 2], ["x", "y"]])
+        value = pivot_result(result, "table", [])
+        assert value.columns == ["a", "b"]
+        assert value.data[0].qtype == QType.LONG
+        assert value.data[0].items == [1, 2]
+        assert value.data[1].qtype == QType.SYMBOL
+        assert value.data[1].items == ["x", "y"]
+        # the row view was never materialized by the pivot
+        assert result._rows is None
