@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare fresh benchmark results against the committed baselines.
+
+The bench-smoke CI job used to only *upload* ``benchmarks/results/*.json``;
+this gate actually reads them.  Only dimensionless metrics (speedups,
+overhead percentages, latency ratios) are compared — absolute times vary
+with runner hardware, but a 500x translation-cache speedup that drops to
+5x is a regression on any machine.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline benchmarks/results_baseline --fresh benchmarks/results
+
+A metric passes while ``|fresh - base| <= max(abs_slack, rel_tol*|base|)``.
+Bands are generous: CI runs the benches in smoke mode (fewer iterations)
+against baselines recorded at full scale, so only order-of-magnitude
+movement should fail the job.  Exit status 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (key, abs_slack, rel_tol) — longest key match wins; a numeric JSON
+#: leaf whose key is not listed is machine-dependent and never compared
+BANDS = (
+    ("p99_ratio", 2.0, 1.0),
+    ("session_overhead_pct", 5.0, 2.0),
+    ("backend_overhead_pct", 5.0, 2.0),
+    ("overhead_pct", 5.0, 2.0),
+    ("average_pct", 5.0, 2.0),
+    ("max_pct", 10.0, 2.0),
+    ("speedup", 1.0, 0.9),
+    ("per_connection_kib", 16.0, 1.0),
+)
+
+#: result files that are telemetry dumps, not figures — never compared
+SKIP_FILES = {"BENCH_obs.json", "qlint_report.json"}
+
+
+def _band_for(key: str):
+    for name, abs_slack, rel_tol in BANDS:
+        if key == name:
+            return abs_slack, rel_tol
+    return None
+
+
+def _metrics(node, path=""):
+    """Yield ``(path, value)`` for every banded numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if _band_for(key) is not None:
+                    yield f"{path}/{key}", float(value)
+            else:
+                yield from _metrics(value, f"{path}/{key}")
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from _metrics(value, f"{path}[{index}]")
+
+
+def compare(baseline_dir: Path, fresh_dir: Path) -> int:
+    violations = 0
+    compared = 0
+    for fresh_path in sorted(fresh_dir.glob("*.json")):
+        if fresh_path.name in SKIP_FILES:
+            continue
+        baseline_path = baseline_dir / fresh_path.name
+        if not baseline_path.is_file():
+            print(f"  {fresh_path.name}: no committed baseline (new bench)")
+            continue
+        base = dict(_metrics(json.loads(baseline_path.read_text())))
+        fresh = dict(_metrics(json.loads(fresh_path.read_text())))
+        for path, base_value in sorted(base.items()):
+            if path not in fresh:
+                print(f"FAIL {fresh_path.name}{path}: metric disappeared")
+                violations += 1
+                continue
+            fresh_value = fresh[path]
+            key = path.rsplit("/", 1)[-1]
+            abs_slack, rel_tol = _band_for(key)
+            allowed = max(abs_slack, rel_tol * abs(base_value))
+            delta = fresh_value - base_value
+            compared += 1
+            status = "ok  " if abs(delta) <= allowed else "FAIL"
+            if status == "FAIL":
+                violations += 1
+            print(
+                f"{status} {fresh_path.name}{path}: "
+                f"{base_value:.3f} -> {fresh_value:.3f} "
+                f"(delta {delta:+.3f}, allowed +/-{allowed:.3f})"
+            )
+    print(
+        f"bench-regression: {compared} metric(s) compared, "
+        f"{violations} violation(s)"
+    )
+    return 1 if violations else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=Path("benchmarks/results_baseline"),
+        help="directory holding the committed baseline JSONs",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, default=Path("benchmarks/results"),
+        help="directory holding the freshly generated JSONs",
+    )
+    args = parser.parse_args()
+    if not args.baseline.is_dir():
+        print(f"baseline directory {args.baseline} missing", file=sys.stderr)
+        return 2
+    return compare(args.baseline, args.fresh)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

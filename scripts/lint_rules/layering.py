@@ -20,6 +20,14 @@ These encode architectural invariants of the Hyper-Q reproduction:
   are banned under ``src/repro/pgwire`` / ``src/repro/qipc``.  Batched
   packing lives in the ``kernels.py`` module of each package (the one
   allowed home, exempt by filename).
+* HQ006 — no blocking calls on the event-loop thread: the protocol
+  modules (``endpoint.py``, ``pgserver.py``, ``hyperq_server.py``) run
+  entirely on the reactor and may never touch a socket or sleep; the
+  reactor itself (``reactor.py``) owns non-blocking ``recv``/``send``/
+  ``accept`` but is still banned from ``sendall``, ``settimeout``,
+  ``makefile``, ``connect`` and ``time.sleep``.  Blocking work belongs
+  on the worker pool (``client.py``/``gateway.py``/``common.py`` are the
+  blocking client/worker boundary and are exempt).
 """
 
 from __future__ import annotations
@@ -67,6 +75,27 @@ _BATCHED_WIRE_DIRS = (
 
 #: the one allowed home for per-element pack loops in those packages
 _KERNELS_FILENAME = "kernels.py"
+
+#: path tails of the protocol modules that run on the reactor thread
+#: (HQ006): these may never call a socket method or sleep
+_EVENT_LOOP_PROTOCOL_FILES = (
+    ("repro", "server", "endpoint.py"),
+    ("repro", "server", "pgserver.py"),
+    ("repro", "server", "hyperq_server.py"),
+)
+#: the reactor module itself: non-blocking recv/send/accept are its job,
+#: but blocking variants are still banned
+_EVENT_LOOP_CORE_FILES = (
+    ("repro", "server", "reactor.py"),
+)
+#: socket attribute calls that block (or arm blocking) — banned in the
+#: protocol modules outright
+_PROTOCOL_BANNED_CALLS = {
+    "recv", "recv_into", "recvfrom", "accept", "sendall", "sendto",
+    "makefile", "settimeout", "connect",
+}
+#: the subset that stays banned even inside the reactor module
+_REACTOR_BANNED_CALLS = {"sendall", "settimeout", "makefile", "connect"}
 
 
 def _under(parts: tuple[str, ...], tail: tuple[str, ...]) -> bool:
@@ -317,6 +346,69 @@ class BatchedWireSerializationRule(LintRule):
                             "— collect parts in a list and b\"\".join them, "
                             "or use the kernels module",
                         )
+
+
+@register
+class EventLoopBlockingRule(LintRule):
+    """HQ006: blocking calls on the event-loop thread."""
+
+    code = "HQ006"
+    name = "event_loop_blocking"
+    purpose = "no blocking socket calls or sleeps on the reactor thread"
+
+    def _banned_for(self, parts: tuple[str, ...]) -> set[str] | None:
+        if any(parts[-len(t):] == t for t in _EVENT_LOOP_PROTOCOL_FILES):
+            return _PROTOCOL_BANNED_CALLS
+        if any(parts[-len(t):] == t for t in _EVENT_LOOP_CORE_FILES):
+            return _REACTOR_BANNED_CALLS
+        return None
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if "src" not in parts:
+            return
+        banned = self._banned_for(parts)
+        if banned is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or ctx.suppressed(node.lineno):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = func.value
+            if (
+                func.attr == "sleep"
+                and isinstance(receiver, ast.Name)
+                and receiver.id == "time"
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    "time.sleep on the event-loop thread — schedule a "
+                    "reactor timer (call_later) or move the work to the "
+                    "worker pool",
+                )
+                continue
+            if (
+                func.attr == "create_connection"
+                and isinstance(receiver, ast.Name)
+                and receiver.id == "socket"
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    "blocking socket.create_connection on the event-loop "
+                    "thread — outbound connects belong on the worker "
+                    "pool (the gateway/client layer)",
+                )
+                continue
+            if func.attr in banned:
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"blocking socket call .{func.attr}() on the "
+                    f"event-loop thread — protocols receive bytes from "
+                    f"the reactor and write through their Transport; "
+                    f"blocking work runs on the worker pool",
+                )
 
 
 def _is_numeric_literal(node: ast.expr) -> bool:

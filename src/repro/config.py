@@ -92,6 +92,33 @@ class TranslationCacheConfig:
 
 
 @dataclass
+class ServerConfig:
+    """The event-loop connection core (docs/ARCHITECTURE.md).
+
+    One reactor thread multiplexes every client connection through a
+    ``selectors`` loop (the Erlang-actor stand-in at deployment scale);
+    query execution runs on a bounded worker pool so a slow backend can
+    never stall the accept/read loop.  Sizing the pool trades backend
+    pressure against queueing: admission control (``WlmConfig.classes``)
+    still bounds per-class concurrency inside the workers.
+    """
+
+    #: threads executing queries (the blocking boundary); the loop itself
+    #: never blocks
+    worker_threads: int = 8
+    #: listen(2) backlog for the accept socket
+    accept_backlog: int = 128
+    #: bytes asked from the kernel per non-blocking recv
+    recv_size: int = 64 * 1024
+    #: cadence of the loop-lag heartbeat timer (server_loop_lag_ms)
+    heartbeat_seconds: float = 0.5
+    #: largest inbound frame a connection may buffer before it is dropped
+    max_message_bytes: int = 64 * 1024 * 1024
+    #: seconds stop() waits for the loop and worker threads to drain
+    stop_join_timeout: float = 2.0
+
+
+@dataclass
 class BackendPoolConfig:
     """Sizing for :class:`repro.core.backends.PooledBackend`."""
 
@@ -299,6 +326,7 @@ class HyperQConfig:
         default_factory=TranslationCacheConfig
     )
     backend_pool: BackendPoolConfig = field(default_factory=BackendPoolConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
     xformer: XformerConfig = field(default_factory=XformerConfig)
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig

@@ -19,6 +19,11 @@ SERVER_ERRORS_TOTAL = "server_errors_total"
 SERVER_QUERY_SECONDS = "server_query_seconds"
 HYPERQ_ACTIVE_QUERIES = "hyperq_active_queries"
 
+# --- event-loop connection core (repro/server/reactor) ------------------
+SERVER_CONNECTIONS_OPEN = "server_connections_open"
+SERVER_LOOP_LAG_MS = "server_loop_lag_ms"
+SERVER_WORKER_QUEUE_DEPTH = "server_worker_queue_depth"
+
 # --- wire protocols -----------------------------------------------------
 QIPC_BYTES_TOTAL = "qipc_bytes_total"
 QIPC_MESSAGES_TOTAL = "qipc_messages_total"

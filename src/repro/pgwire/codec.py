@@ -305,6 +305,51 @@ class PgFrameStream:
     def over(cls, sock) -> "PgFrameStream":
         return cls(BufferedSocketReader(sock))
 
+    @classmethod
+    def detached(cls) -> "PgFrameStream":
+        """A stream with no socket; bytes arrive only via :meth:`feed`
+        and frames come back out of :meth:`poll_frame` (the event-loop
+        connection core's half of the buffer)."""
+        return cls(BufferedSocketReader.detached())
+
+    def feed(self, data: bytes) -> None:
+        self.reader.feed(data)
+
+    def poll_frame(self) -> tuple[bytes, bytes] | None:
+        """One raw ``(type_byte, body)`` frame if fully buffered, else
+        None.  Never touches the socket."""
+        header = self.reader.peek(5)
+        if header is None:
+            return None
+        type_byte, length = _HEADER.unpack(header)
+        if length < 4:
+            raise ProtocolError(f"PG message declares bad length {length}")
+        if self.reader.buffered() < length + 1:
+            return None
+        self.reader.take(5)
+        body = self.reader.take(length - 4)
+        self._stats.note(type_byte.decode("ascii"), length + 1)
+        if not self.reader.buffered():
+            self._stats.flush()
+        return type_byte, body
+
+    def poll_startup(self):
+        """One decoded startup message if fully buffered, else None."""
+        header = self.reader.peek(4)
+        if header is None:
+            return None
+        (length,) = struct.unpack(">I", header)
+        if length < 8:
+            raise ProtocolError("startup message too short")
+        if self.reader.buffered() < length:
+            return None
+        self.reader.take(4)
+        body = self.reader.take(length - 4)
+        self._stats.note("startup", length)
+        if not self.reader.buffered():
+            self._stats.flush()
+        return decode_startup(body)
+
     def read_frame(self) -> tuple[bytes, bytes]:
         """One raw ``(type_byte, body)`` frame."""
         type_byte, length = _HEADER.unpack(self.reader.take(5))

@@ -115,3 +115,24 @@ def read_message(recv_exact) -> QipcMessage:
         raise ProtocolError(f"QIPC header declares bad length {total}")
     rest = recv_exact(total - HEADER_SIZE)
     return unframe(header + rest)
+
+
+def poll_message(
+    reader, max_bytes: int = 64 * 1024 * 1024
+) -> QipcMessage | None:
+    """One framed message from a fed :class:`BufferedSocketReader`, or
+    None until the frame is complete.  Never touches a socket — the
+    event-loop side of :func:`read_message`."""
+    header = reader.peek(HEADER_SIZE)
+    if header is None:
+        return None
+    __, __, __, __, total = struct.unpack("<BBBBI", header)
+    if total < HEADER_SIZE:
+        raise ProtocolError(f"QIPC header declares bad length {total}")
+    if total > max_bytes:
+        raise ProtocolError(
+            f"QIPC message of {total} bytes exceeds the {max_bytes} limit"
+        )
+    if reader.buffered() < total:
+        return None
+    return unframe(reader.take(total))

@@ -3,13 +3,8 @@
 from __future__ import annotations
 
 import socket
-import threading
 
 from repro.errors import ProtocolError
-
-#: how often the accept loop wakes to notice a stop() request; a poll
-#: interval, not a client-visible timeout (HQ004 wants it named)
-ACCEPT_POLL_INTERVAL = 0.2
 
 
 def recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -45,15 +40,31 @@ class BufferedSocketReader:
     ``socket.timeout`` raised mid-fill leaves already-received bytes in
     the buffer (the caller owns connection disposal, exactly as with
     ``recv_exact``).
+
+    The reader also works *detached* from any socket (:meth:`detached`):
+    the event-loop connection core reads whatever the kernel has ready,
+    pushes it in with :meth:`feed`, and carves complete frames back out
+    with the non-blocking :meth:`peek` / :meth:`poll` / :meth:`poll_until`
+    — the feed-bytes/poll-frame half of the same buffer, never touching a
+    socket.
     """
 
     __slots__ = ("_sock", "_buf", "_pos", "recv_size")
 
-    def __init__(self, sock: socket.socket, recv_size: int = DEFAULT_RECV_SIZE):
+    def __init__(
+        self,
+        sock: socket.socket | None,
+        recv_size: int = DEFAULT_RECV_SIZE,
+    ):
         self._sock = sock
         self._buf = bytearray()
         self._pos = 0
         self.recv_size = recv_size
+
+    @classmethod
+    def detached(cls, recv_size: int = DEFAULT_RECV_SIZE) -> "BufferedSocketReader":
+        """A reader with no socket: bytes arrive only via :meth:`feed`."""
+        return cls(None, recv_size)
 
     def buffered(self) -> int:
         """Bytes available without touching the socket."""
@@ -66,11 +77,58 @@ class BufferedSocketReader:
 
     def _grow(self, hint: int) -> None:
         """One recv() into the buffer (at least ``hint`` bytes wanted)."""
+        if self._sock is None:
+            raise ProtocolError(
+                "detached reader has no socket to block on — use "
+                "feed()/poll() from the event loop"
+            )
         self._compact()
         chunk = self._sock.recv(max(self.recv_size, hint))
         if not chunk:
             raise ConnectionError("peer closed the connection")
         self._buf += chunk
+
+    # -- non-blocking half (the event-loop connection core) ----------------
+
+    def feed(self, data: bytes) -> None:
+        """Append bytes received elsewhere (the reactor's recv)."""
+        if data:
+            self._compact()
+            self._buf += data
+
+    def peek(self, n: int) -> bytes | None:
+        """The next ``n`` bytes without consuming them, or None if fewer
+        are buffered.  Never touches the socket."""
+        if self.buffered() < n:
+            return None
+        return bytes(self._buf[self._pos : self._pos + n])
+
+    def poll(self, n: int) -> bytes | None:
+        """Exactly ``n`` bytes if buffered, else None.  Never blocks."""
+        if self.buffered() < n:
+            return None
+        start = self._pos
+        self._pos = start + n
+        return bytes(self._buf[start : self._pos])
+
+    def poll_until(self, delimiter: bytes, limit: int = 1024) -> bytes | None:
+        """Bytes up to and including ``delimiter`` if buffered, else None.
+
+        Raises :class:`ConnectionError` once more than ``limit`` bytes are
+        buffered with no delimiter in sight (a peer that will never send
+        a valid hello must not grow the buffer forever).
+        """
+        index = self._buf.find(delimiter, self._pos)
+        if index == -1:
+            if self.buffered() > limit:
+                raise ConnectionError(
+                    f"delimiter not found in the first {limit} bytes"
+                )
+            return None
+        end = index + len(delimiter)
+        chunk = bytes(self._buf[self._pos : end])
+        self._pos = end
+        return chunk
 
     def take(self, n: int) -> bytes:
         """Exactly ``n`` bytes, blocking on the socket only when the
@@ -99,102 +157,3 @@ class BufferedSocketReader:
                     f"delimiter not found in the first {limit} bytes"
                 )
             self._grow(1)
-
-
-class TcpServer:
-    """A minimal threaded accept loop; subclasses implement handle()."""
-
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
-        self.host = host
-        self._requested_port = port
-        self._sock: socket.socket | None = None
-        self._thread: threading.Thread | None = None
-        self._running = threading.Event()
-        self._conn_threads: list[threading.Thread] = []
-        self._open_conns: set[socket.socket] = set()
-        self._conn_lock = threading.Lock()
-
-    @property
-    def port(self) -> int:
-        if self._sock is None:
-            raise RuntimeError("server not started")
-        return self._sock.getsockname()[1]
-
-    @property
-    def address(self) -> tuple[str, int]:
-        return (self.host, self.port)
-
-    def start(self) -> "TcpServer":
-        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._sock.bind((self.host, self._requested_port))
-        self._sock.listen(16)
-        self._sock.settimeout(ACCEPT_POLL_INTERVAL)
-        self._running.set()
-        self._thread = threading.Thread(
-            target=self._accept_loop, name=type(self).__name__, daemon=True
-        )
-        self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        self._running.clear()
-        if self._thread is not None:
-            self._thread.join(timeout=2.0)
-        if self._sock is not None:
-            self._sock.close()
-            self._sock = None
-        # sever live connections so clients see the death immediately
-        with self._conn_lock:
-            open_conns = list(self._open_conns)
-        for conn in open_conns:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
-        for thread in self._conn_threads:
-            thread.join(timeout=1.0)
-        self._conn_threads.clear()
-
-    def __enter__(self):
-        return self.start()
-
-    def __exit__(self, *exc_info):
-        self.stop()
-
-    def _accept_loop(self) -> None:
-        assert self._sock is not None
-        while self._running.is_set():
-            try:
-                conn, __ = self._sock.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
-            thread = threading.Thread(
-                target=self._safe_handle, args=(conn,), daemon=True
-            )
-            thread.start()
-            self._conn_threads.append(thread)
-
-    def _safe_handle(self, conn: socket.socket) -> None:
-        with self._conn_lock:
-            self._open_conns.add(conn)
-        try:
-            self.handle(conn)
-        except (ConnectionError, ProtocolError, OSError):
-            pass
-        finally:
-            with self._conn_lock:
-                self._open_conns.discard(conn)
-            try:
-                conn.close()
-            except OSError:
-                pass
-
-    def handle(self, conn: socket.socket) -> None:
-        raise NotImplementedError

@@ -31,7 +31,7 @@ from repro.qlang.interp import Interpreter
 from repro.qlang.values import QValue
 from repro.server.endpoint import ConnectionHandler, QipcEndpoint
 from repro.sqlengine.engine import Engine
-from repro.wlm import WorkloadManager
+from repro.wlm import Deadline, WorkloadManager
 
 #: concurrently executing Hyper-Q queries (the "configurable
 #: concurrency" knob made observable)
@@ -124,7 +124,25 @@ class HyperQServer(QipcEndpoint):
         def handler_factory() -> ConnectionHandler:
             return _HyperQHandler(self)
 
-        super().__init__(handler_factory, authenticator, host, port)
+        super().__init__(
+            handler_factory, authenticator, host, port,
+            server_config=self.config.server,
+        )
+
+    def request_deadline(self) -> Deadline | None:
+        """The WLM default deadline, armed as a reactor timer per query.
+
+        The worker installs the same :class:`Deadline` in a
+        ``request_scope`` before executing, so the session's cooperative
+        checks and the loop timer agree on one expiry; whichever notices
+        first answers the client (docs/WLM.md, docs/ARCHITECTURE.md).
+        """
+        if self.wlm is None:
+            return None
+        default = self.config.wlm.default_deadline
+        if default > 0:
+            return Deadline.after(default)
+        return None
 
     def run_with_concurrency(self, fn):
         if self._concurrency is not None:

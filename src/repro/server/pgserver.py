@@ -4,14 +4,21 @@ This is the Greenplum stand-in: it speaks enough of the protocol for
 Hyper-Q's gateway (and any simple-query PG client) — start-up with
 pluggable authentication, simple query with RowDescription/DataRow
 streaming, CommandComplete, ReadyForQuery, and error reporting.
+
+Like the QIPC endpoint, every connection is an FSM-driven protocol on
+the reactor: the loop thread polls complete frames out of a detached
+:class:`~repro.pgwire.codec.PgFrameStream` and statement execution runs
+on the worker pool, serialized across connections by ``_query_lock``
+(the engine, like kdb+, executes one statement at a time).
 """
 
 from __future__ import annotations
 
-import socket
 import threading
 import time
+from collections import deque
 
+from repro.core.fsm import Fsm
 from repro.errors import (
     AuthenticationError,
     MetadataError,
@@ -29,7 +36,7 @@ from repro.pgwire.codec import (
     encode_backend,
     encode_data_rows,
 )
-from repro.server.common import TcpServer
+from repro.server.reactor import Protocol, ReactorServer
 from repro.sqlengine.engine import Engine
 from repro.sqlengine.executor import ResultSet
 from repro.sqlengine.types import render_value
@@ -67,8 +74,197 @@ def _sqlstate_for(exc: Exception) -> str:
     return "XX000"  # internal_error
 
 
-class PgWireServer(TcpServer):
+class PgProtocol(Protocol):
+    """One PG v3 connection as a reactor-driven state machine.
+
+    ``startup`` (waiting for the StartupMessage) -> ``auth`` (password
+    exchange, skipped under trust) -> ``ready`` <-> ``executing`` ->
+    ``closed``.
+    """
+
+    def __init__(self, server: "PgWireServer"):
+        self.server = server
+        self.stream = PgFrameStream.detached()
+        self.ctx: AuthContext | None = None
+        self._inbox: deque[m.FrontendMessage] = deque()
+        self._executing = False
+        self._session_open = False
+        fsm = Fsm("pg-conn", "startup")
+        fsm.add_state("auth", on_enter=lambda f, p: self._begin_auth())
+        fsm.add_state("ready", on_enter=lambda f, p: self._on_ready())
+        fsm.add_state("executing")
+        fsm.add_state("closed")
+        fsm.add_transition("startup", "started", "auth")
+        fsm.add_transition("auth", "authenticated", "ready")
+        fsm.add_transition(
+            "ready", "query", "executing",
+            action=lambda f, sql: self._dispatch(sql),
+        )
+        fsm.add_transition("executing", "finished", "ready")
+        for state in ("startup", "auth", "ready", "executing"):
+            fsm.add_transition(state, "disconnect", "closed")
+        self.fsm = fsm
+
+    # -- loop-thread event handlers ----------------------------------------
+
+    def data_received(self, data: bytes) -> None:
+        self.stream.feed(data)
+        self._pump()
+
+    def _pump(self) -> None:
+        while True:
+            state = self.fsm.state
+            if state == "closed" or self.transport.closed:
+                return
+            if state == "startup":
+                startup = self.stream.poll_startup()
+                if startup is None:
+                    return
+                self.ctx = AuthContext(startup.user)
+                self.fsm.fire("started")
+                continue
+            pending = self.stream.poll_frame()
+            if pending is None:
+                return
+            message = decode_frontend(*pending)
+            if state == "auth":
+                self._check_password(message)
+                continue
+            self._inbox.append(message)
+            self._maybe_dispatch()
+
+    def _begin_auth(self) -> None:
+        """auth entry: trust connections pass straight through, others
+        get their mechanism's challenge."""
+        if self.server.auth.request_code == 0:
+            self.fsm.fire("authenticated")
+            return
+        salt = self.server.auth.challenge(self.ctx)
+        self._send(m.AuthenticationRequest(self.server.auth.request_code, salt))
+
+    def _check_password(self, message: m.FrontendMessage) -> None:
+        if not isinstance(message, m.PasswordMessage):
+            self._send(m.ErrorResponse(message="expected a password message"))
+            self.transport.close()
+            return
+        try:
+            self.server.auth.verify(self.ctx, message.password)
+        except AuthenticationError as exc:
+            self._send(m.ErrorResponse(message=str(exc), code="28P01"))
+            self.transport.close()
+            return
+        self.fsm.fire("authenticated")
+
+    def _on_ready(self) -> None:
+        if not self._session_open:
+            # first entry: the welcome sequence ends the startup phase
+            self._session_open = True
+            self._send(m.AuthenticationRequest(0))
+            self._send(m.ParameterStatus("server_version", "9.2-repro"))
+            self._send(m.BackendKeyData(self.server.next_pid(), 0xC0FFEE))
+            self._send(m.ReadyForQuery("I"))
+            ACTIVE_SESSIONS.inc(server="pgwire")
+        self._maybe_dispatch()
+
+    def _maybe_dispatch(self) -> None:
+        while self._inbox and self.fsm.can_fire("query"):
+            message = self._inbox.popleft()
+            if isinstance(message, m.Terminate):
+                self._inbox.clear()
+                self.transport.close()
+                return
+            if not isinstance(message, m.Query):
+                self._send(m.ErrorResponse(message="unsupported message"))
+                self._send(m.ReadyForQuery("I"))
+                continue
+            self.fsm.fire("query", message.sql)
+
+    def _dispatch(self, sql: str) -> None:
+        self.server.workers.submit(lambda: self._run_query(sql))
+
+    def _job_done(self, response: bytes, fatal: bool) -> None:
+        if self.fsm.state == "closed" or self.transport.closed:
+            return
+        self.transport.write(response)
+        if fatal:
+            self.transport.close()
+            return
+        # fire (not can_fire-guarded): a synchronous worker completes
+        # inside the dispatch transition, and the FSM's event queue is
+        # exactly the re-entrance mechanism that makes that safe
+        self.fsm.fire("finished")
+
+    def connection_lost(self, exc: Exception | None) -> None:
+        if self.fsm.can_fire("disconnect"):
+            self.fsm.fire("disconnect")
+        self.stream.flush()
+        if self._session_open:
+            self._session_open = False
+            ACTIVE_SESSIONS.dec(server="pgwire")
+
+    def _send(self, message: m.BackendMessage) -> None:
+        self.transport.write(encode_backend(message))
+
+    # -- worker thread -----------------------------------------------------
+
+    def _run_query(self, sql: str) -> None:
+        fatal = False
+        if not sql.strip():
+            response = encode_backend(m.EmptyQueryResponse()) + encode_backend(
+                m.ReadyForQuery("I")
+            )
+        else:
+            started = time.perf_counter()
+            QUERIES_TOTAL.inc(kind="simple", server="pgwire")
+            try:
+                try:
+                    # like the paper's kdb+, the engine runs serially
+                    with self.server._query_lock:
+                        results = self.server.engine.execute_all(sql)
+                except ReproError as exc:
+                    ERRORS_TOTAL.inc(
+                        error=type(exc).__name__, server="pgwire"
+                    )
+                    _log.warning("query_error", message=str(exc))
+                    response = encode_backend(
+                        m.ErrorResponse(
+                            message=str(exc), code=_sqlstate_for(exc)
+                        )
+                    ) + encode_backend(m.ReadyForQuery("I"))
+                except Exception as exc:
+                    ERRORS_TOTAL.inc(
+                        error=type(exc).__name__, server="pgwire"
+                    )
+                    _log.warning(
+                        "query_crash", error=type(exc).__name__,
+                        message=str(exc)[:200],
+                    )
+                    response = encode_backend(
+                        m.ErrorResponse(message="internal error")
+                    )
+                    fatal = True
+                else:
+                    # one write per statement batch: every result's
+                    # messages plus the trailing ReadyForQuery together
+                    parts = [
+                        self.server._result_bytes(result)
+                        for result in results
+                    ]
+                    parts.append(encode_backend(m.ReadyForQuery("I")))
+                    response = b"".join(parts)
+            finally:
+                QUERY_SECONDS.observe(
+                    time.perf_counter() - started, server="pgwire"
+                )
+        self.transport.reactor.call_soon_threadsafe(
+            lambda: self._job_done(response, fatal)
+        )
+
+
+class PgWireServer(ReactorServer):
     """Serves the engine over PG v3; one session per connection."""
+
+    label = "pgwire"
 
     def __init__(
         self,
@@ -76,89 +272,24 @@ class PgWireServer(TcpServer):
         auth: AuthMechanism | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        server_config=None,
     ):
-        super().__init__(host, port)
+        super().__init__(host, port, server_config)
         self.engine = engine or Engine()
         self.auth = auth or TrustAuth()
         # like the paper's kdb+, requests are executed serially
         self._query_lock = threading.Lock()
         self._next_pid = 1000
+        self._pid_lock = threading.Lock()
 
-    def handle(self, conn: socket.socket) -> None:
-        stream = PgFrameStream.over(conn)
+    def build_protocol(self) -> PgProtocol:
+        return PgProtocol(self)
 
-        def send(message: m.BackendMessage) -> None:
-            conn.sendall(encode_backend(message))
-
-        startup = stream.read_startup()
-        ctx = AuthContext(startup.user)
-        if not self._authenticate(ctx, stream, send):
-            return
-        send(m.AuthenticationRequest(0))
-        send(m.ParameterStatus("server_version", "9.2-repro"))
-        send(m.BackendKeyData(self._next_pid, 0xC0FFEE))
-        self._next_pid += 1
-        send(m.ReadyForQuery("I"))
-
-        ACTIVE_SESSIONS.inc(server="pgwire")
-        try:
-            while True:
-                message = stream.read_message(decode_frontend)
-                if isinstance(message, m.Terminate):
-                    return
-                if not isinstance(message, m.Query):
-                    send(m.ErrorResponse(message="unsupported message"))
-                    send(m.ReadyForQuery("I"))
-                    continue
-                self._run_query(message.sql, conn)
-        finally:
-            stream.flush()
-            ACTIVE_SESSIONS.dec(server="pgwire")
-
-    def _authenticate(
-        self, ctx: AuthContext, stream: PgFrameStream, send
-    ) -> bool:
-        if self.auth.request_code == 0:
-            return True
-        salt = self.auth.challenge(ctx)
-        send(m.AuthenticationRequest(self.auth.request_code, salt))
-        response = stream.read_message(decode_frontend)
-        if not isinstance(response, m.PasswordMessage):
-            send(m.ErrorResponse(message="expected a password message"))
-            return False
-        try:
-            self.auth.verify(ctx, response.password)
-        except AuthenticationError as exc:
-            send(m.ErrorResponse(message=str(exc), code="28P01"))
-            return False
-        return True
-
-    def _run_query(self, sql: str, conn: socket.socket) -> None:
-        def send(message: m.BackendMessage) -> None:
-            conn.sendall(encode_backend(message))
-
-        if not sql.strip():
-            send(m.EmptyQueryResponse())
-            send(m.ReadyForQuery("I"))
-            return
-        started = time.perf_counter()
-        QUERIES_TOTAL.inc(kind="simple", server="pgwire")
-        try:
-            with self._query_lock:
-                results = self.engine.execute_all(sql)
-        except ReproError as exc:
-            ERRORS_TOTAL.inc(error=type(exc).__name__, server="pgwire")
-            _log.warning("query_error", message=str(exc))
-            send(m.ErrorResponse(message=str(exc), code=_sqlstate_for(exc)))
-            send(m.ReadyForQuery("I"))
-            return
-        finally:
-            QUERY_SECONDS.observe(time.perf_counter() - started, server="pgwire")
-        # one sendall per statement batch: every result's messages plus
-        # the trailing ReadyForQuery leave in a single syscall
-        parts = [self._result_bytes(result) for result in results]
-        parts.append(encode_backend(m.ReadyForQuery("I")))
-        conn.sendall(b"".join(parts))
+    def next_pid(self) -> int:
+        with self._pid_lock:
+            pid = self._next_pid
+            self._next_pid += 1
+            return pid
 
     def _result_bytes(self, result: ResultSet) -> bytes:
         if result.columns:

@@ -43,7 +43,9 @@ class TestRegistry:
     def test_rules_discovered(self):
         codes = {rule.code for rule in default_rules()}
         assert {"E501", "E711", "F401", "I001"} <= codes
-        assert {"HQ001", "HQ002", "HQ003", "HQ004", "HQ005"} <= codes
+        assert {
+            "HQ001", "HQ002", "HQ003", "HQ004", "HQ005", "HQ006"
+        } <= codes
 
     def test_fresh_instances_per_call(self):
         first, second = default_rules(), default_rules()
@@ -391,6 +393,90 @@ class TestHQ005BatchedWireSerialization:
             """,
         )
         assert "HQ005" not in lint_codes(path)
+
+
+class TestHQ006EventLoopBlocking:
+    def test_socket_recv_fires_in_protocol_module(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/endpoint.py",
+            """\
+            def pump(conn):
+                return conn.recv(4096)
+            """,
+        )
+        assert "HQ006" in lint_codes(path)
+
+    def test_blocking_accept_fires_in_protocol_module(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/pgserver.py",
+            """\
+            def serve(sock):
+                conn, addr = sock.accept()
+                return conn
+            """,
+        )
+        assert "HQ006" in lint_codes(path)
+
+    def test_time_sleep_fires_in_reactor(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/reactor.py",
+            """\
+            import time
+
+            def wait(interval):
+                time.sleep(interval)
+            """,
+        )
+        # fires both as hard-coded blocking (HQ004) and as blocking on
+        # the event-loop thread (HQ006)
+        assert "HQ006" in lint_codes(path)
+
+    def test_sendall_fires_in_reactor(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/reactor.py",
+            """\
+            def flush(sock, data):
+                sock.sendall(data)
+            """,
+        )
+        assert "HQ006" in lint_codes(path)
+
+    def test_nonblocking_recv_allowed_in_reactor(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/reactor.py",
+            """\
+            def on_readable(sock, size):
+                return sock.recv(size)
+            """,
+        )
+        assert "HQ006" not in lint_codes(path)
+
+    def test_worker_boundary_modules_exempt(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/gateway.py",
+            """\
+            def fetch(sock, n):
+                return sock.recv(n)
+            """,
+        )
+        assert "HQ006" not in lint_codes(path)
+
+    def test_noqa_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/endpoint.py",
+            """\
+            def pump(conn):
+                return conn.recv(4096)  # noqa: HQ006
+            """,
+        )
+        assert "HQ006" not in lint_codes(path)
 
 
 class TestDriver:
