@@ -20,6 +20,14 @@ These encode architectural invariants of the Hyper-Q reproduction:
   are banned under ``src/repro/pgwire`` / ``src/repro/qipc``.  Batched
   packing lives in the ``kernels.py`` module of each package (the one
   allowed home, exempt by filename).
+* HQ007 — shard routing stays in its two homes: partition-key routing
+  calls (``shard_for``/``route_rows``/``shard_targets``) are allowed only
+  in ``repro/core/sharded.py``, ``repro/core/xformer/distributed.py`` and
+  ``repro/core/metadata.py`` (which defines the partition map), and the
+  ``PartitionMap``/``TablePartitioning`` types may additionally be
+  *constructed* by topology declarations (``repro/workload/sharding.py``).
+  Servers, serializers and loaders never inspect partition keys — they
+  hand whole statements/tables to the planner and backend.
 * HQ006 — no blocking calls on the event-loop thread: the protocol
   modules (``endpoint.py``, ``pgserver.py``, ``hyperq_server.py``) run
   entirely on the reactor and may never touch a socket or sleep; the
@@ -409,6 +417,70 @@ class EventLoopBlockingRule(LintRule):
                     f"the reactor and write through their Transport; "
                     f"blocking work runs on the worker pool",
                 )
+
+
+#: modules that may *route* on partition keys (HQ007)
+_SHARD_ROUTING_HOMES = (
+    ("repro", "core", "sharded.py"),
+    ("repro", "core", "xformer", "distributed.py"),
+    ("repro", "core", "metadata.py"),
+)
+#: modules that may additionally *declare* a partition topology
+_SHARD_TOPOLOGY_HOMES = _SHARD_ROUTING_HOMES + (
+    ("repro", "workload", "sharding.py"),
+)
+#: method calls that constitute partition-key routing
+_SHARD_ROUTING_CALLS = {"shard_for", "route_rows", "shard_targets"}
+#: the partition-topology types
+_SHARD_TOPOLOGY_TYPES = {"PartitionMap", "TablePartitioning"}
+
+
+@register
+class ShardRoutingLayeringRule(LintRule):
+    """HQ007: partition-key routing outside its designated homes."""
+
+    code = "HQ007"
+    name = "shard_routing_layering"
+    purpose = "shard routing lives in the distribute pass and ShardedBackend"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if "src" not in parts:
+            return  # tests and benches may exercise routing directly
+        may_route = any(
+            parts[-len(t):] == t for t in _SHARD_ROUTING_HOMES
+        )
+        may_declare = any(
+            parts[-len(t):] == t for t in _SHARD_TOPOLOGY_HOMES
+        )
+        for node in ast.walk(ctx.tree):
+            if ctx.suppressed(getattr(node, "lineno", 0)):
+                continue
+            if (
+                not may_route
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SHARD_ROUTING_CALLS
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"partition-key routing call .{node.func.attr}() "
+                    f"outside repro/core/sharded.py / the distribute "
+                    f"pass — route through the planner instead",
+                )
+            elif not may_declare and isinstance(
+                node, (ast.Import, ast.ImportFrom)
+            ):
+                names = {alias.name for alias in node.names}
+                leaked = names & _SHARD_TOPOLOGY_TYPES
+                if leaked:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"partition-topology type(s) {sorted(leaked)} "
+                        f"imported outside the shard-routing/topology "
+                        f"modules — servers and serializers must not "
+                        f"know the partition layout",
+                    )
 
 
 def _is_numeric_literal(node: ast.expr) -> bool:

@@ -298,6 +298,29 @@ class WlmConfig:
 
 
 @dataclass
+class ShardingConfig:
+    """The sharded scatter-gather backend (docs/ARCHITECTURE.md).
+
+    Governs :class:`repro.core.sharded.ShardedBackend`: how many worker
+    threads fan subplans out, and when a hedged read is sent to a shard
+    replica.  The partition layout itself lives in a
+    :class:`repro.core.metadata.PartitionMap`, not here — the map is part
+    of the topology (and of the translation-cache key), the knobs below
+    are deployment tuning.
+    """
+
+    #: threads fanning subplans out to shards (the scatter boundary);
+    #: 0 sizes the pool to the shard count
+    max_parallel: int = 0
+    #: seconds a shard may lag before an idempotent read is hedged
+    #: against its replica (0 disables hedging even when replicas exist)
+    hedge_delay: float = 0.05
+    #: rows below which a gathered merge input is considered "small"
+    #: (diagnostics only; the planner never samples data)
+    small_table_rows: int = 10_000
+
+
+@dataclass
 class AnalysisConfig:
     """The :mod:`repro.analysis` static-analysis subsystem.
 
@@ -333,6 +356,7 @@ class HyperQConfig:
     )
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     wlm: WlmConfig = field(default_factory=WlmConfig)
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
     materialization: MaterializationMode = MaterializationMode.PHYSICAL
     #: prefix for generated temp tables, as in the paper's example SQL
     temp_table_prefix: str = "hq_temp_"

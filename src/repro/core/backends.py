@@ -137,7 +137,6 @@ class PooledBackend(ExecutionBackend):
     def run_sql(self, sql: str):
         conn = self._checkout()
         try:
-            before = conn.catalog_version()
             result = conn.run_sql(sql)
         except TRANSPORT_ERRORS:
             self._discard(conn)
@@ -146,14 +145,50 @@ class PooledBackend(ExecutionBackend):
             # a SQL-level rejection: the connection is still healthy
             self._checkin(conn)
             raise
-        delta = conn.catalog_version() - before
-        if delta > 0:
-            with self._cond:
-                self._catalog_version += delta
+        self._observe_version(conn)
         self._checkin(conn)
         return result
 
+    def _observe_version(self, conn: ExecutionBackend) -> None:
+        """Fold one connection's catalog version into the pool maximum.
+
+        The pool version is the *max observed* across connections, not an
+        accumulated delta: a freshly created connection already carries
+        the backend's current version, and delta accounting from a zero
+        baseline under-reports it — leaving stale translations cached
+        after out-of-band DDL.
+        """
+        try:
+            version = conn.catalog_version()
+        except TRANSPORT_ERRORS:
+            return
+        with self._cond:
+            if version > self._catalog_version:
+                self._catalog_version = version
+
     def catalog_version(self) -> int:
+        with self._cond:
+            # peek the most recently used idle connection so DDL done
+            # out-of-band (directly on the backend) is visible without
+            # waiting for the next statement through the pool
+            newest = self._idle[-1] if self._idle else None
+            never_connected = self._open == 0 and not self._closed
+        if newest is not None:
+            self._observe_version(newest)
+        elif never_connected:
+            # before the first statement the pool would report version 0
+            # while the backend may already be far ahead; prime one
+            # connection so translation-cache keys are right from the
+            # first query
+            try:
+                conn = self._checkout()
+            except (PoolTimeoutError, *TRANSPORT_ERRORS) as exc:
+                _log.warning(
+                    "pool_version_probe_failed",
+                    pool=self.name, error=str(exc),
+                )
+            else:
+                self._checkin(conn)
         with self._cond:
             return self._catalog_version
 
@@ -228,6 +263,10 @@ class PooledBackend(ExecutionBackend):
                     self._release_slot()
                     raise
                 POOL_SIZE.set(self.open_connections, pool=self.name)
+                # a fresh connection already carries the backend's
+                # current catalog version — fold it in immediately so
+                # the pool never reports a stale (lower) version
+                self._observe_version(conn)
                 return conn
             if self._ping_quietly(conn):
                 return conn

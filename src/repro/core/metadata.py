@@ -10,7 +10,9 @@ exercised by the metadata-cache ablation benchmark.
 
 from __future__ import annotations
 
+import bisect
 import time
+import zlib
 from dataclasses import dataclass, field
 
 from repro.config import CacheInvalidation, MetadataCacheConfig
@@ -65,6 +67,96 @@ class TableMeta:
         return [c for c in self.columns if c.name != self.ordcol]
 
 
+@dataclass(frozen=True)
+class TablePartitioning:
+    """How one table is spread across shards.
+
+    ``strategy`` is ``"hash"`` (stable CRC32 of the key value's text) or
+    ``"range"`` (``bounds`` are the ascending upper-exclusive split
+    points; shard *i* holds values below ``bounds[i]``, the last shard
+    holds the rest).  Tables absent from the :class:`PartitionMap` are
+    *replicated*: every shard holds a full copy (the "broadcast small
+    dimension tables" strategy — replication happens at load/DDL time, so
+    joins against them are always shard-local).
+    """
+
+    table: str
+    key: str
+    strategy: str = "hash"
+    bounds: tuple = ()
+
+    def shard_for(self, value, shard_count: int) -> int:
+        """Deterministic, process-stable shard assignment for one key
+        value.  NULL keys go to shard 0 by convention."""
+        if value is None:
+            return 0
+        if self.strategy == "range":
+            return min(bisect.bisect_right(self.bounds, value), shard_count - 1)
+        # hash: CRC32 over the text form — stable across processes and
+        # Python runs (unlike builtin hash(), which is salted)
+        return zlib.crc32(str(value).encode("utf-8")) % shard_count
+
+    def fingerprint(self) -> tuple:
+        return (self.table, self.key, self.strategy, tuple(self.bounds))
+
+
+class PartitionMap:
+    """table -> partition key -> shard assignment, for one topology.
+
+    Carried through :class:`MetadataInterface` so the translation cache
+    keys on it (``partition_fingerprint``): the same Q text translates to
+    a *different* distributed plan under a different topology, and a
+    cached plan must never leak across topologies.
+
+    Routing logic built on this class may only be used from the
+    distributed-rewrite pass and ``ShardedBackend`` (lint rule HQ007).
+    """
+
+    def __init__(self, shard_count: int, tables: list[TablePartitioning] | None = None):
+        if shard_count < 1:
+            raise MetadataError("a partition map needs at least one shard")
+        self.shard_count = shard_count
+        self._tables: dict[str, TablePartitioning] = {}
+        for spec in tables or []:
+            self.add(spec)
+
+    def add(self, spec: TablePartitioning) -> None:
+        self._tables[spec.table] = spec
+
+    def hash_table(self, table: str, key: str) -> "PartitionMap":
+        """Declare ``table`` hash-partitioned on ``key`` (chainable)."""
+        self.add(TablePartitioning(table, key, "hash"))
+        return self
+
+    def range_table(self, table: str, key: str, bounds) -> "PartitionMap":
+        self.add(TablePartitioning(table, key, "range", tuple(bounds)))
+        return self
+
+    def lookup(self, table: str) -> TablePartitioning | None:
+        """Partitioning for ``table``; None means replicated everywhere."""
+        return self._tables.get(table)
+
+    def is_partitioned(self, table: str) -> bool:
+        return table in self._tables
+
+    @property
+    def tables(self) -> dict[str, TablePartitioning]:
+        return dict(self._tables)
+
+    def shard_for(self, table: str, value) -> int | None:
+        spec = self._tables.get(table)
+        if spec is None:
+            return None
+        return spec.shard_for(value, self.shard_count)
+
+    def fingerprint(self) -> tuple:
+        """Hashable topology digest (translation-cache key component)."""
+        return (
+            self.shard_count,
+            tuple(sorted(s.fingerprint() for s in self._tables.values())),
+        )
+
+
 class BackendPort:
     """Minimal interface the MDI needs from the backend connection.
 
@@ -114,6 +206,22 @@ class MetadataInterface:
     def key_annotations(self) -> dict[str, list[str]]:
         """Copy of the keyed-table annotations (for sharing across MDIs)."""
         return dict(self._key_annotations)
+
+    @property
+    def partition_map(self) -> PartitionMap | None:
+        """The backend's partition topology, when it is sharded.
+
+        Surfaced from the port (``ShardedBackend`` exposes one; every
+        single-node backend returns None) so the distributed-rewrite pass
+        and the translation-cache key see the topology through the same
+        MDI they already depend on.
+        """
+        return getattr(self.port, "partition_map", None)
+
+    def partition_fingerprint(self) -> tuple:
+        """Topology digest for the translation-cache key; () unsharded."""
+        pmap = self.partition_map
+        return pmap.fingerprint() if pmap is not None else ()
 
     # -- public API -----------------------------------------------------------
 

@@ -316,6 +316,12 @@ class TranslationPipeline:
             passes = default_passes()
             if self.config.analysis.enabled and self.config.analysis.qcheck:
                 passes.insert(0, AnalyzePass())
+            # the distributed-rewrite pass is always registered; it
+            # no-ops unless the MDI carries a partition map (import is
+            # deferred: distributed.py subclasses Pass from this module)
+            from repro.core.xformer.distributed import DistributePass
+
+            passes.append(DistributePass())
         for p in passes:
             self.register_pass(p)
 
@@ -551,6 +557,9 @@ class TranslationCache:
                 (table, tuple(keys))
                 for table, keys in mdi.key_annotations.items()
             )),
+            # topology digest: a plan scattered for one shard layout must
+            # never be replayed against another
+            mdi.partition_fingerprint(),
         )
 
     def get(self, key: tuple) -> TranslationResult | None:

@@ -357,7 +357,9 @@ class HyperQSession:
           source against the current scope and return the findings as a
           table; ``check[]`` lists the rule catalog (docs/ANALYSIS.md);
         * ``wlm[]`` — live workload-management state (queue depths,
-          breaker states, shed counts) as a Q table (docs/WLM.md).
+          breaker states, shed counts) as a Q table (docs/WLM.md);
+        * ``shards[]`` — per-shard health of a sharded backend (breaker
+          state, query/error/hedge counts, mean latency).
         """
         from repro.qlang.qtypes import QType
         from repro.qlang.values import QTable, QVector
@@ -386,6 +388,13 @@ class HyperQSession:
             and not [a for a in statement.args if a is not None]
         ):
             return self._wlm_qtable()
+        if (
+            isinstance(statement, ast.Apply)
+            and isinstance(statement.func, ast.Name)
+            and statement.func.name == "shards"
+            and not [a for a in statement.args if a is not None]
+        ):
+            return self._shards_qtable()
         if (
             isinstance(statement, ast.Apply)
             and isinstance(statement.func, ast.Name)
@@ -472,6 +481,38 @@ class HyperQSession:
             + [
                 QVector(QType.LONG, [int(row[i]) for row in rows])
                 for i in long_columns.values()
+            ],
+        )
+
+    def _shards_qtable(self):
+        """``shards[]`` — per-shard health of a sharded backend.
+
+        One row per shard: breaker state, statements executed, failures,
+        hedged reads fired, mean statement latency in milliseconds.  An
+        empty table means the backend is not sharded.
+        """
+        from repro.qlang.qtypes import QType
+        from repro.qlang.values import QTable, QVector
+
+        snapshot_fn = None
+        node = self.backend
+        for __ in range(8):  # unwrap resilience layers to the backend
+            if node is None:
+                break
+            snapshot_fn = getattr(node, "shard_snapshot", None)
+            if snapshot_fn is not None:
+                break
+            node = getattr(node, "inner", None)
+        rows = snapshot_fn() if snapshot_fn is not None else []
+        return QTable(
+            ["shard", "state", "queries", "errors", "hedges", "mean_ms"],
+            [
+                QVector(QType.LONG, [int(r["shard"]) for r in rows]),
+                QVector(QType.SYMBOL, [r["state"] for r in rows]),
+                QVector(QType.LONG, [int(r["queries"]) for r in rows]),
+                QVector(QType.LONG, [int(r["errors"]) for r in rows]),
+                QVector(QType.LONG, [int(r["hedges"]) for r in rows]),
+                QVector(QType.FLOAT, [float(r["mean_ms"]) for r in rows]),
             ],
         )
 

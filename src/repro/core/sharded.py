@@ -1,0 +1,680 @@
+"""Sharded scatter-gather execution backend.
+
+:class:`ShardedBackend` implements :class:`~repro.core.backends.ExecutionBackend`
+over N child backends, each holding one partition of every partitioned
+table (and a full copy of every replicated table).  The distributed plan
+is decided upstream by the pipeline's
+:class:`~repro.core.xformer.distributed.DistributePass` and arrives as an
+annotation on the SQL text; this module executes it:
+
+* ``single``  — route the statement to one shard;
+* ``scatter`` — fan the statement out on a bounded worker pool (the PR-6
+  ``WorkerPool`` discipline), then merge the per-shard *columnar* results
+  by the plan's sort keys without ever pivoting to rows;
+* ``partial``/``gather`` — fan subplans out, load the gathered rows into
+  a private coordinator engine, execute the merge SQL there.
+
+Per-shard resilience: every child is wrapped in the PR-4
+:class:`~repro.wlm.retry.ResilientBackend` with its *own* circuit breaker,
+slow shards are hedged against a configurable replica after
+``ShardingConfig.hedge_delay`` (idempotent reads only, first response
+wins), and the active request deadline propagates into every worker so
+one slow shard surfaces as a named ``DeadlineExceededError`` instead of a
+silently blown budget.
+
+Statements without a plan annotation (metadata probes, DDL, anything the
+planner could not split) take conservative routes: catalog reads go to
+shard 0, DDL broadcasts, and reads touching partitioned tables run
+against a lazily-populated coordinator *mirror* — slow, but always
+correct.
+
+Layering (lint rule HQ007): partition-key routing lives here and in the
+distributed-rewrite pass only.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+import threading
+import time
+
+from repro.config import ShardingConfig
+from repro.core.backends import ExecutionBackend
+from repro.core.metadata import PartitionMap
+from repro.core.xformer.distributed import extract_plan
+from repro.errors import BackendSqlError
+from repro.obs import get_logger, metrics, tracing
+from repro.server.reactor import WorkerPool
+from repro.sqlengine.catalog import Column
+from repro.sqlengine.engine import Engine
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import SqlType
+from repro.wlm import WorkloadManager
+from repro.wlm.deadline import current_context, current_deadline, request_scope
+from repro.wlm.retry import ResilientBackend, is_idempotent
+
+_log = get_logger("core.sharded")
+
+SHARD_FANOUT = metrics.counter(
+    "shard_fanout_total", "Subplans fanned out to shards"
+)
+SHARD_QUERIES = metrics.counter(
+    "shard_queries_total", "Statements executed per shard"
+)
+SHARD_ERRORS = metrics.counter(
+    "shard_errors_total", "Statement failures per shard"
+)
+SHARD_LATENCY = metrics.histogram(
+    "shard_latency_seconds", "Per-shard statement latency"
+)
+SHARD_HEDGES = metrics.counter(
+    "shard_hedges_total", "Hedged reads fired against shard replicas"
+)
+SHARD_MERGE_ROWS = metrics.counter(
+    "shard_merge_rows_total", "Rows flowing through coordinator merges"
+)
+SHARD_MIRROR = metrics.counter(
+    "shard_mirror_total", "Unplanned statements served by the mirror fallback"
+)
+
+_WRITE_VERBS = ("create", "drop", "alter", "insert", "update", "delete",
+                "truncate")
+
+_CTAS_RE = re.compile(
+    r'^\s*create\s+(?:temp(?:orary)?\s+)?table\s+'
+    r'(?:"(?P<quoted>(?:[^"]|"")+)"|(?P<plain>\w+))\s+as\s+(?P<select>.+)$',
+    re.IGNORECASE | re.DOTALL,
+)
+
+_MISSING_RELATION_RE = re.compile(r'relation "([^"]+)" does not exist')
+
+
+# ---------------------------------------------------------------------------
+# Futures for the scatter boundary
+# ---------------------------------------------------------------------------
+
+
+class _Future:
+    """Result slot filled by a worker; ``signal`` wakes first-wins waits."""
+
+    __slots__ = ("_done", "value", "error", "signal")
+
+    def __init__(self, signal: threading.Event | None = None):
+        self._done = threading.Event()
+        self.value = None
+        self.error: Exception | None = None
+        self.signal = signal
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def set(self, value) -> None:
+        self.value = value
+        self._done.set()
+        if self.signal is not None:
+            self.signal.set()
+
+    def fail(self, error: Exception) -> None:
+        self.error = error
+        self._done.set()
+        if self.signal is not None:
+            self.signal.set()
+
+    def wait(self, timeout: float | None) -> bool:
+        return self._done.wait(timeout)
+
+
+def _find_engine(backend) -> Engine | None:
+    """Unwrap resilience layers to a direct in-process engine, if any."""
+    seen = 0
+    node = backend
+    while node is not None and seen < 8:
+        engine = getattr(node, "engine", None)
+        if isinstance(engine, Engine):
+            return engine
+        node = getattr(node, "inner", None)
+        seen += 1
+    return None
+
+
+class ShardHandle:
+    """One shard: resilient primary, optional replica, health counters."""
+
+    def __init__(
+        self,
+        index: int,
+        primary: ExecutionBackend,
+        replica: ExecutionBackend | None,
+        wlm: WorkloadManager,
+    ):
+        self.index = index
+        self.primary = ResilientBackend(
+            primary,
+            policy=wlm.retry_policy,
+            breaker=wlm.breaker_for(f"shard{index}"),
+            faults=wlm.faults,
+            name=f"shard{index}",
+        )
+        self.replica = (
+            ResilientBackend(
+                replica,
+                policy=wlm.retry_policy,
+                breaker=wlm.breaker_for(f"shard{index}-replica"),
+                faults=None,  # faults are injected on primaries only
+                name=f"shard{index}-replica",
+            )
+            if replica is not None
+            else None
+        )
+        self._stats_lock = threading.Lock()
+        self.queries = 0
+        self.errors = 0
+        self.hedges = 0
+        self.latency_total = 0.0
+
+    def record(self, seconds: float, failed: bool) -> None:
+        with self._stats_lock:
+            self.queries += 1
+            self.latency_total += seconds
+            if failed:
+                self.errors += 1
+
+    def record_hedge(self) -> None:
+        with self._stats_lock:
+            self.hedges += 1
+
+    def load_table(self, name: str, columns: list[Column], rows: list) -> None:
+        """Data-plane load of one table onto primary (and replica)."""
+        for target in (self.primary, self.replica):
+            if target is None:
+                continue
+            engine = _find_engine(target)
+            if engine is not None:
+                if engine.catalog.exists(name):
+                    engine.catalog.drop(name)
+                engine.create_table_from_columns(
+                    name, columns, [list(r) for r in rows]
+                )
+                continue
+            loader = None
+            node = target
+            for __ in range(8):
+                loader = getattr(node, "load_columns", None)
+                if loader is not None or node is None:
+                    break
+                node = getattr(node, "inner", None)
+            if loader is None:
+                raise BackendSqlError(
+                    f"shard {self.index} backend has no bulk-load path"
+                )
+            loader(name, columns, rows)
+
+    def snapshot(self) -> dict:
+        with self._stats_lock:
+            queries, errors = self.queries, self.errors
+            hedges, latency = self.hedges, self.latency_total
+        return {
+            "shard": self.index,
+            "state": self.primary.breaker.snapshot()["state"],
+            "queries": queries,
+            "errors": errors,
+            "hedges": hedges,
+            "mean_ms": (latency / queries * 1000.0) if queries else 0.0,
+        }
+
+    def close(self) -> None:
+        for target in (self.primary, self.replica):
+            if target is None:
+                continue
+            close = getattr(target.inner, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception as exc:
+                    _log.warning(
+                        "shard_close_failed", shard=self.index, error=str(exc)
+                    )
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+class ShardedBackend(ExecutionBackend):
+    """Scatter-gather execution across N partitioned child backends."""
+
+    #: duck-typed marker: WorkloadManager.wrap_backend must not re-wrap a
+    #: sharded backend (its children are already individually resilient)
+    is_sharded = True
+
+    def __init__(
+        self,
+        children: list[ExecutionBackend],
+        partition_map: PartitionMap,
+        config: ShardingConfig | None = None,
+        wlm: WorkloadManager | None = None,
+        replicas: list[ExecutionBackend] | None = None,
+        name: str = "sharded",
+    ):
+        if len(children) != partition_map.shard_count:
+            raise ValueError(
+                f"partition map expects {partition_map.shard_count} shards, "
+                f"got {len(children)} children"
+            )
+        if replicas is not None and len(replicas) != len(children):
+            raise ValueError("replicas must match children one-to-one")
+        self.name = name
+        self.partition_map = partition_map
+        self.config = config or ShardingConfig()
+        self._wlm = wlm or WorkloadManager()
+        self._shards = [
+            ShardHandle(
+                i,
+                child,
+                replicas[i] if replicas is not None else None,
+                self._wlm,
+            )
+            for i, child in enumerate(children)
+        ]
+        size = self.config.max_parallel or len(children)
+        self._pool = WorkerPool(size, label=name)
+        # mirror fallback state: a coordinator engine lazily populated
+        # with full copies of backend tables, rebuilt when DDL moves the
+        # topology-wide catalog version
+        self._mirror_lock = threading.Lock()
+        self._mirror_engine: Engine | None = None
+        self._mirror_version: int | None = None
+        self._mirrored: set[str] = set()
+        self._closed = False
+
+    # -- ExecutionBackend ------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def run_sql(self, sql: str):
+        plan, body = extract_plan(sql)
+        if plan is not None:
+            return self._run_plan(plan, body)
+        return self._run_unplanned(body)
+
+    def catalog_version(self) -> int:
+        """Sum of child versions: monotone, and DDL on *any* shard moves
+        it, so cached translations and the mirror invalidate correctly."""
+        total = 0
+        for shard in self._shards:
+            version = shard.primary.inner.catalog_version()
+            if version > 0:
+                total += version
+        return total
+
+    def ping(self) -> bool:
+        return any(shard.primary.inner.ping() for shard in self._shards)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(join_timeout=2.0)
+        for shard in self._shards:
+            shard.close()
+
+    # -- health / admin --------------------------------------------------------
+
+    def shard_snapshot(self) -> list[dict]:
+        """Per-shard health rows (the ``shards[]`` admin command)."""
+        return [shard.snapshot() for shard in self._shards]
+
+    # -- data plane (loaders) --------------------------------------------------
+
+    def route_rows(
+        self, table: str, columns: list[Column], rows: list
+    ) -> list[list]:
+        """Split rows into per-shard buckets per the partition map.
+
+        Replicated tables return the full row list for every shard.  The
+        one place outside the planner that consults partition keys — and
+        it lives here so loaders never inspect them (lint rule HQ007).
+        """
+        spec = self.partition_map.lookup(table)
+        if spec is None:
+            return [rows for __ in self._shards]
+        key_index = next(
+            i for i, c in enumerate(columns) if c.name == spec.key
+        )
+        buckets: list[list] = [[] for __ in self._shards]
+        count = self.shard_count
+        for row in rows:
+            buckets[spec.shard_for(row[key_index], count)].append(row)
+        return buckets
+
+    def load_table(self, name: str, columns: list[Column], rows: list) -> None:
+        """Load one table across the topology (partitioned or replicated)."""
+        for shard, bucket in zip(self._shards, self.route_rows(name, columns, rows)):
+            shard.load_table(name, columns, bucket)
+
+    # -- plan execution --------------------------------------------------------
+
+    def _run_plan(self, plan: dict, body: str):
+        mode = plan["mode"]
+        if mode == "single":
+            return self._execute_on_shard(self._shards[plan["shard"]], body)
+        targets = plan["targets"]
+        with tracing.span("shard.scatter") as span:
+            span.attrs["shard.fanout"] = len(targets)
+            span.attrs["shard.mode"] = mode
+            if mode == "scatter":
+                results = self._fanout(targets, plan["sql"])
+                return self._merge_scatter(results, plan)
+            if mode in ("partial", "gather"):
+                return self._run_merge_plan(plan, targets)
+        raise BackendSqlError(f"unknown shard plan mode {mode!r}")
+
+    def _execute_on_shard(self, shard: ShardHandle, sql: str):
+        """One statement on one shard, hedged when it lags."""
+        outcome = self._collect(
+            {shard.index: self._submit(shard, shard.primary, sql)}, sql
+        )
+        return outcome[shard.index]
+
+    def _fanout(self, targets: list[int], sql: str) -> list:
+        """Run ``sql`` on every target shard; results in target order."""
+        SHARD_FANOUT.inc(len(targets))
+        futures = {
+            i: self._submit(self._shards[i], self._shards[i].primary, sql)
+            for i in targets
+        }
+        outcome = self._collect(futures, sql)
+        return [outcome[i] for i in targets]
+
+    def _submit(
+        self, shard: ShardHandle, backend: ExecutionBackend, sql: str,
+        signal: threading.Event | None = None,
+    ) -> _Future:
+        future = _Future(signal)
+        context = current_context()
+        label = str(shard.index)
+
+        def job() -> None:
+            start = time.monotonic()
+            try:
+                if context is not None:
+                    with request_scope(context.deadline, context.query_class):
+                        result = backend.run_sql(sql)
+                else:
+                    result = backend.run_sql(sql)
+            except Exception as exc:
+                shard.record(time.monotonic() - start, failed=True)
+                SHARD_ERRORS.inc(shard=label)
+                future.fail(exc)
+                return
+            elapsed = time.monotonic() - start
+            shard.record(elapsed, failed=False)
+            SHARD_QUERIES.inc(shard=label)
+            SHARD_LATENCY.observe(elapsed, shard=label)
+            with tracing.span("shard.task") as span:
+                span.attrs["shard.id"] = shard.index
+            future.set(result)
+
+        self._pool.submit(job)
+        return future
+
+    def _collect(self, futures: dict, sql: str) -> dict:
+        """Wait for every shard's result, hedging laggards.
+
+        A shard that has not answered within ``hedge_delay`` gets its
+        statement re-sent to the replica (idempotent reads only); the
+        first response wins.  Waits are capped by the request deadline,
+        and expiry names the shards still outstanding.
+        """
+        deadline = current_deadline()
+        hedge_delay = self.config.hedge_delay
+        hedgeable = hedge_delay > 0 and is_idempotent(sql)
+        start = time.monotonic()
+        hedges: dict[int, _Future] = {}
+        results: dict[int, object] = {}
+
+        def remaining() -> float | None:
+            return None if deadline is None else deadline.remaining()
+
+        # phase 1: give primaries the hedge window
+        if hedgeable and any(
+            self._shards[i].replica is not None for i in futures
+        ):
+            for index, future in futures.items():
+                elapsed = time.monotonic() - start
+                budget = max(0.0, hedge_delay - elapsed)
+                cap = remaining()
+                if cap is not None:
+                    budget = min(budget, max(0.0, cap))
+                future.wait(budget)
+            for index, future in futures.items():
+                shard = self._shards[index]
+                if future.done or shard.replica is None:
+                    continue
+                shard.record_hedge()
+                SHARD_HEDGES.inc(shard=str(index))
+                signal = threading.Event()
+                future.signal = signal
+                if future.done:  # finished between the check and now
+                    continue
+                hedges[index] = self._submit(
+                    shard, shard.replica, sql, signal
+                )
+                hedges[index].signal = signal
+
+        # phase 2: first response wins per shard
+        for index, future in futures.items():
+            hedge = hedges.get(index)
+            while True:
+                if future.done and future.error is None:
+                    results[index] = future.value
+                    break
+                if hedge is not None and hedge.done and hedge.error is None:
+                    results[index] = hedge.value
+                    break
+                if future.done and (hedge is None or hedge.done):
+                    raise future.error
+                cap = remaining()
+                if cap is not None and cap <= 0 and deadline is not None:
+                    deadline.check(f"shard{index}.gather")
+                wait_for = 0.25 if cap is None else min(0.25, max(cap, 0.01))
+                if hedge is not None and future.signal is not None:
+                    future.signal.wait(wait_for)
+                    future.signal.clear()
+                else:
+                    future.wait(wait_for)
+        return results
+
+    # -- merging ---------------------------------------------------------------
+
+    @staticmethod
+    def _plan_columns(spec: list) -> list[Column]:
+        return [Column(name, SqlType(type_text)) for name, type_text, *__ in spec]
+
+    def _merge_scatter(self, results: list, plan: dict) -> ResultSet:
+        """Ordered columnar concat of per-shard results (no row pivot)."""
+        columns = self._plan_columns(plan["columns"])
+        names = [c.name for c in columns]
+        shard_data = [r.column_data for r in results]
+        counts = [len(d[0]) if d else 0 for d in shard_data]
+        total = sum(counts)
+        SHARD_MERGE_ROWS.inc(total)
+        if not columns:
+            return ResultSet.from_columns(columns, [], command="SELECT")
+        merge_keys = plan.get("merge_keys") or []
+        key_refs = [(names.index(k), desc) for k, desc in merge_keys]
+        refs = [
+            (s, r) for s, count in enumerate(counts) for r in range(count)
+        ]
+
+        def compare(a, b):
+            for column_index, descending in key_refs:
+                va = shard_data[a[0]][column_index][a[1]]
+                vb = shard_data[b[0]][column_index][b[1]]
+                if va is None or vb is None:
+                    if va is not None:  # NULLs sort first (Q: null smallest)
+                        order = 1
+                    elif vb is not None:
+                        order = -1
+                    else:
+                        continue
+                elif va < vb:
+                    order = -1
+                elif vb < va:
+                    order = 1
+                else:
+                    continue
+                return -order if descending else order
+            return 0
+
+        refs.sort(key=functools.cmp_to_key(compare))
+        merged = [
+            [shard_data[s][ci][r] for s, r in refs]
+            for ci in range(len(columns))
+        ]
+        return ResultSet.from_columns(columns, merged, command="SELECT")
+
+    def _run_merge_plan(self, plan: dict, targets: list[int]) -> ResultSet:
+        """Gather subplan results into a per-query coordinator engine and
+        execute the merge SQL over them."""
+        coordinator = Engine()
+        gathered_rows = 0
+        for task in plan["tasks"]:
+            task_targets = task.get("targets", targets)
+            results = self._fanout(task_targets, task["sql"])
+            columns = self._plan_columns(task["columns"])
+            names = [c.name for c in columns]
+            data: list[list] = [[] for __ in columns]
+            for result in results:
+                for ci, values in enumerate(result.column_data):
+                    data[ci].extend(values)
+            order_col = task.get("order_col")
+            if order_col is not None and order_col in names and data:
+                # restore global base order (ordcol is globally unique)
+                order_values = data[names.index(order_col)]
+                permutation = sorted(
+                    range(len(order_values)), key=order_values.__getitem__
+                )
+                data = [
+                    [values[i] for i in permutation] for values in data
+                ]
+            rows = list(zip(*data)) if columns else []
+            gathered_rows += len(rows)
+            coordinator.create_table_from_columns(
+                task["table"], columns, [list(r) for r in rows]
+            )
+        SHARD_MERGE_ROWS.inc(gathered_rows)
+        return coordinator.execute(plan["merge_sql"])
+
+    # -- unplanned statements --------------------------------------------------
+
+    def _run_unplanned(self, body: str):
+        lowered = body.lower()
+        if "information_schema" in lowered or "pg_tables" in lowered or (
+            "pg_catalog" in lowered
+        ):
+            # catalog probes: schemas are identical on every shard
+            return self._execute_on_shard(self._shards[0], body)
+        referenced = self._referenced_partitioned(body)
+        if self._is_write(lowered):
+            if referenced:
+                ctas = _CTAS_RE.match(body)
+                if ctas is None:
+                    raise BackendSqlError(
+                        "writes touching partitioned tables "
+                        f"({', '.join(sorted(referenced))}) must go through "
+                        "the sharded load path",
+                        code="0A000",
+                    )
+                return self._broadcast_ctas(ctas)
+            return self._broadcast(body)
+        if not referenced:
+            return self._execute_on_shard(self._shards[0], body)
+        return self._mirror(body)
+
+    @staticmethod
+    def _is_write(lowered: str) -> bool:
+        stripped = lowered.lstrip()
+        return stripped.startswith(_WRITE_VERBS)
+
+    def _referenced_partitioned(self, body: str) -> set[str]:
+        found = set()
+        for table in self.partition_map.tables:
+            if re.search(rf'\b{re.escape(table)}\b', body):
+                found.add(table)
+        return found
+
+    def _broadcast(self, body: str):
+        """DDL on replicated state runs identically on every shard."""
+        result = None
+        for shard in self._shards:
+            result = self._execute_on_shard(shard, body)
+        return result
+
+    def _broadcast_ctas(self, match: re.Match):
+        """CREATE TABLE ... AS over partitioned inputs: compute the
+        global result once on the mirror, then replicate it everywhere
+        (the materialized table behaves as a broadcast dimension)."""
+        name = match.group("quoted") or match.group("plain")
+        name = name.replace('""', '"')
+        selected = self._mirror(match.group("select"))
+        columns = list(selected.columns)
+        self.load_table(name, columns, [list(r) for r in selected.rows])
+        return ResultSet([], [], command="CREATE TABLE")
+
+    # -- mirror fallback -------------------------------------------------------
+
+    def _mirror(self, body: str) -> ResultSet:
+        """Execute against a coordinator engine holding full table copies.
+
+        Tables are copied lazily on first reference (detected via the
+        engine's missing-relation error) and kept until DDL moves the
+        topology catalog version.  Partitioned tables are gathered from
+        all shards and restored to global ``ordcol`` order, so results
+        are byte-identical to a single-node run.
+        """
+        SHARD_MIRROR.inc()
+        with self._mirror_lock:
+            version = self.catalog_version()
+            if self._mirror_engine is None or self._mirror_version != version:
+                self._mirror_engine = Engine()
+                self._mirror_version = version
+                self._mirrored = set()
+            engine = self._mirror_engine
+            for __ in range(32):  # bounded lazy-copy loop
+                try:
+                    return engine.execute(body)
+                except Exception as exc:
+                    missing = self._missing_relation(exc)
+                    if missing is None or missing in self._mirrored:
+                        raise
+                    self._copy_to_mirror(engine, missing)
+                    self._mirrored.add(missing)
+            raise BackendSqlError("mirror fallback did not converge")
+
+    @staticmethod
+    def _missing_relation(exc: Exception) -> str | None:
+        match = _MISSING_RELATION_RE.search(str(exc))
+        return match.group(1) if match else None
+
+    def _copy_to_mirror(self, engine: Engine, table: str) -> None:
+        quoted = '"' + table.replace('"', '""') + '"'
+        sql = f"SELECT * FROM {quoted}"
+        if self.partition_map.is_partitioned(table):
+            results = self._fanout(list(range(self.shard_count)), sql)
+        else:
+            results = [self._execute_on_shard(self._shards[0], sql)]
+        columns = list(results[0].columns)
+        names = [c.name for c in columns]
+        rows: list = []
+        for result in results:
+            rows.extend(list(r) for r in result.rows)
+        if "ordcol" in names:
+            order_index = names.index("ordcol")
+            rows.sort(key=lambda row: row[order_index])
+        engine.create_table_from_columns(table, columns, rows)

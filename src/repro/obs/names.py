@@ -72,6 +72,16 @@ WLM_BREAKER_TRANSITIONS_TOTAL = "wlm_breaker_transitions_total"
 WLM_BREAKER_REJECTIONS_TOTAL = "wlm_breaker_rejections_total"
 WLM_FAULTS_INJECTED_TOTAL = "wlm_faults_injected_total"
 
+# --- sharded scatter-gather execution (repro/core/sharded) --------------
+SHARD_PLANS_TOTAL = "shard_plans_total"
+SHARD_FANOUT_TOTAL = "shard_fanout_total"
+SHARD_QUERIES_TOTAL = "shard_queries_total"
+SHARD_ERRORS_TOTAL = "shard_errors_total"
+SHARD_LATENCY_SECONDS = "shard_latency_seconds"
+SHARD_HEDGES_TOTAL = "shard_hedges_total"
+SHARD_MERGE_ROWS_TOTAL = "shard_merge_rows_total"
+SHARD_MIRROR_TOTAL = "shard_mirror_total"
+
 #: every declared family name, for HQ003's membership check
 ALL_METRIC_NAMES = frozenset(
     value for key, value in vars().items()

@@ -8,6 +8,7 @@ except ``count(*)``.
 from __future__ import annotations
 
 import math
+from fractions import Fraction
 from typing import Callable, Sequence
 
 from repro.errors import SqlExecutionError
@@ -156,23 +157,71 @@ class _SimpleAggregate(Aggregate):
         return self.fn(values)
 
 
+def _float_sum(values) -> float:
+    """Correctly rounded float sum (``math.fsum``).
+
+    Unlike the naive left-to-right ``sum``, the result is independent of
+    input order and equals the exact rational sum rounded once — the
+    property the sharded scatter-gather path relies on for byte-identical
+    results at every shard count (docs/ARCHITECTURE.md).
+    """
+    try:
+        return math.fsum(values)
+    except (OverflowError, ValueError):
+        # inf/-inf/nan inputs: fall back to naive semantics
+        return sum(values)
+
+
 def _avg(values: list):
-    return sum(float(v) for v in values) / len(values) if values else None
+    return _float_sum(float(v) for v in values) / len(values) if values else None
 
 
 def _sum(values: list):
     if not values:
         return None
-    total = sum(values)
-    return total
+    if any(isinstance(v, float) for v in values):
+        return _float_sum(values)
+    return sum(values)  # ints / Fractions / Decimals stay exact
+
+
+def _sum_exact(values: list):
+    """Exact sum as a :class:`fractions.Fraction` (NUMERIC result).
+
+    The partial-aggregate building block of sharded execution: per-shard
+    partial sums are computed exactly (floats have power-of-two
+    denominators, so the accumulator is one big integer plus a binary
+    shift), merged exactly on the coordinator, and rounded to a float
+    *once* — which makes the merged result bit-identical to a
+    single-backend ``fsum`` over all the rows regardless of how rows were
+    partitioned.
+    """
+    if not values:
+        return None
+    acc = 0
+    shift = 0
+    try:
+        for v in values:
+            num, den = v.as_integer_ratio()
+            dlog = den.bit_length() - 1
+            if dlog > shift:
+                acc <<= dlog - shift
+                shift = dlog
+            acc += num << (shift - dlog)
+    except (AttributeError, OverflowError, ValueError):
+        # non-finite floats (or exotic types): exactness is meaningless,
+        # degrade to the correctly-rounded float sum
+        return _float_sum(float(v) for v in values)
+    if shift == 0:
+        return acc
+    return Fraction(acc, 1 << shift)
 
 
 def _stddev(values: list, sample: bool):
     n = len(values)
     if n < (2 if sample else 1):
         return None
-    mean = sum(float(v) for v in values) / n
-    ss = sum((float(v) - mean) ** 2 for v in values)
+    mean = _float_sum(float(v) for v in values) / n
+    ss = _float_sum((float(v) - mean) ** 2 for v in values)
     return math.sqrt(ss / (n - 1 if sample else n))
 
 
@@ -180,14 +229,15 @@ def _variance(values: list, sample: bool):
     n = len(values)
     if n < (2 if sample else 1):
         return None
-    mean = sum(float(v) for v in values) / n
-    ss = sum((float(v) - mean) ** 2 for v in values)
+    mean = _float_sum(float(v) for v in values) / n
+    ss = _float_sum((float(v) - mean) ** 2 for v in values)
     return ss / (n - 1 if sample else n)
 
 
 AGGREGATES: dict[str, Callable[[list], object]] = {
     "count": len,
     "sum": _sum,
+    "sum_exact": _sum_exact,
     "avg": _avg,
     "min": lambda vs: min(vs) if vs else None,
     "max": lambda vs: max(vs) if vs else None,
@@ -233,6 +283,8 @@ def aggregate_result_type(name: str, arg_type: SqlType) -> SqlType:
     if name in ("avg", "stddev", "stddev_samp", "stddev_pop", "variance",
                 "var_samp", "var_pop", "median"):
         return SqlType.DOUBLE
+    if name == "sum_exact":
+        return SqlType.NUMERIC
     if name in ("bool_and", "bool_or"):
         return SqlType.BOOLEAN
     if name == "string_agg":

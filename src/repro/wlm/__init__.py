@@ -119,6 +119,10 @@ class WorkloadManager:
         """Wrap an execution backend with retry/breaker/fault policies."""
         if isinstance(backend, ResilientBackend):
             return backend
+        if getattr(backend, "is_sharded", False):
+            # a sharded backend wraps each child shard individually; an
+            # outer retry layer would double-execute scattered subplans
+            return backend
         name = getattr(backend, "name", "backend")
         return ResilientBackend(
             backend,

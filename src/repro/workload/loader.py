@@ -40,16 +40,14 @@ _QTYPE_TO_SQL = {
 _TIME_SCALE = {QType.MINUTE: 60_000, QType.SECOND: 1_000}
 
 
-def load_table(
-    engine: Engine,
-    name: str,
+def qtable_to_columns(
     table: QTable | QKeyedTable,
-    mdi=None,
-) -> None:
-    """Create ``name`` in the engine from a Q table, adding ``ordcol``.
+) -> tuple[list[str], list[Column], list[list]]:
+    """Convert a Q table to SQL (keys, columns, rows), adding ``ordcol``.
 
-    When ``mdi`` is given and the table is keyed, the key columns are
-    annotated in the metadata interface (PG has no keyed-table notion).
+    The implicit order column is assigned here — *before* any partition
+    split — so sharded loads carry globally unique row numbers and an
+    ordered merge reconstructs exactly the single-node row order.
     """
     keys: list[str] = []
     if isinstance(table, QKeyedTable):
@@ -68,7 +66,6 @@ def load_table(
         sql_type = _QTYPE_TO_SQL[col.qtype]
         columns.append(Column(col_name, sql_type))
         scale = _TIME_SCALE.get(col.qtype, 1)
-        null = col.qtype.null_value()
         values = []
         for raw in col.items:
             if col.qtype.is_null(raw):
@@ -85,6 +82,21 @@ def load_table(
         [raw_columns[c][i] for c in range(len(raw_columns))] + [i]
         for i in range(row_count)
     ]
+    return keys, columns, rows
+
+
+def load_table(
+    engine: Engine,
+    name: str,
+    table: QTable | QKeyedTable,
+    mdi=None,
+) -> None:
+    """Create ``name`` in the engine from a Q table, adding ``ordcol``.
+
+    When ``mdi`` is given and the table is keyed, the key columns are
+    annotated in the metadata interface (PG has no keyed-table notion).
+    """
+    keys, columns, rows = qtable_to_columns(table)
     if engine.catalog.exists(name):
         engine.catalog.drop(name)
     engine.create_table_from_columns(name, columns, rows)

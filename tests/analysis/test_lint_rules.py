@@ -44,7 +44,7 @@ class TestRegistry:
         codes = {rule.code for rule in default_rules()}
         assert {"E501", "E711", "F401", "I001"} <= codes
         assert {
-            "HQ001", "HQ002", "HQ003", "HQ004", "HQ005", "HQ006"
+            "HQ001", "HQ002", "HQ003", "HQ004", "HQ005", "HQ006", "HQ007"
         } <= codes
 
     def test_fresh_instances_per_call(self):
@@ -477,6 +477,84 @@ class TestHQ006EventLoopBlocking:
             """,
         )
         assert "HQ006" not in lint_codes(path)
+
+
+class TestHQ007ShardRouting:
+    ROUTING_CALL = """\
+        def dispatch(pmap, table, value):
+            return pmap.shard_for(table, value)
+    """
+    TOPOLOGY_IMPORT = """\
+        from repro.core.metadata import PartitionMap
+
+        PartitionMap
+    """
+
+    def test_routing_call_fires_outside_the_homes(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/server/x.py", self.ROUTING_CALL
+        )
+        findings = [f for f in run_lint(path) if f.code == "HQ007"]
+        assert findings
+        assert "shard_for" in findings[0].message
+
+    def test_route_rows_fires_in_loader(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/workload/loader.py",
+            """\
+            def load(pmap, table, columns, rows):
+                return pmap.route_rows(table, columns, rows)
+            """,
+        )
+        assert "HQ007" in lint_codes(path)
+
+    def test_topology_import_fires_outside_the_homes(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/server/y.py", self.TOPOLOGY_IMPORT
+        )
+        assert "HQ007" in lint_codes(path)
+
+    def test_sharded_backend_may_route(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/core/sharded.py", self.ROUTING_CALL
+        )
+        assert "HQ007" not in lint_codes(path)
+
+    def test_distribute_pass_may_route(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/xformer/distributed.py",
+            self.ROUTING_CALL,
+        )
+        assert "HQ007" not in lint_codes(path)
+
+    def test_topology_declaration_module_may_import_but_not_route(
+        self, tmp_path
+    ):
+        clean = _write(
+            tmp_path, "src/repro/workload/sharding.py", self.TOPOLOGY_IMPORT
+        )
+        assert "HQ007" not in lint_codes(clean)
+        routing = _write(
+            tmp_path, "src/repro/workload/sharding2.py", self.ROUTING_CALL
+        )
+        assert "HQ007" in lint_codes(routing)
+
+    def test_tests_are_exempt(self, tmp_path):
+        path = _write(tmp_path, "tests/core/t.py", self.ROUTING_CALL)
+        assert "HQ007" not in lint_codes(path)
+
+    def test_noqa_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/server/n.py",
+            """\
+            def dispatch(pmap, table, value):
+                return pmap.shard_for(table, value)  # noqa: HQ007
+            """,
+        )
+        assert "HQ007" not in lint_codes(path)
 
 
 class TestDriver:

@@ -28,9 +28,12 @@ def pipeline(hyperq):
 class TestPassManager:
     def test_default_pass_order(self, pipeline):
         # the test env enables analysis (REPRO_ANALYSIS), so the qcheck
-        # pass leads the paper's bind -> xform -> serialize order
+        # pass leads the paper's bind -> xform -> serialize order; the
+        # distribute pass trails (it annotates the serialized SQL)
         __, pl = pipeline
-        assert pl.pass_names == ["analyze", "bind", "xform", "serialize"]
+        assert pl.pass_names == [
+            "analyze", "bind", "xform", "serialize", "distribute",
+        ]
 
     def test_translate_fills_the_unit(self, pipeline):
         session, pl = pipeline
@@ -42,7 +45,7 @@ class TestPassManager:
         assert unit.shape == "table"
         assert unit.bound is not None
         assert [s.name for s in unit.stages] == [
-            "analyze", "bind", "xform", "serialize",
+            "analyze", "bind", "xform", "serialize", "distribute",
         ]
         assert all(s.seconds >= 0.0 for s in unit.stages)
 
@@ -65,7 +68,9 @@ class TestPassManager:
                 unit.diagnostics.append("saw the unit")
 
         pl.register_pass(NotePass(), after="bind")
-        assert pl.pass_names == ["analyze", "bind", "note", "xform", "serialize"]
+        assert pl.pass_names == [
+            "analyze", "bind", "note", "xform", "serialize", "distribute",
+        ]
         unit = pl.translate(
             parse_expression("select from trades"), session.session_scope
         )

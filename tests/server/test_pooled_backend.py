@@ -162,6 +162,36 @@ class TestPoolMechanics:
         pool.run_sql("CREATE TABLE u (y bigint)")
         assert pool.catalog_version() == 2
 
+    def test_preexisting_catalog_version_reported_not_delta(self, conns):
+        """Regression: the pool version is the *max observed* across
+        connections, not a delta accumulated from zero.  A backend that
+        already carries catalog version 7 must be reported as 7 — the old
+        delta accounting reported 0 until the next DDL, leaving stale
+        translations keyed at the wrong version."""
+
+        def seasoned_connection():
+            conn = FakeConnection(conns)
+            conn._version = 7  # backend has seen DDL before the pool opened
+            return conn
+
+        pool = PooledBackend(seasoned_connection, size=2)
+        # before any statement the pool primes one connection to probe
+        assert pool.catalog_version() == 7
+        assert pool.open_connections == 1
+        # a plain statement must not re-add the version (max, not sum)
+        pool.run_sql("SELECT 1")
+        assert pool.catalog_version() == 7
+        pool.run_sql("CREATE TABLE t (x bigint)")
+        assert pool.catalog_version() == 8
+        pool.close()
+
+    def test_out_of_band_ddl_visible_through_idle_peek(self, pool, conns):
+        pool.run_sql("SELECT 1")
+        assert pool.catalog_version() == 0
+        # DDL applied directly on the backend, bypassing the pool
+        conns[0]._version = 3
+        assert pool.catalog_version() == 3
+
     def test_close_drains_and_rejects(self, conns):
         pool = PooledBackend(lambda: FakeConnection(conns), size=2)
         pool.run_sql("SELECT 1")
