@@ -167,14 +167,24 @@ class PooledBackend(ExecutionBackend):
                 self._catalog_version = version
 
     def catalog_version(self) -> int:
+        probe = None
         with self._cond:
-            # peek the most recently used idle connection so DDL done
+            # probe the most recently used idle connection so DDL done
             # out-of-band (directly on the backend) is visible without
-            # waiting for the next statement through the pool
-            newest = self._idle[-1] if self._idle else None
+            # waiting for the next statement through the pool; pop it
+            # while probing — catalog_version may be a wire round-trip,
+            # and a concurrent checkout must not run a statement on the
+            # same connection mid-probe
+            if self._idle:
+                probe = self._idle.pop()
+                self._in_use += 1
             never_connected = self._open == 0 and not self._closed
-        if newest is not None:
-            self._observe_version(newest)
+        if probe is not None:
+            POOL_IN_USE.inc(pool=self.name)
+            try:
+                self._observe_version(probe)
+            finally:
+                self._checkin(probe)
         elif never_connected:
             # before the first statement the pool would report version 0
             # while the backend may already be far ahead; prime one

@@ -610,11 +610,21 @@ class ShardedBackend(ExecutionBackend):
         return found
 
     def _broadcast(self, body: str):
-        """DDL on replicated state runs identically on every shard."""
+        """A write on replicated state runs identically on every shard."""
         result = None
         for shard in self._shards:
             result = self._execute_on_shard(shard, body)
+        # DML (INSERT/UPDATE/DELETE on a replicated table) does not move
+        # the catalog version, so the mirror's version check alone would
+        # keep serving pre-write copies: drop the mirror outright
+        self._invalidate_mirror()
         return result
+
+    def _invalidate_mirror(self) -> None:
+        with self._mirror_lock:
+            self._mirror_engine = None
+            self._mirror_version = None
+            self._mirrored = set()
 
     def _broadcast_ctas(self, match: re.Match):
         """CREATE TABLE ... AS over partitioned inputs: compute the

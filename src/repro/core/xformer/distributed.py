@@ -319,6 +319,14 @@ def shard_targets(op: XtraOp, pmap: PartitionMap) -> list[int]:
     Walks every filter whose input is shard-local with a live partition
     column; each constraining predicate narrows the target set.  With no
     constraining predicate, every shard is a target.
+
+    Intersecting constraints from *every* filter in the tree is only
+    sound when they are conjunctive — which holds exactly when ``op``
+    itself is LOCAL (filters are then chained, or linked through a
+    co-partitioned equi-join that equates the partition columns).  Trees
+    with independent sibling subtrees (UNION ALL branches, non-co-
+    partitioned join inputs) must derive targets per subtree instead:
+    the gather planner calls this on each cut node, never the whole tree.
     """
     targets = set(range(pmap.shard_count))
     for node in walk(op):
@@ -550,20 +558,22 @@ def plan_distribution(
         # every shard holds the full inputs; any one shard answers
         return {"mode": "single", "shard": 0}
 
-    targets = shard_targets(op, pmap)
-    if not targets:
-        # contradictory partition-key predicates: no shard qualifies, but
-        # the statement must still produce its (empty) shape — run it on
-        # one shard, whose partition also yields zero matching rows
-        targets = [0]
-
     if locality.kind == LOCAL:
+        # inside one LOCAL tree every constraining filter is conjunctive
+        # (chained, or equated across a co-partitioned join), so the
+        # whole-tree intersection is sound — only here
+        targets = shard_targets(op, pmap)
+        if not targets:
+            # contradictory partition-key predicates: no shard qualifies,
+            # but the statement must still produce its (empty) shape —
+            # run it on one shard, which also yields zero matching rows
+            targets = [0]
         if len(targets) == 1:
             # point lookup: the partition-key predicate pins one shard
             return {"mode": "single", "shard": targets[0]}
         merge_keys = _merge_keys(op)
         if merge_keys is None:
-            return _plan_gather(op, pmap, serializer, targets)
+            return _plan_gather(op, pmap, serializer)
         return {
             "mode": "scatter",
             "targets": targets,
@@ -581,10 +591,10 @@ def plan_distribution(
         agg = op
     if agg is not None and analyze_locality(agg.child, pmap).kind == LOCAL:
         try:
-            return _plan_partial(op, sort, agg, pmap, serializer, targets)
+            return _plan_partial(op, sort, agg, pmap, serializer)
         except NotDecomposable as reason:
             _log.info("shard_partial_fallback", reason=str(reason))
-    return _plan_gather(op, pmap, serializer, targets)
+    return _plan_gather(op, pmap, serializer)
 
 
 def _plan_partial(
@@ -593,10 +603,12 @@ def _plan_partial(
     agg: XtraGroupAgg,
     pmap: PartitionMap,
     serializer,
-    targets: list[int],
 ) -> dict:
     partials, merged = decompose_group_agg(agg)
     partial_tree = XtraGroupAgg(agg.child, agg.group_keys, partials)
+    # the aggregate's input is LOCAL, so its filters are conjunctive and
+    # the intersection over that subtree is sound
+    targets = shard_targets(agg.child, pmap) or [0]
     key_columns = _group_key_columns(agg)
     partial_columns = key_columns + [
         (name, scalar.sql_type) for name, scalar in partials
@@ -618,6 +630,7 @@ def _plan_partial(
                 "sql": serializer.serialize(partial_tree),
                 "columns": _column_spec(partial_tree),
                 "order_col": None,
+                "targets": targets,
             }
         ],
         "merge_sql": serializer.serialize(merge_tree),
@@ -655,10 +668,16 @@ def _plan_gather(
     op: XtraOp,
     pmap: PartitionMap,
     serializer,
-    targets: list[int],
 ) -> dict | None:
     """Cut maximal shard-computable subtrees into gather tasks; the
-    coordinator executes the rest of the tree over the gathered rows."""
+    coordinator executes the rest of the tree over the gathered rows.
+
+    Each task's target set derives from the filters inside *its own*
+    subtree only.  Sibling subtrees carry independent constraints — UNION
+    ALL branches pin different shards, a non-co-partitioned join pairs a
+    filtered side with an unfiltered one — so a whole-tree intersection
+    would silently drop rows held on the excluded shards.
+    """
     tasks: list[dict] = []
 
     def cut(node: XtraOp) -> XtraOp:
@@ -669,15 +688,22 @@ def _plan_gather(
             order = node.order_column
             if order is not None and not node.has_column(order):
                 order = None
+            if locality.kind == LOCAL:
+                # this subtree is LOCAL, so its own filters intersect
+                # soundly; empty means contradictory predicates — one
+                # shard still supplies the (empty) shape
+                node_targets = shard_targets(node, pmap) or [0]
+            else:
+                # a replicated subtree is identical everywhere: gather
+                # it from one shard only
+                node_targets = [0]
             tasks.append(
                 {
                     "table": table,
                     "sql": serializer.serialize(node),
                     "columns": _column_spec(node),
                     "order_col": order,
-                    # a replicated subtree is identical everywhere: gather
-                    # it from one shard only
-                    "targets": targets if locality.kind == LOCAL else [0],
+                    "targets": node_targets,
                 }
             )
             columns = [(c.name, c.sql_type) for c in node.columns]
@@ -698,7 +724,9 @@ def _plan_gather(
         return None
     return {
         "mode": "gather",
-        "targets": targets,
+        # union of per-task targets — informational (span fanout attrs);
+        # execution uses each task's own target set
+        "targets": sorted({t for task in tasks for t in task["targets"]}),
         "tasks": tasks,
         "merge_sql": serializer.serialize(merge_tree),
         "columns": _column_spec(op),

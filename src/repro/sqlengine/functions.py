@@ -165,6 +165,9 @@ def _float_sum(values) -> float:
     property the sharded scatter-gather path relies on for byte-identical
     results at every shard count (docs/ARCHITECTURE.md).
     """
+    # materialize first: callers pass generators, and fsum may raise
+    # after partially consuming one — the fallback must see every element
+    values = list(values)
     try:
         return math.fsum(values)
     except (OverflowError, ValueError):
@@ -203,6 +206,11 @@ def _sum_exact(values: list):
         for v in values:
             num, den = v.as_integer_ratio()
             dlog = den.bit_length() - 1
+            if (1 << dlog) != den:
+                # non-binary denominator (Decimal/Fraction input): the
+                # shift trick assumes power-of-two denominators; redo
+                # the whole sum with exact rational arithmetic
+                return sum(Fraction(*u.as_integer_ratio()) for u in values)
             if dlog > shift:
                 acc <<= dlog - shift
                 shift = dlog

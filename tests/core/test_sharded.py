@@ -154,6 +154,39 @@ class TestPlanModes:
         assert "hq_partials" in plan["merge_sql"]
         assert list(value.value.column("total").items) == [100, 70, 40]
 
+    def test_union_of_disjoint_point_lookups_keeps_both_shards(self, sharded):
+        # GOOG hashes to shard 0 and IBM to shard 1: intersecting both
+        # branches' filter constraints into one global target set would
+        # be empty (coerced to one shard) and silently drop a branch —
+        # each gather task must derive targets from its own subtree
+        platform, __ = sharded
+        value, plan = run_plan(
+            platform,
+            "(select from trades where Symbol = `GOOG) uj"
+            " (select from trades where Symbol = `IBM)",
+        )
+        assert plan is not None and plan["mode"] == "gather"
+        task_targets = sorted(tuple(t["targets"]) for t in plan["tasks"])
+        assert task_targets == [(0,), (1,)]
+        assert list(value.column("Symbol").items) == [
+            "GOOG", "GOOG", "GOOG", "IBM", "IBM"
+        ]
+
+    def test_join_gathers_the_unfiltered_side_from_every_shard(self, sharded):
+        # non-co-partitioned join: the filtered side pins shard 0, but
+        # the unfiltered side's rows live on every shard and must not
+        # inherit the sibling subtree's constraint
+        platform, __ = sharded
+        value, plan = run_plan(
+            platform,
+            "ej[`Size; select Size, Sym:Symbol from trades"
+            " where Symbol = `GOOG; select Size, Price from trades]",
+        )
+        assert plan is not None and plan["mode"] == "gather"
+        task_targets = sorted(tuple(t["targets"]) for t in plan["tasks"])
+        assert task_targets == [(0,), (0, 1)]
+        assert len(value) == 3
+
     def test_window_not_partitioned_by_key_is_not_scattered(self, sharded):
         # running sums over the whole table cross shard boundaries: the
         # planner must not claim shard-locality for them
@@ -248,6 +281,19 @@ class TestUnplannedStatements:
         for shard in backend._shards:
             result = shard.primary.run_sql("SELECT count(*) FROM side_note")
             assert result.rows[0][0] == 0
+
+    def test_mirror_sees_broadcast_dml_writes(self, sharded):
+        # DML on a replicated table moves no catalog version, so the
+        # mirror cannot rely on version checks alone: a broadcast write
+        # must invalidate it or reads keep serving pre-write copies
+        __, backend = sharded
+        join = (
+            'SELECT count(*) FROM "trades" t JOIN "ratings" r '
+            'ON t."Symbol" = r."Symbol"'
+        )
+        assert backend.run_sql(join).rows[0][0] == 6
+        backend.run_sql('DELETE FROM "ratings" WHERE "Symbol" = \'GOOG\'')
+        assert backend.run_sql(join).rows[0][0] == 3
 
     def test_insert_into_partitioned_table_is_rejected(self, sharded):
         __, backend = sharded

@@ -192,6 +192,29 @@ class TestPoolMechanics:
         conns[0]._version = 3
         assert pool.catalog_version() == 3
 
+    def test_catalog_version_probe_holds_the_connection(self, pool, conns):
+        # catalog_version may be a wire round-trip on real backends: the
+        # probed connection must leave the idle list for the duration so
+        # a concurrent checkout cannot run a statement on it mid-probe
+        pool.run_sql("SELECT 1")
+        probed = conns[0]
+        idle_during_probe = []
+        original = FakeConnection.catalog_version
+
+        def spying_version(self):
+            idle_during_probe.append(self in pool._idle)
+            return original(self)
+
+        FakeConnection.catalog_version = spying_version
+        try:
+            pool.catalog_version()
+        finally:
+            FakeConnection.catalog_version = original
+        assert idle_during_probe == [False]
+        # and the probe checks it back in: pool accounting is balanced
+        assert pool.in_use == 0
+        assert probed in pool._idle
+
     def test_close_drains_and_rejects(self, conns):
         pool = PooledBackend(lambda: FakeConnection(conns), size=2)
         pool.run_sql("SELECT 1")

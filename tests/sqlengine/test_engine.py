@@ -1,9 +1,14 @@
 """Integration tests for the SQL engine (executor + engine facade)."""
 
+import math
+from decimal import Decimal
+from fractions import Fraction
+
 import pytest
 
 from repro.errors import SqlCatalogError, SqlExecutionError
 from repro.sqlengine.engine import Engine
+from repro.sqlengine.functions import AGGREGATES
 
 
 @pytest.fixture()
@@ -127,6 +132,28 @@ class TestAggregation:
     def test_aggregate_outside_group_raises(self, engine):
         with pytest.raises(SqlExecutionError):
             engine.execute("SELECT sym FROM trades WHERE sum(size) > 1")
+
+    def test_avg_with_mixed_infinities_is_nan(self):
+        # fsum raises on inf + -inf; the fallback must re-sum the whole
+        # input, not resume the partially consumed generator
+        assert math.isnan(
+            AGGREGATES["avg"]([float("inf"), float("-inf"), 5.0])
+        )
+        assert math.isnan(
+            AGGREGATES["stddev"]([float("inf"), float("-inf"), 5.0])
+        )
+
+    def test_sum_exact_with_non_binary_denominators(self):
+        # Decimal/Fraction denominators are not powers of two: the
+        # binary-shift accumulator must hand off to rational arithmetic
+        assert AGGREGATES["sum_exact"]([Decimal("0.1")] * 3) == Fraction(3, 10)
+        assert AGGREGATES["sum_exact"](
+            [Fraction(1, 3), Fraction(1, 6)]
+        ) == Fraction(1, 2)
+        # non-finite values still degrade to float semantics
+        assert AGGREGATES["sum_exact"](
+            [Decimal("0.1"), float("inf")]
+        ) == float("inf")
 
 
 class TestJoins:
