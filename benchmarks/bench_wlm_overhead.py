@@ -10,14 +10,20 @@ default) against WLM disabled (the seed behaviour):
 * the Figure-6 Analytical Workload translation sweep, WLM on vs off —
   the session-path overhead (same substrate as ``bench_obs_overhead``);
 * a tight ``run_sql`` loop on the in-process engine, wrapped vs bare —
-  the per-statement cost of the breaker/retry/fault-hook wrapper.
+  the per-statement cost of the breaker/retry/fault-hook wrapper;
+* the same wrapped loop with ``REPRO_LOCKCHECK`` instrumentation on vs
+  off — the :class:`OrderedLock` harness's per-statement cost on the
+  lock-heaviest path (breaker + retry-budget locks per request), which
+  has its own 5% budget so the runtime checker stays cheap enough to
+  leave on in soak jobs.
 
-Both medians must stay under the 5% budget; the artifact lands in
+All medians must stay under the 5% budget; the artifact lands in
 ``benchmarks/results/wlm_overhead.json`` for the bench-smoke CI job.
 """
 
 from __future__ import annotations
 
+import os
 import statistics
 import time
 
@@ -101,6 +107,27 @@ def _backend_paired_samples(
     return wrapped_s, bare_s
 
 
+def _wrapped_backend(engine, lockcheck: bool):
+    """A WLM-wrapped backend whose locks are (or are not) instrumented.
+
+    The ``make_lock`` factories read ``REPRO_LOCKCHECK`` at construction
+    time, so the env var only needs to be set while the wrapper (and its
+    breaker/retry-budget locks) is built.
+    """
+    saved = os.environ.pop("REPRO_LOCKCHECK", None)
+    if lockcheck:
+        os.environ["REPRO_LOCKCHECK"] = "1"
+    try:
+        return WorkloadManager(WlmConfig()).wrap_backend(
+            DirectGateway(engine)
+        )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_LOCKCHECK", None)
+        else:
+            os.environ["REPRO_LOCKCHECK"] = saved
+
+
 def _median_overhead(enabled: list, disabled: list) -> tuple:
     median_on = statistics.median(enabled)
     median_off = statistics.median(disabled)
@@ -152,6 +179,15 @@ def test_wlm_overhead(benchmark):
         wrapped_runs, bare_runs
     )
 
+    # -- lockcheck harness: OrderedLock vs plain threading.Lock ------------
+    instrumented = _wrapped_backend(engine, lockcheck=True)
+    plain = _wrapped_backend(engine, lockcheck=False)
+    _backend_paired_samples(instrumented, plain, statements=10)  # warm-up
+    lc_runs, plain_runs = _backend_paired_samples(
+        instrumented, plain, statements=BACKEND_SWEEP_STATEMENTS
+    )
+    lc_med, plain_med, lockcheck_pct = _median_overhead(lc_runs, plain_runs)
+
     print(
         f"\nWLM overhead, faults off (medians, budget "
         f"{OVERHEAD_BUDGET_PCT}%)"
@@ -159,6 +195,8 @@ def test_wlm_overhead(benchmark):
         f"{median_off * 1e3:8.1f} ms off  ({session_pct:+.2f}%)"
         f"\n  backend run_sql   : {wrapped_med * 1e3:8.3f} ms/stmt wrapped "
         f"/ {bare_med * 1e3:8.3f} ms/stmt bare  ({backend_pct:+.2f}%)"
+        f"\n  lockcheck harness : {lc_med * 1e3:8.3f} ms/stmt on "
+        f"/ {plain_med * 1e3:8.3f} ms/stmt off  ({lockcheck_pct:+.2f}%)"
     )
     save_results(
         "wlm_overhead",
@@ -172,6 +210,9 @@ def test_wlm_overhead(benchmark):
             "backend_bare_ms": [t * 1e3 for t in bare_runs],
             "backend_overhead_pct": backend_pct,
             "backend_sweep_statements": BACKEND_SWEEP_STATEMENTS,
+            "lockcheck_on_ms": [t * 1e3 for t in lc_runs],
+            "lockcheck_off_ms": [t * 1e3 for t in plain_runs],
+            "lockcheck_overhead_pct": lockcheck_pct,
             "budget_pct": OVERHEAD_BUDGET_PCT,
         },
     )
@@ -183,4 +224,8 @@ def test_wlm_overhead(benchmark):
     assert backend_pct < OVERHEAD_BUDGET_PCT, (
         f"ResilientBackend wrapper costs {backend_pct:.2f}% per statement "
         f"— over the {OVERHEAD_BUDGET_PCT}% budget"
+    )
+    assert lockcheck_pct < OVERHEAD_BUDGET_PCT, (
+        f"OrderedLock instrumentation costs {lockcheck_pct:.2f}% per "
+        f"statement — over the {OVERHEAD_BUDGET_PCT}% budget"
     )

@@ -31,6 +31,7 @@ BANDS = (
     ("p99_ratio", 2.0, 1.0),
     ("session_overhead_pct", 5.0, 2.0),
     ("backend_overhead_pct", 5.0, 2.0),
+    ("lockcheck_overhead_pct", 5.0, 2.0),
     ("overhead_pct", 5.0, 2.0),
     ("average_pct", 5.0, 2.0),
     ("max_pct", 10.0, 2.0),
@@ -39,7 +40,7 @@ BANDS = (
 )
 
 #: result files that are telemetry dumps, not figures — never compared
-SKIP_FILES = {"BENCH_obs.json", "qlint_report.json"}
+SKIP_FILES = {"BENCH_obs.json", "qlint_report.json", "concheck_report.json"}
 
 
 def _band_for(key: str):

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Concurrency static analysis runner (rules CC000–CC004).
+
+Builds the :mod:`repro.analysis.concurrency` call graph over
+``src/repro``, infers thread roles (reactor / worker), runs the
+lock-discipline rules, and writes a JSON report.  CI runs this and
+fails on any error-severity finding, so an attribute newly shared
+across thread roles (or a blocking call wired into a reactor callback
+three helpers deep) breaks the build instead of a soak test.
+
+Suppressions must be justified — a bare ``hq: allow(...)`` or
+``@thread_safe`` without a reason string is itself reported (CC000)
+and does not suppress.  The report records every honored suppression
+with its justification for review.
+
+Usage::
+
+    python scripts/concheck.py [--root PATH] [--output PATH] [-v]
+
+Exit status: the number of error-severity findings (capped at 125).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.analysis.concurrency.checker import check_tree  # noqa: E402
+from repro.analysis.framework import Severity  # noqa: E402
+
+DEFAULT_ROOT = _ROOT / "src" / "repro"
+DEFAULT_REPORT = _ROOT / "benchmarks" / "results" / "concheck_report.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--root", type=Path, default=DEFAULT_ROOT,
+        help=f"package tree to analyze (default: {DEFAULT_ROOT})",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_REPORT,
+        help=f"JSON report path (default: {DEFAULT_REPORT})",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print every finding and suppression, not just errors",
+    )
+    args = parser.parse_args(argv)
+
+    checker = check_tree(args.root)
+    report = checker.report()
+    report["tool"] = "concheck"
+
+    errors = 0
+    for finding in checker.findings:
+        if finding.severity == Severity.ERROR:
+            errors += 1
+        if args.verbose or finding.severity == Severity.ERROR:
+            print(finding.render())
+    if args.verbose:
+        for entry in checker.suppressed:
+            print(
+                f"{entry['path']}:{entry['line']}: {entry['code']} "
+                f"suppressed ({entry['suppressed_by']})"
+            )
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    counts = report["counts"]
+    print(
+        f"concheck: {report['functions']} functions in "
+        f"{report['modules']} modules "
+        f"({report['role_counts']['reactor']} reactor, "
+        f"{report['role_counts']['worker']} worker), "
+        f"{len(checker.findings)} finding(s) "
+        f"({counts.get('error', 0)} error, {counts.get('warning', 0)} "
+        f"warning), {len(checker.suppressed)} justified suppression(s) "
+        f"-> {args.output}"
+    )
+    return min(errors, 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,13 @@ These encode architectural invariants of the Hyper-Q reproduction:
   ``makefile``, ``connect`` and ``time.sleep``.  Blocking work belongs
   on the worker pool (``client.py``/``gateway.py``/``common.py`` are the
   blocking client/worker boundary and are exempt).
+* HQ008 — no raw ``threading.Lock()``/``RLock()``/``Condition()``
+  construction under ``src/repro`` outside
+  ``repro/analysis/concurrency/locks.py``: locks come from the
+  ``make_lock``/``make_rlock``/``make_condition`` factory so the
+  ``REPRO_LOCKCHECK`` runtime harness can record lock order (CC005
+  deadlock cycles, CC006 reactor long holds).  ``Event``, semaphores
+  and ``threading.local`` stay unrestricted — they carry no ordering.
 """
 
 from __future__ import annotations
@@ -541,3 +548,53 @@ class HardcodedBlockingRule(LintRule):
                         f"WlmConfig/HyperQConfig or name it as a module "
                         f"constant",
                     )
+
+
+#: the one module allowed to construct raw threading locks (HQ008)
+_LOCK_FACTORY_HOME = ("repro", "analysis", "concurrency", "locks.py")
+#: threading constructors that must go through the OrderedLock factory
+_RAW_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+
+
+@register
+class LockFactoryRule(LintRule):
+    """HQ008: raw threading.Lock construction outside the locks module."""
+
+    code = "HQ008"
+    name = "lock_factory"
+    purpose = "locks under src/repro come from the OrderedLock factory"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if not _under(parts, ("src", "repro")):
+            return
+        if parts[-len(_LOCK_FACTORY_HOME):] == _LOCK_FACTORY_HOME:
+            return
+        from_threading = {
+            alias.asname or alias.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "threading"
+            for alias in node.names
+            if alias.name in _RAW_LOCK_CTORS
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or ctx.suppressed(node.lineno):
+                continue
+            func = node.func
+            ctor = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "threading"
+                and func.attr in _RAW_LOCK_CTORS
+            ):
+                ctor = func.attr
+            elif isinstance(func, ast.Name) and func.id in from_threading:
+                ctor = func.id
+            if ctor is not None:
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"raw threading.{ctor}() — use make_lock/make_rlock/"
+                    f"make_condition from repro.analysis.concurrency."
+                    f"locks so REPRO_LOCKCHECK can instrument it",
+                )

@@ -1,31 +1,45 @@
-"""Static analysis for Hyper-Q: qcheck rules + XTRA invariants.
+"""Static analysis for Hyper-Q: qcheck rules, XTRA invariants, and the
+concurrency checker.
 
-Two levels (ISSUE 3):
+Three tiers (ISSUE 3, ISSUE 8):
 
 * **qcheck** — pre-bind rules over the Q AST (:mod:`repro.analysis.qcheck`)
   run by :class:`QueryAnalyzer`, reporting :class:`Finding` records with
   ``QC0xx`` codes;
 * **invariants** — structural checks on the XTRA operator tree
-  (:mod:`repro.analysis.invariants`), run by the pipeline after each pass.
+  (:mod:`repro.analysis.invariants`), run by the pipeline after each pass;
+* **concurrency** — thread-role inference and lock-discipline checking
+  over ``src/repro`` itself (:mod:`repro.analysis.concurrency`), with
+  ``CC00x`` codes, plus the runtime lock-order harness.
 
 See ``docs/ANALYSIS.md`` for the rule catalog.
+
+Exports resolve lazily (PEP 562): the runtime lock factory
+(:mod:`repro.analysis.concurrency.locks`) is imported by ``repro.obs``,
+which the query-analysis machinery transitively depends on — an eager
+``from repro.analysis.framework import ...`` here would close that loop
+into an import cycle.
 """
 
-from repro.analysis.framework import (
-    Finding,
-    QueryAnalyzer,
-    Rule,
-    Severity,
-    default_rules,
-)
-from repro.analysis.invariants import InvariantViolation, check_operator_tree
+from __future__ import annotations
 
-__all__ = [
-    "Finding",
-    "InvariantViolation",
-    "QueryAnalyzer",
-    "Rule",
-    "Severity",
-    "check_operator_tree",
-    "default_rules",
-]
+_FRAMEWORK = ("Finding", "QueryAnalyzer", "Rule", "Severity", "default_rules")
+_INVARIANTS = ("InvariantViolation", "check_operator_tree")
+
+__all__ = [*sorted(_FRAMEWORK), *sorted(_INVARIANTS)]
+
+
+def __getattr__(name: str):
+    if name in _FRAMEWORK:
+        from repro.analysis import framework
+
+        return getattr(framework, name)
+    if name in _INVARIANTS:
+        from repro.analysis import invariants
+
+        return getattr(invariants, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,60 @@
+"""Tier-3 static analysis: concurrency checking of ``src/repro`` itself.
+
+The paper's Hyper-Q inherits Erlang's actor isolation; this reproduction
+substitutes a selectors reactor plus worker threads and hand-managed
+locks.  This package is the tooling that keeps that substitution honest:
+
+* :mod:`~repro.analysis.concurrency.annotations` — ``@reactor_only``,
+  ``@worker_context``, ``@thread_safe`` role/safety declarations;
+* :mod:`~repro.analysis.concurrency.locks` — the instrumented
+  :class:`OrderedLock` runtime harness (CC005 lock-order cycles, CC006
+  reactor long holds) behind the ``make_lock``/``make_rlock``/
+  ``make_condition`` factory, a no-op passthrough unless
+  ``REPRO_LOCKCHECK=1``;
+* :mod:`~repro.analysis.concurrency.callgraph` — AST call-graph builder
+  and thread-role inference over ``src/repro``;
+* :mod:`~repro.analysis.concurrency.checker` — the CC001–CC004 static
+  lock-discipline rules and the report driver behind
+  ``scripts/concheck.py``.
+
+Exports resolve lazily (PEP 562): ``repro.obs`` imports the lock factory
+at module import time, so this package must not eagerly pull in the
+checker (which depends on the analysis framework and, transitively, on
+``repro.obs``).
+"""
+
+from __future__ import annotations
+
+_LOCKS = (
+    "OrderedLock",
+    "lockcheck_enabled",
+    "lockcheck_report",
+    "lockcheck_state",
+    "make_condition",
+    "make_lock",
+    "make_rlock",
+)
+_ANNOTATIONS = ("reactor_only", "thread_safe", "worker_context")
+_CHECKER = ("ConcurrencyChecker", "check_tree")
+
+__all__ = [*sorted(_LOCKS), *sorted(_ANNOTATIONS), *sorted(_CHECKER)]
+
+
+def __getattr__(name: str):
+    if name in _LOCKS:
+        from repro.analysis.concurrency import locks
+
+        return getattr(locks, name)
+    if name in _ANNOTATIONS:
+        from repro.analysis.concurrency import annotations
+
+        return getattr(annotations, name)
+    if name in _CHECKER:
+        from repro.analysis.concurrency import checker
+
+        return getattr(checker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

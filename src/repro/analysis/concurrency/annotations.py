@@ -1,0 +1,67 @@
+"""Thread-role and thread-safety annotations (ISSUE 8 tentpole a).
+
+These decorators are the *declared* seeds of the call-graph role
+inference in :mod:`repro.analysis.concurrency.callgraph`; the checker
+reads them straight off the AST, so they carry no runtime behaviour
+beyond tagging the function for introspection and debuggers.
+
+* ``@reactor_only`` — the function runs on the reactor (event-loop)
+  thread and must never block (CC003/CC004 apply to everything it
+  reaches).
+* ``@worker_context`` — the function runs on worker-pool threads;
+  blocking I/O is fine, but writes it shares with reactor-side code
+  need a lock (CC001/CC002 apply).
+* ``@thread_safe("reason")`` — the function or class manages its own
+  synchronization (atomic ops, immutable state, a documented external
+  guard); the lock-discipline rules skip it.  The reason is mandatory:
+  a suppression without a justification is how stale exemptions
+  outlive the code they excused.
+
+This module is imported by ``repro.obs`` at interpreter start; keep it
+stdlib-only with no ``repro`` imports.
+"""
+
+from __future__ import annotations
+
+#: attribute carrying the declared role ("reactor" | "worker")
+ROLE_ATTR = "__hq_thread_role__"
+
+#: attribute carrying the thread-safety justification string
+SAFE_ATTR = "__hq_thread_safe__"
+
+
+def reactor_only(fn):
+    """Declare that ``fn`` runs on the reactor thread (role seed)."""
+    setattr(fn, ROLE_ATTR, "reactor")
+    return fn
+
+
+def worker_context(fn):
+    """Declare that ``fn`` runs on worker-pool threads (role seed)."""
+    setattr(fn, ROLE_ATTR, "worker")
+    return fn
+
+
+def thread_safe(reason: str):
+    """Declare a function or class as internally synchronized.
+
+    Usage::
+
+        @thread_safe("all state behind self._lock; no lock-free writes")
+        class Counter: ...
+
+    The ``reason`` must be a non-empty string — the decorator raises
+    otherwise, and the static checker independently rejects bare
+    ``@thread_safe`` applications it sees in the AST.
+    """
+    if not isinstance(reason, str) or not reason.strip():
+        raise ValueError(
+            "@thread_safe requires a one-line justification, e.g. "
+            '@thread_safe("guarded by self._lock")'
+        )
+
+    def decorate(obj):
+        setattr(obj, SAFE_ATTR, reason)
+        return obj
+
+    return decorate

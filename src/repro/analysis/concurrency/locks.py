@@ -1,0 +1,367 @@
+"""The runtime lock-order / race harness (ISSUE 8 tentpole c).
+
+:class:`OrderedLock` wraps a :class:`threading.Lock`/``RLock`` and, per
+acquisition, records the *global lock-order graph*: an edge ``A -> B``
+whenever a thread acquires ``B`` while holding ``A``.  Two runtime rules
+fall out of that record:
+
+* **CC005 — potential deadlock**: a cycle in the order graph means two
+  code paths acquire the same locks in opposite orders; under the right
+  interleaving they deadlock.  Detected the moment the closing edge is
+  recorded, on whichever test run first exercises both paths — no actual
+  deadlock (or timing luck) required.
+* **CC006 — reactor long hold**: a lock held longer than
+  ``REPRO_LOCKCHECK_HOLD_MS`` (default 50) on an event-loop thread
+  (named ``reactor-*`` by :class:`repro.server.reactor.Reactor`) stalls
+  every connection the loop serves.
+
+Everything is off by default: the ``make_lock``/``make_rlock``/
+``make_condition`` factories hand back plain ``threading`` primitives
+unless ``REPRO_LOCKCHECK=1`` — production pays nothing for the harness.
+Edges are keyed by the *factory name* (a semantic site label such as
+``"wlm.breaker"``), not the instance, so order discipline is checked
+per lock class the way deadlocks actually happen.
+
+This module is imported by ``repro.obs.metrics`` before anything else in
+``repro``; it must stay stdlib-only at import time.  Metric export
+(``concurrency_*`` families) therefore lives behind the lazy
+:func:`export_metrics` bridge — and the registry's own lock being an
+``OrderedLock`` is safe exactly because recording an acquisition never
+touches the metrics layer.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+#: reactor threads are named f"reactor-{label}" by repro.server.reactor
+REACTOR_THREAD_PREFIX = "reactor-"
+
+_HOLD_MS_ENV = "REPRO_LOCKCHECK_HOLD_MS"
+_DEFAULT_HOLD_MS = 50.0
+
+
+def lockcheck_enabled() -> bool:
+    """True when the runtime harness is switched on for this process."""
+    return os.environ.get("REPRO_LOCKCHECK", "") not in ("", "0", "false")
+
+
+def _hold_threshold_ms() -> float:
+    try:
+        return float(os.environ.get(_HOLD_MS_ENV, _DEFAULT_HOLD_MS))
+    except ValueError:
+        return _DEFAULT_HOLD_MS
+
+
+def _caller_site() -> str:
+    """``file:line`` of the nearest frame outside this module and
+    :mod:`threading` — the code that actually took the lock."""
+    frame = sys._getframe(1)
+    here = __file__
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != here and "threading" not in filename:
+            return f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class LockCheckState:
+    """The process-global (or test-local) acquisition record.
+
+    All mutation happens under one plain meta-lock that is itself never
+    instrumented and never held while acquiring anything else — it is a
+    leaf by construction, so the harness cannot deadlock the program it
+    watches.
+    """
+
+    def __init__(self):
+        self._meta = threading.Lock()
+        self._local = threading.local()
+        #: (a, b) -> acquisition count for the edge a-held-while-taking-b
+        self.edges: dict[tuple[str, str], int] = {}
+        #: a -> set of b reachable in one edge (DFS index over edges)
+        self.adjacency: dict[str, set[str]] = {}
+        #: (a, b) -> "file:line" where the edge was first recorded
+        self.edge_sites: dict[tuple[str, str], str] = {}
+        #: CC005: one entry per distinct cycle (as an ordered name list)
+        self.cycles: list[dict] = []
+        self._cycle_keys: set[frozenset] = set()
+        #: CC006: one entry per (lock, site) long hold
+        self.long_holds: list[dict] = []
+        self._long_hold_keys: set[tuple[str, str]] = set()
+        self.acquisitions = 0
+
+    # -- per-thread held stack ------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def held_names(self) -> list[str]:
+        """Lock names currently held by the calling thread (oldest first)."""
+        return [lock.name for lock, _t0 in self._stack()]
+
+    # -- recording ------------------------------------------------------------
+
+    def note_acquired(self, lock: "OrderedLock") -> None:
+        stack = self._stack()
+        holder = stack[-1][0].name if stack else None
+        stack.append((lock, time.perf_counter()))
+        if holder is None or holder == lock.name:
+            with self._meta:
+                self.acquisitions += 1
+            return
+        site = _caller_site()
+        with self._meta:
+            self.acquisitions += 1
+            edge = (holder, lock.name)
+            seen = self.edges.get(edge, 0)
+            self.edges[edge] = seen + 1
+            if not seen:
+                self.adjacency.setdefault(holder, set()).add(lock.name)
+                self.edge_sites[edge] = site
+                self._check_cycle_locked(holder, lock.name)
+
+    def note_released(self, lock: "OrderedLock") -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is lock:
+                _lock, t0 = stack.pop(index)
+                self._check_hold(lock, time.perf_counter() - t0)
+                return
+
+    def _check_hold(self, lock: "OrderedLock", held_s: float) -> None:
+        thread = threading.current_thread().name
+        if not thread.startswith(REACTOR_THREAD_PREFIX):
+            return
+        held_ms = held_s * 1e3
+        if held_ms <= _hold_threshold_ms():
+            return
+        site = _caller_site()
+        with self._meta:
+            key = (lock.name, site)
+            if key in self._long_hold_keys:
+                return
+            self._long_hold_keys.add(key)
+            self.long_holds.append(
+                {
+                    "code": "CC006",
+                    "lock": lock.name,
+                    "thread": thread,
+                    "held_ms": round(held_ms, 3),
+                    "site": site,
+                }
+            )
+
+    def _check_cycle_locked(self, source: str, target: str) -> None:
+        """After adding edge source->target: a path target ~> source
+        closes a cycle.  Called with the meta-lock held."""
+        path = self._find_path(target, source)
+        if path is None:
+            return
+        # path runs target ~> source; prepending source (and dropping the
+        # repeated endpoint) yields the cycle's node ring in order
+        cycle = [source, *path[:-1]]
+        key = frozenset(cycle)
+        if key in self._cycle_keys:
+            return
+        self._cycle_keys.add(key)
+        edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+        self.cycles.append(
+            {
+                "code": "CC005",
+                "cycle": cycle,
+                "sites": {
+                    f"{a}->{b}": self.edge_sites.get((a, b), "?")
+                    for a, b in edges
+                },
+            }
+        )
+
+    def _find_path(self, start: str, goal: str):
+        """Iterative DFS over the adjacency index; returns the node list
+        from ``start`` to ``goal`` inclusive, or None."""
+        if start == goal:
+            return [start]
+        seen = {start}
+        trail = [(start, iter(self.adjacency.get(start, ())))]
+        while trail:
+            node, neighbours = trail[-1]
+            advanced = False
+            for nxt in neighbours:
+                if nxt == goal:
+                    return [name for name, _ in trail] + [goal]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    trail.append((nxt, iter(self.adjacency.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                trail.pop()
+        return None
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> dict:
+        with self._meta:
+            return {
+                "enabled": lockcheck_enabled(),
+                "acquisitions": self.acquisitions,
+                "edges": {
+                    f"{a}->{b}": count
+                    for (a, b), count in sorted(self.edges.items())
+                },
+                "cycles": list(self.cycles),
+                "long_holds": list(self.long_holds),
+            }
+
+    def reset(self) -> None:
+        with self._meta:
+            self.edges.clear()
+            self.adjacency.clear()
+            self.edge_sites.clear()
+            self.cycles.clear()
+            self._cycle_keys.clear()
+            self.long_holds.clear()
+            self._long_hold_keys.clear()
+            self.acquisitions = 0
+
+
+#: the process-wide record the factories bind to
+_GLOBAL_STATE = LockCheckState()
+
+
+def lockcheck_state() -> LockCheckState:
+    return _GLOBAL_STATE
+
+
+def lockcheck_report() -> dict:
+    return _GLOBAL_STATE.report()
+
+
+class OrderedLock:
+    """A ``threading.Lock``/``RLock`` stand-in that records lock order.
+
+    Drop-in for the ``with``-statement and ``acquire``/``release``
+    protocols, including use as the lock behind
+    :class:`threading.Condition` (whose default ``_release_save`` /
+    ``_acquire_restore`` / ``_is_owned`` fallbacks only need these two
+    methods).  Reentrant acquisitions of an ``RLock``-backed instance
+    are counted but recorded once — self-edges are not ordering.
+    """
+
+    __slots__ = ("name", "_inner", "_reentrant", "_state", "_owner", "_depth")
+
+    def __init__(
+        self,
+        name: str,
+        reentrant: bool = False,
+        state: LockCheckState | None = None,
+    ):
+        self.name = name
+        self._reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        self._state = state or _GLOBAL_STATE
+        self._owner = None
+        self._depth = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if self._reentrant and self._owner == threading.get_ident():
+            self._inner.acquire(blocking, timeout)
+            self._depth += 1
+            return True
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            if self._reentrant:
+                self._owner = threading.get_ident()
+                self._depth = 1
+            self._state.note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        if self._reentrant:
+            if self._owner != threading.get_ident():
+                raise RuntimeError("cannot release un-acquired lock")
+            self._depth -= 1
+            if self._depth:
+                self._inner.release()
+                return
+            self._owner = None
+        self._state.note_released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        if self._reentrant:
+            return self._owner is not None
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "rlock" if self._reentrant else "lock"
+        return f"<OrderedLock {self.name!r} ({kind})>"
+
+
+# -- the factory (the only sanctioned lock constructor: lint rule HQ008) ----
+
+
+def make_lock(name: str):
+    """A mutex named for its site; instrumented under REPRO_LOCKCHECK."""
+    if lockcheck_enabled():
+        return OrderedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """A reentrant mutex; instrumented under REPRO_LOCKCHECK."""
+    if lockcheck_enabled():
+        return OrderedLock(name, reentrant=True)
+    return threading.RLock()
+
+
+def make_condition(name: str):
+    """A condition variable whose underlying mutex is instrumented."""
+    if lockcheck_enabled():
+        return threading.Condition(OrderedLock(name))
+    return threading.Condition()
+
+
+# -- metrics bridge ---------------------------------------------------------
+
+
+def export_metrics() -> None:
+    """Publish the harness record as ``concurrency_*`` metric families.
+
+    Called explicitly (end of test session, ``scripts/concheck.py``) —
+    never from the acquire/release hot path, which keeps the harness
+    safe to wrap the metrics registry's own lock.
+    """
+    from repro.obs import metrics
+
+    snapshot = _GLOBAL_STATE.report()
+    metrics.gauge(
+        "concurrency_lock_acquisitions",
+        "Instrumented lock acquisitions recorded by the lockcheck harness",
+    ).set(snapshot["acquisitions"])
+    metrics.gauge(
+        "concurrency_lock_order_edges",
+        "Distinct held-while-acquiring edges in the lock-order graph",
+    ).set(len(snapshot["edges"]))
+    metrics.gauge(
+        "concurrency_lock_cycles",
+        "Lock-order cycles detected (CC005 potential deadlocks)",
+    ).set(len(snapshot["cycles"]))
+    metrics.gauge(
+        "concurrency_reactor_long_holds",
+        "Locks held past the hold budget on a reactor thread (CC006)",
+    ).set(len(snapshot["long_holds"]))

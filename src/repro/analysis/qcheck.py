@@ -1,4 +1,4 @@
-"""The qcheck rules (``QC001``–``QC006``).
+"""The qcheck rules (``QC001``–``QC007``).
 
 Each rule statically inspects one top-level Q statement against the
 session's scope hierarchy and the backend catalog (through the MDI) —
@@ -568,3 +568,94 @@ class ShadowingRule(Rule):
     @staticmethod
     def mdi_has_table(ctx, name: str) -> bool:
         return ctx.mdi.lookup_table(name) is not None
+
+
+@register
+class ShardOrderRule(Rule):
+    """QC007: order-dependent takes over a *sharded* source.
+
+    Single-node q gives every table a stable implicit row order, so
+    ``first``/``last``, ``n#t`` takes and ``t[til n]`` indexing are
+    deterministic.  Once the distribute pass scatters the source table
+    across shards, the gathered rows arrive in shard-completion order —
+    nondeterministic run to run — so those constructs silently return
+    different rows unless an explicit ``xasc``/``xdesc`` pins the order
+    first.  Fires only when the session's MDI reports a partition map
+    that actually partitions the table the construct reads.
+    """
+
+    code = "QC007"
+    name = "shard_order_dependence"
+    purpose = "first/last/take over sharded tables need an explicit sort"
+    default_severity = Severity.WARNING
+
+    def check(self, statement, ctx):
+        pmap = ctx.mdi.partition_map if ctx.mdi is not None else None
+        if pmap is None or not pmap.tables:
+            return []
+        findings: list[Finding] = []
+        for node in walk_q(statement):
+            for label, operand, pos in self._constructs(node):
+                table = self._partitioned_base(operand, pmap)
+                if table is None or self._sorted(operand):
+                    continue
+                findings.append(
+                    self.finding(
+                        f"order-dependent {label} over {table!r}, which "
+                        f"is partitioned across {pmap.shard_count} "
+                        "shards — gathered row order is "
+                        "nondeterministic; sort explicitly (xasc/xdesc) "
+                        "before taking",
+                        pos=pos,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _constructs(node):
+        """(label, order-sensitive operand, pos) triples rooted here."""
+        if isinstance(node, ast.Apply) and isinstance(node.func, ast.Name):
+            if node.func.name in ("first", "last") and node.args:
+                yield f"{node.func.name} ...", node.args[0], node.pos
+            elif (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Apply)
+                and isinstance(node.args[0].func, ast.Name)
+                and node.args[0].func.name == "til"
+            ):
+                yield "til-indexed take", node.func, node.pos
+        elif isinstance(node, ast.BinOp) and node.op == "#":
+            yield "take (#)", node.right, node.pos
+        elif isinstance(node, ast.Template):
+            if node.kind not in ("select", "exec"):
+                return
+            if node.limit is not None:
+                yield f"select[{node.limit}] limit", node.source, node.pos
+            for spec in node.columns:
+                for inner in walk_q(spec.expr):
+                    if (
+                        isinstance(inner, ast.Apply)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.name in ("first", "last")
+                    ):
+                        yield (
+                            f"aggregate {inner.func.name!r}",
+                            node.source,
+                            inner.pos,
+                        )
+
+    @staticmethod
+    def _partitioned_base(operand, pmap) -> str | None:
+        """The partitioned table the operand ultimately reads, if any."""
+        for node in walk_q(operand):
+            if isinstance(node, ast.Name) and pmap.is_partitioned(node.name):
+                return node.name
+        return None
+
+    @staticmethod
+    def _sorted(operand) -> bool:
+        """Whether an explicit xasc/xdesc pins the operand's row order."""
+        return any(
+            isinstance(node, ast.BinOp) and node.op in ("xasc", "xdesc")
+            for node in walk_q(operand)
+        )

@@ -22,9 +22,9 @@ protocol keeps that choice per-deployment.
 
 from __future__ import annotations
 
-import threading
 import time
 
+from repro.analysis.concurrency.locks import make_condition
 from repro.core.metadata import BackendPort
 from repro.errors import PoolTimeoutError, ProtocolError
 from repro.obs import get_logger, metrics
@@ -113,7 +113,7 @@ class PooledBackend(ExecutionBackend):
         self.size = size
         self.checkout_timeout = checkout_timeout
         self.name = name
-        self._cond = threading.Condition()
+        self._cond = make_condition("core.backend_pool")
         self._idle: list[ExecutionBackend] = []  # LIFO: last in, first out
         self._open = 0
         self._in_use = 0

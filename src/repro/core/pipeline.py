@@ -25,11 +25,11 @@ through a pipeline instance.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.analysis.framework import QueryAnalyzer
 from repro.analysis.invariants import check_operator_tree
 from repro.config import HyperQConfig, TranslationCacheConfig
@@ -528,7 +528,7 @@ class TranslationCache:
 
     def __init__(self, config: TranslationCacheConfig | None = None):
         self.config = config or TranslationCacheConfig()
-        self._lock = threading.Lock()
+        self._lock = make_lock("core.translation_cache")
         self._entries: OrderedDict[tuple, TranslationResult] = OrderedDict()
         self.hits = 0
         self.misses = 0

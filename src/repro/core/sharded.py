@@ -39,6 +39,7 @@ import re
 import threading
 import time
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.config import ShardingConfig
 from repro.core.backends import ExecutionBackend
 from repro.core.metadata import PartitionMap
@@ -168,7 +169,7 @@ class ShardHandle:
             if replica is not None
             else None
         )
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("shard.stats")
         self.queries = 0
         self.errors = 0
         self.hedges = 0
@@ -284,7 +285,7 @@ class ShardedBackend(ExecutionBackend):
         # mirror fallback state: a coordinator engine lazily populated
         # with full copies of backend tables, rebuilt when DDL moves the
         # topology-wide catalog version
-        self._mirror_lock = threading.Lock()
+        self._mirror_lock = make_lock("shard.mirror")
         self._mirror_engine: Engine | None = None
         self._mirror_version: int | None = None
         self._mirrored: set[str] = set()

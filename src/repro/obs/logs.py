@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import json
 import logging
-import threading
+
+from repro.analysis.concurrency.locks import make_lock
 
 _ROOT_NAME = "repro"
 _loggers: dict[str, "StructuredLogger"] = {}
-_loggers_lock = threading.Lock()
+_loggers_lock = make_lock("obs.loggers")
 
 
 class StructuredLogger:

@@ -16,8 +16,10 @@ update into a single attribute check.
 from __future__ import annotations
 
 import json
-import threading
 import time
+
+from repro.analysis.concurrency.annotations import thread_safe
+from repro.analysis.concurrency.locks import make_lock
 
 #: default histogram buckets, in seconds — spans translation stages
 #: (tens of microseconds) up to slow end-to-end queries
@@ -61,7 +63,7 @@ class Instrument:
         self.registry = registry
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.instrument")
         self._series: dict[tuple, float] = {}
 
     def value(self, **labels) -> float:
@@ -88,6 +90,7 @@ class Instrument:
             self._series.clear()
 
 
+@thread_safe("per-series dict update under a leaf micro-lock; no call-outs")
 class Counter(Instrument):
     """Monotonically increasing count (events, bytes, errors)."""
 
@@ -103,6 +106,7 @@ class Counter(Instrument):
             self._series[key] = self._series.get(key, 0.0) + amount
 
 
+@thread_safe("per-series dict update under a leaf micro-lock; no call-outs")
 class Gauge(Instrument):
     """A value that goes up and down (active sessions, cache size)."""
 
@@ -136,6 +140,7 @@ class _HistogramSeries:
         self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +Inf
 
 
+@thread_safe("bounded bucket update under a leaf micro-lock; no call-outs")
 class Histogram(Instrument):
     """Distribution of observations (latencies, sizes, ratios)."""
 
@@ -258,7 +263,7 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics_registry")
         self._instruments: dict[str, Instrument] = {}
 
     # -- lifecycle ----------------------------------------------------------

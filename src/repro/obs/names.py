@@ -57,6 +57,12 @@ BACKEND_POOL_CHECKOUT_SECONDS = "backend_pool_checkout_seconds"
 ANALYSIS_FINDINGS_TOTAL = "analysis_findings_total"
 ANALYSIS_INVARIANT_VIOLATIONS_TOTAL = "analysis_invariant_violations_total"
 
+# --- concurrency lockcheck harness (repro/analysis/concurrency/locks) ----
+CONCURRENCY_LOCK_ACQUISITIONS = "concurrency_lock_acquisitions"
+CONCURRENCY_LOCK_ORDER_EDGES = "concurrency_lock_order_edges"
+CONCURRENCY_LOCK_CYCLES = "concurrency_lock_cycles"
+CONCURRENCY_REACTOR_LONG_HOLDS = "concurrency_reactor_long_holds"
+
 # --- workload management & resilience (repro/wlm, docs/WLM.md) ----------
 WLM_CLASSIFIED_TOTAL = "wlm_classified_total"
 WLM_ADMITTED_TOTAL = "wlm_admitted_total"

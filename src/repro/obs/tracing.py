@@ -22,6 +22,8 @@ from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.analysis.concurrency.locks import make_lock
+
 
 @dataclass
 class Span:
@@ -68,7 +70,7 @@ class Tracer:
         self.enabled = enabled
         self.max_traces = max_traces
         self._local = threading.local()
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.tracer")
         self._finished: deque[Span] = deque(maxlen=max_traces)
 
     # -- lifecycle ----------------------------------------------------------

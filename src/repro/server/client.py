@@ -8,8 +8,8 @@ point of the paper: the application cannot tell the difference.
 from __future__ import annotations
 
 import socket
-import threading
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.errors import AuthenticationError, ProtocolError
 from repro.qipc.decode import decode_value
 from repro.qipc.encode import encode_value
@@ -39,7 +39,7 @@ class QConnection:
         self.read_timeout = read_timeout
         self._sock: socket.socket | None = None
         self._reader: BufferedSocketReader | None = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("server.qconnection")
 
     def connect(self) -> "QConnection":
         sock = socket.create_connection(

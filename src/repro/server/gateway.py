@@ -17,8 +17,8 @@ intermediates, and no transpose later in ``pivot_result``.
 from __future__ import annotations
 
 import socket
-import threading
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.core.backends import ExecutionBackend
 from repro.errors import (
     AuthenticationError,
@@ -140,7 +140,7 @@ class NetworkGateway(ExecutionBackend):
         self.read_timeout = read_timeout
         self._sock: socket.socket | None = None
         self._stream: PgFrameStream | None = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("server.gateway")
         self._catalog_version = 0
 
     # -- connection ------------------------------------------------------------

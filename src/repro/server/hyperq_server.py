@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.config import HyperQConfig
 from repro.core.backends import PooledBackend
 from repro.core.metadata import BackendPort, MetadataInterface
@@ -52,7 +53,7 @@ class KdbServer(QipcEndpoint):
         port: int = 0,
     ):
         self.interpreter = interpreter or Interpreter()
-        self._lock = threading.Lock()
+        self._lock = make_lock("server.kdb_interp")
 
         def handler_factory() -> ConnectionHandler:
             return _KdbHandler(self)
@@ -117,9 +118,11 @@ class HyperQServer(QipcEndpoint):
             if self.config.max_concurrency > 0
             else None
         )
+        # hq: guarded-by(self._stats_lock) — written by every worker
         self.active_queries = 0
+        # hq: guarded-by(self._stats_lock) — read-modify-write of the max
         self.peak_concurrency = 0
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("server.hyperq_stats")
 
         def handler_factory() -> ConnectionHandler:
             return _HyperQHandler(self)

@@ -14,10 +14,11 @@ on the worker pool, serialized across connections by ``_query_lock``
 
 from __future__ import annotations
 
-import threading
+import itertools
 import time
 from collections import deque
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.core.fsm import Fsm
 from repro.errors import (
     AuthenticationError,
@@ -278,18 +279,17 @@ class PgWireServer(ReactorServer):
         self.engine = engine or Engine()
         self.auth = auth or TrustAuth()
         # like the paper's kdb+, requests are executed serially
-        self._query_lock = threading.Lock()
-        self._next_pid = 1000
-        self._pid_lock = threading.Lock()
+        self._query_lock = make_lock("server.pg_query")
+        self._next_pid = itertools.count(1000)
 
     def build_protocol(self) -> PgProtocol:
         return PgProtocol(self)
 
     def next_pid(self) -> int:
-        with self._pid_lock:
-            pid = self._next_pid
-            self._next_pid += 1
-            return pid
+        # called on the reactor thread (_on_ready -> BackendKeyData);
+        # a count step is a single GIL-atomic op, so no lock is held
+        # on the event loop (CC003)
+        return next(self._next_pid)
 
     def _result_bytes(self, result: ResultSet) -> bytes:
         if result.columns:

@@ -36,6 +36,7 @@ import time
 from collections import deque
 from typing import Callable
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.config import ServerConfig
 from repro.obs import get_logger, metrics
 
@@ -270,7 +271,7 @@ class Reactor:
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
         self._selector.register(self._wake_r, selectors.EVENT_READ, self)
-        self._lock = threading.Lock()
+        self._lock = make_lock("server.reactor")
         self._callbacks: deque[Callable[[], None]] = deque()
         self._timers: list[TimerHandle] = []
         self._timer_seq = itertools.count()
@@ -329,6 +330,7 @@ class Reactor:
             time.monotonic() + max(delay, 0.0),
             next(self._timer_seq), callback,
         )
+        # hq: allow(CC003) — O(log n) heap push, never blocks or calls out
         with self._lock:
             heapq.heappush(self._timers, handle)
         self._wake()
@@ -374,6 +376,7 @@ class Reactor:
             self._shutdown()
 
     def _next_timeout(self) -> float | None:
+        # hq: allow(CC003) — timer-heap peek, bounded by cancelled entries
         with self._lock:
             while self._timers and self._timers[0].cancelled:
                 heapq.heappop(self._timers)
@@ -393,6 +396,7 @@ class Reactor:
     def _run_timers(self) -> None:
         now = time.monotonic()
         while True:
+            # hq: allow(CC003) — pops one timer per hold; callback runs unlocked
             with self._lock:
                 if not self._timers or self._timers[0].when > now:
                     return
@@ -412,6 +416,7 @@ class Reactor:
 
     def _run_callbacks(self) -> None:
         while True:
+            # hq: allow(CC003) — pops one callback per hold; runs it unlocked
             with self._lock:
                 if not self._callbacks:
                     return

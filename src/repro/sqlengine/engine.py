@@ -8,8 +8,7 @@ executes one statement at a time; the PG-wire server in
 
 from __future__ import annotations
 
-import threading
-
+from repro.analysis.concurrency.locks import make_rlock
 from repro.errors import SqlExecutionError
 from repro.sqlengine import sqlast as sa
 from repro.sqlengine.catalog import Catalog, Column, Table
@@ -25,7 +24,7 @@ class Engine:
     def __init__(self, catalog: Catalog | None = None):
         self.catalog = catalog or Catalog()
         self.executor = Executor(self.catalog)
-        self._lock = threading.RLock()
+        self._lock = make_rlock("sqlengine.engine")
 
     # -- public API -----------------------------------------------------------
 

@@ -24,12 +24,12 @@ lock keeps the accounting trivially consistent.
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.analysis.concurrency.locks import make_condition
 from repro.config import WlmClassPolicy, WlmConfig
 from repro.errors import WlmShedError
 from repro.obs import metrics
@@ -75,7 +75,7 @@ class AdmissionController:
     def __init__(self, config: WlmConfig, clock=time.monotonic):
         self.config = config
         self.clock = clock
-        self._cond = threading.Condition()
+        self._cond = make_condition("wlm.admission")
         self._tickets = itertools.count()
         self._classes: dict[str, ClassState] = {}
         for name, policy in config.classes.items():

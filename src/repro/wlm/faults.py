@@ -27,9 +27,9 @@ stack *above* the retry/breaker machinery it exercises — tests and the
 from __future__ import annotations
 
 import random
-import threading
 import time
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.config import FaultConfig
 from repro.errors import BackendSqlError
 from repro.obs import get_logger, metrics
@@ -55,7 +55,7 @@ class FaultInjector:
         self.config = config
         self.sleep = sleep
         self._rng = random.Random(config.seed)
-        self._lock = threading.Lock()
+        self._lock = make_lock("wlm.faults")
         #: injected-fault tally by point, for tests and wlm[] inspection
         self.injected: dict[str, int] = {
             "latency": 0,

@@ -26,9 +26,9 @@ from __future__ import annotations
 
 import random
 import re
-import threading
 import time
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.config import CircuitBreakerConfig, RetryConfig
 from repro.core.backends import TRANSPORT_ERRORS, ExecutionBackend
 from repro.errors import BackendSqlError, CircuitOpenError
@@ -109,7 +109,7 @@ class RetryBudget:
         self.ratio = ratio
         self.min_tokens = min_tokens
         self._tokens = min_tokens
-        self._lock = threading.Lock()
+        self._lock = make_lock("wlm.retry_budget")
 
     @property
     def tokens(self) -> float:
@@ -141,7 +141,7 @@ class RetryPolicy:
             config.budget_ratio, config.budget_min_tokens
         )
         self._rng = random.Random(config.jitter_seed)
-        self._rng_lock = threading.Lock()
+        self._rng_lock = make_lock("wlm.retry_rng")
 
     def backoff(self, attempt: int) -> float:
         """Full-jitter backoff for retry number ``attempt`` (1-based)."""
@@ -194,7 +194,7 @@ class CircuitBreaker:
         self.name = name
         self.config = config
         self.clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("wlm.breaker")
         self._state = BreakerState.CLOSED
         self._failures = 0
         self._probe_successes = 0

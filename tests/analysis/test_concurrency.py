@@ -1,0 +1,416 @@
+"""Tier-3 concurrency analysis: golden snippets for the static rules
+(CC001–CC004), the runtime lock-order harness (CC005/CC006), and the
+real-tree guarantees (concheck clean, the ``next_pid`` reactor fix).
+
+Static tests write a tiny package to ``tmp_path`` and run
+:func:`check_tree` over it — thread roles come from the
+``@reactor_only``/``@worker_context`` decorator seeds, which the call
+graph resolves textually (the snippet modules are parsed, never
+imported).  Runtime tests build :class:`OrderedLock` instances around an
+*isolated* :class:`LockCheckState` so the intentional ABBA pattern never
+pollutes the process-global record the session-level gate asserts on.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.concurrency.annotations import (
+    reactor_only,
+    thread_safe,
+    worker_context,
+)
+from repro.analysis.concurrency.checker import check_tree
+from repro.analysis.concurrency.locks import (
+    LockCheckState,
+    OrderedLock,
+    lockcheck_state,
+    make_condition,
+    make_lock,
+    make_rlock,
+)
+
+#: (rule, known-bad module, known-clean twin)
+GOLDEN = [
+    (
+        "CC001",
+        """
+class Conn:
+    def __init__(self):
+        self._lock = make_lock("t.conn")
+        self.pending = 0
+
+    @reactor_only
+    def on_data(self):
+        self.pending = self.pending + 1
+
+    @worker_context
+    def run_job(self):
+        self.pending = self.pending - 1
+""",
+        """
+class Conn:
+    def __init__(self):
+        self._lock = make_lock("t.conn")
+        self.pending = 0
+
+    @reactor_only
+    def on_data(self):
+        with self._lock:
+            self.pending = self.pending + 1
+
+    @worker_context
+    def run_job(self):
+        with self._lock:
+            self.pending = self.pending - 1
+""",
+    ),
+    (
+        "CC002",
+        """
+class Stats:
+    def __init__(self):
+        self._lock = make_lock("t.stats")
+        # hq: guarded-by(self._lock) — shared across workers
+        self.total = 0
+
+    def bump(self):
+        self.total = self.total + 1
+""",
+        """
+class Stats:
+    def __init__(self):
+        self._lock = make_lock("t.stats")
+        # hq: guarded-by(self._lock) — shared across workers
+        self.total = 0
+
+    def bump(self):
+        with self._lock:
+            self.total = self.total + 1
+""",
+    ),
+    (
+        "CC003",
+        """
+class Loop:
+    @reactor_only
+    def tick(self):
+        with self._lock:
+            pass
+""",
+        """
+class Loop:
+    @worker_context
+    def tick(self):
+        with self._lock:
+            pass
+""",
+    ),
+    (
+        "CC004",
+        """
+import time
+
+class Proto:
+    @reactor_only
+    def on_readable(self):
+        self._flush()
+
+    def _flush(self):
+        time.sleep(0.1)
+""",
+        """
+import time
+
+class Proto:
+    @worker_context
+    def on_readable(self):
+        self._flush()
+
+    def _flush(self):
+        time.sleep(0.1)
+""",
+    ),
+]
+
+
+def _run(tmp_path, source, name="app"):
+    pkg = tmp_path / name
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "mod.py").write_text(source)
+    return check_tree(pkg)
+
+
+class TestGoldenSnippets:
+    @pytest.mark.parametrize(
+        "code,bad,clean", GOLDEN, ids=[c for c, __, ___ in GOLDEN]
+    )
+    def test_bad_fires_and_clean_twin_does_not(
+        self, tmp_path, code, bad, clean
+    ):
+        bad_codes = {f.code for f in _run(tmp_path / "bad", bad).findings}
+        assert code in bad_codes, f"{code} must fire on its bad snippet"
+        clean_codes = {
+            f.code for f in _run(tmp_path / "clean", clean).findings
+        }
+        assert code not in clean_codes, f"{code} false positive on clean twin"
+
+    def test_cc004_names_the_call_chain(self, tmp_path):
+        checker = _run(tmp_path, GOLDEN[3][1])
+        [finding] = [f for f in checker.findings if f.code == "CC004"]
+        assert "on_readable" in finding.message
+        assert "_flush" in finding.message
+
+    def test_justified_allow_pragma_suppresses(self, tmp_path):
+        checker = _run(
+            tmp_path,
+            """
+class Loop:
+    @reactor_only
+    def tick(self):
+        # hq: allow(CC003) — bounded micro-section
+        with self._lock:
+            pass
+""",
+        )
+        assert [f.code for f in checker.findings] == []
+        [entry] = checker.suppressed
+        assert entry["code"] == "CC003"
+        assert "bounded micro-section" in entry["suppressed_by"]
+
+    def test_bare_pragma_is_flagged_and_does_not_suppress(self, tmp_path):
+        checker = _run(
+            tmp_path,
+            """
+class Loop:
+    @reactor_only
+    def tick(self):
+        # hq: allow(CC003)
+        with self._lock:
+            pass
+""",
+        )
+        codes = sorted(f.code for f in checker.findings)
+        assert codes == ["CC000", "CC003"]
+        assert checker.suppressed == []
+
+    def test_thread_safe_without_reason_is_flagged(self, tmp_path):
+        checker = _run(
+            tmp_path,
+            """
+class Loop:
+    @thread_safe
+    @reactor_only
+    def tick(self):
+        with self._lock:
+            pass
+""",
+        )
+        codes = sorted(f.code for f in checker.findings)
+        assert "CC000" in codes and "CC003" in codes
+
+
+class TestAnnotations:
+    def test_thread_safe_requires_a_reason(self):
+        with pytest.raises(ValueError):
+            thread_safe("")
+        with pytest.raises(ValueError):
+            thread_safe(lambda: None)
+
+    def test_decorators_mark_and_return_the_function(self):
+        @reactor_only
+        def on_loop():
+            return 7
+
+        @worker_context
+        def on_worker():
+            return 8
+
+        @thread_safe("atomic by construction")
+        def anywhere():
+            return 9
+
+        assert (on_loop(), on_worker(), anywhere()) == (7, 8, 9)
+
+
+class TestRuntimeHarness:
+    def test_abba_records_a_cc005_cycle(self):
+        state = LockCheckState()
+        a = OrderedLock("t.a", state=state)
+        b = OrderedLock("t.b", state=state)
+
+        def ab():
+            with a:
+                with b:
+                    pass
+
+        def ba():
+            with b:
+                with a:
+                    pass
+
+        t1 = threading.Thread(target=ab)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=ba)
+        t2.start()
+        t2.join()
+
+        report = state.report()
+        [cycle] = report["cycles"]
+        assert cycle["code"] == "CC005"
+        assert set(cycle["cycle"]) == {"t.a", "t.b"}
+        # both closing sites recorded, pointing into this test
+        assert all("test_concurrency" in s for s in cycle["sites"].values())
+
+    def test_consistent_order_records_no_cycle(self):
+        state = LockCheckState()
+        a = OrderedLock("t.a", state=state)
+        b = OrderedLock("t.b", state=state)
+        for __ in range(3):
+            with a:
+                with b:
+                    pass
+        report = state.report()
+        assert report["cycles"] == []
+        assert report["edges"] == {"t.a->t.b": 3}
+
+    def test_reactor_long_hold_records_cc006(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK_HOLD_MS", "5")
+        state = LockCheckState()
+        lock = OrderedLock("t.slow", state=state)
+
+        def hold():
+            with lock:
+                time.sleep(0.03)
+
+        t = threading.Thread(target=hold, name="reactor-test")
+        t.start()
+        t.join()
+        [entry] = state.report()["long_holds"]
+        assert entry["code"] == "CC006"
+        assert entry["lock"] == "t.slow"
+        assert entry["held_ms"] > 5
+
+    def test_worker_long_hold_is_not_flagged(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK_HOLD_MS", "5")
+        state = LockCheckState()
+        lock = OrderedLock("t.slow", state=state)
+
+        def hold():
+            with lock:
+                time.sleep(0.03)
+
+        t = threading.Thread(target=hold, name="worker-test-0")
+        t.start()
+        t.join()
+        assert state.report()["long_holds"] == []
+
+    def test_rlock_reentry_records_one_acquisition(self):
+        state = LockCheckState()
+        lock = OrderedLock("t.re", reentrant=True, state=state)
+        with lock:
+            with lock:
+                pass
+        assert state.report()["acquisitions"] == 1
+
+    def test_factories_return_plain_primitives_when_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+        assert not isinstance(make_lock("t.x"), OrderedLock)
+        assert not isinstance(make_rlock("t.y"), OrderedLock)
+        cond = make_condition("t.z")
+        assert isinstance(cond, threading.Condition)
+
+    def test_factories_instrument_when_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        assert isinstance(make_lock("t.x"), OrderedLock)
+        assert isinstance(make_rlock("t.y"), OrderedLock)
+        cond = make_condition("t.z")
+        assert isinstance(cond, threading.Condition)
+        # the condition's mutex is the instrumented lock
+        with cond:
+            assert "t.z" in lockcheck_state().held_names()
+
+
+class TestRealTree:
+    """The shipped source tree holds the acceptance bar."""
+
+    @pytest.fixture(scope="class")
+    def checker(self):
+        from pathlib import Path
+
+        import repro
+
+        return check_tree(Path(repro.__file__).parent)
+
+    def test_concheck_reports_zero_errors(self, checker):
+        from repro.analysis.framework import Severity
+
+        errors = [
+            f for f in checker.findings if f.severity == Severity.ERROR
+        ]
+        assert errors == [], [f.render() for f in errors]
+
+    def test_every_suppression_is_justified(self, checker):
+        assert checker.suppressed, "expected the triaged suppressions"
+        for entry in checker.suppressed:
+            reason = entry["suppressed_by"].split(":", 1)[1].strip()
+            assert reason, f"unjustified suppression: {entry}"
+
+    def test_roles_cover_both_sides_of_the_pool(self, checker):
+        reactor = {
+            fn.qualname
+            for fn in checker.index.functions.values()
+            if "reactor" in fn.role_via
+        }
+        worker = {
+            fn.qualname
+            for fn in checker.index.functions.values()
+            if "worker" in fn.role_via
+        }
+        assert "repro.server.reactor.Reactor._run_callbacks" in reactor
+        assert "repro.server.pgserver.PgProtocol._run_query" in worker
+
+    def test_next_pid_regression_lock_free_on_reactor(self, checker):
+        """The PG PID counter is reached on the reactor thread via
+        ``_on_ready -> server.next_pid()``; it must not take a lock
+        there (the fix replaced a guarded counter with an atomic
+        ``itertools.count`` step)."""
+        fn = checker.index.functions[
+            "repro.server.pgserver.PgWireServer.next_pid"
+        ]
+        assert "reactor" in fn.roles(), "call graph must see the indirection"
+        assert not [
+            f
+            for f in checker.findings
+            if f.code == "CC003" and "pgserver" in f.path
+        ]
+        # nor is it merely suppressed — the lock is gone
+        assert not [
+            e
+            for e in checker.suppressed
+            if e["code"] == "CC003" and "pgserver" in e["path"]
+        ]
+
+    def test_next_pid_still_unique_across_threads(self):
+        from repro.server.pgserver import PgWireServer
+
+        server = PgWireServer(port=0)
+        pids: list[int] = []
+        lists: list[list[int]] = [[] for __ in range(4)]
+
+        def grab(bucket):
+            for __ in range(200):
+                bucket.append(server.next_pid())
+
+        threads = [
+            threading.Thread(target=grab, args=(lists[i],)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for bucket in lists:
+            pids.extend(bucket)
+        assert len(pids) == len(set(pids)) == 800

@@ -170,3 +170,74 @@ class TestPipelineEscalation:
         before = ANALYSIS_FINDINGS.value(rule="QC002")
         session.run("select from trades where Price = 0n")
         assert ANALYSIS_FINDINGS.value(rule="QC002") == before + 1
+
+
+class TestShardOrderRule:
+    """QC007: order-dependent takes over sharded sources.
+
+    Needs a platform whose backend actually partitions ``trades`` —
+    the distribute pass then scatters it, and gathered row order is
+    nondeterministic.  ``ratings`` stays replicated (every shard holds
+    a full copy), so takes from it keep single-node semantics.
+    """
+
+    #: (known-bad snippet, known-clean twin)
+    SHARDED_GOLDEN = [
+        ("first select from trades", "first `Price xasc select from trades"),
+        ("2#select from trades", "2#`Price xasc select from trades"),
+        ("trades[til 3]", "ratings[til 3]"),
+        (
+            "select first Price by Symbol from trades",
+            "select max Price by Symbol from trades",
+        ),
+    ]
+
+    @pytest.fixture()
+    def sharded_analyzer(self):
+        from tests.core.test_sharded import build_sharded
+
+        from repro.analysis import QueryAnalyzer
+
+        platform, backend = build_sharded(2)
+        analyzer = QueryAnalyzer(mdi=platform.mdi, config=platform.config)
+        session = platform.create_session()
+        yield analyzer, session
+        session.close()
+        backend.close()
+
+    @pytest.mark.parametrize(
+        "bad,clean", SHARDED_GOLDEN,
+        ids=["first", "take", "til-index", "grouped-first"],
+    )
+    def test_fires_on_bad_and_not_on_sorted_twin(
+        self, sharded_analyzer, bad, clean
+    ):
+        analyzer, session = sharded_analyzer
+        bad_codes = {
+            f.code
+            for f in analyzer.analyze_source(bad, session.session_scope)
+        }
+        assert "QC007" in bad_codes, f"QC007 must fire on {bad!r}"
+        clean_codes = {
+            f.code
+            for f in analyzer.analyze_source(clean, session.session_scope)
+        }
+        assert "QC007" not in clean_codes, (
+            f"QC007 false positive on {clean!r}"
+        )
+
+    def test_silent_without_a_partition_map(self, analyzer, session):
+        findings = analyzer.analyze_source(
+            "first select from trades", session.session_scope
+        )
+        assert [f for f in findings if f.code == "QC007"] == []
+
+    def test_message_names_table_and_shard_count(self, sharded_analyzer):
+        analyzer, session = sharded_analyzer
+        findings = analyzer.analyze_source(
+            "first select from trades", session.session_scope
+        )
+        [finding] = [f for f in findings if f.code == "QC007"]
+        assert "trades" in finding.message
+        assert "2 shards" in finding.message
+        assert "xasc" in finding.message
