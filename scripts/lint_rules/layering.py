@@ -43,6 +43,12 @@ These encode architectural invariants of the Hyper-Q reproduction:
   ``REPRO_LOCKCHECK`` runtime harness can record lock order (CC005
   deadlock cycles, CC006 reactor long holds).  ``Event``, semaphores
   and ``threading.local`` stay unrestricted — they carry no ordering.
+* HQ009 — session/PT code never calls ``backend.run_sql`` directly:
+  ``repro/core/session.py`` and ``repro/core/crosscompiler.py`` reach
+  the backend only through ``repro.cache.executor.QueryExecutor``,
+  the choke point that drives the result cache, per-table version
+  bumps and the temp-data tier.  A direct call would silently bypass
+  invalidation and serve stale cached results.
 """
 
 from __future__ import annotations
@@ -597,4 +603,44 @@ class LockFactoryRule(LintRule):
                     f"raw threading.{ctor}() — use make_lock/make_rlock/"
                     f"make_condition from repro.analysis.concurrency."
                     f"locks so REPRO_LOCKCHECK can instrument it",
+                )
+
+
+#: path tails of the modules HQ009 keeps behind the executor choke point
+_EXECUTOR_ONLY_FILES = (
+    ("repro", "core", "session.py"),
+    ("repro", "core", "crosscompiler.py"),
+)
+
+
+@register
+class ExecutorChokePointRule(LintRule):
+    """HQ009: backend.run_sql bypassing the cache layer in session code."""
+
+    code = "HQ009"
+    name = "executor_choke_point"
+    purpose = "session/PT code reaches the backend via QueryExecutor only"
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if not any(
+            parts[-len(tail):] == tail for tail in _EXECUTOR_ONLY_FILES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or ctx.suppressed(node.lineno):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "run_sql"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "backend"
+            ):
+                yield self.finding(
+                    ctx, node.lineno,
+                    "direct backend.run_sql() from session/PT code — go "
+                    "through QueryExecutor (repro/cache/executor.py) so "
+                    "the result cache sees the statement and writes bump "
+                    "table versions",
                 )

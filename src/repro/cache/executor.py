@@ -1,0 +1,143 @@
+"""The query executor: every backend call from session code goes here.
+
+Lint rule HQ009 forbids session/PT code from calling ``backend.run_sql``
+directly — the executor is the one place that knows, for each statement,
+
+* whether the temp-data tier can answer it without any backend at all;
+* whether the result cache may serve or fill it (WLM class gating,
+  version-keyed lookup, single-flight coalescing);
+* which per-table version counters a write must bump so stale cached
+  results become unreachable.
+"""
+
+from __future__ import annotations
+
+from repro.cache.result_cache import ResultCache
+from repro.cache.temptier import TempDataTier
+from repro.config import HyperQConfig
+from repro.core.metadata import MetadataInterface
+from repro.core.pipeline import TranslationResult
+from repro.obs import metrics
+from repro.sqlengine.executor import ResultSet
+from repro.wlm.classifier import QueryClass
+
+RCACHE_BYPASS = metrics.counter(
+    "rcache_bypass_total",
+    "Statements executed around the result cache (WLM class or tier data)",
+)
+
+#: admission classes whose results are safe and worthwhile to cache —
+#: repeated dashboard reads.  ``materializing`` writes, ``admin`` never
+#: reaches the backend data path at all.
+CACHEABLE_CLASSES = frozenset(
+    {QueryClass.ANALYTICAL.value, QueryClass.POINT_LOOKUP.value}
+)
+
+#: session-private relation prefixes: their names repeat across sessions
+#: (``hq_temp_1`` means something different per connection), so results
+#: over them must never enter the shared cache
+_PRIVATE_PREFIXES = ("hq_temp_", "hq_view_")
+
+
+class QueryExecutor:
+    """Per-session execution choke point over one backend connection.
+
+    The result cache and MDI are deployment-shared; the temp tier is
+    session-private (temp relations are).  Both layers are optional —
+    with neither configured the executor degrades to a plain
+    ``backend.run_sql`` passthrough.
+    """
+
+    def __init__(
+        self,
+        backend,
+        mdi: MetadataInterface,
+        result_cache: ResultCache | None = None,
+        temp_tier: TempDataTier | None = None,
+        config: HyperQConfig | None = None,
+    ):
+        self.backend = backend
+        self.mdi = mdi
+        self.result_cache = result_cache
+        self.temp_tier = temp_tier
+        self.config = config or HyperQConfig()
+
+    # -- the translated-statement path ----------------------------------------
+
+    def execute(self, translation: TranslationResult) -> ResultSet:
+        """Run one translated statement through the cache layers.
+
+        Order matters: the tier is consulted first (it can answer
+        without a backend *or* cache entry), then lazy tier relations
+        the statement touches are materialized (the SQL is about to run
+        for real), then the result cache, then the backend.
+        """
+        tier = self.temp_tier
+        if tier is not None:
+            served = tier.try_serve(translation.sql)
+            if served is not None:
+                return served
+            for relation in tier.lazy_relations(translation.tables):
+                tier.ensure_materialized(relation, self.backend)
+
+        qclass = translation.query_class
+        if qclass == QueryClass.MATERIALIZING.value:
+            # writes bypass the cache and invalidate what they touch
+            result = self.backend.run_sql(translation.sql)
+            self._record_write(translation.tables)
+            return result
+        if not self._cacheable(translation):
+            RCACHE_BYPASS.inc()
+            if self.result_cache is not None:
+                self.result_cache.stats.bypasses += 1
+            return self.backend.run_sql(translation.sql)
+        key = ResultCache.key_for(translation, self.mdi)
+        return self.result_cache.get_or_execute(
+            key,
+            translation.tables,
+            lambda: self.backend.run_sql(translation.sql),
+        )
+
+    def _cacheable(self, translation: TranslationResult) -> bool:
+        if self.result_cache is None or not self.result_cache.enabled:
+            return False
+        if translation.query_class not in CACHEABLE_CLASSES:
+            return False
+        for table in translation.tables:
+            if table.startswith(_PRIVATE_PREFIXES):
+                return False
+            # materialized tier relations are still session-private
+            if self.temp_tier is not None and self.temp_tier.handle(table):
+                return False
+        return True
+
+    # -- the raw-SQL path ------------------------------------------------------
+
+    def run_sql(self, sql: str, invalidates=()) -> ResultSet:
+        """Execute SQL that did not come out of the translator.
+
+        ``invalidates`` names the relations the statement writes; their
+        version counters are bumped and dependent cached results
+        dropped.  Reads through this door never consult the cache.
+        """
+        tier = self.temp_tier
+        if tier is not None:
+            for relation in list(invalidates):
+                if tier.is_lazy(relation):
+                    tier.ensure_materialized(relation, self.backend)
+        result = self.backend.run_sql(sql)
+        if invalidates:
+            self._record_write(invalidates)
+        return result
+
+    def materialize_temp(self, relation: str) -> None:
+        """Force a lazy tier handle into the backend (write paths,
+        session-close promotion: the relation must exist for real)."""
+        if self.temp_tier is not None:
+            self.temp_tier.ensure_materialized(relation, self.backend)
+
+    def _record_write(self, tables) -> None:
+        for table in set(tables):
+            self.mdi.bump_table_version(table)
+        if self.result_cache is not None:
+            self.result_cache.on_write(tables)

@@ -92,6 +92,47 @@ class TranslationCacheConfig:
 
 
 @dataclass
+class ResultCacheConfig:
+    """The semantic result cache (docs/CACHING.md).
+
+    Sits *above* the translation cache: where that cache skips
+    parse/bind/xform/serialize, this one skips the backend entirely,
+    serving the full ``ResultSet`` for a repeat read.  Keys combine the
+    translated SQL with the catalog version, the per-table version
+    vector of every referenced relation (so DML on ``trades`` never
+    evicts results over ``quotes``), and the partition fingerprint.
+    """
+
+    enabled: bool = True
+    #: byte budget for cached result payloads (LRU-evicted beyond it)
+    max_bytes: int = 64 * 1024 * 1024
+    #: seconds an entry may serve before the sweeper retires it
+    ttl_seconds: float = 300.0
+    #: cadence of the background TTL sweeper; 0 disables the thread
+    sweep_interval: float = 30.0
+    #: seconds a coalesced waiter blocks on the flight leader before
+    #: giving up and executing on its own
+    flight_timeout: float = 30.0
+
+
+@dataclass
+class TempTierConfig:
+    """The interactive temp-data tier (DiNoDB-style, docs/CACHING.md).
+
+    Q variable assignments snapshot their defining SELECT in Hyper-Q
+    memory instead of eagerly writing a backend temp table; a positional
+    map (per-column block offsets + min/max zone metadata) is built on
+    first touch and serves point lookups and filtered scans directly.
+    Access patterns the map cannot answer fall back to full
+    materialization.
+    """
+
+    enabled: bool = True
+    #: rows per positional-map block (the zone-metadata granule)
+    block_rows: int = 1024
+
+
+@dataclass
 class ServerConfig:
     """The event-loop connection core (docs/ARCHITECTURE.md).
 
@@ -348,6 +389,8 @@ class HyperQConfig:
     translation_cache: TranslationCacheConfig = field(
         default_factory=TranslationCacheConfig
     )
+    result_cache: ResultCacheConfig = field(default_factory=ResultCacheConfig)
+    temp_tier: TempTierConfig = field(default_factory=TempTierConfig)
     backend_pool: BackendPoolConfig = field(default_factory=BackendPoolConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
     xformer: XformerConfig = field(default_factory=XformerConfig)

@@ -1,0 +1,36 @@
+"""Shared construction for the admin commands' Q tables.
+
+``wlm[]``, ``shards[]`` and ``rcache[]`` all answer with a small fixed
+schema of symbol/long/float columns built from a list of row tuples.
+This helper keeps the column-spec-plus-rows idiom in one place so each
+command declares *what* it reports, not how to pivot it.
+"""
+
+from __future__ import annotations
+
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QTable, QVector
+
+#: Q column type -> per-cell coercion applied while pivoting rows
+_COERCERS = {
+    QType.SYMBOL: str,
+    QType.LONG: int,
+    QType.FLOAT: float,
+}
+
+
+def admin_table(spec: list[tuple[str, QType]], rows: list[tuple]) -> QTable:
+    """Pivot ``rows`` (tuples parallel to ``spec``) into a Q table.
+
+    ``spec`` is an ordered list of ``(column_name, qtype)``; supported
+    qtypes are SYMBOL, LONG and FLOAT — everything an admin snapshot
+    reports.  Empty ``rows`` yields the empty table of the same schema
+    (the "feature disabled" answer).
+    """
+    vectors = []
+    for index, (__, qtype) in enumerate(spec):
+        coerce = _COERCERS.get(qtype, str)
+        vectors.append(
+            QVector(qtype, [coerce(row[index]) for row in rows])
+        )
+    return QTable([name for name, __ in spec], vectors)

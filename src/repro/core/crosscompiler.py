@@ -178,10 +178,15 @@ def pivot_result(result: ResultSet, shape: str, keys: list[str]) -> QValue:
 
 
 class ProtocolTranslator:
-    """PT: an FSM walking one request through execute-and-pivot."""
+    """PT: an FSM walking one request through execute-and-pivot.
 
-    def __init__(self, run_sql):
-        self._run_sql = run_sql
+    ``execute`` receives the whole :class:`TranslationResult` (not bare
+    SQL): the executor behind it needs the statement's read set and
+    admission class to drive the result cache and temp-data tier.
+    """
+
+    def __init__(self, execute):
+        self._execute = execute
 
     def respond(self, translation: TranslationResult) -> QValue:
         work: dict = {}
@@ -192,7 +197,7 @@ class ProtocolTranslator:
 
         def do_execute(machine: Fsm, payload) -> None:
             with tracing.span("pt.execute"):
-                work["result"] = self._run_sql(translation.sql)
+                work["result"] = self._execute(translation)
             machine.fire("results_ready")
 
         def do_pivot(machine: Fsm, payload) -> None:

@@ -40,6 +40,11 @@ class MaterializationStep:
     sql: str
     relation: str
     kind: str  # 'temp_table' | 'view'
+    #: the defining SELECT inside the DDL — the temp-data tier runs it
+    #: directly to snapshot the assignment without the backend write
+    inner_sql: str = ""
+    #: catalog description of the relation the DDL would create
+    meta: TableMeta | None = None
 
 
 class Materializer:
@@ -90,7 +95,7 @@ class Materializer:
             )
         )
         MATERIALIZATIONS.inc(kind=kind)
-        return MaterializationStep(sql, relation, kind)
+        return MaterializationStep(sql, relation, kind, inner_sql, meta)
 
     def store_scalar(self, name: str, value, scope: Scope) -> None:
         """Logical materialization of a scalar: the variable store."""

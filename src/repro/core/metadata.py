@@ -15,6 +15,7 @@ import time
 import zlib
 from dataclasses import dataclass, field
 
+from repro.analysis.concurrency.locks import make_lock
 from repro.config import CacheInvalidation, MetadataCacheConfig
 from repro.errors import MetadataError
 from repro.obs import metrics
@@ -173,6 +174,42 @@ class BackendPort:
         return -1
 
 
+class TableVersions:
+    """Per-table monotonic write counters (result-cache invalidation).
+
+    The backend catalog version only moves on DDL; DML leaves it alone.
+    The result cache therefore keys on this *per-table* vector as well:
+    a write to ``trades`` bumps only ``trades``, so cached results over
+    ``quotes`` stay servable.  Owned by the :class:`MetadataInterface`
+    (one per deployment — platform and server share their MDI across
+    sessions), mutated only through the cache layer's execution choke
+    point (``repro.cache.executor.QueryExecutor``).
+    """
+
+    def __init__(self):
+        self._lock = make_lock("core.table_versions")
+        self._versions: dict[str, int] = {}
+
+    def version(self, table: str) -> int:
+        with self._lock:
+            return self._versions.get(table, 0)
+
+    def bump(self, table: str) -> int:
+        """Advance ``table``'s version; returns the new value."""
+        with self._lock:
+            value = self._versions.get(table, 0) + 1
+            self._versions[table] = value
+            return value
+
+    def vector(self, tables) -> tuple:
+        """Hashable (table, version) vector over ``tables``, sorted."""
+        with self._lock:
+            return tuple(
+                (name, self._versions.get(name, 0))
+                for name in sorted(set(tables))
+            )
+
+
 @dataclass
 class CacheStats:
     lookups: int = 0
@@ -198,6 +235,8 @@ class MetadataInterface:
         self.config = config or MetadataCacheConfig()
         self.stats = CacheStats()
         self._cache: dict[str, tuple[float, int, TableMeta | None]] = {}
+        #: per-table DML version counters (result-cache key component)
+        self.table_versions = TableVersions()
         #: key-column annotations Hyper-Q maintains itself (PG has no notion
         #: of Q keyed tables); populated by the session on xkey/load
         self._key_annotations: dict[str, list[str]] = dict(key_annotations or {})
@@ -237,9 +276,16 @@ class MetadataInterface:
                 return cached  # type: ignore[return-value]
         self.stats.misses += 1
         CACHE_MISSES.inc()
+        # sample the catalog version BEFORE the fetch: a concurrent DDL
+        # landing between the two port reads would otherwise stamp a
+        # pre-DDL TableMeta with the post-DDL version — an entry the
+        # VERSION invalidation policy can never tell is stale.  Stamping
+        # the pre-fetch version errs the safe way (a DDL during the
+        # fetch makes the entry *look* stale and re-fetch).
+        version = self.port.catalog_version()
         meta = self._fetch(name)
         if self.config.enabled:
-            self._cache[name] = (time.monotonic(), self.port.catalog_version(), meta)
+            self._cache[name] = (time.monotonic(), version, meta)
         return meta
 
     def require_table(self, name: str) -> TableMeta:
@@ -257,6 +303,19 @@ class MetadataInterface:
         invalidation policy and the translation-cache key both read it.
         """
         return self.port.catalog_version()
+
+    def table_version(self, name: str) -> int:
+        """Monotonic DML version for one table (0 = never written)."""
+        return self.table_versions.version(name)
+
+    def bump_table_version(self, name: str) -> int:
+        """Record a write to ``name``: stale result-cache entries keyed
+        on the old (table, version) pair become unreachable."""
+        return self.table_versions.bump(name)
+
+    def table_version_vector(self, tables) -> tuple:
+        """Hashable per-table version vector (result-cache key part)."""
+        return self.table_versions.vector(tables)
 
     def annotate_keys(self, table: str, keys: list[str]) -> None:
         """Record Q key columns for a backend table (kept Hyper-Q-side)."""

@@ -138,6 +138,9 @@ class TranslationResult:
     #: admission class of the statement (repro/wlm/classifier.py);
     #: cached entries replay it so cache hits bill the right quota
     query_class: str = "analytical"
+    #: backend relations the statement reads (XtraGet scans, collected
+    #: at serialize time) — the result cache keys on their versions
+    tables: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -167,6 +170,8 @@ class TranslationUnit:
     sql: str | None = None
     shape: str | None = None
     keys: list[str] = field(default_factory=list)
+    #: relations scanned by the bound tree (filled by the serialize pass)
+    tables: list[str] = field(default_factory=list)
     rule_applications: dict[str, int] = field(default_factory=dict)
     #: free-form notes passes leave for diagnostics / error reporting
     diagnostics: list[str] = field(default_factory=list)
@@ -190,7 +195,22 @@ class TranslationUnit:
             timings=self.timings,
             rule_applications=dict(self.rule_applications),
             query_class=self.query_class,
+            tables=list(self.tables),
         )
+
+
+def referenced_tables(op) -> list[str]:
+    """Backend relations scanned by a bound XTRA tree, sorted unique.
+
+    Walked at serialize time so every :class:`TranslationResult` carries
+    the read set its SQL depends on — the result cache keys on the
+    per-table version vector over exactly these names.
+    """
+    from repro.core.xtra.ops import XtraGet, walk
+
+    return sorted({
+        node.table for node in walk(op) if isinstance(node, XtraGet)
+    })
 
 
 class Pass:
@@ -281,10 +301,12 @@ class SerializePass(Pass):
             )
             unit.shape = "atom"
             unit.keys = []
+            unit.tables = []
         else:
             unit.sql = pipeline.serializer.serialize(bound.op)
             unit.shape = bound.shape
             unit.keys = list(bound.keys)
+            unit.tables = referenced_tables(bound.op)
 
 
 def default_passes() -> list[Pass]:
@@ -587,6 +609,7 @@ class TranslationCache:
             timings=StageTimings(),
             rule_applications=dict(result.rule_applications),
             query_class=result.query_class,
+            tables=list(result.tables),
         )
         with self._lock:
             self._entries[key] = entry

@@ -8,6 +8,7 @@ variable scope, and per-client sessions.  The socket-level deployment
 
 from __future__ import annotations
 
+from repro.cache import ResultCache
 from repro.config import HyperQConfig
 from repro.core.backends import ExecutionBackend
 from repro.core.metadata import BackendPort, MetadataInterface
@@ -74,6 +75,9 @@ class HyperQ:
         # one translation cache for the whole platform: repeat statements
         # hit across sessions (the scope fingerprint keeps them honest)
         self.translation_cache = TranslationCache(self.config.translation_cache)
+        # likewise one result cache: the version-vector key makes entries
+        # safe to share between sessions (docs/CACHING.md)
+        self.result_cache = ResultCache(self.config.result_cache)
 
     def create_session(self) -> HyperQSession:
         return HyperQSession(
@@ -83,6 +87,7 @@ class HyperQ:
             mdi=self.mdi,
             translation_cache=self.translation_cache,
             wlm=self.wlm,
+            result_cache=self.result_cache,
         )
 
     # -- conveniences ------------------------------------------------------------

@@ -14,13 +14,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.cache import QueryExecutor, ResultCache, TempDataTier
 from repro.config import HyperQConfig, MaterializationMode
 from repro.core.algebrizer.binder import BoundScalar, BoundTable
 from repro.core.crosscompiler import (
     ProtocolTranslator,
     pivot_result,
 )
-from repro.core.materialize import Materializer
+from repro.core.materialize import MaterializationStep, Materializer
 from repro.core.metadata import BackendPort, MetadataInterface
 from repro.core.pipeline import (
     StageTimings,
@@ -89,6 +90,7 @@ class HyperQSession:
         mdi: MetadataInterface | None = None,
         translation_cache: TranslationCache | None = None,
         wlm: WorkloadManager | None = None,
+        result_cache: ResultCache | None = None,
     ):
         self.config = config or HyperQConfig()
         obs_configure(self.config.observability)
@@ -119,7 +121,24 @@ class HyperQSession:
         self.materializer = Materializer(
             self.mdi, self.config, self.pipeline.serializer
         )
-        self.pt = ProtocolTranslator(self.backend.run_sql)
+        # result cache: deployment-shared when the platform/server passes
+        # one in, private otherwise; temp tier: always session-private
+        # (temp relations are).  The executor is the only path to the
+        # backend from here down (lint rule HQ009).
+        self.result_cache = (
+            result_cache
+            if result_cache is not None
+            else ResultCache(self.config.result_cache)
+        )
+        self.temp_tier = TempDataTier(self.config.temp_tier)
+        self.executor = QueryExecutor(
+            self.backend,
+            self.mdi,
+            self.result_cache,
+            self.temp_tier,
+            self.config,
+        )
+        self.pt = ProtocolTranslator(self.executor.execute)
         self._materialized: list[tuple[str, str]] = []  # (relation, kind)
         self._closed = False
 
@@ -171,12 +190,17 @@ class HyperQSession:
                        for r, k in self._materialized):
                     permanent = f"hq_global_{name}"
                     try:
-                        self.backend.run_sql(
-                            f"DROP TABLE IF EXISTS {quote_ident(permanent)}"
+                        # a still-lazy tier handle must exist for real
+                        # before the promotion CTAS can read it
+                        self.executor.materialize_temp(relation)
+                        self.executor.run_sql(
+                            f"DROP TABLE IF EXISTS {quote_ident(permanent)}",
+                            invalidates=[permanent],
                         )
-                        self.backend.run_sql(
+                        self.executor.run_sql(
                             f"CREATE TABLE {quote_ident(permanent)} AS "
-                            f"SELECT * FROM {quote_ident(relation)}"
+                            f"SELECT * FROM {quote_ident(relation)}",
+                            invalidates=[permanent],
                         )
                         definition.relation = permanent
                         if definition.meta is not None:
@@ -194,13 +218,18 @@ class HyperQSession:
         for relation, kind in self._materialized:
             if relation in keep:
                 continue
+            # a handle the tier still holds lazily was never written to
+            # the backend — nothing to drop there
+            if kind == "temp_table" and self.temp_tier.discard(relation):
+                self.mdi.invalidate(relation)
+                continue
             try:
                 if kind == "view":
-                    self.backend.run_sql(
+                    self.executor.run_sql(
                         f"DROP VIEW IF EXISTS {quote_ident(relation)}"
                     )
                 else:
-                    self.backend.run_sql(
+                    self.executor.run_sql(
                         f"DROP TABLE IF EXISTS {quote_ident(relation)}"
                     )
                 self.mdi.invalidate(relation)
@@ -359,7 +388,9 @@ class HyperQSession:
         * ``wlm[]`` — live workload-management state (queue depths,
           breaker states, shed counts) as a Q table (docs/WLM.md);
         * ``shards[]`` — per-shard health of a sharded backend (breaker
-          state, query/error/hedge counts, mean latency).
+          state, query/error/hedge counts, mean latency);
+        * ``rcache[]`` — result-cache and temp-tier counters
+          (docs/CACHING.md).
         """
         from repro.qlang.qtypes import QType
         from repro.qlang.values import QTable, QVector
@@ -398,10 +429,17 @@ class HyperQSession:
         if (
             isinstance(statement, ast.Apply)
             and isinstance(statement.func, ast.Name)
+            and statement.func.name == "rcache"
+            and not [a for a in statement.args if a is not None]
+        ):
+            return self._rcache_qtable()
+        if (
+            isinstance(statement, ast.Apply)
+            and isinstance(statement.func, ast.Name)
             and statement.func.name == "tables"
             and not [a for a in statement.args if a is not None]
         ):
-            result = self.backend.run_sql(
+            result = self.executor.run_sql(
                 "SELECT tablename FROM pg_tables ORDER BY tablename"
             )
             names = [
@@ -448,11 +486,10 @@ class HyperQSession:
         count) and per fired fault point (``kind=`fault``).  An empty
         table means workload management is disabled.
         """
+        from repro.core.admin import admin_table
         from repro.qlang.qtypes import QType
-        from repro.qlang.values import QTable, QVector
 
-        rows: list[tuple] = []  # (name, kind, state, limit, active,
-        #                          queued, admitted, shed)
+        rows: list[tuple] = []
         if self.wlm is not None:
             snapshot = self.wlm.snapshot()
             for name, stats in snapshot["classes"].items():
@@ -468,20 +505,14 @@ class HyperQSession:
                 ))
             for point, count in snapshot["faults"].items():
                 rows.append((point, "fault", "armed", 0, count, 0, 0, 0))
-        symbol_columns = {"name": 0, "kind": 1, "state": 2}
-        long_columns = {
-            "limit": 3, "active": 4, "queued": 5, "admitted": 6, "shed": 7,
-        }
-        return QTable(
-            list(symbol_columns) + list(long_columns),
+        return admin_table(
             [
-                QVector(QType.SYMBOL, [row[i] for row in rows])
-                for i in symbol_columns.values()
-            ]
-            + [
-                QVector(QType.LONG, [int(row[i]) for row in rows])
-                for i in long_columns.values()
+                ("name", QType.SYMBOL), ("kind", QType.SYMBOL),
+                ("state", QType.SYMBOL), ("limit", QType.LONG),
+                ("active", QType.LONG), ("queued", QType.LONG),
+                ("admitted", QType.LONG), ("shed", QType.LONG),
             ],
+            rows,
         )
 
     def _shards_qtable(self):
@@ -491,8 +522,8 @@ class HyperQSession:
         hedged reads fired, mean statement latency in milliseconds.  An
         empty table means the backend is not sharded.
         """
+        from repro.core.admin import admin_table
         from repro.qlang.qtypes import QType
-        from repro.qlang.values import QTable, QVector
 
         snapshot_fn = None
         node = self.backend
@@ -503,17 +534,43 @@ class HyperQSession:
             if snapshot_fn is not None:
                 break
             node = getattr(node, "inner", None)
-        rows = snapshot_fn() if snapshot_fn is not None else []
-        return QTable(
-            ["shard", "state", "queries", "errors", "hedges", "mean_ms"],
+        snapshot = snapshot_fn() if snapshot_fn is not None else []
+        return admin_table(
             [
-                QVector(QType.LONG, [int(r["shard"]) for r in rows]),
-                QVector(QType.SYMBOL, [r["state"] for r in rows]),
-                QVector(QType.LONG, [int(r["queries"]) for r in rows]),
-                QVector(QType.LONG, [int(r["errors"]) for r in rows]),
-                QVector(QType.LONG, [int(r["hedges"]) for r in rows]),
-                QVector(QType.FLOAT, [float(r["mean_ms"]) for r in rows]),
+                ("shard", QType.LONG), ("state", QType.SYMBOL),
+                ("queries", QType.LONG), ("errors", QType.LONG),
+                ("hedges", QType.LONG), ("mean_ms", QType.FLOAT),
             ],
+            [
+                (r["shard"], r["state"], r["queries"], r["errors"],
+                 r["hedges"], r["mean_ms"])
+                for r in snapshot
+            ],
+        )
+
+    def _rcache_qtable(self):
+        """``rcache[]`` — result-cache and temp-tier counters.
+
+        One ``(layer, stat, value)`` row per counter: the shared result
+        cache's lookups/hits/misses/evictions/bytes plus this session's
+        temp-tier handle and serve counts (docs/CACHING.md).
+        """
+        from repro.core.admin import admin_table
+        from repro.qlang.qtypes import QType
+
+        rows = [
+            ("rcache", name, value)
+            for name, value in self.result_cache.snapshot().as_rows()
+        ] + [
+            ("temptier", name, value)
+            for name, value in self.temp_tier.snapshot()
+        ]
+        return admin_table(
+            [
+                ("layer", QType.SYMBOL), ("stat", QType.SYMBOL),
+                ("value", QType.LONG),
+            ],
+            rows,
         )
 
     def _try_check(self, statement: ast.Apply, scope: Scope):
@@ -610,6 +667,10 @@ class HyperQSession:
             if definition is not None and definition.relation
             else table_name
         )
+        # inserting into a lazily-held assignment: the relation must
+        # exist in the backend before the counts and the INSERT run
+        if execute:
+            self.executor.materialize_temp(relation)
         meta = self.mdi.require_table(relation)
 
         with stage_span(outcome.timings, "algebrize"):
@@ -642,11 +703,11 @@ class HyperQSession:
         outcome.sql_statements.append(insert_sql)
         if not execute:
             return None
-        before = self.backend.run_sql(
+        before = self.executor.run_sql(
             f"SELECT count(*) FROM {quoted_target}"
         ).scalar()
-        self.backend.run_sql(insert_sql)
-        after = self.backend.run_sql(
+        self.executor.run_sql(insert_sql, invalidates=[relation])
+        after = self.executor.run_sql(
             f"SELECT count(*) FROM {quoted_target}"
         ).scalar()
         return QVector(QType.LONG, list(range(before, after)))
@@ -703,9 +764,43 @@ class HyperQSession:
             )
         outcome.sql_statements.append(step.sql)
         if execute:
-            self.backend.run_sql(step.sql)
-            self.mdi.invalidate(step.relation)
-            self._materialized.append((step.relation, step.kind))
+            self._execute_materialization(step)
+
+    def _execute_materialization(self, step: MaterializationStep) -> None:
+        """Run (or lazily defer) one materialization step.
+
+        Physical temp tables go to the interactive temp-data tier when
+        it is enabled: the *defining SELECT* runs now — so the snapshot
+        has exactly the eager CTAS's point-in-time semantics — but the
+        backend write is deferred until an access pattern needs it
+        (docs/CACHING.md).  A defining SELECT that is itself a simple
+        read over another lazy handle is served tier-to-tier without
+        touching the backend at all.
+        """
+        tier = self.temp_tier
+        if (
+            step.kind == "temp_table"
+            and tier.enabled
+            and step.inner_sql
+            and step.meta is not None
+        ):
+            snapshot = tier.try_serve(step.inner_sql)
+            if snapshot is None:
+                self._materialize_lazy_refs(step.inner_sql)
+                snapshot = self.executor.run_sql(step.inner_sql)
+            tier.register(step.relation, step.sql, step.meta, snapshot)
+        else:
+            self._materialize_lazy_refs(step.sql)
+            self.executor.run_sql(step.sql)
+        self.mdi.invalidate(step.relation)
+        self._materialized.append((step.relation, step.kind))
+
+    def _materialize_lazy_refs(self, sql: str) -> None:
+        """Backend-run SQL may read relations the tier still holds
+        lazily; they must exist for real first."""
+        for relation in self.temp_tier.lazy_names():
+            if f'"{relation}"' in sql:
+                self.executor.materialize_temp(relation)
 
     def _scalar_value(self, bound: BoundScalar, execute: bool) -> QValue:
         from repro.core.xtra.scalars import SConst
@@ -719,7 +814,7 @@ class HyperQSession:
                 "translate-only mode cannot evaluate non-literal scalar "
                 "assignments"
             )
-        result = self.backend.run_sql(sql)
+        result = self.executor.run_sql(sql)
         return pivot_result(result, "atom", [])
 
     # -- function unrolling ------------------------------------------------------------
@@ -768,8 +863,7 @@ class HyperQSession:
                 )
                 outcome.sql_statements.append(step.sql)
                 if execute:
-                    self.backend.run_sql(step.sql)
-                    self._materialized.append((step.relation, step.kind))
+                    self._execute_materialization(step)
 
         result: QValue | None = None
         for body_statement in lam.body:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 
 from repro.analysis.concurrency.locks import make_lock
+from repro.cache import ResultCache
 from repro.config import HyperQConfig
 from repro.core.backends import PooledBackend
 from repro.core.metadata import BackendPort, MetadataInterface
@@ -111,6 +112,9 @@ class HyperQServer(QipcEndpoint):
         self.mdi = MetadataInterface(backend, self.config.metadata_cache)
         # repeat statements across all sessions hit one shared cache
         self.translation_cache = TranslationCache(self.config.translation_cache)
+        # one shared result cache: dashboards re-issuing the same reads
+        # from different connections share entries (docs/CACHING.md)
+        self.result_cache = ResultCache(self.config.result_cache)
         # "configurable concurrency" (paper Section 5): kdb+ is strictly
         # serial; Hyper-Q lets the operator pick the concurrency level
         self._concurrency = (
@@ -173,6 +177,7 @@ class HyperQServer(QipcEndpoint):
             mdi=self.mdi,
             translation_cache=self.translation_cache,
             wlm=self.wlm,
+            result_cache=self.result_cache,
         )
 
     @classmethod

@@ -35,7 +35,7 @@ CLASSIFIED_TOTAL = metrics.counter(
 
 #: statements answered from Hyper-Q's own layers, never the backend data
 ADMIN_VERBS = frozenset(
-    {"tables", "cols", "meta", "metrics", "check", "wlm"}
+    {"tables", "cols", "meta", "metrics", "check", "wlm", "rcache"}
 )
 
 

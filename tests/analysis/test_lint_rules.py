@@ -44,7 +44,8 @@ class TestRegistry:
         codes = {rule.code for rule in default_rules()}
         assert {"E501", "E711", "F401", "I001"} <= codes
         assert {
-            "HQ001", "HQ002", "HQ003", "HQ004", "HQ005", "HQ006", "HQ007"
+            "HQ001", "HQ002", "HQ003", "HQ004", "HQ005", "HQ006", "HQ007",
+            "HQ008", "HQ009",
         } <= codes
 
     def test_fresh_instances_per_call(self):
@@ -555,6 +556,53 @@ class TestHQ007ShardRouting:
             """,
         )
         assert "HQ007" not in lint_codes(path)
+
+
+class TestHQ009ExecutorChokePoint:
+    BYPASS = """\
+    class HyperQSession:
+        def tables(self):
+            return self.backend.run_sql("SELECT 1")
+    """
+
+    def test_fires_in_session(self, tmp_path):
+        path = _write(tmp_path, "src/repro/core/session.py", self.BYPASS)
+        assert "HQ009" in lint_codes(path)
+
+    def test_fires_in_crosscompiler(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/core/crosscompiler.py", self.BYPASS
+        )
+        assert "HQ009" in lint_codes(path)
+
+    def test_executor_calls_allowed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/session.py",
+            """\
+            class HyperQSession:
+                def tables(self):
+                    return self.executor.run_sql("SELECT 1")
+            """,
+        )
+        assert "HQ009" not in lint_codes(path)
+
+    def test_other_modules_exempt(self, tmp_path):
+        # the executor itself (and backends, sharding...) own the call
+        path = _write(tmp_path, "src/repro/cache/executor.py", self.BYPASS)
+        assert "HQ009" not in lint_codes(path)
+
+    def test_noqa_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "src/repro/core/session.py",
+            """\
+            class HyperQSession:
+                def tables(self):
+                    return self.backend.run_sql("SELECT 1")  # noqa: HQ009
+            """,
+        )
+        assert "HQ009" not in lint_codes(path)
 
 
 class TestDriver:

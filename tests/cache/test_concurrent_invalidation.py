@@ -1,0 +1,89 @@
+"""Concurrent DML writers vs. cached readers (docs/CACHING.md).
+
+Writers hammer ``trades`` with inserts while readers repeatedly run
+cacheable analytical queries over both ``trades`` and ``quotes``.  The
+invariants: after the dust settles, a cached read is indistinguishable
+from a fresh recomputation (no stale entry survives its table's last
+write), the untouched ``quotes`` results kept hitting, and — under
+``REPRO_LOCKCHECK=1`` (the CI lockcheck legs) — the session-teardown
+gate in tests/conftest.py fails the run on any CC005 lock-order cycle
+across the cache/version-counter/WLM lock stack."""
+
+import threading
+
+from repro.qipc.encode import encode_value
+
+from tests.cache.conftest import make_platform
+
+WRITERS = 3
+ROWS_PER_WRITER = 8
+READERS = 3
+READS_PER_READER = 12
+
+TRADES_Q = "select sum Size by Symbol from trades"
+QUOTES_Q = "select max Bid by Symbol from quotes"
+
+
+def insert_stmt(writer: int, row: int) -> str:
+    return (
+        f"`trades insert ([] Symbol: enlist `W{writer}; "
+        f"Time: enlist 10:00:00; Price: enlist {float(row + 1)}; "
+        f"Size: enlist {row + 1})"
+    )
+
+
+class TestConcurrentInvalidation:
+    def test_writers_never_leave_stale_reads(self):
+        hq, __ = make_platform()
+        errors: list[BaseException] = []
+        start = threading.Barrier(WRITERS + READERS)
+
+        def writer(index: int):
+            session = hq.create_session()
+            try:
+                start.wait(10.0)
+                for row in range(ROWS_PER_WRITER):
+                    session.execute(insert_stmt(index, row))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            finally:
+                session.close()
+
+        def reader():
+            session = hq.create_session()
+            try:
+                start.wait(10.0)
+                for __ in range(READS_PER_READER):
+                    session.execute(TRADES_Q)
+                    session.execute(QUOTES_Q)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            finally:
+                session.close()
+
+        threads = [
+            threading.Thread(target=writer, args=(i,), name=f"writer-{i}")
+            for i in range(WRITERS)
+        ] + [
+            threading.Thread(target=reader, name=f"reader-{i}")
+            for i in range(READERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not errors, errors
+
+        # every write landed
+        total = hq.q("count select from trades")
+        assert total.value == 4 + WRITERS * ROWS_PER_WRITER
+
+        # a post-race cached read equals a from-scratch recomputation
+        for q in (TRADES_Q, QUOTES_Q):
+            cached = encode_value(hq.q(q))
+            hq.result_cache.clear()
+            assert encode_value(hq.q(q)) == cached, q
+
+        stats = hq.result_cache.snapshot()
+        assert stats.hits > 0  # quotes reads (at least) kept hitting
+        assert stats.invalidations > 0  # trades writes dropped entries

@@ -1,0 +1,348 @@
+"""The semantic result cache: version-keyed invalidation, byte-bounded
+LRU, single-flight coalescing, WLM gating, and the ``rcache[]`` admin
+command (docs/CACHING.md)."""
+
+import threading
+
+import pytest
+
+from repro.cache import QueryExecutor, ResultCache
+from repro.config import HyperQConfig, ResultCacheConfig
+from repro.core.pipeline import StageTimings, TranslationResult
+from repro.qlang.values import QTable
+from repro.sqlengine.catalog import Column
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import SqlType
+
+from tests.cache.conftest import make_platform
+
+
+def rs(values, name="v"):
+    return ResultSet.from_columns(
+        [Column(name, SqlType.BIGINT)], [list(values)]
+    )
+
+
+def make_cache(**kwargs) -> ResultCache:
+    kwargs.setdefault("sweep_interval", 0.0)  # no background thread
+    return ResultCache(ResultCacheConfig(**kwargs))
+
+
+class TestFillAndFetch:
+    def test_roundtrip(self):
+        cache = make_cache()
+        cache.fill(("k",), ["trades"], rs([1, 2]))
+        hit = cache.fetch(("k",))
+        assert hit is not None
+        assert [r[0] for r in hit.rows] == [1, 2]
+
+    def test_miss_returns_none(self):
+        assert make_cache().fetch(("absent",)) is None
+
+    def test_disabled_cache_never_fills(self):
+        cache = make_cache(enabled=False)
+        cache.fill(("k",), ["trades"], rs([1]))
+        assert cache.fetch(("k",)) is None
+
+    def test_hits_are_isolated_views(self):
+        """Callers rebind .rows (LIMIT/sort); the payload must not move."""
+        cache = make_cache()
+        cache.fill(("k",), [], rs([1, 2, 3]))
+        first = cache.fetch(("k",))
+        first.rows = [(99,)]
+        first.column_data[0].append(98)
+        second = cache.fetch(("k",))
+        assert [r[0] for r in second.rows] == [1, 2, 3]
+
+    def test_fill_copies_the_producer_result(self):
+        cache = make_cache()
+        live = rs([1, 2])
+        cache.fill(("k",), [], live)
+        live.column_data[0].append(3)  # backend mutates its rows later
+        assert [r[0] for r in cache.fetch(("k",)).rows] == [1, 2]
+
+
+class TestInvalidation:
+    def test_write_drops_only_dependent_entries(self):
+        """The headline guarantee: a write to trades must not evict
+        results over quotes."""
+        cache = make_cache()
+        cache.fill(("q-trades",), ["trades"], rs([1]))
+        cache.fill(("q-quotes",), ["quotes"], rs([2]))
+        cache.fill(("q-join",), ["trades", "quotes"], rs([3]))
+        cache.on_write(["trades"])
+        assert cache.fetch(("q-trades",)) is None
+        assert cache.fetch(("q-join",)) is None
+        assert cache.fetch(("q-quotes",)) is not None
+        assert cache.stats.invalidations == 2
+
+    def test_clear(self):
+        cache = make_cache()
+        cache.fill(("k",), ["t"], rs([1]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.total_bytes == 0
+
+    def test_ttl_sweep_retires_expired(self):
+        cache = make_cache(ttl_seconds=0.0001)
+        cache.fill(("k",), [], rs([1]))
+        import time
+
+        time.sleep(0.01)
+        assert cache.sweep() == 1
+        assert len(cache) == 0
+
+
+class TestByteLru:
+    def test_eviction_is_lru_ordered(self):
+        cache = make_cache(max_bytes=1)  # everything over budget
+        cache.fill(("a",), [], rs([1]))
+        assert len(cache) == 0  # single oversized entry dropped outright
+
+    def test_oldest_evicted_first(self):
+        one = rs(list(range(100)))
+        nbytes = ResultCache(ResultCacheConfig()).config  # noqa: F841
+        cache = make_cache(max_bytes=10_000)
+        cache.fill(("a",), [], rs(list(range(100))))
+        cache.fill(("b",), [], rs(list(range(100))))
+        cache.fetch(("a",))  # a is now most recently used
+        for i in range(20):
+            cache.fill((f"c{i}",), [], rs(list(range(100))))
+        # b (least recently used) must have gone before a
+        assert cache.fetch(("b",)) is None
+        assert cache.total_bytes <= 10_000
+        assert cache.stats.evictions > 0
+        assert one is not None
+
+    def test_bytes_accounting_returns_to_zero(self):
+        cache = make_cache()
+        cache.fill(("a",), ["t"], rs([1, 2, 3]))
+        assert cache.total_bytes > 0
+        cache.on_write(["t"])
+        assert cache.total_bytes == 0
+
+
+class TestSingleFlight:
+    def test_concurrent_requests_coalesce(self):
+        cache = make_cache(flight_timeout=5.0)
+        release = threading.Event()
+        produced = []
+
+        def producer():
+            release.wait(5.0)
+            produced.append(1)
+            return rs([42])
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_execute(("k",), [], producer)
+                )
+            )
+            for __ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(10.0)
+        assert len(produced) == 1, "only the leader may execute"
+        assert len(results) == 6
+        assert all([r[0] for r in res.rows] == [42] for res in results)
+        assert cache.stats.coalesced >= 1
+
+    def test_leader_failure_propagates_and_releases_waiters(self):
+        cache = make_cache(flight_timeout=5.0)
+        calls = []
+
+        def failing_then_ok():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("backend down")
+            return rs([7])
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_execute(("k",), [], failing_then_ok)
+        # the flight is gone: the next requester retries as leader
+        result = cache.get_or_execute(("k",), [], failing_then_ok)
+        assert [r[0] for r in result.rows] == [7]
+
+
+class TestExecutorGating:
+    """WLM interaction: only analytical/point_lookup are cacheable;
+    materializing and admin statements bypass (and invalidate)."""
+
+    class FakeBackend:
+        def __init__(self):
+            self.calls = 0
+
+        def run_sql(self, sql):
+            self.calls += 1
+            return rs([self.calls])
+
+    class FakeMdi:
+        def catalog_version(self):
+            return 1
+
+        def table_version_vector(self, tables):
+            return tuple((t, 0) for t in sorted(set(tables)))
+
+        def partition_fingerprint(self):
+            return ()
+
+        def bump_table_version(self, name):
+            return 1
+
+    def translation(self, sql="SELECT 1", qclass="analytical", tables=()):
+        return TranslationResult(
+            sql=sql, shape="table", keys=[], timings=StageTimings(),
+            query_class=qclass, tables=list(tables),
+        )
+
+    def make_executor(self):
+        backend = self.FakeBackend()
+        cache = make_cache()
+        executor = QueryExecutor(
+            backend, self.FakeMdi(), cache, None, HyperQConfig()
+        )
+        return executor, backend, cache
+
+    def test_analytical_repeats_hit(self):
+        executor, backend, cache = self.make_executor()
+        t = self.translation(tables=["trades"])
+        executor.execute(t)
+        executor.execute(t)
+        assert backend.calls == 1
+        assert cache.stats.hits == 1
+
+    def test_point_lookup_cacheable(self):
+        executor, backend, __ = self.make_executor()
+        t = self.translation(qclass="point_lookup", tables=["trades"])
+        executor.execute(t)
+        executor.execute(t)
+        assert backend.calls == 1
+
+    def test_materializing_bypasses_and_invalidates(self):
+        executor, backend, cache = self.make_executor()
+        read = self.translation(tables=["trades"])
+        executor.execute(read)
+        write = self.translation(
+            sql="CREATE TABLE x AS SELECT 1", qclass="materializing",
+            tables=["trades"],
+        )
+        executor.execute(write)
+        executor.execute(write)
+        assert backend.calls == 3  # never served from cache
+        # and the dependent read entry was dropped
+        assert cache.stats.invalidations >= 1
+
+    def test_admin_class_bypasses(self):
+        executor, backend, cache = self.make_executor()
+        t = self.translation(qclass="admin")
+        executor.execute(t)
+        executor.execute(t)
+        assert backend.calls == 2
+        assert len(cache) == 0
+        assert cache.stats.bypasses == 2
+
+    def test_session_private_relations_never_cached(self):
+        executor, backend, cache = self.make_executor()
+        t = self.translation(tables=["hq_temp_1"])
+        executor.execute(t)
+        executor.execute(t)
+        assert backend.calls == 2
+        assert len(cache) == 0
+
+    def test_run_sql_bumps_versions_and_drops(self):
+        executor, backend, cache = self.make_executor()
+        read = self.translation(tables=["trades"])
+        executor.execute(read)
+        assert len(cache) == 1
+        executor.run_sql("INSERT INTO trades VALUES (1)",
+                         invalidates=["trades"])
+        assert len(cache) == 0
+
+
+class TestEndToEnd:
+    def test_repeat_analytical_skips_backend(self):
+        hq, gateway = make_platform()
+        q = "select sum Size by Symbol from trades"
+        first = hq.q(q)
+        selects_after_first = gateway.count("SELECT")
+        second = hq.q(q)
+        assert second == first
+        assert gateway.count("SELECT") == selects_after_first
+        assert hq.result_cache.snapshot().hits >= 1
+
+    def test_dml_invalidates_only_written_table(self):
+        hq, gateway = make_platform()
+        trades_q = "select sum Size by Symbol from trades"
+        quotes_q = "select max Bid by Symbol from quotes"
+        hq.q(trades_q)
+        hq.q(quotes_q)
+        hq.q(
+            "`trades insert ([] Symbol: enlist `Z; Time: enlist 10:00:00; "
+            "Price: enlist 1.0; Size: enlist 7)"
+        )
+        hits_before = hq.result_cache.snapshot().hits
+        fresh = hq.q(trades_q).unkey()  # must recompute: trades changed
+        assert fresh.column("Size").items != []
+        assert "Z" in fresh.column("Symbol").items
+        hq.q(quotes_q)  # must still hit: quotes untouched
+        assert hq.result_cache.snapshot().hits == hits_before + 1
+
+    def test_ddl_moves_every_key(self):
+        hq, gateway = make_platform()
+        q = "select sum Size by Symbol from trades"
+        hq.q(q)
+        hq.engine.execute("CREATE TABLE unrelated (a bigint)")  # DDL
+        before = gateway.count("SELECT")
+        hq.q(q)  # catalog version moved: stale key unreachable
+        assert gateway.count("SELECT") > before
+
+    def test_cache_off_differential(self):
+        from repro.qipc.encode import encode_value
+
+        on, __ = make_platform()
+        off, __ = make_platform(
+            HyperQConfig(result_cache=ResultCacheConfig(enabled=False))
+        )
+        queries = [
+            "select sum Size by Symbol from trades",
+            "select from trades where Price > 40.0",
+            "exec max Bid from quotes",
+        ]
+        for q in queries:
+            for __ in range(2):  # second round exercises hits on `on`
+                assert encode_value(on.q(q)) == encode_value(off.q(q))
+        assert on.result_cache.snapshot().hits >= len(queries)
+
+    def test_rcache_admin_command(self, session):
+        session.execute("select sum Size by Symbol from trades")
+        session.execute("select sum Size by Symbol from trades")
+        table = session.execute("rcache[]")
+        assert isinstance(table, QTable)
+        assert table.columns == ["layer", "stat", "value"]
+        stats = dict(
+            zip(
+                zip(table.column("layer").items, table.column("stat").items),
+                table.column("value").items,
+            )
+        )
+        assert stats[("rcache", "hits")] >= 1
+        assert ("temptier", "handles") in stats
+
+    def test_rcache_is_billed_as_admin(self):
+        hq, __ = make_platform()
+        session = hq.create_session()
+        try:
+            session.execute("rcache[]")
+            table = session.execute("wlm[]")
+            by_name = dict(
+                zip(table.column("name").items,
+                    table.column("admitted").items)
+            )
+            assert by_name.get("admin", 0) >= 1
+        finally:
+            session.close()

@@ -1,0 +1,367 @@
+"""The interactive temp-data tier: serializer-shape matcher, positional
+maps with zone pruning, lazy handles, and the materialization fallback
+(docs/CACHING.md)."""
+
+from repro.cache.temptier import (
+    MatchedQuery,
+    PositionalMap,
+    match_tier_sql,
+)
+from repro.config import HyperQConfig, TempTierConfig
+from repro.qipc.encode import encode_value
+
+from tests.cache.conftest import make_platform
+
+
+def scan_sql(relation="hq_temp_1", cols=('"a"', '"b"')):
+    inner = f'SELECT {", ".join(cols)} FROM "{relation}"'
+    return f'SELECT * FROM ({inner}) AS hq_t1 ORDER BY "ordcol" NULLS FIRST'
+
+
+def filtered_sql(pred, relation="hq_temp_1"):
+    base = f'SELECT "a", "b" FROM "{relation}"'
+    inner = f"SELECT * FROM ({base}) AS hq_t1 WHERE ({pred})"
+    return f'SELECT * FROM ({inner}) AS hq_t2 ORDER BY "ordcol" NULLS FIRST'
+
+
+class TestMatcher:
+    def test_plain_scan(self):
+        matched = match_tier_sql(scan_sql())
+        assert matched == MatchedQuery(relation="hq_temp_1")
+
+    def test_count_shape(self):
+        sql = (
+            'SELECT count(*) AS "count" FROM '
+            '(SELECT 1 FROM "hq_temp_3") AS hq_t7'
+        )
+        matched = match_tier_sql(sql)
+        assert matched.relation == "hq_temp_3"
+        assert matched.count_only
+
+    def test_single_predicate(self):
+        matched = match_tier_sql(filtered_sql('"a" > 5'))
+        assert matched.predicates == [("a", ">", 5)]
+
+    def test_and_chain(self):
+        matched = match_tier_sql(
+            filtered_sql("(\"a\" >= 5) AND (\"b\" IS NOT DISTINCT FROM "
+                         "'GOOG'::varchar)")
+        )
+        assert matched.predicates == [
+            ("a", ">=", 5),
+            ("b", "IS NOT DISTINCT FROM", "GOOG"),
+        ]
+
+    def test_left_nested_and_chain(self):
+        matched = match_tier_sql(
+            filtered_sql('(("a" > 1) AND ("a" < 9)) AND ("b" <> 4)')
+        )
+        assert sorted(matched.predicates) == [
+            ("a", "<", 9), ("a", ">", 1), ("b", "<>", 4),
+        ]
+
+    def test_identity_projection(self):
+        base = 'SELECT "a", "b" FROM "hq_temp_1"'
+        inner = f'SELECT "b" AS "b" FROM ({base}) AS hq_t1'
+        sql = (
+            f'SELECT * FROM ({inner}) AS hq_t2 '
+            f'ORDER BY "ordcol" NULLS FIRST'
+        )
+        matched = match_tier_sql(sql)
+        assert matched.projection == ["b"]
+
+    def test_rename_is_not_our_shape(self):
+        base = 'SELECT "a" FROM "hq_temp_1"'
+        inner = f'SELECT "a" AS "z" FROM ({base}) AS hq_t1'
+        sql = (
+            f'SELECT * FROM ({inner}) AS hq_t2 '
+            f'ORDER BY "ordcol" NULLS FIRST'
+        )
+        assert match_tier_sql(sql) is None
+
+    def test_string_literal_escapes(self):
+        matched = match_tier_sql(
+            filtered_sql("\"b\" = 'it''s'::varchar")
+        )
+        assert matched.predicates == [("b", "=", "it's")]
+
+    def test_boolean_and_float_literals(self):
+        matched = match_tier_sql(
+            filtered_sql('("a" = TRUE) AND ("b" <= -2.5)')
+        )
+        assert matched.predicates == [("a", "=", True), ("b", "<=", -2.5)]
+
+    def test_unsupported_literal_rejected(self):
+        assert match_tier_sql(filtered_sql('"a" = now()')) is None
+
+    def test_or_predicate_rejected(self):
+        assert match_tier_sql(
+            filtered_sql('("a" > 1) OR ("a" < 9)')
+        ) is None
+
+    def test_join_rejected(self):
+        sql = (
+            'SELECT * FROM (SELECT "a" FROM "t1" JOIN "t2" USING (k)) '
+            'AS hq_t1 ORDER BY "ordcol" NULLS FIRST'
+        )
+        assert match_tier_sql(sql) is None
+
+    def test_aggregate_rejected(self):
+        sql = (
+            'SELECT * FROM (SELECT sum("a") AS "a" FROM "hq_temp_1" '
+            'GROUP BY "b") AS hq_t1 ORDER BY "ordcol" NULLS FIRST'
+        )
+        assert match_tier_sql(sql) is None
+
+    def test_arbitrary_sql_rejected(self):
+        assert match_tier_sql('INSERT INTO "hq_temp_1" VALUES (1)') is None
+        assert match_tier_sql('SELECT 1') is None
+
+
+class TestPositionalMap:
+    def make_map(self):
+        # one column, monotone, 3 blocks of 2: [1,2], [3,4], [5,6]
+        return PositionalMap([[1, 2, 3, 4, 5, 6]], block_rows=2)
+
+    def test_equality_prunes_to_one_block(self):
+        assert self.make_map().candidate_blocks(0, "=", 3) == {1}
+
+    def test_range_prunes_prefix(self):
+        assert self.make_map().candidate_blocks(0, ">", 4) == {2}
+        assert self.make_map().candidate_blocks(0, ">=", 4) == {1, 2}
+
+    def test_range_prunes_suffix(self):
+        assert self.make_map().candidate_blocks(0, "<", 3) == {0}
+        assert self.make_map().candidate_blocks(0, "<=", 3) == {0, 1}
+
+    def test_inequality_cannot_prune(self):
+        assert self.make_map().candidate_blocks(0, "<>", 3) == {0, 1, 2}
+
+    def test_all_null_block_skipped(self):
+        pmap = PositionalMap([[None, None, 1, 2]], block_rows=2)
+        assert pmap.candidate_blocks(0, "=", 1) == {1}
+
+    def test_cross_type_comparison_never_prunes(self):
+        pmap = PositionalMap([["x", "y"]], block_rows=2)
+        assert pmap.candidate_blocks(0, ">", 5) == {0}
+
+    def test_nulls_excluded_from_zones(self):
+        pmap = PositionalMap([[None, 9, 1, None]], block_rows=2)
+        assert pmap.candidate_blocks(0, ">", 5) == {0}
+        assert pmap.zones[0][0].has_null
+
+
+def lazy_platform(config=None):
+    return make_platform(config)
+
+
+def eager_platform():
+    return make_platform(
+        HyperQConfig(temp_tier=TempTierConfig(enabled=False))
+    )
+
+
+class TestLazyHandles:
+    def test_assignment_defers_backend_write(self):
+        hq, gateway = lazy_platform()
+        s = hq.create_session()
+        try:
+            s.execute("dt: select from trades where Price > 40.0")
+            relation = s.session_scope.lookup("dt").relation
+            assert s.temp_tier.is_lazy(relation)
+            assert relation not in hq.engine.catalog.temp_tables
+            assert gateway.count("CREATE TEMPORARY TABLE") == 0
+        finally:
+            s.close()
+
+    def test_scan_served_without_materializing(self):
+        hq, __ = lazy_platform()
+        s = hq.create_session()
+        try:
+            s.execute("dt: select from trades where Price > 40.0")
+            result = s.execute("select from dt")
+            assert len(result) == 3
+            relation = s.session_scope.lookup("dt").relation
+            assert s.temp_tier.is_lazy(relation)
+            assert s.temp_tier.served >= 1
+        finally:
+            s.close()
+
+    def test_count_served_from_row_count(self):
+        hq, __ = lazy_platform()
+        s = hq.create_session()
+        try:
+            s.execute("dt: select from trades")
+            assert s.execute("count select from dt").value == 4
+            assert s.temp_tier.is_lazy(
+                s.session_scope.lookup("dt").relation
+            )
+        finally:
+            s.close()
+
+    def test_aggregate_triggers_materialization(self):
+        hq, __ = lazy_platform()
+        s = hq.create_session()
+        try:
+            s.execute("dt: select from trades")
+            s.execute("select sum Size by Symbol from dt")
+            relation = s.session_scope.lookup("dt").relation
+            assert not s.temp_tier.is_lazy(relation)
+            assert relation in hq.engine.catalog.temp_tables
+            assert s.temp_tier.fallbacks == 1
+        finally:
+            s.close()
+
+    def test_zone_pruning_skips_blocks(self):
+        hq, __ = lazy_platform(
+            HyperQConfig(temp_tier=TempTierConfig(block_rows=1))
+        )
+        s = hq.create_session()
+        try:
+            s.execute("dt: select from trades")
+            result = s.execute("select from dt where Price > 100.0")
+            assert len(result) == 1
+            assert s.temp_tier.blocks_pruned > 0
+        finally:
+            s.close()
+
+    def test_untouched_lazy_local_never_reaches_backend(self):
+        """A function-local variable served entirely from the tier:
+        no CREATE, no DROP — the backend never hears about it.
+        (Session-level variables do materialize at close: promotion
+        copies them into an ``hq_global_`` relation.)"""
+        hq, gateway = lazy_platform()
+        s = hq.create_session()
+        s.execute(
+            "f: {[s] dt: select from trades where Symbol=s; "
+            ":count select from dt}"
+        )
+        assert s.execute("f[`GOOG]").value == 2
+        s.close()
+        temp_statements = [
+            stmt for stmt in gateway.statements if "hq_temp_" in stmt
+        ]
+        assert temp_statements == []
+
+
+class TestDifferentialAgainstEager:
+    QUERIES = [
+        "select from dt",
+        "select from dt where Price > 40.0",
+        "select from dt where Symbol=`GOOG",
+        "select Price from dt",
+        "count select from dt",
+        "select sum Size by Symbol from dt",  # forces the fallback
+        "select from dt",  # passthrough after materialization
+    ]
+
+    def test_byte_identical_to_eager_ctas(self):
+        lazy_hq, __ = lazy_platform()
+        eager_hq, __ = eager_platform()
+        lazy_s = lazy_hq.create_session()
+        eager_s = eager_hq.create_session()
+        try:
+            for s in (lazy_s, eager_s):
+                s.execute("dt: select from trades where Size > 5")
+            for q in self.QUERIES:
+                assert encode_value(lazy_s.execute(q)) == encode_value(
+                    eager_s.execute(q)
+                ), q
+        finally:
+            lazy_s.close()
+            eager_s.close()
+
+    def test_snapshot_isolated_from_later_dml(self):
+        """Eager CTAS semantics: DML on the source table after the
+        assignment must not leak into the variable — on either the
+        snapshot read path or the materialization fallback."""
+        lazy_hq, __ = lazy_platform()
+        eager_hq, __ = eager_platform()
+        lazy_s = lazy_hq.create_session()
+        eager_s = eager_hq.create_session()
+        insert = (
+            "`trades insert ([] Symbol: enlist `Z; Time: enlist 10:00:00; "
+            "Price: enlist 500.0; Size: enlist 7)"
+        )
+        try:
+            for s in (lazy_s, eager_s):
+                s.execute("dt: select from trades")
+                s.execute(insert)
+            assert lazy_s.execute("count select from dt").value == 4
+            for q in ("select from dt",
+                      "select sum Size by Symbol from dt",
+                      "select from dt"):
+                assert encode_value(lazy_s.execute(q)) == encode_value(
+                    eager_s.execute(q)
+                ), q
+            # the source table did take the write
+            assert lazy_s.execute("count select from trades").value == 5
+        finally:
+            lazy_s.close()
+            eager_s.close()
+
+    def test_insert_into_lazy_variable_materializes_first(self):
+        lazy_hq, __ = lazy_platform()
+        eager_hq, __ = eager_platform()
+        lazy_s = lazy_hq.create_session()
+        eager_s = eager_hq.create_session()
+        insert = (
+            "`dt insert ([] Symbol: enlist `Q; Time: enlist 11:00:00; "
+            "Price: enlist 9.0; Size: enlist 1)"
+        )
+        try:
+            for s in (lazy_s, eager_s):
+                s.execute("dt: select from trades")
+                s.execute(insert)
+            assert lazy_s.execute("count select from dt").value == 5
+            assert encode_value(lazy_s.execute("select from dt")) == \
+                encode_value(eager_s.execute("select from dt"))
+        finally:
+            lazy_s.close()
+            eager_s.close()
+
+    def test_promotion_materializes_lazy_variable(self):
+        hq, __ = lazy_platform()
+        s1 = hq.create_session()
+        s1.execute("promo: select from trades where Price > 50")
+        s1.close()
+        rows = hq.engine.execute(
+            'SELECT count(*) FROM "hq_global_promo"'
+        ).scalar()
+        assert rows == 2
+        s2 = hq.create_session()
+        try:
+            assert s2.execute("count select from promo").value == 2
+        finally:
+            s2.close()
+
+    def test_chained_lazy_variables(self):
+        """A second assignment whose defining SELECT reads an earlier
+        lazy handle: the tier serves the inner scan when it can."""
+        lazy_hq, __ = lazy_platform()
+        eager_hq, __ = eager_platform()
+        lazy_s = lazy_hq.create_session()
+        eager_s = eager_hq.create_session()
+        try:
+            for s in (lazy_s, eager_s):
+                s.execute("dt: select from trades where Size > 5")
+                s.execute("dt2: select from dt where Price > 40.0")
+            assert encode_value(lazy_s.execute("select from dt2")) == \
+                encode_value(eager_s.execute("select from dt2"))
+            assert lazy_s.execute("count select from dt2").value == 3
+        finally:
+            lazy_s.close()
+            eager_s.close()
+
+
+class TestDisabledTier:
+    def test_disabled_tier_registers_nothing(self):
+        hq, __ = eager_platform()
+        s = hq.create_session()
+        try:
+            s.execute("dt: select from trades")
+            relation = s.session_scope.lookup("dt").relation
+            assert len(s.temp_tier) == 0
+            assert relation in hq.engine.catalog.temp_tables
+        finally:
+            s.close()

@@ -137,11 +137,11 @@ class TestProtocolTranslatorFsm:
 
         calls = []
 
-        def run_sql(sql):
-            calls.append(sql)
+        def execute(translation):
+            calls.append(translation.sql)
             return result([("v", SqlType.BIGINT)], [(7,)])
 
-        pt = ProtocolTranslator(run_sql)
+        pt = ProtocolTranslator(execute)
         translation = TranslationResult(
             sql="SELECT 7", shape="atom", keys=[], timings=StageTimings()
         )

@@ -115,3 +115,46 @@ class TestCache:
         mdi.lookup_table("trades")
         mdi.lookup_table("trades")
         assert mdi.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestStalenessWindow:
+    """Regression: a DDL landing *during* the information_schema fetch
+    must not stamp the pre-DDL metadata with the post-DDL catalog
+    version.  ``lookup_table`` samples the version before the fetch, so
+    such an entry looks stale and the next lookup re-fetches."""
+
+    class RacyGateway(DirectGateway):
+        """Runs a schema-changing DDL immediately after the catalog
+        fetch returns — inside the historical staleness window."""
+
+        def __init__(self, engine):
+            super().__init__(engine)
+            self.raced = False
+
+        def run_sql(self, sql):
+            result = super().run_sql(sql)
+            if "information_schema.columns" in sql and not self.raced:
+                self.raced = True
+                self.engine.execute("DROP TABLE trades")
+                self.engine.execute(
+                    "CREATE TABLE trades (sym varchar, "
+                    "price double precision, extra bigint, ordcol bigint)"
+                )
+            return result
+
+    def test_ddl_during_fetch_is_not_cached_as_fresh(self):
+        engine = Engine()
+        engine.execute(
+            "CREATE TABLE trades "
+            "(sym varchar, price double precision, ordcol bigint)"
+        )
+        gateway = self.RacyGateway(engine)
+        mdi = mdi_with(gateway, invalidation=CacheInvalidation.VERSION)
+        first = mdi.require_table("trades")
+        assert "extra" not in [c.name for c in first.columns]  # pre-DDL view
+        # the entry was stamped with the pre-fetch version, so the DDL
+        # that raced the fetch makes it look stale: re-fetch, not a hit
+        second = mdi.require_table("trades")
+        assert "extra" in [c.name for c in second.columns]
+        assert mdi.stats.hits == 0
+        assert mdi.stats.misses == 2

@@ -1,0 +1,125 @@
+"""Differential suite for the semantic result cache (docs/CACHING.md).
+
+The full 25-query Analytical Workload runs twice — the second pass is
+served from the cache — on a cache-enabled platform and a cache-disabled
+one, at shard counts N=1 and N=4, with a DML statement interleaved
+mid-way through the cached pass.  Every answer must be *byte-identical*
+across the two platforms on both wire protocols:
+
+* **QIPC** — the column-oriented encoding of the pivoted ``QValue``
+  (what a Q client receives);
+* **PG wire** — RowDescription / DataRow / CommandComplete framing of
+  the pre-pivot ``ResultSet`` (what a PG client would receive), captured
+  at the executor edge before any caller rebinds rows.
+
+Identity, not tolerance: a cache hit returns a fresh view over the
+stored columns, so even float-heavy results must reproduce the exact
+bytes of a from-scratch execution — and the interleaved DML must flip
+every dependent entry back to a real execution without disturbing the
+rest."""
+
+import pytest
+
+from repro.config import HyperQConfig, ResultCacheConfig
+from repro.pgwire import messages as m
+from repro.pgwire.codec import encode_backend, encode_data_rows
+from repro.qipc.encode import encode_value
+from repro.sqlengine.types import render_value
+from repro.workload.analytical import AnalyticalConfig, generate
+from repro.workload.sharding import build_sharded_platform
+
+#: interleaved DML: ``instruments`` is replicated (not partitioned), so
+#: the statement is legal at every shard count; it invalidates every
+#: cached result that joins against instruments
+DML = 'DELETE FROM "instruments" WHERE "rating" < 1.2'
+#: query index (within the cached second pass) after which the DML runs
+DML_AT = 10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(AnalyticalConfig.small())
+
+
+def pg_result_bytes(result) -> bytes:
+    """The PG v3 framing of a ResultSet (pgserver's serving path)."""
+    if not result.columns:
+        return encode_backend(m.CommandComplete(result.command))
+    fields = [
+        m.FieldDescription(c.name, m.TYPE_OIDS.get(c.sql_type.value, 25))
+        for c in result.columns
+    ]
+    types = [c.sql_type for c in result.columns]
+    cells = [
+        [
+            None if value is None else render_value(value, t).encode("utf-8")
+            for value, t in zip(row, types)
+        ]
+        for row in result.rows
+    ]
+    return b"".join((
+        encode_backend(m.RowDescription(fields)),
+        encode_data_rows(cells),
+        encode_backend(m.CommandComplete(f"SELECT {len(cells)}")),
+    ))
+
+
+def run_and_capture(platform, workload):
+    """Two passes over the workload with DML interleaved in the second;
+    returns (QIPC bytes per execution, PG-wire bytes per result set)."""
+    session = platform.create_session()
+    pg_stream: list[bytes] = []
+    inner = session.pt._execute
+
+    def tapped(translation):
+        result = inner(translation)
+        # capture before the caller rebinds .rows (LIMIT/sort)
+        pg_stream.append(pg_result_bytes(result))
+        return result
+
+    session.pt._execute = tapped
+    qipc: list[bytes] = []
+    try:
+        for cached_pass in (False, True):
+            for index, query in enumerate(workload.queries):
+                if cached_pass and index == DML_AT:
+                    session.executor.run_sql(
+                        DML, invalidates=["instruments"]
+                    )
+                qipc.append(encode_value(session.execute(query.text)))
+    finally:
+        session.close()
+    return qipc, pg_stream
+
+
+@pytest.mark.parametrize("shard_count", [1, 4])
+def test_cache_on_equals_cache_off_both_wires(workload, shard_count):
+    cache_on, backend_on, __ = build_sharded_platform(
+        shard_count, workload=workload
+    )
+    cache_off, backend_off, __ = build_sharded_platform(
+        shard_count,
+        config=HyperQConfig(result_cache=ResultCacheConfig(enabled=False)),
+        workload=workload,
+    )
+    try:
+        on_qipc, on_pg = run_and_capture(cache_on, workload)
+        off_qipc, off_pg = run_and_capture(cache_off, workload)
+
+        diverged = [
+            q.number
+            for i, q in enumerate(list(workload.queries) * 2)
+            if on_qipc[i] != off_qipc[i]
+        ]
+        assert not diverged, (
+            f"QIPC bytes diverged at N={shard_count}: queries {diverged}"
+        )
+        assert on_pg == off_pg, f"PG-wire bytes diverged at N={shard_count}"
+
+        stats = cache_on.result_cache.snapshot()
+        assert stats.hits > 0, "second pass never hit the cache"
+        assert stats.invalidations > 0, "the DML invalidated nothing"
+        assert cache_off.result_cache.snapshot().hits == 0
+    finally:
+        backend_on.close()
+        backend_off.close()

@@ -24,6 +24,7 @@ from repro.config import (
     CircuitBreakerConfig,
     FaultConfig,
     HyperQConfig,
+    ResultCacheConfig,
     RetryConfig,
     WlmConfig,
 )
@@ -186,7 +187,12 @@ class TestBreakerLifecycle:
             ),
         )
         server = HyperQServer(
-            backend=gateway, config=HyperQConfig(wlm=wlm)
+            backend=gateway,
+            # the result cache would serve the repeated statement during
+            # the outage; this test needs every repeat to hit the backend
+            config=HyperQConfig(
+                wlm=wlm, result_cache=ResultCacheConfig(enabled=False)
+            ),
         )
         session = server.create_session()
         breaker = server.wlm.breaker_for("in-process")
