@@ -36,6 +36,7 @@ BANDS = (
     ("average_pct", 5.0, 2.0),
     ("max_pct", 10.0, 2.0),
     ("speedup", 1.0, 0.9),
+    ("process_scatter_speedup", 1.0, 0.9),
     ("per_connection_kib", 16.0, 1.0),
 )
 

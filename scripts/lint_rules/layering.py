@@ -49,6 +49,12 @@ These encode architectural invariants of the Hyper-Q reproduction:
   the choke point that drives the result cache, per-table version
   bumps and the temp-data tier.  A direct call would silently bypass
   invalidation and serve stale cached results.
+* HQ010 — process spawning (``subprocess``, ``multiprocessing``,
+  ``os.fork``/``os.spawn*``/``os.exec*``) is confined to the process-
+  shard coordinator (``repro/core/procshard.py``) and its worker
+  entrypoint (``repro/server/shardworker.py``): child processes escape
+  WLM admission, lockcheck and the reactor's lifecycle, so every spawn
+  path must go through the one subsystem built to supervise them.
 """
 
 from __future__ import annotations
@@ -644,3 +650,79 @@ class ExecutorChokePointRule(LintRule):
                     "the result cache sees the statement and writes bump "
                     "table versions",
                 )
+
+
+#: the only modules allowed to spawn processes (HQ010): the process-shard
+#: coordinator and its worker entrypoint
+_PROCESS_SPAWN_HOMES = (
+    ("repro", "core", "procshard.py"),
+    ("repro", "server", "shardworker.py"),
+)
+#: module roots whose import implies process spawning
+_PROCESS_SPAWN_MODULES = {"subprocess", "multiprocessing"}
+#: os.* callables that fork/exec directly
+_OS_SPAWN_PREFIXES = ("fork", "spawn", "exec", "posix_spawn")
+
+
+@register
+class ProcessSpawnRule(LintRule):
+    """HQ010: process spawning outside the procshard coordinator/worker."""
+
+    code = "HQ010"
+    name = "process_spawn_confinement"
+    purpose = (
+        "subprocess/multiprocessing/os.fork stay in repro/core/procshard.py "
+        "and repro/server/shardworker.py"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[LintFinding]:
+        parts = ctx.path.parts
+        if not _under(parts, ("src", "repro")):
+            return
+        if any(parts[-len(tail):] == tail for tail in _PROCESS_SPAWN_HOMES):
+            return
+        for node in ast.walk(ctx.tree):
+            if ctx.suppressed(getattr(node, "lineno", 0)):
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in _PROCESS_SPAWN_MODULES:
+                        yield self.finding(
+                            ctx, node.lineno,
+                            f"import {alias.name} — process spawning is "
+                            f"confined to repro/core/procshard.py and "
+                            f"repro/server/shardworker.py",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if root in _PROCESS_SPAWN_MODULES:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"from {node.module} import ... — process spawning "
+                        f"is confined to repro/core/procshard.py and "
+                        f"repro/server/shardworker.py",
+                    )
+                elif node.module == "os":
+                    for alias in node.names:
+                        if alias.name.startswith(_OS_SPAWN_PREFIXES):
+                            yield self.finding(
+                                ctx, node.lineno,
+                                f"from os import {alias.name} — process "
+                                f"spawning is confined to the procshard "
+                                f"modules",
+                            )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                    and func.attr.startswith(_OS_SPAWN_PREFIXES)
+                ):
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"os.{func.attr}() — process spawning is confined "
+                        f"to repro/core/procshard.py and "
+                        f"repro/server/shardworker.py",
+                    )

@@ -66,6 +66,10 @@ RCACHE_COALESCED = metrics.counter(
     "rcache_coalesced_total",
     "Requests that shared another request's in-flight execution",
 )
+RCACHE_SKIPPED_CHEAP = metrics.counter(
+    "rcache_skipped_cheap_total",
+    "Results not admitted because production was cheaper than min_produce_ms",
+)
 RCACHE_BYTES = metrics.gauge(
     "rcache_bytes", "Estimated bytes of cached result payloads"
 )
@@ -128,6 +132,7 @@ class ResultCacheStats:
     invalidations: int = 0
     coalesced: int = 0
     bypasses: int = 0
+    skipped_cheap: int = 0
     expirations: int = 0
     entries: int = 0
     bytes: int = 0
@@ -245,6 +250,7 @@ class ResultCache:
                     RCACHE_COALESCED.inc()
                 # leader failed (or timed out): loop to retry as leader
                 continue
+            started = time.perf_counter()
             try:
                 result = producer()
             except Exception as exc:
@@ -253,12 +259,24 @@ class ResultCache:
                 flight.error = exc
                 flight.done.set()
                 raise
-            self.fill(key, tables, result)
-            flight.filled = True
+            produce_ms = (time.perf_counter() - started) * 1000.0
+            if self._admit(produce_ms):
+                self.fill(key, tables, result)
+                flight.filled = True
+            else:
+                self.stats.skipped_cheap += 1
+                RCACHE_SKIPPED_CHEAP.inc()
             with self._lock:
                 self._flights.pop(key, None)
             flight.done.set()
             return result
+
+    def _admit(self, produce_ms: float) -> bool:
+        """Size-aware admission: a result cheaper to produce than a cache
+        probe only churns the LRU, so productions under ``min_produce_ms``
+        are served but not cached (0 admits everything)."""
+        floor = self.config.min_produce_ms
+        return floor <= 0 or produce_ms >= floor
 
     # -- fill path -------------------------------------------------------------
 

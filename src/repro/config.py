@@ -113,6 +113,10 @@ class ResultCacheConfig:
     #: seconds a coalesced waiter blocks on the flight leader before
     #: giving up and executing on its own
     flight_timeout: float = 30.0
+    #: size-aware admission floor: results produced faster than this many
+    #: milliseconds are not cached (a probe costs about as much as
+    #: re-executing, so caching them only churns the LRU); 0 admits all
+    min_produce_ms: float = 0.0
 
 
 @dataclass
@@ -350,6 +354,11 @@ class ShardingConfig:
     are deployment tuning.
     """
 
+    #: shard execution substrate: ``"thread"`` hosts every shard engine
+    #: in-process (one core, GIL-bound arithmetic); ``"process"`` spawns
+    #: one worker process per shard behind a QIPC endpoint
+    #: (:mod:`repro.core.procshard`) for true multi-core scatter
+    mode: str = "thread"
     #: threads fanning subplans out to shards (the scatter boundary);
     #: 0 sizes the pool to the shard count
     max_parallel: int = 0
@@ -359,6 +368,17 @@ class ShardingConfig:
     #: rows below which a gathered merge input is considered "small"
     #: (diagnostics only; the planner never samples data)
     small_table_rows: int = 10_000
+    #: crashed worker processes a shard may respawn before the failure is
+    #: surfaced as permanent (SQLSTATE 58000, not retried)
+    max_respawns: int = 3
+    #: seconds to wait for a worker process to print its readiness line
+    #: and accept the QIPC handshake on (re)spawn
+    worker_startup_timeout: float = 20.0
+    #: socket timeout for worker health pings
+    worker_ping_timeout: float = 2.0
+    #: seconds ``close()`` waits for a worker to drain after the graceful
+    #: shutdown message before escalating to terminate/kill
+    worker_drain_timeout: float = 3.0
 
 
 @dataclass

@@ -1,0 +1,664 @@
+"""Process-based shard workers: true multi-core scatter parallelism.
+
+The thread-mode :class:`~repro.core.sharded.ShardedBackend` hosts every
+shard engine in this process, so parallel scatter arithmetic serializes
+on the GIL — PR 7's scatter group-by "speedup" had to ship ungated.
+This module moves each shard into its own spawned child process (the
+paper's per-unit-of-work Erlang process, at OS granularity):
+
+* :func:`spawn_process_shards` warm-starts a pool of workers — every
+  child is launched first, then a handshake barrier waits for each one's
+  readiness line and QIPC hello, so boot cost is paid in parallel;
+* each worker (:mod:`repro.server.shardworker`) hosts a partition
+  :class:`~repro.sqlengine.engine.Engine` behind a minimal
+  :class:`~repro.server.endpoint.QipcEndpoint`;
+* :class:`ProcessShardBackend` implements the
+  :class:`~repro.core.backends.ExecutionBackend` protocol over the
+  existing QIPC client (:class:`~repro.server.client.QConnection`:
+  ``BufferedSocketReader`` framing, batched pack kernels, transparent
+  large-payload compression), so per-shard resilience — retries,
+  breakers, hedging — composes unchanged through ``ShardHandle``.
+
+Lifecycle: partition loads are chunked (:func:`iter_load_chunks`, so a
+wide fact-table partition never nears the endpoint's frame limit) and
+journaled coordinator-side; a crashed
+worker is detected by its broken socket, respawned (bounded by
+``ShardingConfig.max_respawns``) and its partition + replicated writes
+replayed, while the statement that noticed surfaces as a transient
+``ConnectionError`` the retry layer absorbs.  The active request
+deadline crosses the process boundary twice: as a remaining-budget
+field the worker re-arms, and as a socket read timeout on the
+coordinator.  ``close()`` drains gracefully (async shutdown message,
+bounded wait, then terminate/kill).
+
+Wire codec: results cross as a tagged QIPC envelope.  Uniform long /
+float / boolean / symbol columns ride native QIPC vectors (exact
+round-trip, batched kernels); anything else — NULL-bearing, mixed,
+Decimal — falls back to a pickled byte vector, so process-mode results
+are *byte-identical* to thread-mode ones.  Errors cross with their
+class name and SQLSTATE so breaker/retry classification is preserved.
+
+Process spawning is confined to this module and the worker entrypoint
+(lint rule HQ010).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import selectors
+import subprocess
+import sys
+import time
+
+from repro.analysis.concurrency.locks import make_lock
+from repro.config import ShardingConfig
+from repro.core.backends import ExecutionBackend
+from repro.errors import (
+    BackendSqlError,
+    DeadlineExceededError,
+    ProtocolError,
+    ReproError,
+)
+from repro.obs import get_logger, metrics
+from repro.qlang.qtypes import QType
+from repro.qlang.values import QList, QValue, QVector
+from repro.server.client import QConnection
+from repro.sqlengine.catalog import Column
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import SqlType
+from repro.wlm.deadline import current_deadline
+
+_log = get_logger("core.procshard")
+
+SHARD_PROC_SPAWNS = metrics.counter(
+    "shard_proc_spawns_total", "Shard worker processes launched"
+)
+SHARD_PROC_RESTARTS = metrics.counter(
+    "shard_proc_restarts_total", "Shard worker processes respawned after a crash"
+)
+
+#: readiness line a worker prints once its endpoint accepts connections
+READY_PREFIX = "HQ-SHARD-READY"
+
+#: SQLSTATE surfaced when the respawn budget is exhausted (class 58 —
+#: system error — is deliberately *not* transient for the retry layer)
+RESPAWN_EXHAUSTED_SQLSTATE = "58000"
+
+#: int64 range natively representable by a QIPC long vector
+_I64_MIN, _I64_MAX = -(2 ** 63), 2 ** 63 - 1
+
+#: statements journaled for replay onto a respawned worker
+_WRITE_VERBS = ("create", "drop", "alter", "insert", "update", "delete",
+                "truncate")
+
+
+# ---------------------------------------------------------------------------
+# Result / error envelope codec (shared by coordinator and worker)
+# ---------------------------------------------------------------------------
+
+
+def _chars(text: str) -> QVector:
+    return QVector(QType.CHAR, list(text))
+
+
+def _text(value: QValue) -> str:
+    if isinstance(value, QVector) and value.qtype == QType.CHAR:
+        return "".join(value.items)
+    raise ProtocolError("malformed shard envelope: expected a char vector")
+
+
+def _tag_column(values: list) -> tuple[str, QValue]:
+    """Pick the densest exact wire representation for one column.
+
+    Uniform primitive columns ride native QIPC vectors (one batched
+    ``struct.pack`` per column); anything else pickles.  Tags must be
+    *exact*: a value that would not round-trip bit-identically (bools
+    inside a long column, NaN payloads aside — floats round-trip via
+    the ``d`` format) falls through to the pickle tag.
+    """
+    if values and all(
+        type(v) is int and _I64_MIN <= v <= _I64_MAX for v in values
+    ):
+        return "j", QVector(QType.LONG, values)
+    if values and all(type(v) is float for v in values):
+        return "f", QVector(QType.FLOAT, values)
+    if values and all(type(v) is bool for v in values):
+        return "b", QVector(QType.BOOLEAN, values)
+    if values and all(type(v) is str and "\x00" not in v for v in values):
+        return "s", QVector(QType.SYMBOL, values)
+    blob = pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+    return "p", QVector(QType.BYTE, list(blob))
+
+
+def _untag_column(tag: str, payload: QValue) -> list:
+    if tag == "p":
+        return pickle.loads(bytes(payload.items))
+    return list(payload.items)
+
+
+def encode_result(result: ResultSet) -> QList:
+    """``ResultSet`` -> QIPC envelope (exact round-trip)."""
+    columns = []
+    for column, data in zip(result.columns, result.column_data):
+        tag, payload = _tag_column(list(data))
+        columns.append(QList([
+            _chars(column.name),
+            _chars(column.sql_type.value),
+            _chars(column.type_text),
+            _chars(tag),
+            payload,
+        ]))
+    return QList([
+        _chars("result"), _chars(result.command), QList(columns),
+    ])
+
+
+def encode_exception(exc: Exception) -> QList:
+    """Exception -> envelope carrying class, message and SQLSTATE."""
+    code = getattr(exc, "code", "") or ""
+    message = (
+        exc.backend_message
+        if isinstance(exc, BackendSqlError)
+        else str(exc)
+    )
+    return QList([
+        _chars("error"),
+        _chars(type(exc).__name__),
+        _chars(message),
+        _chars(code if isinstance(code, str) else ""),
+    ])
+
+
+def encode_scalar(value) -> QList:
+    """JSON-representable scalar -> envelope (ping/version replies)."""
+    return QList([_chars("value"), _chars(json.dumps(value))])
+
+
+def _rebuild_exception(class_name: str, message: str, code: str) -> Exception:
+    """Reconstruct the worker's exception coordinator-side.
+
+    Known :mod:`repro.errors` classes come back as themselves (single
+    message argument; ``BackendSqlError`` keeps its SQLSTATE), so the
+    retry layer's transient classification and the session's error
+    rendering behave exactly as they would against an in-process engine.
+    """
+    if class_name == "BackendSqlError":
+        return BackendSqlError(message, code=code or "XX000")
+    from repro import errors as _errors
+
+    klass = getattr(_errors, class_name, None)
+    if isinstance(klass, type) and issubclass(klass, ReproError):
+        try:
+            return klass(message)
+        except TypeError:
+            pass
+    return BackendSqlError(f"{class_name}: {message}", code=code or "XX000")
+
+
+def decode_reply(value: QValue):
+    """Envelope -> ``ResultSet`` / scalar, or raise the carried error."""
+    if not isinstance(value, QList) or not value.items:
+        raise ProtocolError("malformed shard worker reply")
+    kind = _text(value.items[0])
+    if kind == "error":
+        raise _rebuild_exception(
+            _text(value.items[1]), _text(value.items[2]),
+            _text(value.items[3]),
+        )
+    if kind == "value":
+        return json.loads(_text(value.items[1]))
+    if kind != "result":
+        raise ProtocolError(f"unknown shard envelope kind {kind!r}")
+    command = _text(value.items[1])
+    columns: list[Column] = []
+    data: list[list] = []
+    for entry in value.items[2].items:
+        name = _text(entry.items[0])
+        sql_type = SqlType(_text(entry.items[1]))
+        type_text = _text(entry.items[2])
+        tag = _text(entry.items[3])
+        columns.append(Column(name, sql_type, type_text))
+        data.append(_untag_column(tag, entry.items[4]))
+    return ResultSet.from_columns(columns, data, command=command)
+
+
+def pack_load(columns: list[Column], rows: list) -> str:
+    """Bulk-load payload: pickled columns+rows as base85 text (rides the
+    JSON op envelope; QIPC framing compresses large payloads itself)."""
+    blob = pickle.dumps(
+        (columns, [list(r) for r in rows]),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return base64.b85encode(blob).decode("ascii")
+
+
+def unpack_load(text: str) -> tuple[list[Column], list[list]]:
+    return pickle.loads(base64.b85decode(text.encode("ascii")))
+
+
+#: per-chunk payload target for partition loads — far under the worker
+#: endpoint's ``max_message_bytes`` (64 MiB), because a single frame
+#: holding a wide partition (the workload's 600-column fact table tops
+#: 80 MB at bench scale) would trip the reactor's frame limit and get
+#: the connection fatally closed mid-load
+LOAD_CHUNK_BYTES = 8 * 1024 * 1024
+
+
+def iter_load_chunks(
+    columns: list[Column], rows: list, target_bytes: int | None = None
+):
+    """Pack a partition as one or more load blobs, each sized near
+    ``target_bytes``.  The row split is estimated from the whole-table
+    blob (uniform row cost is a good fit for columnar fact tables); the
+    safety margin to the frame limit absorbs the estimate's skew."""
+    target = target_bytes or LOAD_CHUNK_BYTES
+    blob = pack_load(columns, rows)
+    if len(blob) <= target or len(rows) <= 1:
+        yield blob
+        return
+    per_chunk = max(1, (len(rows) * target) // len(blob))
+    for start in range(0, len(rows), per_chunk):
+        yield pack_load(columns, rows[start:start + per_chunk])
+
+
+# ---------------------------------------------------------------------------
+# The coordinator-side backend
+# ---------------------------------------------------------------------------
+
+
+def _read_rss_kb(pid: int) -> int:
+    """Resident set size of ``pid`` in KiB via procfs; 0 when unknown."""
+    try:
+        with open(f"/proc/{pid}/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return 0
+    return 0
+
+
+class ProcessShardBackend(ExecutionBackend):
+    """One shard partition hosted in a spawned worker process.
+
+    Implements ``ExecutionBackend`` over a QIPC connection to the
+    worker.  Transport failures trigger a bounded respawn (with
+    partition reload and write replay) and then surface as
+    ``ConnectionError`` — a transient the per-shard
+    :class:`~repro.wlm.retry.ResilientBackend` retries; a worker that
+    outlives its deadline surfaces as ``DeadlineExceededError`` without
+    being killed.
+    """
+
+    def __init__(self, index: int, config: ShardingConfig | None = None):
+        self.index = index
+        self.config = config or ShardingConfig()
+        self.name = f"procshard{index}"
+        self._lock = make_lock("core.procshard")
+        self._proc: subprocess.Popen | None = None
+        self._conn: QConnection | None = None
+        self._generation = 0
+        self.restarts = 0
+        self._closed = False
+        #: partition journal: table -> (columns, rows) for crash reload
+        self._tables: dict[str, tuple[list[Column], list]] = {}
+        #: replicated writes (broadcast DDL/DML) replayed after reload
+        self._writes: list[str] = []
+        #: test hook — SIGKILL the worker when the next statement arrives
+        #: (deterministic mid-scatter crash injection)
+        self.kill_next_request = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def launch(self) -> None:
+        """Fork the worker without waiting (warm-start pools launch every
+        shard first, then barrier on :meth:`await_ready`)."""
+        with self._lock:
+            if self._proc is None:
+                self._proc = self._spawn_locked()
+
+    def await_ready(self) -> None:
+        """Block until the launched worker accepts QIPC connections."""
+        with self._lock:
+            if self._conn is None:
+                self._connect_locked()
+
+    def start(self) -> None:
+        self.launch()
+        self.await_ready()
+
+    def _spawn_locked(self) -> subprocess.Popen:
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+        SHARD_PROC_SPAWNS.inc(shard=str(self.index))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.server.shardworker",
+                "--shard", str(self.index),
+                "--parent", str(os.getpid()),
+            ],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        _log.info("shard_worker_spawned", shard=self.index, pid=proc.pid)
+        return proc
+
+    def _connect_locked(self) -> None:
+        proc = self._proc
+        if proc is None:
+            proc = self._proc = self._spawn_locked()
+        port = self._read_ready_port(proc)
+        conn = QConnection(
+            "127.0.0.1", port,
+            connect_timeout=self.config.worker_startup_timeout,
+        )
+        conn.connect()
+        self._conn = conn
+        # reload the journaled partition + replayed writes (no-ops on a
+        # first boot: both journals are empty)
+        for table, (columns, rows) in self._tables.items():
+            self._send_load_locked(table, columns, rows)
+        for sql in self._writes:
+            try:
+                self._exchange_locked({"op": "sql", "sql": sql})
+            except ReproError as exc:
+                _log.warning(
+                    "shard_replay_failed", shard=self.index,
+                    sql=sql[:80], error=str(exc),
+                )
+
+    def _read_ready_port(self, proc: subprocess.Popen) -> int:
+        """Parse ``HQ-SHARD-READY <port>`` off the worker's stdout, with
+        the startup timeout as the handshake barrier."""
+        timeout = self.config.worker_startup_timeout
+        expires = time.monotonic() + timeout
+        stream = proc.stdout
+        assert stream is not None
+        selector = selectors.DefaultSelector()
+        selector.register(stream, selectors.EVENT_READ)
+        buffer = b""
+        try:
+            while b"\n" not in buffer:
+                if proc.poll() is not None:
+                    raise ProtocolError(
+                        f"shard {self.index} worker exited with "
+                        f"{proc.returncode} before becoming ready"
+                    )
+                remaining = expires - time.monotonic()
+                if remaining <= 0:
+                    raise ProtocolError(
+                        f"shard {self.index} worker not ready within "
+                        f"{timeout:.1f}s"
+                    )
+                if selector.select(min(remaining, 0.25)):
+                    chunk = os.read(stream.fileno(), 4096)
+                    if not chunk:
+                        raise ProtocolError(
+                            f"shard {self.index} worker closed stdout "
+                            f"before becoming ready"
+                        )
+                    buffer += chunk
+        finally:
+            selector.close()
+        line = buffer.split(b"\n", 1)[0].decode("ascii", "replace").strip()
+        prefix, _, port_text = line.partition(" ")
+        if prefix != READY_PREFIX:
+            raise ProtocolError(
+                f"shard {self.index} worker printed {line!r}, expected "
+                f"'{READY_PREFIX} <port>'"
+            )
+        return int(port_text)
+
+    # -- respawn -----------------------------------------------------------
+
+    def _respawn(self, generation: int, cause: str) -> None:
+        """Bounded automatic respawn; a concurrent statement that already
+        respawned this generation makes this a no-op."""
+        with self._lock:
+            if self._closed or generation != self._generation:
+                return
+            self._generation += 1
+            if self.restarts >= self.config.max_respawns:
+                raise BackendSqlError(
+                    f"shard {self.index} worker exceeded its respawn "
+                    f"budget ({self.config.max_respawns}) after: {cause}",
+                    code=RESPAWN_EXHAUSTED_SQLSTATE,
+                )
+            self.restarts += 1
+            SHARD_PROC_RESTARTS.inc(shard=str(self.index))
+            _log.warning(
+                "shard_worker_respawn", shard=self.index,
+                restarts=self.restarts, cause=cause[:120],
+            )
+            self._teardown_locked(graceful=False)
+            self._connect_locked()
+
+    def _reconnect(self, generation: int) -> None:
+        """Fresh socket to a *live* worker (the old stream is desynced
+        after an abandoned read); never respawns."""
+        with self._lock:
+            if self._closed or generation != self._generation:
+                return
+            self._generation += 1
+            conn, self._conn = self._conn, None
+            if conn is not None:
+                conn.close()
+            self._connect_locked()
+
+    def _teardown_locked(self, graceful: bool) -> None:
+        conn, self._conn = self._conn, None
+        proc, self._proc = self._proc, None
+        if conn is not None:
+            if graceful:
+                try:
+                    conn.query_async(json.dumps({"op": "shutdown"}))
+                except TRANSPORT_FAILURES:
+                    pass  # already dead: nothing to drain
+            conn.close()
+        if proc is None:
+            return
+        if proc.stdout is not None:
+            proc.stdout.close()
+        try:
+            proc.wait(
+                timeout=self.config.worker_drain_timeout if graceful else 0
+            )
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+            try:
+                proc.wait(timeout=self.config.worker_drain_timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    # -- request plumbing --------------------------------------------------
+
+    def _exchange_locked(self, envelope: dict, timeout: float | None = None):
+        reply = self._conn.query(json.dumps(envelope), timeout=timeout)
+        return decode_reply(reply)
+
+    def _request(self, envelope: dict, timeout: float | None = None):
+        with self._lock:
+            if self._closed:
+                raise ProtocolError(
+                    f"shard {self.index} worker backend is closed"
+                )
+            if self._conn is None:
+                self._connect_locked()
+            generation = self._generation
+            conn, proc = self._conn, self._proc
+        if (
+            self.kill_next_request
+            and proc is not None
+            and envelope.get("op") == "sql"
+        ):
+            # deterministic crash injection: the worker dies exactly as
+            # this statement reaches it (mid-scatter for fanout plans)
+            self.kill_next_request = False
+            proc.kill()
+        try:
+            reply = conn.query(json.dumps(envelope), timeout=timeout)
+        except TimeoutError:
+            if proc is not None and proc.poll() is None:
+                self._reconnect(generation)
+                raise DeadlineExceededError(
+                    f"shard {self.index} worker read timed out",
+                    what=f"procshard{self.index}.recv",
+                ) from None
+            self._respawn(generation, "worker died during a timed read")
+            raise ConnectionError(
+                f"shard {self.index} worker died mid-statement; respawned"
+            ) from None
+        except TRANSPORT_FAILURES as exc:
+            self._respawn(generation, str(exc))
+            raise ConnectionError(
+                f"shard {self.index} worker connection failed "
+                f"({type(exc).__name__}: {exc}); worker respawned"
+            ) from exc
+        return decode_reply(reply)
+
+    # -- ExecutionBackend --------------------------------------------------
+
+    def run_sql(self, sql: str) -> ResultSet:
+        deadline = current_deadline()
+        envelope: dict = {"op": "sql", "sql": sql}
+        timeout = None
+        if deadline is not None:
+            deadline.check(f"procshard{self.index}.send")
+            remaining = max(deadline.remaining(), 0.001)
+            envelope["deadline_ms"] = remaining * 1000.0
+            timeout = remaining
+        result = self._request(envelope, timeout=timeout)
+        if self._is_write(sql):
+            with self._lock:
+                self._writes.append(sql)
+        return result
+
+    @staticmethod
+    def _is_write(sql: str) -> bool:
+        return sql.lstrip().lower().startswith(_WRITE_VERBS)
+
+    def catalog_version(self) -> int:
+        try:
+            return int(self._request({"op": "version"}))
+        except ConnectionError:
+            # the failed probe already triggered a respawn; version reads
+            # are idempotent and sit on the metadata path, which has no
+            # retry layer above it, so ask the fresh worker directly
+            return int(self._request({"op": "version"}))
+
+    def ping(self) -> bool:
+        with self._lock:
+            if self._closed or self._proc is None:
+                return False
+            if self._proc.poll() is not None:
+                return False
+            conn = self._conn
+        if conn is None:
+            return False
+        try:
+            reply = conn.query(
+                json.dumps({"op": "ping"}),
+                timeout=self.config.worker_ping_timeout,
+            )
+            return decode_reply(reply) == "pong"
+        except (TimeoutError, *TRANSPORT_FAILURES):
+            return False
+
+    def close(self) -> None:
+        """Graceful drain: shutdown message, bounded wait, escalate."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._teardown_locked(graceful=True)
+
+    # -- data plane --------------------------------------------------------
+
+    def load_columns(
+        self, name: str, columns: list[Column], rows: list
+    ) -> None:
+        """Bulk-load hook ``ShardHandle.load_table`` discovers; the load
+        is journaled so a respawn can restore the partition."""
+        with self._lock:
+            if self._closed:
+                raise ProtocolError(
+                    f"shard {self.index} worker backend is closed"
+                )
+            if self._conn is None:
+                self._connect_locked()
+            self._send_load_locked(name, columns, rows)
+            self._tables[name] = (list(columns), [list(r) for r in rows])
+
+    def _send_load_locked(
+        self, name: str, columns: list[Column], rows: list
+    ) -> None:
+        try:
+            for seq, blob in enumerate(iter_load_chunks(columns, rows)):
+                self._exchange_locked({
+                    "op": "load", "table": name, "blob": blob, "seq": seq,
+                })
+        except TRANSPORT_FAILURES as exc:
+            raise ConnectionError(
+                f"shard {self.index} worker lost during partition load of "
+                f"{name!r} ({type(exc).__name__}: {exc})"
+            ) from exc
+
+    # -- admin -------------------------------------------------------------
+
+    def process_info(self) -> dict:
+        """Row payload for the ``shards[]`` admin command."""
+        proc = self._proc
+        pid = proc.pid if proc is not None else -1
+        alive = proc is not None and proc.poll() is None
+        return {
+            "mode": "process",
+            "pid": pid,
+            "restarts": self.restarts,
+            "rss_kb": _read_rss_kb(pid) if alive else 0,
+            "alive": alive,
+        }
+
+
+#: transport failures that mean "the worker (or its socket) is gone"
+TRANSPORT_FAILURES = (OSError, ConnectionError, EOFError, ProtocolError)
+
+
+def spawn_process_shards(
+    count: int, config: ShardingConfig | None = None
+) -> list[ProcessShardBackend]:
+    """Warm-start a pool of ``count`` shard workers.
+
+    Every child is launched before any is awaited (parallel boot), then
+    the handshake barrier confirms each worker accepts QIPC connections.
+    A partial failure tears the whole pool down.
+    """
+    config = config or ShardingConfig()
+    shards = [ProcessShardBackend(i, config) for i in range(count)]
+    try:
+        for shard in shards:
+            shard.launch()
+        for shard in shards:
+            shard.await_ready()
+    except BaseException:
+        for shard in shards:
+            try:
+                shard.close()
+            except TRANSPORT_FAILURES as exc:
+                _log.warning(
+                    "shard_pool_cleanup_failed", shard=shard.index,
+                    error=str(exc),
+                )
+        raise
+    return shards

@@ -519,8 +519,11 @@ class HyperQSession:
         """``shards[]`` — per-shard health of a sharded backend.
 
         One row per shard: breaker state, statements executed, failures,
-        hedged reads fired, mean statement latency in milliseconds.  An
-        empty table means the backend is not sharded.
+        hedged reads fired, mean statement latency in milliseconds, plus
+        the shard transport — ``mode`` is ``thread`` for in-process
+        engines and ``process`` for spawned QIPC workers, in which case
+        pid/restarts/rss_kb describe the worker process.  An empty table
+        means the backend is not sharded.
         """
         from repro.core.admin import admin_table
         from repro.qlang.qtypes import QType
@@ -540,10 +543,14 @@ class HyperQSession:
                 ("shard", QType.LONG), ("state", QType.SYMBOL),
                 ("queries", QType.LONG), ("errors", QType.LONG),
                 ("hedges", QType.LONG), ("mean_ms", QType.FLOAT),
+                ("mode", QType.SYMBOL), ("pid", QType.LONG),
+                ("restarts", QType.LONG), ("rss_kb", QType.LONG),
             ],
             [
                 (r["shard"], r["state"], r["queries"], r["errors"],
-                 r["hedges"], r["mean_ms"])
+                 r["hedges"], r["mean_ms"], r.get("mode", "thread"),
+                 r.get("pid", 0), r.get("restarts", 0),
+                 r.get("rss_kb", 0))
                 for r in snapshot
             ],
         )

@@ -212,10 +212,24 @@ class ShardHandle:
                 )
             loader(name, columns, rows)
 
+    def _process_info(self) -> dict:
+        """Transport-level row fields: a process-backed shard reports its
+        worker pid/restarts/rss; an in-process shard reports thread mode."""
+        node = self.primary
+        for __ in range(8):
+            if node is None:
+                break
+            probe = getattr(node, "process_info", None)
+            if probe is not None:
+                return probe()
+            node = getattr(node, "inner", None)
+        return {"mode": "thread", "pid": 0, "restarts": 0, "rss_kb": 0}
+
     def snapshot(self) -> dict:
         with self._stats_lock:
             queries, errors = self.queries, self.errors
             hedges, latency = self.hedges, self.latency_total
+        info = self._process_info()
         return {
             "shard": self.index,
             "state": self.primary.breaker.snapshot()["state"],
@@ -223,6 +237,10 @@ class ShardHandle:
             "errors": errors,
             "hedges": hedges,
             "mean_ms": (latency / queries * 1000.0) if queries else 0.0,
+            "mode": info.get("mode", "thread"),
+            "pid": int(info.get("pid", 0)),
+            "restarts": int(info.get("restarts", 0)),
+            "rss_kb": int(info.get("rss_kb", 0)),
         }
 
     def close(self) -> None:

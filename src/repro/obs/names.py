@@ -86,6 +86,7 @@ RCACHE_EVICTIONS_TOTAL = "rcache_evictions_total"
 RCACHE_INVALIDATIONS_TOTAL = "rcache_invalidations_total"
 RCACHE_COALESCED_TOTAL = "rcache_coalesced_total"
 RCACHE_BYPASS_TOTAL = "rcache_bypass_total"
+RCACHE_SKIPPED_CHEAP_TOTAL = "rcache_skipped_cheap_total"
 RCACHE_BYTES = "rcache_bytes"
 RCACHE_ENTRIES = "rcache_entries"
 TEMPTIER_HANDLES = "temptier_handles"
@@ -103,6 +104,10 @@ SHARD_LATENCY_SECONDS = "shard_latency_seconds"
 SHARD_HEDGES_TOTAL = "shard_hedges_total"
 SHARD_MERGE_ROWS_TOTAL = "shard_merge_rows_total"
 SHARD_MIRROR_TOTAL = "shard_mirror_total"
+
+# --- process shard workers (repro/core/procshard) -----------------------
+SHARD_PROC_SPAWNS_TOTAL = "shard_proc_spawns_total"
+SHARD_PROC_RESTARTS_TOTAL = "shard_proc_restarts_total"
 
 #: every declared family name, for HQ003's membership check
 ALL_METRIC_NAMES = frozenset(

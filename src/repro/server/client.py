@@ -71,14 +71,28 @@ class QConnection:
 
     # -- queries -----------------------------------------------------------------
 
-    def query(self, q_text: str) -> QValue:
-        """Synchronous query: send text, block for the response object."""
+    def query(self, q_text: str, timeout: float | None = None) -> QValue:
+        """Synchronous query: send text, block for the response object.
+
+        ``timeout`` caps this one exchange (seconds); the connection's
+        ``read_timeout`` is restored afterwards.  On expiry the socket
+        raises ``TimeoutError`` and the stream is left mid-message — the
+        caller must reconnect before reusing the connection.
+        """
         if self._sock is None or self._reader is None:
             raise ProtocolError("connection is not open")
         payload = encode_value(QVector(QType.CHAR, list(q_text)))
         with self._lock:
-            self._sock.sendall(frame(QipcMessage(MessageType.SYNC, payload)))
-            response = read_message(self._reader.recv_exact)
+            if timeout is not None:
+                self._sock.settimeout(timeout)
+            try:
+                self._sock.sendall(
+                    frame(QipcMessage(MessageType.SYNC, payload))
+                )
+                response = read_message(self._reader.recv_exact)
+            finally:
+                if timeout is not None and self._sock is not None:
+                    self._sock.settimeout(self.read_timeout)
         if response.msg_type != MessageType.RESPONSE:
             raise ProtocolError(
                 f"expected a response message, got {response.msg_type.name}"

@@ -71,9 +71,21 @@ def build_sharded_platform(
 
     With ``with_replicas`` each shard also gets a replica engine holding
     the same partition, enabling hedged reads.
+
+    ``config.sharding.mode`` selects the shard transport: ``"thread"``
+    hosts every partition engine in this process, ``"process"`` spawns
+    one QIPC-connected worker process per shard
+    (:func:`repro.core.procshard.spawn_process_shards`) for true
+    multi-core scatter parallelism.  Replicas stay in-process either
+    way — a hedged read is a fallback path, not a parallelism lever.
     """
     config = config or HyperQConfig()
-    children = [DirectGateway(Engine()) for __ in range(shard_count)]
+    if config.sharding.mode == "process":
+        from repro.core.procshard import spawn_process_shards
+
+        children: list = spawn_process_shards(shard_count, config.sharding)
+    else:
+        children = [DirectGateway(Engine()) for __ in range(shard_count)]
     replicas = (
         [DirectGateway(Engine()) for __ in range(shard_count)]
         if with_replicas
@@ -85,8 +97,15 @@ def build_sharded_platform(
         config=config.sharding,
         replicas=replicas,
     )
-    platform = HyperQ(config=config, backend=backend)
-    loaded = load_sharded_workload(
-        backend, mdi=platform.mdi, config=workload_config, workload=workload
-    )
+    try:
+        platform = HyperQ(config=config, backend=backend)
+        loaded = load_sharded_workload(
+            backend, mdi=platform.mdi, config=workload_config,
+            workload=workload,
+        )
+    except BaseException:
+        # a failed build must not leak shard children (process mode
+        # spawns real worker processes per shard)
+        backend.close()
+        raise
     return platform, backend, loaded

@@ -45,7 +45,7 @@ class TestRegistry:
         assert {"E501", "E711", "F401", "I001"} <= codes
         assert {
             "HQ001", "HQ002", "HQ003", "HQ004", "HQ005", "HQ006", "HQ007",
-            "HQ008", "HQ009",
+            "HQ008", "HQ009", "HQ010",
         } <= codes
 
     def test_fresh_instances_per_call(self):
@@ -603,6 +603,74 @@ class TestHQ009ExecutorChokePoint:
             """,
         )
         assert "HQ009" not in lint_codes(path)
+
+
+class TestHQ010ProcessSpawn:
+    def test_subprocess_import_fires_outside_homes(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/core/backends.py",
+            "import subprocess\n",
+        )
+        assert "HQ010" in lint_codes(path)
+
+    def test_multiprocessing_from_import_fires(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/server/reactor.py",
+            "from multiprocessing import Process\n",
+        )
+        assert "HQ010" in lint_codes(path)
+
+    def test_os_fork_call_fires(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/server/gateway.py",
+            """\
+            import os
+
+            def daemonize():
+                return os.fork()
+            """,
+        )
+        assert "HQ010" in lint_codes(path)
+
+    def test_from_os_import_fork_fires(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/core/platform.py",
+            "from os import fork\n",
+        )
+        assert "HQ010" in lint_codes(path)
+
+    def test_procshard_home_exempt(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/core/procshard.py",
+            "import subprocess\nproc = subprocess.Popen(['true'])\n",
+        )
+        assert "HQ010" not in lint_codes(path)
+
+    def test_shardworker_home_exempt(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/server/shardworker.py",
+            "import multiprocessing\n",
+        )
+        assert "HQ010" not in lint_codes(path)
+
+    def test_outside_src_exempt(self, tmp_path):
+        # scripts and tests spawn freely (mini_lint itself shells out)
+        path = _write(tmp_path, "scripts/tool.py", "import subprocess\n")
+        assert "HQ010" not in lint_codes(path)
+
+    def test_benign_os_calls_allowed(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/core/backends.py",
+            "import os\npid = os.getpid()\npath = os.environ.get('X')\n",
+        )
+        assert "HQ010" not in lint_codes(path)
+
+    def test_noqa_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/core/backends.py",
+            "import subprocess  # noqa: HQ010\n",
+        )
+        assert "HQ010" not in lint_codes(path)
 
 
 class TestDriver:

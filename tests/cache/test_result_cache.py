@@ -169,6 +169,42 @@ class TestSingleFlight:
         assert [r[0] for r in result.rows] == [7]
 
 
+class TestSizeAwareAdmission:
+    """``min_produce_ms``: productions cheaper than the floor are served
+    but never cached — a probe costs as much as re-executing them."""
+
+    def test_cheap_production_skips_the_cache(self):
+        cache = make_cache(min_produce_ms=50.0)
+        result = cache.get_or_execute(("k",), ["t"], lambda: rs([1]))
+        assert [r[0] for r in result.rows] == [1]
+        assert cache.fetch(("k",)) is None
+        assert cache.stats.skipped_cheap == 1
+
+    def test_expensive_production_is_admitted(self):
+        import time
+
+        cache = make_cache(min_produce_ms=1.0)
+
+        def slow():
+            time.sleep(0.01)
+            return rs([2])
+
+        cache.get_or_execute(("k",), ["t"], slow)
+        assert cache.fetch(("k",)) is not None
+        assert cache.stats.skipped_cheap == 0
+
+    def test_zero_floor_admits_everything(self):
+        cache = make_cache(min_produce_ms=0.0)
+        cache.get_or_execute(("k",), ["t"], lambda: rs([3]))
+        assert cache.fetch(("k",)) is not None
+
+    def test_skip_count_surfaces_in_rcache_rows(self):
+        cache = make_cache(min_produce_ms=50.0)
+        cache.get_or_execute(("k",), ["t"], lambda: rs([4]))
+        rows = dict(cache.snapshot().as_rows())
+        assert rows["skipped_cheap"] == 1
+
+
 class TestExecutorGating:
     """WLM interaction: only analytical/point_lookup are cacheable;
     materializing and admin statements bypass (and invalidate)."""

@@ -1,0 +1,337 @@
+"""Unit tests for the process-shard transport (``repro.core.procshard``).
+
+Codec round-trips need no child process; the lifecycle tests spawn a
+single worker (spawn cost dominates, so shard counts stay minimal and
+the worker is shared per class where state allows).
+"""
+
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import ShardingConfig
+from repro.core.procshard import (
+    ProcessShardBackend,
+    decode_reply,
+    encode_exception,
+    encode_result,
+    encode_scalar,
+    iter_load_chunks,
+    pack_load,
+    spawn_process_shards,
+    unpack_load,
+)
+from repro.errors import (
+    BackendSqlError,
+    DeadlineExceededError,
+    ProtocolError,
+    SqlExecutionError,
+)
+from repro.sqlengine.catalog import Column
+from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.types import SqlType
+from repro.wlm.deadline import Deadline, request_scope
+
+
+def _roundtrip(result: ResultSet) -> ResultSet:
+    return decode_reply(encode_result(result))
+
+
+class TestCodec:
+    def test_uniform_primitive_columns_roundtrip(self):
+        result = ResultSet.from_columns(
+            [
+                Column("n", SqlType.BIGINT),
+                Column("x", SqlType.DOUBLE),
+                Column("ok", SqlType.BOOLEAN),
+                Column("sym", SqlType.VARCHAR),
+            ],
+            [
+                [1, -(2 ** 63), 2 ** 63 - 1],
+                [0.5, -1.25, 3.0],
+                [True, False, True],
+                ["a", "", "hello world"],
+            ],
+        )
+        back = _roundtrip(result)
+        assert back.column_data == result.column_data
+        assert back.command == "SELECT"
+        assert [
+            (c.name, c.sql_type, c.type_text) for c in back.columns
+        ] == [(c.name, c.sql_type, c.type_text) for c in result.columns]
+
+    def test_nan_roundtrips_bit_exact(self):
+        back = _roundtrip(ResultSet.from_columns(
+            [Column("x", SqlType.DOUBLE)], [[float("nan"), 1.5]]
+        ))
+        assert math.isnan(back.column_data[0][0])
+        assert back.column_data[0][1] == 1.5
+
+    def test_null_and_mixed_columns_take_pickle_path(self):
+        from decimal import Decimal
+
+        result = ResultSet.from_columns(
+            [
+                Column("a", SqlType.BIGINT),
+                Column("b", SqlType.NUMERIC),
+                Column("c", SqlType.VARCHAR),
+            ],
+            [
+                [1, None, 3],
+                [Decimal("1.50"), Decimal("-2"), None],
+                ["x", None, "y\x00z"],
+            ],
+        )
+        back = _roundtrip(result)
+        assert back.column_data == result.column_data
+        assert type(back.column_data[1][0]) is Decimal
+
+    def test_bools_do_not_masquerade_as_longs(self):
+        # bool is an int subclass; the long tag must reject it or the
+        # round-trip would return 1 where the engine produced True
+        back = _roundtrip(ResultSet.from_columns(
+            [Column("v", SqlType.BIGINT)], [[True, 2]]
+        ))
+        assert back.column_data[0] == [True, 2]
+        assert type(back.column_data[0][0]) is bool
+
+    def test_empty_result_roundtrips(self):
+        back = _roundtrip(ResultSet.from_columns(
+            [Column("n", SqlType.BIGINT)], [[]], command="SELECT"
+        ))
+        assert back.column_data == [[]]
+        assert back.rows == []
+
+    def test_scalar_envelope(self):
+        assert decode_reply(encode_scalar("pong")) == "pong"
+        assert decode_reply(encode_scalar(7)) == 7
+
+    def test_error_envelope_preserves_class_and_sqlstate(self):
+        err = BackendSqlError("boom", code="53300")
+        with pytest.raises(BackendSqlError) as excinfo:
+            decode_reply(encode_exception(err))
+        assert excinfo.value.code == "53300"
+        assert excinfo.value.backend_message == "boom"
+
+    def test_error_envelope_rebuilds_repro_classes(self):
+        with pytest.raises(SqlExecutionError):
+            decode_reply(encode_exception(SqlExecutionError("div by zero")))
+        with pytest.raises(DeadlineExceededError):
+            decode_reply(encode_exception(DeadlineExceededError("late")))
+
+    def test_unknown_error_class_degrades_to_backend_error(self):
+        class Weird(Exception):
+            pass
+
+        with pytest.raises(BackendSqlError) as excinfo:
+            decode_reply(encode_exception(Weird("odd")))
+        assert "Weird" in str(excinfo.value)
+
+    def test_load_blob_roundtrip(self):
+        columns = [Column("id", SqlType.BIGINT), Column("s", SqlType.TEXT)]
+        rows = [[1, "a"], [2, None]]
+        got_columns, got_rows = unpack_load(pack_load(columns, rows))
+        assert [(c.name, c.sql_type) for c in got_columns] == [
+            ("id", SqlType.BIGINT), ("s", SqlType.TEXT)
+        ]
+        assert got_rows == rows
+
+    def test_load_chunks_split_and_reassemble(self):
+        # wide partitions must split into bounded frames: a single-frame
+        # load of the 600-column fact table trips the endpoint's
+        # max_message_bytes and gets the connection fatally closed
+        columns = [Column("id", SqlType.BIGINT), Column("s", SqlType.TEXT)]
+        rows = [[i, "x" * 50] for i in range(400)]
+        target = 4096
+        blobs = list(iter_load_chunks(columns, rows, target_bytes=target))
+        assert len(blobs) > 1
+        reassembled = []
+        for seq, blob in enumerate(blobs):
+            # the estimate may overshoot the target, but never by the
+            # 8x margin that separates the default from the frame limit
+            assert len(blob) < target * 8
+            got_columns, got_rows = unpack_load(blob)
+            assert [c.name for c in got_columns] == ["id", "s"]
+            reassembled.extend(got_rows)
+        assert reassembled == rows
+
+    def test_small_load_stays_single_chunk(self):
+        columns = [Column("id", SqlType.BIGINT)]
+        rows = [[1], [2]]
+        blobs = list(iter_load_chunks(columns, rows))
+        assert len(blobs) == 1
+        assert unpack_load(blobs[0])[1] == rows
+
+    def test_malformed_reply_raises_protocol_error(self):
+        from repro.qlang.qtypes import QType
+        from repro.qlang.values import QList, QVector
+
+        with pytest.raises(ProtocolError):
+            decode_reply(QList([]))
+        with pytest.raises(ProtocolError):
+            decode_reply(QVector(QType.LONG, [1]))
+
+
+@pytest.fixture(scope="module")
+def worker():
+    """One shared worker process (spawns are the expensive part)."""
+    shard = ProcessShardBackend(0, ShardingConfig(mode="process"))
+    shard.start()
+    shard.load_columns(
+        "t",
+        [Column("id", SqlType.BIGINT), Column("px", SqlType.DOUBLE)],
+        [[1, 1.5], [2, 2.5], [3, float("nan")]],
+    )
+    yield shard
+    shard.close()
+
+
+class TestWorkerLifecycle:
+    def test_sql_roundtrip(self, worker):
+        result = worker.run_sql("SELECT id, px FROM t ORDER BY id")
+        assert result.rows[0] == (1, 1.5)
+        assert math.isnan(result.rows[2][1])
+
+    def test_ping_and_version(self, worker):
+        assert worker.ping() is True
+        assert isinstance(worker.catalog_version(), int)
+
+    def test_sql_errors_cross_with_classification(self, worker):
+        from repro.errors import SqlCatalogError
+
+        with pytest.raises(SqlCatalogError):
+            worker.run_sql("SELECT * FROM no_such_table")
+
+    def test_expired_deadline_raises_before_sending(self, worker):
+        with request_scope(deadline=Deadline.after(-1.0)):
+            with pytest.raises(DeadlineExceededError):
+                worker.run_sql("SELECT 1")
+
+    def test_live_deadline_passes_through(self, worker):
+        with request_scope(deadline=Deadline.after(30.0)):
+            result = worker.run_sql("SELECT count(*) AS n FROM t")
+        assert result.rows == [(3,)]
+
+    def test_process_info_reports_worker(self, worker):
+        info = worker.process_info()
+        assert info["mode"] == "process"
+        assert info["alive"] is True
+        assert info["pid"] > 0
+        # rss comes from procfs; tolerate platforms without it
+        assert info["rss_kb"] >= 0
+
+    def test_chunked_load_over_the_wire(self, worker, monkeypatch):
+        import repro.core.procshard as procshard_module
+
+        monkeypatch.setattr(procshard_module, "LOAD_CHUNK_BYTES", 2048)
+        columns = [Column("id", SqlType.BIGINT), Column("s", SqlType.TEXT)]
+        rows = [[i, "v" * 40] for i in range(300)]
+        worker.load_columns("chunked", columns, rows)
+        result = worker.run_sql(
+            "SELECT count(*) AS n, min(id) AS lo, max(id) AS hi"
+            " FROM chunked"
+        )
+        assert result.rows == [(300, 0, 299)]
+
+
+class TestCrashRespawn:
+    def test_kill_respawns_with_partition_and_writes_intact(self):
+        shard = ProcessShardBackend(
+            0, ShardingConfig(mode="process", max_respawns=2)
+        )
+        shard.start()
+        try:
+            shard.load_columns(
+                "t", [Column("id", SqlType.BIGINT)], [[1], [2]]
+            )
+            shard.run_sql("CREATE TABLE w (x INTEGER)")
+            shard.run_sql("INSERT INTO w VALUES (42)")
+            old_pid = shard.process_info()["pid"]
+            shard.kill_next_request = True
+            # the in-flight statement surfaces as a transient the retry
+            # layer would absorb
+            with pytest.raises(ConnectionError):
+                shard.run_sql("SELECT * FROM t")
+            assert shard.restarts == 1
+            assert shard.process_info()["pid"] != old_pid
+            # partition reloaded, journaled writes replayed
+            assert shard.run_sql(
+                "SELECT count(*) AS n FROM t"
+            ).rows == [(2,)]
+            assert shard.run_sql("SELECT x FROM w").rows == [(42,)]
+        finally:
+            shard.close()
+
+    def test_respawn_budget_exhaustion_is_not_transient(self):
+        shard = ProcessShardBackend(
+            0, ShardingConfig(mode="process", max_respawns=0)
+        )
+        shard.start()
+        try:
+            shard.kill_next_request = True
+            with pytest.raises(BackendSqlError) as excinfo:
+                shard.run_sql("SELECT 1")
+            assert excinfo.value.code == "58000"
+        finally:
+            shard.close()
+
+    def test_close_is_idempotent_and_reaps_the_worker(self):
+        shard = ProcessShardBackend(0, ShardingConfig(mode="process"))
+        shard.start()
+        pid = shard.process_info()["pid"]
+        assert pid > 0
+        shard.close()
+        shard.close()
+        assert shard.process_info()["alive"] is False
+        assert shard.ping() is False
+        with pytest.raises(ProtocolError):
+            shard.run_sql("SELECT 1")
+
+
+class TestPool:
+    def test_spawn_pool_barrier_and_teardown(self):
+        shards = spawn_process_shards(2, ShardingConfig(mode="process"))
+        try:
+            assert [s.index for s in shards] == [0, 1]
+            assert all(s.ping() for s in shards)
+            pids = {s.process_info()["pid"] for s in shards}
+            assert len(pids) == 2
+        finally:
+            for shard in shards:
+                shard.close()
+
+
+class TestOrphanWatchdog:
+    def test_worker_exits_when_declared_parent_is_gone(self):
+        # --parent declares a coordinator pid that is not this process;
+        # the worker's ppid watchdog must notice and exit on its own —
+        # the same comparison fires when a real coordinator dies
+        # ungracefully (SIGKILL, OOM) and the worker is reparented
+        import repro
+
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.server.shardworker",
+                "--shard", "0", "--parent", "1",
+            ],
+            stdout=subprocess.DEVNULL,
+            env=env,
+        )
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            pytest.fail("orphaned shard worker did not exit on its own")
+        assert proc.returncode == 0
